@@ -1,0 +1,397 @@
+//! # trail-bench: shared harness code for the paper's experiments
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §3 for the index and `EXPERIMENTS.md` for
+//! paper-vs-measured results). This library holds the setups they share:
+//! building the two storage stacks over the paper's drive complement, the
+//! synchronous-write workload generators of §5.1, and the TPC-C rig of
+//! §5.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use trail_blockio::{IoKind, IoRequest, StandardDriver};
+use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
+use trail_db::{Database, DbConfig, FlushPolicy, TrailStack};
+use trail_disk::{profiles, Disk, SECTOR_SIZE};
+use trail_sim::{LatencySummary, SimDuration, SimTime, Simulator};
+use trail_tpcc::{populate, CpuModel, Scale, Workload};
+
+/// The paper's testbed: one ST41601N-class SCSI log disk and three
+/// WD-Caviar-class IDE data disks.
+pub struct Testbed {
+    /// The simulator (virtual time).
+    pub sim: Simulator,
+    /// The Trail driver fronting the three data disks.
+    pub trail: TrailDriver,
+    /// The data disks, in device order.
+    pub data_disks: Vec<Disk>,
+    /// The Trail log disk.
+    pub log_disk: Disk,
+}
+
+/// Builds the testbed with a freshly formatted log disk and a running
+/// Trail driver.
+///
+/// # Panics
+///
+/// Panics if formatting or boot fails (a harness bug).
+pub fn testbed(config: TrailConfig) -> Testbed {
+    let mut sim = Simulator::new();
+    let log_disk = Disk::new("trail-log", profiles::seagate_st41601n());
+    let data_disks: Vec<Disk> = (0..3)
+        .map(|i| Disk::new(format!("data{i}"), profiles::wd_caviar_10gb()))
+        .collect();
+    format_log_disk(&mut sim, &log_disk, FormatOptions::default()).expect("format log disk");
+    let (trail, _) = TrailDriver::start(&mut sim, log_disk.clone(), data_disks.clone(), config)
+        .expect("boot Trail");
+    // Formatting runs the δ-calibration sweep, whose under-compensated
+    // probes pay full rotations by design; start measurements clean.
+    log_disk.reset_stats();
+    for d in &data_disks {
+        d.reset_stats();
+    }
+    Testbed {
+        sim,
+        trail,
+        data_disks,
+        log_disk,
+    }
+}
+
+/// The §5.1 workload arrival modes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArrivalMode {
+    /// A new request arrives immediately after the previous one's log-disk
+    /// write completes (back to back).
+    Clustered,
+    /// A new request arrives `gap` after the previous one completes, where
+    /// `gap` exceeds the repositioning overhead (the paper uses ~1.5 ms+).
+    Sparse {
+        /// The idle gap between completion and the next arrival.
+        gap: SimDuration,
+    },
+}
+
+/// Result of one synchronous-write latency measurement.
+#[derive(Clone, Debug)]
+pub struct SyncWriteResult {
+    /// Per-request latencies.
+    pub latency: LatencySummary,
+}
+
+/// Runs the §5.1 synchronous-write workload against Trail: `procs`
+/// concurrent writers each issue `writes_per_proc` random-target writes of
+/// `size_bytes`, in the given arrival mode.
+pub fn sync_writes_trail(
+    config: TrailConfig,
+    procs: usize,
+    writes_per_proc: usize,
+    size_bytes: usize,
+    mode: ArrivalMode,
+    seed: u64,
+) -> SyncWriteResult {
+    let mut tb = testbed(config);
+    let lat = Rc::new(RefCell::new(LatencySummary::new()));
+    let capacity = tb.data_disks[0].geometry().total_sectors() - 1024;
+    for p in 0..procs {
+        spawn_trail_writer(
+            &mut tb.sim,
+            tb.trail.clone(),
+            Rc::clone(&lat),
+            WriterParams {
+                remaining: writes_per_proc,
+                size_bytes,
+                mode,
+                seed: seed ^ (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                capacity,
+            },
+        );
+    }
+    tb.sim.run();
+    tb.trail.run_until_quiescent(&mut tb.sim);
+    let latency = lat.borrow().clone();
+    SyncWriteResult { latency }
+}
+
+struct WriterParams {
+    remaining: usize,
+    size_bytes: usize,
+    mode: ArrivalMode,
+    seed: u64,
+    capacity: u64,
+}
+
+fn spawn_trail_writer(
+    sim: &mut Simulator,
+    trail: TrailDriver,
+    lat: Rc<RefCell<LatencySummary>>,
+    params: WriterParams,
+) {
+    use rand::Rng;
+    if params.remaining == 0 {
+        return;
+    }
+    let mut rng = trail_sim::rng(params.seed);
+    let sectors = params.size_bytes.div_ceil(SECTOR_SIZE).max(1);
+    let lba = rng.gen_range(0..params.capacity - sectors as u64);
+    let data = vec![rng.gen::<u8>(); sectors * SECTOR_SIZE];
+    let next = WriterParams {
+        remaining: params.remaining - 1,
+        seed: rng.gen(),
+        ..params
+    };
+    let respawn = trail.clone();
+    trail
+        .write(
+            sim,
+            0,
+            lba,
+            data,
+            Box::new(move |sim, done| {
+                lat.borrow_mut().record(done.latency());
+                match next.mode {
+                    ArrivalMode::Clustered => spawn_trail_writer(sim, respawn, lat, next),
+                    ArrivalMode::Sparse { gap } => {
+                        sim.schedule_in(
+                            gap,
+                            Box::new(move |sim| spawn_trail_writer(sim, respawn, lat, next)),
+                        );
+                    }
+                }
+            }),
+        )
+        .expect("trail write accepted");
+}
+
+/// Runs the §5.1 synchronous-write workload against the standard disk
+/// subsystem (writes pay full seek + rotation at their random targets).
+pub fn sync_writes_standard(
+    procs: usize,
+    writes_per_proc: usize,
+    size_bytes: usize,
+    mode: ArrivalMode,
+    seed: u64,
+) -> SyncWriteResult {
+    let mut sim = Simulator::new();
+    let disk = Disk::new("data0", profiles::wd_caviar_10gb());
+    let driver = StandardDriver::new(disk.clone());
+    let lat = Rc::new(RefCell::new(LatencySummary::new()));
+    let capacity = disk.geometry().total_sectors() - 1024;
+    for p in 0..procs {
+        spawn_standard_writer(
+            &mut sim,
+            driver.clone(),
+            Rc::clone(&lat),
+            WriterParams {
+                remaining: writes_per_proc,
+                size_bytes,
+                mode,
+                seed: seed ^ (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                capacity,
+            },
+        );
+    }
+    sim.run();
+    let latency = lat.borrow().clone();
+    SyncWriteResult { latency }
+}
+
+fn spawn_standard_writer(
+    sim: &mut Simulator,
+    driver: StandardDriver,
+    lat: Rc<RefCell<LatencySummary>>,
+    params: WriterParams,
+) {
+    use rand::Rng;
+    if params.remaining == 0 {
+        return;
+    }
+    let mut rng = trail_sim::rng(params.seed);
+    let sectors = params.size_bytes.div_ceil(SECTOR_SIZE).max(1);
+    let lba = rng.gen_range(0..params.capacity - sectors as u64);
+    let data = vec![rng.gen::<u8>(); sectors * SECTOR_SIZE];
+    let next = WriterParams {
+        remaining: params.remaining - 1,
+        seed: rng.gen(),
+        ..params
+    };
+    let respawn_driver = driver.clone();
+    driver
+        .submit(
+            sim,
+            IoRequest {
+                lba,
+                kind: IoKind::Write { data },
+            },
+            Box::new(move |sim, done| {
+                lat.borrow_mut().record(done.latency());
+                match next.mode {
+                    ArrivalMode::Clustered => {
+                        spawn_standard_writer(sim, respawn_driver, lat, next)
+                    }
+                    ArrivalMode::Sparse { gap } => {
+                        sim.schedule_in(
+                            gap,
+                            Box::new(move |sim| {
+                                spawn_standard_writer(sim, respawn_driver, lat, next)
+                            }),
+                        );
+                    }
+                }
+            }),
+        )
+        .expect("standard write accepted");
+}
+
+/// TPC-C rig configuration shared by the Table 2/3 and track-utilization
+/// harnesses.
+#[derive(Clone, Debug)]
+pub struct TpccRig {
+    /// Warehouse-1 scale (see `EXPERIMENTS.md` for the scaling note).
+    pub scale: Scale,
+    /// Buffer-pool pages (paper: 300 MB; scaled to keep the same
+    /// cache:database ratio).
+    pub cache_pages: usize,
+    /// The flush policy.
+    pub policy: FlushPolicy,
+    /// Log-force write granularity in bytes.
+    pub flush_write_bytes: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpccRig {
+    fn default() -> Self {
+        TpccRig {
+            scale: Scale::standard_w1(),
+            cache_pages: 8_000,
+            policy: FlushPolicy::EveryCommit,
+            flush_write_bytes: 8 * 1024,
+            seed: 20020623,
+        }
+    }
+}
+
+/// A TPC-C-ready database plus the simulator driving it.
+pub struct TpccSetup {
+    /// The simulator.
+    pub sim: Simulator,
+    /// The populated, cache-warmed engine.
+    pub db: Database,
+    /// The workload generator, order counters initialized to match the
+    /// population.
+    pub workload: Workload,
+    /// The Trail driver, when the rig runs on Trail.
+    pub trail: Option<TrailDriver>,
+}
+
+/// Builds a TPC-C database over Trail (`trail = true`) or the standard
+/// stack, populates it (untimed), places the images on the simulated
+/// disks, and warms the cache.
+pub fn tpcc_setup(trail: bool, rig: &TpccRig) -> TpccSetup {
+    let db_config = DbConfig {
+        cache_pages: rig.cache_pages,
+        flush_policy: rig.policy,
+        log_dev: 0,
+        log_region_start: 64,
+        // The dedicated 10-GB log disk gives the WAL millions of sectors;
+        // 2 M sectors ≈ 1 GB covers any run here without wrapping.
+        log_region_sectors: 2_000_000,
+        flush_write_bytes: rig.flush_write_bytes,
+        table_devices: vec![1, 2],
+        // The paper's 300-MB cache absorbed all checkpoint pressure over
+        // 5000-transaction runs; dirty pages leave via eviction only.
+        dirty_high_watermark: usize::MAX / 2,
+        flush_batch: 16,
+        log_before_images: true,
+        // The paper's testbed has a single 300-MHz Pentium II: concurrent
+        // transactions' CPU bursts serialize, which is what compresses
+        // commits into the bursts that drive §5.2's utilization numbers.
+        single_cpu: true,
+    };
+    let mut sim = Simulator::new();
+    let disks: Vec<Disk> = (0..3)
+        .map(|i| Disk::new(format!("data{i}"), profiles::wd_caviar_10gb()))
+        .collect();
+    let (db, trail_drv) = if trail {
+        let log = Disk::new("trail-log", profiles::seagate_st41601n());
+        format_log_disk(&mut sim, &log, FormatOptions::default()).expect("format");
+        let (drv, _) = TrailDriver::start(&mut sim, log, disks.clone(), TrailConfig::default())
+            .expect("boot Trail");
+        (
+            Database::new(Rc::new(TrailStack::new(drv.clone(), 3)), db_config),
+            Some(drv),
+        )
+    } else {
+        (
+            Database::new(
+                Rc::new(trail_db::StandardStack::new(disks.clone())),
+                db_config,
+            ),
+            None,
+        )
+    };
+    let images = populate(&db, &rig.scale);
+    for (pid, bytes) in &images {
+        let disk = &disks[pid.dev as usize];
+        for (i, chunk) in bytes.chunks(SECTOR_SIZE).enumerate() {
+            let mut sector = [0u8; SECTOR_SIZE];
+            sector[..chunk.len()].copy_from_slice(chunk);
+            disk.poke_sector(pid.first_lba() + i as u64, &sector);
+        }
+    }
+    // Warm the cache with the most reuse-prone tables first (warehouse,
+    // district, customer, stock), standing in for the paper's 200 000
+    // warm-up transactions.
+    let mut ordered: Vec<_> = images.iter().collect();
+    ordered.sort_by_key(|(pid, _)| (pid.dev, pid.page_no));
+    for (pid, bytes) in ordered {
+        db.warm(*pid, bytes);
+    }
+    let workload = Workload::new(rig.scale, rig.seed, CpuModel::default());
+    TpccSetup {
+        sim,
+        db,
+        workload,
+        trail: trail_drv,
+    }
+}
+
+/// Formats a duration as milliseconds with three decimals.
+pub fn ms(d: SimDuration) -> String {
+    format!("{:.3}", d.as_millis_f64())
+}
+
+/// Formats an instant as seconds with three decimals.
+pub fn secs_at(t: SimTime) -> String {
+    format!("{:.3}", t.as_secs_f64())
+}
+
+/// Prints a Markdown-ish table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Submits one standard-driver write (used by Fig. 3's baseline path).
+pub fn standard_write(
+    sim: &mut Simulator,
+    driver: &StandardDriver,
+    lba: u64,
+    data: Vec<u8>,
+    cb: trail_blockio::IoCallback,
+) {
+    driver
+        .submit(
+            sim,
+            IoRequest {
+                lba,
+                kind: IoKind::Write { data },
+            },
+            cb,
+        )
+        .expect("standard write accepted");
+}

@@ -1,0 +1,46 @@
+//! # trail-blockio: request queues, schedulers, and the baseline driver
+//!
+//! The kernel block layer of the Trail reproduction (Chiueh & Huang,
+//! *Track-Based Disk Logging*, DSN 2002). The paper evaluates Trail against
+//! "Linux's disk subsystem": a queueing driver that services synchronous
+//! writes in place, paying full seek and rotational latency. This crate
+//! provides that baseline ([`StandardDriver`]) plus the scheduling policies
+//! both systems share:
+//!
+//! - [`Fifo`] and [`Clook`] queue schedulers;
+//! - [`Priority::ReadsFirst`], the read-over-write-back policy Trail uses
+//!   on its data disks (paper §4.3);
+//! - the request/completion vocabulary ([`IoRequest`], [`IoDone`]) used by
+//!   every layer above.
+//!
+//! # Examples
+//!
+//! ```
+//! use trail_sim::Simulator;
+//! use trail_disk::{profiles, Disk, SECTOR_SIZE};
+//! use trail_blockio::{IoKind, IoRequest, StandardDriver};
+//!
+//! let mut sim = Simulator::new();
+//! let drv = StandardDriver::new(Disk::new("data", profiles::wd_caviar_10gb()));
+//! drv.submit(
+//!     &mut sim,
+//!     IoRequest { lba: 4096, kind: IoKind::Write { data: vec![0u8; SECTOR_SIZE] } },
+//!     Box::new(|_, done| {
+//!         // A synchronous write on the baseline pays seek + rotation.
+//!         assert!(done.breakdown.rotation.as_millis_f64() >= 0.0);
+//!     }),
+//! )?;
+//! sim.run();
+//! # Ok::<(), trail_disk::DiskError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod request;
+mod sched;
+
+pub use driver::{DriverStats, StandardDriver};
+pub use request::{IoCallback, IoDone, IoKind, IoRequest, RequestId};
+pub use sched::{apply_priority, Clook, Fifo, Priority, QueuedIo, Scheduler};

@@ -1,0 +1,120 @@
+//! Block-level request and completion types shared by all drivers.
+
+use trail_disk::{CommandKind, Lba, ServiceBreakdown, SECTOR_SIZE};
+use trail_sim::{SimTime, Simulator};
+
+/// Identifies a submitted request within one driver.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RequestId(pub u64);
+
+/// The payload side of a block request.
+#[derive(Clone, Debug)]
+pub enum IoKind {
+    /// Read `count` sectors.
+    Read {
+        /// Number of sectors to read (must be positive).
+        count: u32,
+    },
+    /// Write a sector-aligned payload.
+    Write {
+        /// The data to write; length must be a positive multiple of
+        /// [`SECTOR_SIZE`].
+        data: Vec<u8>,
+    },
+}
+
+impl IoKind {
+    /// The number of sectors this request covers.
+    pub fn sectors(&self) -> u32 {
+        match self {
+            IoKind::Read { count } => *count,
+            IoKind::Write { data } => (data.len() / SECTOR_SIZE) as u32,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, IoKind::Read { .. })
+    }
+}
+
+/// A block request: an address plus a payload direction.
+///
+/// # Examples
+///
+/// ```
+/// use trail_blockio::{IoKind, IoRequest};
+///
+/// let r = IoRequest { lba: 9, kind: IoKind::Read { count: 4 } };
+/// assert_eq!(r.kind.sectors(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IoRequest {
+    /// First sector addressed.
+    pub lba: Lba,
+    /// Direction and payload.
+    pub kind: IoKind,
+}
+
+/// Completion record delivered to the submitter's callback.
+#[derive(Clone, Debug)]
+pub struct IoDone {
+    /// The identifier returned at submission.
+    pub id: RequestId,
+    /// First sector addressed.
+    pub lba: Lba,
+    /// Read or write.
+    pub kind: CommandKind,
+    /// Data read (reads only).
+    pub data: Option<Vec<u8>>,
+    /// Submission time.
+    pub issued: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+    /// Mechanical breakdown of the final disk command that serviced this
+    /// request.
+    pub breakdown: ServiceBreakdown,
+}
+
+impl IoDone {
+    /// End-to-end latency (queueing + service).
+    pub fn latency(&self) -> trail_sim::SimDuration {
+        self.completed.duration_since(self.issued)
+    }
+}
+
+/// Callback invoked when a request completes.
+pub type IoCallback = Box<dyn FnOnce(&mut Simulator, IoDone)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_counts() {
+        assert_eq!(IoKind::Read { count: 3 }.sectors(), 3);
+        assert_eq!(
+            IoKind::Write {
+                data: vec![0; 2 * SECTOR_SIZE]
+            }
+            .sectors(),
+            2
+        );
+        assert!(IoKind::Read { count: 1 }.is_read());
+        assert!(!IoKind::Write { data: vec![] }.is_read());
+    }
+
+    #[test]
+    fn latency_is_completed_minus_issued() {
+        let done = IoDone {
+            id: RequestId(1),
+            lba: 0,
+            kind: CommandKind::Read,
+            data: None,
+            issued: SimTime::from_nanos(10),
+            completed: SimTime::from_nanos(25),
+            breakdown: ServiceBreakdown::default(),
+        };
+        assert_eq!(done.latency().as_nanos(), 15);
+    }
+}

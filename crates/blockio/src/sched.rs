@@ -1,0 +1,168 @@
+//! Request-queue scheduling policies.
+//!
+//! The baseline "standard disk subsystem" (the paper's comparison point)
+//! uses a one-way elevator (C-LOOK), which is what Linux's block layer of
+//! the era effectively provided; FIFO is available for experiments that
+//! need strict arrival order. A separate [`Priority`] policy lets Trail's
+//! data-disk scheduling give reads precedence over write-backs (paper §4.3).
+
+use trail_disk::{DiskGeometry, HeadPosition, Lba};
+
+/// A scheduler's read-only view of one queued request.
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedIo {
+    /// First sector addressed.
+    pub lba: Lba,
+    /// Whether the request is a read.
+    pub is_read: bool,
+    /// Arrival order (lower arrived earlier).
+    pub seq: u64,
+}
+
+/// Chooses which queued request a driver dispatches next.
+pub trait Scheduler: std::fmt::Debug {
+    /// Returns the index (into `queue`) of the request to dispatch.
+    ///
+    /// `queue` is never empty. Implementations must return a valid index.
+    fn pick(&mut self, queue: &[QueuedIo], head: HeadPosition, geometry: &DiskGeometry) -> usize;
+}
+
+/// First-in, first-out dispatch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn pick(&mut self, queue: &[QueuedIo], _head: HeadPosition, _geometry: &DiskGeometry) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| q.seq)
+            .map(|(i, _)| i)
+            .expect("scheduler invoked with empty queue")
+    }
+}
+
+/// Circular one-way elevator (C-LOOK): service the nearest request at or
+/// beyond the head's current cylinder; when none remain ahead, sweep back
+/// to the lowest-cylinder request.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Clook;
+
+impl Scheduler for Clook {
+    fn pick(&mut self, queue: &[QueuedIo], head: HeadPosition, geometry: &DiskGeometry) -> usize {
+        let key = |q: &QueuedIo| {
+            geometry
+                .lba_to_chs(q.lba)
+                .map(|chs| chs.cylinder)
+                .unwrap_or(u32::MAX)
+        };
+        let ahead = queue
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| key(q) >= head.cylinder)
+            .min_by_key(|(_, q)| (key(q), q.seq));
+        match ahead {
+            Some((i, _)) => i,
+            None => queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, q)| (key(q), q.seq))
+                .map(|(i, _)| i)
+                .expect("scheduler invoked with empty queue"),
+        }
+    }
+}
+
+/// Whether reads preempt queued writes at dispatch time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Priority {
+    /// Reads and writes compete equally.
+    #[default]
+    None,
+    /// If any read is queued, only reads are candidates (paper §4.3: "data
+    /// disk reads are given higher priority than data disk writes").
+    ReadsFirst,
+}
+
+/// Applies a priority policy, returning the candidate subset of the queue
+/// as (original index, request) pairs.
+pub fn apply_priority(queue: &[QueuedIo], priority: Priority) -> Vec<(usize, QueuedIo)> {
+    let mut candidates: Vec<(usize, QueuedIo)> = match priority {
+        Priority::None => queue.iter().copied().enumerate().collect(),
+        Priority::ReadsFirst => {
+            let reads: Vec<_> = queue
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(_, q)| q.is_read)
+                .collect();
+            if reads.is_empty() {
+                queue.iter().copied().enumerate().collect()
+            } else {
+                reads
+            }
+        }
+    };
+    candidates.sort_by_key(|(_, q)| q.seq);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trail_disk::profiles;
+
+    fn q(lba: Lba, is_read: bool, seq: u64) -> QueuedIo {
+        QueuedIo { lba, is_read, seq }
+    }
+
+    #[test]
+    fn fifo_picks_earliest_arrival() {
+        let g = profiles::tiny_test_disk().geometry;
+        let queue = vec![q(500, false, 2), q(10, true, 0), q(90, false, 1)];
+        let mut s = Fifo;
+        assert_eq!(s.pick(&queue, HeadPosition::default(), &g), 1);
+    }
+
+    #[test]
+    fn clook_services_ahead_of_head_first() {
+        let g = profiles::tiny_test_disk().geometry;
+        // Tiny disk zone 0: 40 spt, 2 heads => 80 sectors/cylinder.
+        // Head at cylinder 4; requests at cylinders 1, 5, 10.
+        let queue = vec![q(80, false, 0), q(400, false, 1), q(800, false, 2)];
+        let head = HeadPosition {
+            cylinder: 4,
+            head: 0,
+        };
+        let mut s = Clook;
+        assert_eq!(s.pick(&queue, head, &g), 1, "cylinder 5 is nearest ahead");
+        // Head beyond all requests: wrap to the lowest cylinder.
+        let head = HeadPosition {
+            cylinder: 20,
+            head: 0,
+        };
+        assert_eq!(s.pick(&queue, head, &g), 0);
+    }
+
+    #[test]
+    fn clook_breaks_ties_by_arrival() {
+        let g = profiles::tiny_test_disk().geometry;
+        let queue = vec![q(81, false, 5), q(80, false, 3)];
+        let mut s = Clook;
+        // Same cylinder (1): earlier arrival wins.
+        assert_eq!(s.pick(&queue, HeadPosition::default(), &g), 1);
+    }
+
+    #[test]
+    fn priority_restricts_to_reads_when_present() {
+        let queue = vec![q(1, false, 0), q(2, true, 1), q(3, true, 2)];
+        let cands = apply_priority(&queue, Priority::ReadsFirst);
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|(_, r)| r.is_read));
+        // With no reads queued, writes flow through.
+        let wqueue = vec![q(1, false, 0), q(2, false, 1)];
+        assert_eq!(apply_priority(&wqueue, Priority::ReadsFirst).len(), 2);
+        // Priority::None keeps everything.
+        assert_eq!(apply_priority(&queue, Priority::None).len(), 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests of the block layer: under arbitrary workloads, every
+//! request completes exactly once, reads return the last write, and the
+//! elevator never loses to FIFO on total seek distance by more than noise.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use trail_blockio::{Clook, Fifo, IoKind, IoRequest, Priority, StandardDriver};
+use trail_disk::{profiles, Disk, SECTOR_SIZE};
+use trail_sim::{SimDuration, Simulator};
+
+/// One generated request: arrival offset, target, read/write, tag.
+#[derive(Clone, Debug)]
+struct GenReq {
+    at_us: u64,
+    lba: u64,
+    is_read: bool,
+    tag: u8,
+}
+
+fn arb_workload() -> impl Strategy<Value = Vec<GenReq>> {
+    proptest::collection::vec(
+        (0u64..60_000, 0u64..4_000, any::<bool>(), 1u8..255),
+        1..60,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(at_us, lba, is_read, tag)| GenReq {
+                at_us,
+                lba,
+                is_read,
+                tag,
+            })
+            .collect()
+    })
+}
+
+fn run_workload(
+    reqs: &[GenReq],
+    scheduler: fn() -> Box<dyn trail_blockio::Scheduler>,
+    priority: Priority,
+) -> (u64, HashMap<u64, u8>, f64) {
+    let mut sim = Simulator::new();
+    let disk = Disk::new("t", profiles::tiny_test_disk());
+    let driver = StandardDriver::with_policy(disk.clone(), scheduler(), priority);
+    let completions = Rc::new(RefCell::new(0u64));
+    // Model of the medium: last write to each lba, in *completion* order.
+    let final_writes: Rc<RefCell<HashMap<u64, u8>>> = Rc::new(RefCell::new(HashMap::new()));
+    for r in reqs {
+        let r = r.clone();
+        let driver = driver.clone();
+        let completions = Rc::clone(&completions);
+        let final_writes = Rc::clone(&final_writes);
+        sim.schedule_in(
+            SimDuration::from_micros(r.at_us),
+            Box::new(move |sim| {
+                let kind = if r.is_read {
+                    IoKind::Read { count: 1 }
+                } else {
+                    IoKind::Write {
+                        data: vec![r.tag; SECTOR_SIZE],
+                    }
+                };
+                let c2 = Rc::clone(&completions);
+                let fw = Rc::clone(&final_writes);
+                let lba = r.lba;
+                let tag = r.tag;
+                let is_read = r.is_read;
+                driver
+                    .submit(
+                        sim,
+                        IoRequest { lba, kind },
+                        Box::new(move |_, done| {
+                            *c2.borrow_mut() += 1;
+                            if is_read {
+                                // A read must observe the tag of the last
+                                // *completed* write to this lba (or zero).
+                                let expect =
+                                    fw.borrow().get(&lba).copied().unwrap_or(0);
+                                assert_eq!(
+                                    done.data.expect("read data")[0],
+                                    expect,
+                                    "read at lba {lba} saw stale data"
+                                );
+                            } else {
+                                fw.borrow_mut().insert(lba, tag);
+                            }
+                        }),
+                    )
+                    .expect("valid request");
+            }),
+        );
+    }
+    sim.run();
+    let total_seek = disk.with_stats(|s| s.total_seek.as_millis_f64());
+    let done = *completions.borrow();
+    let writes = final_writes.borrow().clone();
+    (done, writes, total_seek)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request completes exactly once; reads are consistent with
+    /// completed writes; the medium ends at the last completed write.
+    #[test]
+    fn all_requests_complete_and_reads_are_fresh(reqs in arb_workload()) {
+        for (sched, prio) in [
+            (boxed_fifo as fn() -> Box<dyn trail_blockio::Scheduler>, Priority::None),
+            (boxed_clook, Priority::None),
+            (boxed_clook, Priority::ReadsFirst),
+        ] {
+            let (done, _, _) = run_workload(&reqs, sched, prio);
+            prop_assert_eq!(done, reqs.len() as u64);
+        }
+    }
+
+    /// C-LOOK's total arm movement never exceeds FIFO's by more than a
+    /// small factor on bursty workloads (it exists to reduce it).
+    #[test]
+    fn clook_does_not_explode_seek_distance(reqs in arb_workload()) {
+        let (_, _, fifo_seek) = run_workload(&reqs, boxed_fifo, Priority::None);
+        let (_, _, clook_seek) = run_workload(&reqs, boxed_clook, Priority::None);
+        prop_assert!(
+            clook_seek <= fifo_seek * 1.05 + 2.5,
+            "C-LOOK seek {clook_seek} ms vs FIFO {fifo_seek} ms"
+        );
+    }
+}
+
+fn boxed_fifo() -> Box<dyn trail_blockio::Scheduler> {
+    Box::new(Fifo)
+}
+
+fn boxed_clook() -> Box<dyn trail_blockio::Scheduler> {
+    Box::new(Clook)
+}

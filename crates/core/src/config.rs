@@ -1,0 +1,120 @@
+//! Driver configuration knobs.
+
+use trail_sim::SimDuration;
+
+/// Tunable parameters of the Trail driver.
+///
+/// The defaults reproduce the paper's prototype: a 30 % track-utilization
+/// threshold before repositioning (§4.2), up to 32 sectors per batched
+/// write record (§3.2's `MAX_TRAIL_BATCH`), and periodic head
+/// repositioning when the log disk has been idle long enough for the
+/// prediction reference point to go stale (§3.1).
+///
+/// # Examples
+///
+/// ```
+/// let cfg = trail_core::TrailConfig::default();
+/// assert_eq!(cfg.track_util_threshold, 0.30);
+/// assert_eq!(cfg.max_batch_sectors, 32);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrailConfig {
+    /// Fraction of a track that may be filled before the driver moves the
+    /// head to the next free track (the paper's 30 % threshold).
+    pub track_util_threshold: f64,
+    /// Maximum payload sectors per write record (the paper's
+    /// `MAX_TRAIL_BATCH`). Must be between 1 and
+    /// [`MAX_TRAIL_BATCH`](crate::format::MAX_TRAIL_BATCH).
+    pub max_batch_sectors: u32,
+    /// How long the log disk may sit idle before the driver refreshes its
+    /// prediction reference point with a repositioning read (§3.1's
+    /// "periodic repositioning").
+    pub idle_reposition_after: SimDuration,
+    /// If `true`, the driver repositions to a fresh track after *every*
+    /// log write, the policy of the original ICCD'93 design; `false` uses
+    /// this paper's utilization-threshold policy. Exposed for the ablation
+    /// benchmark.
+    pub reposition_every_write: bool,
+    /// How many consecutive idle reference refreshes the driver performs
+    /// before going quiet until the next write. A real driver refreshes
+    /// forever; bounding it keeps the event queue finite for tests. Raise
+    /// it when the drive has spindle wander (see
+    /// `trail_disk::MechanicalModel::spindle_wander`); `0` disables idle
+    /// refreshing entirely (ablation).
+    pub max_idle_refreshes: u32,
+    /// Restrict the log-disk track pool to this many tracks (`None` uses
+    /// the whole disk). The paper notes running out of free tracks is
+    /// rare on a real disk (§4.4); this knob makes the out-of-tracks
+    /// stall path and circular wrap-around testable without gigabytes of
+    /// traffic.
+    pub log_track_limit: Option<u64>,
+}
+
+impl Default for TrailConfig {
+    fn default() -> Self {
+        TrailConfig {
+            track_util_threshold: 0.30,
+            max_batch_sectors: crate::format::MAX_TRAIL_BATCH as u32,
+            idle_reposition_after: SimDuration::from_millis(500),
+            reposition_every_write: false,
+            max_idle_refreshes: 1,
+            log_track_limit: None,
+        }
+    }
+}
+
+impl TrailConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is outside `(0.0, 1.0]` or the batch limit
+    /// is zero or exceeds the on-disk format's capacity.
+    pub fn validate(&self) {
+        assert!(
+            self.track_util_threshold > 0.0 && self.track_util_threshold <= 1.0,
+            "track utilization threshold must be in (0, 1], got {}",
+            self.track_util_threshold
+        );
+        assert!(
+            self.max_batch_sectors >= 1
+                && self.max_batch_sectors <= crate::format::MAX_TRAIL_BATCH as u32,
+            "max batch sectors must be in 1..={}, got {}",
+            crate::format::MAX_TRAIL_BATCH,
+            self.max_batch_sectors
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = TrailConfig::default();
+        c.validate();
+        assert_eq!(c.track_util_threshold, 0.30);
+        assert!(!c.reposition_every_write);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        TrailConfig {
+            track_util_threshold: 0.0,
+            ..TrailConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch")]
+    fn oversized_batch_rejected() {
+        TrailConfig {
+            max_batch_sectors: 1000,
+            ..TrailConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,285 @@
+//! The storage-stack abstraction: the same database engine runs on Trail
+//! or on the standard disk subsystem, which is exactly the comparison
+//! Table 2 makes (`EXT2+Trail` vs. `EXT2` vs. `EXT2+GC`).
+
+use std::rc::Rc;
+
+use trail_blockio::{Clook, IoCallback, IoKind, IoRequest, Priority, StandardDriver};
+use trail_core::{TrailDriver, TrailError};
+use trail_disk::{Disk, Lba};
+use trail_sim::Simulator;
+
+/// A stack of block devices the database reads and writes through.
+///
+/// `dev` indexes are stable across the stack's lifetime; writes are
+/// synchronous in the database's sense — the callback fires when the
+/// stack guarantees durability (for Trail, that is the *log-disk* write).
+pub trait BlockStack {
+    /// Submits a durable write of `data` at `lba` on device `dev`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed requests without side effects.
+    fn write(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        cb: IoCallback,
+    ) -> Result<(), TrailError>;
+
+    /// Submits a read of `count` sectors at `lba` on device `dev`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed requests without side effects.
+    fn read(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        cb: IoCallback,
+    ) -> Result<(), TrailError>;
+
+    /// Outstanding work inside the stack (used to drain at shutdown).
+    fn pending_work(&self) -> usize;
+
+    /// Number of devices.
+    fn devices(&self) -> usize;
+}
+
+/// The Trail stack: every device sits behind one [`TrailDriver`].
+#[derive(Clone)]
+pub struct TrailStack {
+    driver: TrailDriver,
+    devices: usize,
+}
+
+impl TrailStack {
+    /// Wraps a running Trail driver serving `devices` data disks.
+    pub fn new(driver: TrailDriver, devices: usize) -> Self {
+        TrailStack { driver, devices }
+    }
+
+    /// The wrapped driver (for statistics).
+    pub fn driver(&self) -> &TrailDriver {
+        &self.driver
+    }
+}
+
+impl BlockStack for TrailStack {
+    fn write(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        cb: IoCallback,
+    ) -> Result<(), TrailError> {
+        self.driver.write(sim, dev, lba, data, cb)
+    }
+
+    fn read(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        cb: IoCallback,
+    ) -> Result<(), TrailError> {
+        self.driver.read(sim, dev, lba, count, cb)
+    }
+
+    fn pending_work(&self) -> usize {
+        self.driver.pending_work()
+    }
+
+    fn devices(&self) -> usize {
+        self.devices
+    }
+}
+
+/// The baseline stack: each device is a plain queueing driver; writes pay
+/// full seek + rotational latency at their target address.
+#[derive(Clone)]
+pub struct StandardStack {
+    drivers: Vec<StandardDriver>,
+}
+
+impl StandardStack {
+    /// Builds a baseline stack over `disks` with C-LOOK scheduling and no
+    /// read priority (Linux-of-the-era behavior).
+    pub fn new(disks: Vec<Disk>) -> Self {
+        StandardStack {
+            drivers: disks
+                .into_iter()
+                .map(|d| StandardDriver::with_policy(d, Box::new(Clook), Priority::None))
+                .collect(),
+        }
+    }
+
+    /// The driver for device `dev` (for statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is out of range.
+    pub fn driver(&self, dev: usize) -> &StandardDriver {
+        &self.drivers[dev]
+    }
+}
+
+impl BlockStack for StandardStack {
+    fn write(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        cb: IoCallback,
+    ) -> Result<(), TrailError> {
+        let drv = self.drivers.get(dev).ok_or(TrailError::BadDevice)?;
+        drv.submit(
+            sim,
+            IoRequest {
+                lba,
+                kind: IoKind::Write { data },
+            },
+            cb,
+        )
+        .map(|_| ())
+        .map_err(TrailError::Disk)
+    }
+
+    fn read(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        cb: IoCallback,
+    ) -> Result<(), TrailError> {
+        let drv = self.drivers.get(dev).ok_or(TrailError::BadDevice)?;
+        drv.submit(
+            sim,
+            IoRequest {
+                lba,
+                kind: IoKind::Read { count },
+            },
+            cb,
+        )
+        .map(|_| ())
+        .map_err(TrailError::Disk)
+    }
+
+    fn pending_work(&self) -> usize {
+        self.drivers
+            .iter()
+            .map(|d| d.queue_depth() + usize::from(d.is_busy()))
+            .sum()
+    }
+
+    fn devices(&self) -> usize {
+        self.drivers.len()
+    }
+}
+
+/// Convenience alias used throughout the engine.
+pub type SharedStack = Rc<dyn BlockStack>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use trail_disk::{profiles, SECTOR_SIZE};
+
+    #[test]
+    fn standard_stack_round_trips() {
+        let mut sim = Simulator::new();
+        let stack = StandardStack::new(vec![
+            Disk::new("a", profiles::tiny_test_disk()),
+            Disk::new("b", profiles::tiny_test_disk()),
+        ]);
+        assert_eq!(stack.devices(), 2);
+        let hit = Rc::new(Cell::new(false));
+        let h = Rc::clone(&hit);
+        stack
+            .write(
+                &mut sim,
+                1,
+                9,
+                vec![0x3C; SECTOR_SIZE],
+                Box::new(|_, _| {}),
+            )
+            .unwrap();
+        sim.run();
+        stack
+            .read(
+                &mut sim,
+                1,
+                9,
+                1,
+                Box::new(move |_, done| {
+                    assert_eq!(done.data.unwrap()[0], 0x3C);
+                    h.set(true);
+                }),
+            )
+            .unwrap();
+        sim.run();
+        assert!(hit.get());
+        assert_eq!(stack.pending_work(), 0);
+    }
+
+    #[test]
+    fn standard_stack_rejects_bad_device() {
+        let mut sim = Simulator::new();
+        let stack = StandardStack::new(vec![Disk::new("a", profiles::tiny_test_disk())]);
+        assert!(matches!(
+            stack.write(&mut sim, 7, 0, vec![0; SECTOR_SIZE], Box::new(|_, _| {})),
+            Err(TrailError::BadDevice)
+        ));
+        assert!(matches!(
+            stack.read(&mut sim, 7, 0, 1, Box::new(|_, _| {})),
+            Err(TrailError::BadDevice)
+        ));
+    }
+
+    #[test]
+    fn trail_stack_round_trips() {
+        use trail_core::{format_log_disk, FormatOptions, TrailConfig};
+        let mut sim = Simulator::new();
+        let log = Disk::new("log", profiles::tiny_test_disk());
+        let data = Disk::new("d", profiles::tiny_test_disk());
+        format_log_disk(&mut sim, &log, FormatOptions::default()).unwrap();
+        let (drv, _) =
+            TrailDriver::start(&mut sim, log, vec![data], TrailConfig::default()).unwrap();
+        let stack = TrailStack::new(drv.clone(), 1);
+        stack
+            .write(
+                &mut sim,
+                0,
+                3,
+                vec![0x7E; SECTOR_SIZE],
+                Box::new(|_, done| {
+                    assert!(done.latency().as_millis_f64() < 5.0);
+                }),
+            )
+            .unwrap();
+        drv.run_until_quiescent(&mut sim);
+        assert_eq!(stack.pending_work(), 0);
+        let got = Rc::new(Cell::new(0u8));
+        let g = Rc::clone(&got);
+        stack
+            .read(
+                &mut sim,
+                0,
+                3,
+                1,
+                Box::new(move |_, done| g.set(done.data.unwrap()[0])),
+            )
+            .unwrap();
+        sim.run();
+        assert_eq!(got.get(), 0x7E);
+    }
+}

@@ -1,0 +1,691 @@
+//! The simulated disk device: one-command-at-a-time service, persistence,
+//! statistics, and power-failure injection.
+//!
+//! [`Disk`] is a cheaply cloneable handle (`Rc<RefCell<_>>`) so that driver
+//! layers and completion events can all reach the same device. The device
+//! itself has **no queue**: like real drive electronics of the paper's era
+//! (no tagged queuing in the prototype), it services exactly one command at
+//! a time, and the driver above is responsible for queueing — which is
+//! exactly where Trail's batching happens.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use trail_sim::{BusyMeter, LatencySummary, SimDuration, SimTime, Simulator};
+
+use crate::geometry::{DiskGeometry, Lba, SECTOR_SIZE};
+use crate::mechanics::{CommandKind, HeadPosition, MechanicalModel, ServiceBreakdown};
+use crate::store::{SectorBuf, SectorStore};
+
+/// A command submitted to a disk.
+#[derive(Clone, Debug)]
+pub enum DiskCommand {
+    /// Read `count` sectors starting at `lba`.
+    Read {
+        /// First sector.
+        lba: Lba,
+        /// Number of sectors (must be positive).
+        count: u32,
+    },
+    /// Write `data` (a whole number of sectors) starting at `lba`.
+    Write {
+        /// First sector.
+        lba: Lba,
+        /// Sector-aligned payload.
+        data: Vec<u8>,
+    },
+    /// Move the arm to the track containing `lba` without transferring.
+    Seek {
+        /// Target sector (identifies the track).
+        lba: Lba,
+    },
+}
+
+impl DiskCommand {
+    fn kind(&self) -> CommandKind {
+        match self {
+            DiskCommand::Read { .. } => CommandKind::Read,
+            DiskCommand::Write { .. } => CommandKind::Write,
+            DiskCommand::Seek { .. } => CommandKind::Seek,
+        }
+    }
+
+    fn lba(&self) -> Lba {
+        match self {
+            DiskCommand::Read { lba, .. }
+            | DiskCommand::Write { lba, .. }
+            | DiskCommand::Seek { lba } => *lba,
+        }
+    }
+}
+
+/// The completion record delivered to a command's callback.
+#[derive(Clone, Debug)]
+pub struct DiskResult {
+    /// The command's kind.
+    pub kind: CommandKind,
+    /// The command's first LBA.
+    pub lba: Lba,
+    /// Data read from the medium (reads only).
+    pub data: Option<Vec<u8>>,
+    /// When the command was submitted.
+    pub issued: SimTime,
+    /// When the command completed (interrupt time).
+    pub completed: SimTime,
+    /// Mechanical timing decomposition.
+    pub breakdown: ServiceBreakdown,
+}
+
+/// Callback invoked when a command completes.
+pub type DiskCallback = Box<dyn FnOnce(&mut Simulator, DiskResult)>;
+
+/// Errors returned synchronously by [`Disk::submit`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskError {
+    /// A command is already in flight; the device takes one at a time.
+    Busy,
+    /// The device has lost power.
+    PoweredOff,
+    /// The addressed range falls outside the disk.
+    OutOfRange,
+    /// A write payload was empty or not sector-aligned.
+    BadDataLength,
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Busy => write!(f, "disk is busy servicing another command"),
+            DiskError::PoweredOff => write!(f, "disk is powered off"),
+            DiskError::OutOfRange => write!(f, "addressed sector range is outside the disk"),
+            DiskError::BadDataLength => {
+                write!(f, "write payload must be a positive multiple of {SECTOR_SIZE} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Aggregated per-disk measurements.
+#[derive(Clone, Debug, Default)]
+pub struct DiskStats {
+    /// Completed read commands.
+    pub reads: u64,
+    /// Completed write commands.
+    pub writes: u64,
+    /// Completed seek commands.
+    pub seeks: u64,
+    /// Sectors transferred by reads.
+    pub sectors_read: u64,
+    /// Sectors transferred by writes.
+    pub sectors_written: u64,
+    /// Busy-time accounting (command in flight).
+    pub busy: BusyMeter,
+    /// Rotational-latency samples, one per transfer command — the quantity
+    /// Trail's head prediction is designed to eliminate.
+    pub rotation_waits: LatencySummary,
+    /// Sum of fixed command overheads.
+    pub total_overhead: SimDuration,
+    /// Sum of seek (arm movement) time.
+    pub total_seek: SimDuration,
+    /// Sum of rotational latency.
+    pub total_rotation: SimDuration,
+    /// Sum of media transfer time.
+    pub total_transfer: SimDuration,
+}
+
+struct PendingSector {
+    lba: Lba,
+    data: Box<SectorBuf>,
+    done_at: SimTime,
+}
+
+struct DiskInner {
+    name: String,
+    geometry: DiskGeometry,
+    mech: MechanicalModel,
+    store: SectorStore,
+    head: HeadPosition,
+    busy: bool,
+    prev_was_write: bool,
+    powered: bool,
+    power_epoch: u64,
+    in_flight: Vec<PendingSector>,
+    stats: DiskStats,
+}
+
+/// A simulated disk drive. Clones share the same device.
+///
+/// # Examples
+///
+/// ```
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+/// use trail_sim::Simulator;
+/// use trail_disk::{profiles, Disk, DiskCommand, SECTOR_SIZE};
+///
+/// let mut sim = Simulator::new();
+/// let disk = Disk::new("log", profiles::seagate_st41601n());
+/// let done = Rc::new(Cell::new(false));
+/// let flag = Rc::clone(&done);
+/// disk.submit(
+///     &mut sim,
+///     DiskCommand::Write { lba: 0, data: vec![0xAB; SECTOR_SIZE] },
+///     Box::new(move |_, res| {
+///         assert!(res.completed > res.issued);
+///         flag.set(true);
+///     }),
+/// )
+/// .unwrap();
+/// sim.run();
+/// assert!(done.get());
+/// ```
+#[derive(Clone)]
+pub struct Disk {
+    inner: Rc<RefCell<DiskInner>>,
+}
+
+impl Disk {
+    /// Creates a powered-on disk with an all-zero medium and the arm on
+    /// cylinder 0, surface 0.
+    pub fn new(name: impl Into<String>, profile: crate::profiles::DriveProfile) -> Self {
+        let capacity = profile.geometry.total_sectors();
+        Disk {
+            inner: Rc::new(RefCell::new(DiskInner {
+                name: name.into(),
+                geometry: profile.geometry,
+                mech: profile.mech,
+                store: SectorStore::new(capacity),
+                head: HeadPosition::default(),
+                busy: false,
+                prev_was_write: false,
+                powered: true,
+                power_epoch: 0,
+                in_flight: Vec::new(),
+                stats: DiskStats::default(),
+            })),
+        }
+    }
+
+    /// The device's name (for diagnostics).
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// A copy of the device's geometry.
+    pub fn geometry(&self) -> DiskGeometry {
+        self.inner.borrow().geometry.clone()
+    }
+
+    /// A copy of the device's mechanical model.
+    pub fn mechanics(&self) -> MechanicalModel {
+        self.inner.borrow().mech.clone()
+    }
+
+    /// Whether a command is currently in flight.
+    pub fn is_busy(&self) -> bool {
+        self.inner.borrow().busy
+    }
+
+    /// Whether the device has power.
+    pub fn is_powered(&self) -> bool {
+        self.inner.borrow().powered
+    }
+
+    /// Runs `f` against the accumulated statistics.
+    pub fn with_stats<R>(&self, f: impl FnOnce(&DiskStats) -> R) -> R {
+        f(&self.inner.borrow().stats)
+    }
+
+    /// Resets the accumulated statistics (the medium is untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a command is in flight (its busy interval would be torn).
+    pub fn reset_stats(&self) {
+        let mut d = self.inner.borrow_mut();
+        assert!(!d.busy, "cannot reset stats while a command is in flight");
+        d.stats = DiskStats::default();
+    }
+
+    /// Submits a command; `cb` fires from the event loop at completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error without side effects if the device is busy or
+    /// powered off, the range is outside the disk, or a write payload is
+    /// not sector-aligned.
+    pub fn submit(
+        &self,
+        sim: &mut Simulator,
+        cmd: DiskCommand,
+        cb: DiskCallback,
+    ) -> Result<(), DiskError> {
+        let now = sim.now();
+        let (plan, kind, lba, count, epoch) = {
+            let mut d = self.inner.borrow_mut();
+            if !d.powered {
+                return Err(DiskError::PoweredOff);
+            }
+            if d.busy {
+                return Err(DiskError::Busy);
+            }
+            let kind = cmd.kind();
+            let lba = cmd.lba();
+            let plan = match &cmd {
+                DiskCommand::Read { lba, count } => {
+                    if *count == 0 {
+                        return Err(DiskError::OutOfRange);
+                    }
+                    d.mech
+                        .plan(&d.geometry, now, d.head, CommandKind::Read, *lba, *count, d.prev_was_write)
+                        .ok_or(DiskError::OutOfRange)?
+                }
+                DiskCommand::Write { lba, data } => {
+                    if data.is_empty() || data.len() % SECTOR_SIZE != 0 {
+                        return Err(DiskError::BadDataLength);
+                    }
+                    let count = (data.len() / SECTOR_SIZE) as u32;
+                    d.mech
+                        .plan(&d.geometry, now, d.head, CommandKind::Write, *lba, count, d.prev_was_write)
+                        .ok_or(DiskError::OutOfRange)?
+                }
+                DiskCommand::Seek { lba } => d
+                    .mech
+                    .plan_seek(&d.geometry, now, d.head, *lba)
+                    .ok_or(DiskError::OutOfRange)?,
+            };
+            let count = match &cmd {
+                DiskCommand::Read { count, .. } => *count,
+                DiskCommand::Write { data, .. } => (data.len() / SECTOR_SIZE) as u32,
+                DiskCommand::Seek { .. } => 0,
+            };
+            // Stage write data with per-sector media-completion instants so
+            // a power cut can persist exactly the sectors already written.
+            if let DiskCommand::Write { lba, data } = &cmd {
+                for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
+                    let mut buf = Box::new([0u8; SECTOR_SIZE]);
+                    buf.copy_from_slice(chunk);
+                    d.in_flight.push(PendingSector {
+                        lba: lba + i as u64,
+                        data: buf,
+                        done_at: plan.sector_done[i],
+                    });
+                }
+            }
+            d.busy = true;
+            d.stats.busy.start(now);
+            (plan, kind, lba, count, d.power_epoch)
+        };
+
+        let disk = self.clone();
+        sim.schedule_at(
+            plan.completion,
+            Box::new(move |sim| {
+                let result = {
+                    let mut d = disk.inner.borrow_mut();
+                    if !d.powered || d.power_epoch != epoch {
+                        // Power was cut while this command was in flight;
+                        // the host that issued it is gone too.
+                        return;
+                    }
+                    // Persist staged write sectors (all transferred by now).
+                    let staged = std::mem::take(&mut d.in_flight);
+                    for s in staged {
+                        d.store.write_sector(s.lba, &s.data);
+                    }
+                    let data = if kind == CommandKind::Read {
+                        Some(d.store.read_range(lba, count))
+                    } else {
+                        None
+                    };
+                    d.head = plan.end_head;
+                    d.busy = false;
+                    d.prev_was_write = kind == CommandKind::Write;
+                    let now = sim.now();
+                    d.stats.busy.stop(now);
+                    match kind {
+                        CommandKind::Read => {
+                            d.stats.reads += 1;
+                            d.stats.sectors_read += u64::from(count);
+                        }
+                        CommandKind::Write => {
+                            d.stats.writes += 1;
+                            d.stats.sectors_written += u64::from(count);
+                        }
+                        CommandKind::Seek => d.stats.seeks += 1,
+                    }
+                    if kind != CommandKind::Seek {
+                        d.stats.rotation_waits.record(plan.breakdown.rotation);
+                    }
+                    d.stats.total_overhead += plan.breakdown.overhead;
+                    d.stats.total_seek += plan.breakdown.seek;
+                    d.stats.total_rotation += plan.breakdown.rotation;
+                    d.stats.total_transfer += plan.breakdown.transfer;
+                    DiskResult {
+                        kind,
+                        lba,
+                        data,
+                        issued: now - plan.breakdown.total,
+                        completed: now,
+                        breakdown: plan.breakdown,
+                    }
+                };
+                cb(sim, result);
+            }),
+        );
+        Ok(())
+    }
+
+    /// Cuts power at `now`. Sectors whose media transfer completed before
+    /// `now` persist; the rest of any in-flight command is lost, and its
+    /// completion callback will never fire.
+    pub fn power_cut(&self, now: SimTime) {
+        let mut d = self.inner.borrow_mut();
+        if !d.powered {
+            return;
+        }
+        d.powered = false;
+        d.power_epoch += 1;
+        let staged = std::mem::take(&mut d.in_flight);
+        for s in staged {
+            if s.done_at <= now {
+                d.store.write_sector(s.lba, &s.data);
+            }
+        }
+        if d.busy {
+            d.busy = false;
+            d.stats.busy.stop(now);
+        }
+    }
+
+    /// Restores power. The arm recalibrates to cylinder 0, surface 0; the
+    /// medium is untouched.
+    pub fn power_on(&self) {
+        let mut d = self.inner.borrow_mut();
+        if d.powered {
+            return;
+        }
+        d.powered = true;
+        d.head = HeadPosition::default();
+        d.prev_was_write = false;
+    }
+
+    /// Reads a sector directly off the medium, bypassing timing.
+    ///
+    /// Intended for test assertions and post-mortem inspection only; the
+    /// Trail recovery path performs *timed* reads through [`submit`].
+    ///
+    /// [`submit`]: Disk::submit
+    pub fn peek_sector(&self, lba: Lba) -> SectorBuf {
+        self.inner.borrow().store.read_sector(lba)
+    }
+
+    /// Writes a sector directly onto the medium, bypassing timing.
+    ///
+    /// Intended for formatting tools and test setup.
+    pub fn poke_sector(&self, lba: Lba, data: &SectorBuf) {
+        self.inner.borrow_mut().store.write_sector(lba, data);
+    }
+
+    /// The current arm position (test/diagnostic use).
+    pub fn head_position(&self) -> HeadPosition {
+        self.inner.borrow().head
+    }
+}
+
+impl fmt::Debug for Disk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.inner.borrow();
+        f.debug_struct("Disk")
+            .field("name", &d.name)
+            .field("busy", &d.busy)
+            .field("powered", &d.powered)
+            .field("head", &d.head)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use std::cell::Cell;
+
+    fn setup() -> (Simulator, Disk) {
+        (Simulator::new(), Disk::new("t", profiles::tiny_test_disk()))
+    }
+
+    fn write_buf(byte: u8, sectors: usize) -> Vec<u8> {
+        vec![byte; sectors * SECTOR_SIZE]
+    }
+
+    #[test]
+    fn write_then_read_round_trips_through_commands() {
+        let (mut sim, disk) = setup();
+        let got = Rc::new(RefCell::new(None));
+        let d2 = disk.clone();
+        let got2 = Rc::clone(&got);
+        disk.submit(
+            &mut sim,
+            DiskCommand::Write {
+                lba: 7,
+                data: write_buf(0x5A, 2),
+            },
+            Box::new(move |sim, res| {
+                assert_eq!(res.kind, CommandKind::Write);
+                d2.submit(
+                    sim,
+                    DiskCommand::Read { lba: 7, count: 2 },
+                    Box::new(move |_, res| {
+                        *got2.borrow_mut() = res.data;
+                    }),
+                )
+                .unwrap();
+            }),
+        )
+        .unwrap();
+        sim.run();
+        assert_eq!(got.borrow().as_deref(), Some(&write_buf(0x5A, 2)[..]));
+    }
+
+    #[test]
+    fn busy_disk_rejects_submission() {
+        let (mut sim, disk) = setup();
+        disk.submit(
+            &mut sim,
+            DiskCommand::Read { lba: 0, count: 1 },
+            Box::new(|_, _| {}),
+        )
+        .unwrap();
+        assert!(disk.is_busy());
+        let err = disk
+            .submit(
+                &mut sim,
+                DiskCommand::Read { lba: 0, count: 1 },
+                Box::new(|_, _| {}),
+            )
+            .unwrap_err();
+        assert_eq!(err, DiskError::Busy);
+        sim.run();
+        assert!(!disk.is_busy());
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let (mut sim, disk) = setup();
+        let cap = disk.geometry().total_sectors();
+        assert_eq!(
+            disk.submit(
+                &mut sim,
+                DiskCommand::Read { lba: cap, count: 1 },
+                Box::new(|_, _| {})
+            )
+            .unwrap_err(),
+            DiskError::OutOfRange
+        );
+        assert_eq!(
+            disk.submit(
+                &mut sim,
+                DiskCommand::Read { lba: 0, count: 0 },
+                Box::new(|_, _| {})
+            )
+            .unwrap_err(),
+            DiskError::OutOfRange
+        );
+        assert_eq!(
+            disk.submit(
+                &mut sim,
+                DiskCommand::Write {
+                    lba: 0,
+                    data: vec![1, 2, 3]
+                },
+                Box::new(|_, _| {})
+            )
+            .unwrap_err(),
+            DiskError::BadDataLength
+        );
+        assert_eq!(
+            disk.submit(
+                &mut sim,
+                DiskCommand::Write { lba: 0, data: vec![] },
+                Box::new(|_, _| {})
+            )
+            .unwrap_err(),
+            DiskError::BadDataLength
+        );
+    }
+
+    #[test]
+    fn seek_moves_head_without_touching_medium() {
+        let (mut sim, disk) = setup();
+        let g = disk.geometry();
+        let target = g.track_first_lba(5);
+        disk.submit(
+            &mut sim,
+            DiskCommand::Seek { lba: target },
+            Box::new(|_, res| {
+                assert_eq!(res.kind, CommandKind::Seek);
+                assert!(res.data.is_none());
+            }),
+        )
+        .unwrap();
+        sim.run();
+        let (cyl, head) = g.track_to_cyl_head(5);
+        assert_eq!(disk.head_position().cylinder, cyl);
+        assert_eq!(disk.head_position().head, head);
+        assert_eq!(disk.with_stats(|s| s.seeks), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut sim, disk) = setup();
+        disk.submit(
+            &mut sim,
+            DiskCommand::Write {
+                lba: 0,
+                data: write_buf(1, 3),
+            },
+            Box::new(|_, _| {}),
+        )
+        .unwrap();
+        sim.run();
+        disk.submit(
+            &mut sim,
+            DiskCommand::Read { lba: 0, count: 3 },
+            Box::new(|_, _| {}),
+        )
+        .unwrap();
+        sim.run();
+        disk.with_stats(|s| {
+            assert_eq!(s.writes, 1);
+            assert_eq!(s.reads, 1);
+            assert_eq!(s.sectors_written, 3);
+            assert_eq!(s.sectors_read, 3);
+            assert_eq!(s.rotation_waits.count(), 2);
+            assert!(s.busy.busy_time() > SimDuration::ZERO);
+            assert!(!s.busy.is_busy());
+        });
+        disk.reset_stats();
+        disk.with_stats(|s| assert_eq!(s.writes, 0));
+    }
+
+    #[test]
+    fn power_cut_mid_transfer_persists_prefix_only() {
+        let (mut sim, disk) = setup();
+        // A multi-sector write; cut power after the 2nd sector lands.
+        let fired = Rc::new(Cell::new(false));
+        let f = Rc::clone(&fired);
+        disk.submit(
+            &mut sim,
+            DiskCommand::Write {
+                lba: 0,
+                data: write_buf(0x77, 8),
+            },
+            Box::new(move |_, _| f.set(true)),
+        )
+        .unwrap();
+        // Find the moment 2 sectors are done: peek into the plan indirectly
+        // by advancing a little at a time until exactly 2 sectors persist.
+        let mech = disk.mechanics();
+        let g = disk.geometry();
+        // overhead + rotation to sector 0 + 2 sector times, plus epsilon.
+        let t0 = SimTime::ZERO + mech.overhead(CommandKind::Write, false);
+        let rot = mech.time_until_angle(t0, g.sector_angle(0, 0));
+        let cut = t0 + rot + mech.sector_time(g.spt_of_track(0)) * 2
+            + SimDuration::from_nanos(10);
+        sim.run_until(cut);
+        disk.power_cut(sim.now());
+        sim.run();
+        assert!(!fired.get(), "completion must not fire after power cut");
+        assert_eq!(disk.peek_sector(0)[0], 0x77);
+        assert_eq!(disk.peek_sector(1)[0], 0x77);
+        assert_eq!(disk.peek_sector(2)[0], 0x00, "third sector was torn off");
+        // Power back on: medium intact, device usable again.
+        disk.power_on();
+        assert!(disk.is_powered());
+        assert!(!disk.is_busy());
+        let ok = Rc::new(Cell::new(false));
+        let ok2 = Rc::clone(&ok);
+        disk.submit(
+            &mut sim,
+            DiskCommand::Read { lba: 0, count: 1 },
+            Box::new(move |_, res| {
+                assert_eq!(res.data.unwrap()[0], 0x77);
+                ok2.set(true);
+            }),
+        )
+        .unwrap();
+        sim.run();
+        assert!(ok.get());
+    }
+
+    #[test]
+    fn powered_off_disk_rejects_commands() {
+        let (mut sim, disk) = setup();
+        disk.power_cut(sim.now());
+        assert_eq!(
+            disk.submit(
+                &mut sim,
+                DiskCommand::Read { lba: 0, count: 1 },
+                Box::new(|_, _| {})
+            )
+            .unwrap_err(),
+            DiskError::PoweredOff
+        );
+    }
+
+    #[test]
+    fn peek_poke_bypass_timing() {
+        let (_, disk) = setup();
+        let mut buf = [0u8; SECTOR_SIZE];
+        buf[9] = 9;
+        disk.poke_sector(42, &buf);
+        assert_eq!(disk.peek_sector(42)[9], 9);
+    }
+
+    use std::cell::RefCell;
+    use std::rc::Rc;
+}

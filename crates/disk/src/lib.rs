@@ -1,0 +1,54 @@
+//! # trail-disk: a mechanical rotating-disk model
+//!
+//! The hardware substrate of the Trail reproduction (Chiueh & Huang,
+//! *Track-Based Disk Logging*, DSN 2002). Trail's entire contribution rests
+//! on mechanical-disk physics — rotational position, track-switch costs,
+//! zoned geometry — so the reproduction models those physics explicitly:
+//!
+//! - [`DiskGeometry`]: zoned multi-surface layout, LBA↔CHS translation,
+//!   track/cylinder skew, and the angular position of every sector;
+//! - [`MechanicalModel`]: seek curve, spindle phase (a pure function of
+//!   virtual time), per-command service planning with per-sector media
+//!   completion instants;
+//! - [`Disk`]: the device actor — one command at a time, sector-atomic
+//!   persistence, statistics, and **power-failure injection** (a crash
+//!   persists exactly the sectors already transferred);
+//! - [`profiles`]: drive profiles calibrated to the paper's testbed
+//!   (Seagate ST41601N log disk, WD Caviar data disks).
+//!
+//! # Examples
+//!
+//! ```
+//! use trail_sim::Simulator;
+//! use trail_disk::{profiles, Disk, DiskCommand, SECTOR_SIZE};
+//!
+//! let mut sim = Simulator::new();
+//! let disk = Disk::new("log", profiles::seagate_st41601n());
+//! disk.submit(
+//!     &mut sim,
+//!     DiskCommand::Write { lba: 100, data: vec![1u8; SECTOR_SIZE] },
+//!     Box::new(|_, res| {
+//!         // Fixed overhead + seek + rotation + transfer.
+//!         assert!(res.breakdown.total.as_millis_f64() > 1.0);
+//!     }),
+//! )?;
+//! sim.run();
+//! assert_eq!(disk.peek_sector(100)[0], 1);
+//! # Ok::<(), trail_disk::DiskError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod geometry;
+mod mechanics;
+pub mod profiles;
+mod store;
+
+pub use device::{Disk, DiskCallback, DiskCommand, DiskError, DiskResult, DiskStats};
+pub use geometry::{Chs, DiskGeometry, Lba, TrackRun, Zone, SECTOR_SIZE};
+pub use mechanics::{
+    CommandKind, HeadPosition, MechanicalModel, SeekModel, ServiceBreakdown, ServicePlan,
+};
+pub use store::{SectorBuf, SectorStore};

@@ -1,0 +1,170 @@
+//! The recording medium: a sparse, sector-atomic byte store.
+//!
+//! Sectors are the atomic persistence unit: a power failure either persists
+//! a sector completely or not at all (torn *multi*-sector writes are the
+//! interesting failure mode; torn intra-sector writes are prevented by drive
+//! ECC on the hardware the paper targets).
+
+use std::collections::HashMap;
+
+use crate::geometry::{Lba, SECTOR_SIZE};
+
+/// One sector's payload.
+pub type SectorBuf = [u8; SECTOR_SIZE];
+
+/// A sparse map from LBA to sector contents. Unwritten sectors read as
+/// zeros, matching a freshly formatted drive.
+///
+/// # Examples
+///
+/// ```
+/// use trail_disk::{SectorStore, SECTOR_SIZE};
+///
+/// let mut s = SectorStore::new(100);
+/// assert_eq!(s.read_sector(5), [0u8; SECTOR_SIZE]);
+/// s.write_sector(5, &[7u8; SECTOR_SIZE]);
+/// assert_eq!(s.read_sector(5)[0], 7);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SectorStore {
+    sectors: HashMap<Lba, Box<SectorBuf>>,
+    capacity: u64,
+}
+
+impl SectorStore {
+    /// Creates an all-zero store of `capacity` sectors.
+    pub fn new(capacity: u64) -> Self {
+        SectorStore {
+            sectors: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// The store's capacity in sectors.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The number of sectors that have ever been written.
+    pub fn written_sectors(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// Reads one sector (zeros if never written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is beyond the capacity.
+    pub fn read_sector(&self, lba: Lba) -> SectorBuf {
+        assert!(lba < self.capacity, "read beyond capacity: lba {lba}");
+        match self.sectors.get(&lba) {
+            Some(b) => **b,
+            None => [0u8; SECTOR_SIZE],
+        }
+    }
+
+    /// Overwrites one sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is beyond the capacity.
+    pub fn write_sector(&mut self, lba: Lba, data: &SectorBuf) {
+        assert!(lba < self.capacity, "write beyond capacity: lba {lba}");
+        match self.sectors.get_mut(&lba) {
+            Some(b) => **b = *data,
+            None => {
+                self.sectors.insert(lba, Box::new(*data));
+            }
+        }
+    }
+
+    /// Reads `count` consecutive sectors into one contiguous buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the capacity.
+    pub fn read_range(&self, lba: Lba, count: u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(count as usize * SECTOR_SIZE);
+        for i in 0..u64::from(count) {
+            out.extend_from_slice(&self.read_sector(lba + i));
+        }
+        out
+    }
+
+    /// Writes a contiguous buffer as consecutive sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a whole number of sectors or the range
+    /// exceeds the capacity.
+    pub fn write_range(&mut self, lba: Lba, data: &[u8]) {
+        assert!(
+            data.len().is_multiple_of(SECTOR_SIZE),
+            "data must be sector-aligned, got {} bytes",
+            data.len()
+        );
+        for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
+            let mut buf = [0u8; SECTOR_SIZE];
+            buf.copy_from_slice(chunk);
+            self.write_sector(lba + i as u64, &buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_sectors_read_zero() {
+        let s = SectorStore::new(10);
+        assert_eq!(s.read_sector(9), [0u8; SECTOR_SIZE]);
+        assert_eq!(s.written_sectors(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut s = SectorStore::new(10);
+        let mut buf = [0u8; SECTOR_SIZE];
+        buf[0] = 0xAB;
+        buf[511] = 0xCD;
+        s.write_sector(3, &buf);
+        assert_eq!(s.read_sector(3), buf);
+        assert_eq!(s.written_sectors(), 1);
+        // Overwrite in place.
+        buf[0] = 0xEF;
+        s.write_sector(3, &buf);
+        assert_eq!(s.read_sector(3)[0], 0xEF);
+        assert_eq!(s.written_sectors(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn read_past_capacity_panics() {
+        SectorStore::new(10).read_sector(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn write_past_capacity_panics() {
+        SectorStore::new(10).write_sector(10, &[0u8; SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn range_io_round_trips() {
+        let mut s = SectorStore::new(10);
+        let data: Vec<u8> = (0..3 * SECTOR_SIZE).map(|i| (i % 251) as u8).collect();
+        s.write_range(2, &data);
+        assert_eq!(s.read_range(2, 3), data);
+        // Partially overlapping read sees zeros before the write.
+        let r = s.read_range(1, 2);
+        assert_eq!(&r[..SECTOR_SIZE], &[0u8; SECTOR_SIZE]);
+        assert_eq!(&r[SECTOR_SIZE..], &data[..SECTOR_SIZE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sector-aligned")]
+    fn unaligned_range_write_panics() {
+        SectorStore::new(10).write_range(0, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests over the mechanical service model: physical sanity must
+//! hold for arbitrary commands on arbitrary geometries.
+
+use proptest::prelude::*;
+use trail_disk::{
+    CommandKind, DiskGeometry, HeadPosition, MechanicalModel, SeekModel, Zone,
+};
+use trail_sim::{SimDuration, SimTime};
+
+fn arb_geometry() -> impl Strategy<Value = DiskGeometry> {
+    (
+        1u32..6,
+        proptest::collection::vec((2u32..30, 8u32..150), 1..4),
+        0u32..20,
+        0u32..20,
+    )
+        .prop_map(|(heads, zones, ts, cs)| {
+            DiskGeometry::new(
+                heads,
+                zones
+                    .into_iter()
+                    .map(|(cylinders, spt)| Zone { cylinders, spt })
+                    .collect(),
+                ts,
+                cs,
+            )
+        })
+}
+
+fn arb_model(geometry: &DiskGeometry) -> impl Strategy<Value = MechanicalModel> {
+    let cyls = geometry.cylinders().max(2);
+    (
+        5_000_000u64..20_000_000,   // rotation 5-20 ms
+        100u64..2_000,              // t2t µs
+        1u64..5,                    // avg multiplier
+        200u64..1_500,              // head switch µs
+        100u64..1_500,              // overheads µs
+    )
+        .prop_map(move |(rot, t2t, mult, hs, ov)| {
+            let t2t = SimDuration::from_micros(t2t);
+            let avg = t2t * mult + SimDuration::from_micros(500);
+            let full = avg * 2;
+            MechanicalModel {
+                rotation_period: SimDuration::from_nanos(rot),
+                seek: SeekModel::new(t2t, avg, full, cyls),
+                head_switch: SimDuration::from_micros(hs),
+                read_overhead: SimDuration::from_micros(ov),
+                write_overhead: SimDuration::from_micros(ov + 300),
+                seek_overhead: SimDuration::from_micros(ov / 2 + 1),
+                write_after_write: SimDuration::from_micros(100),
+                spindle_wander: SimDuration::ZERO,
+                wander_period: SimDuration::from_secs(1),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn service_plan_is_physically_sane(
+        (geometry, model, start_ns, head_frac, lba_frac, count, kind, prev_write) in
+            arb_geometry().prop_flat_map(|g| {
+                let gm = g.clone();
+                (Just(g), arb_model(&gm)).prop_flat_map(|(g, m)| {
+                    (
+                        Just(g),
+                        Just(m),
+                        0u64..100_000_000,
+                        0.0f64..1.0,
+                        0.0f64..1.0,
+                        1u32..64,
+                        prop_oneof![Just(CommandKind::Read), Just(CommandKind::Write)],
+                        any::<bool>(),
+                    )
+                })
+            })
+    ) {
+        let total = geometry.total_sectors();
+        let lba = ((total - 1) as f64 * lba_frac) as u64;
+        let count = count.min((total - lba) as u32).max(1);
+        let head_track = ((geometry.total_tracks() - 1) as f64 * head_frac) as u64;
+        let (cylinder, head) = geometry.track_to_cyl_head(head_track);
+        let start = SimTime::from_nanos(start_ns);
+        let plan = model
+            .plan(
+                &geometry,
+                start,
+                HeadPosition { cylinder, head },
+                kind,
+                lba,
+                count,
+                prev_write,
+            )
+            .expect("range validated");
+
+        // The breakdown sums to the total; every component is bounded.
+        prop_assert_eq!(
+            plan.breakdown.total,
+            plan.breakdown.overhead
+                + plan.breakdown.seek
+                + plan.breakdown.rotation
+                + plan.breakdown.transfer
+        );
+        prop_assert_eq!(plan.completion, start + plan.breakdown.total);
+        // Rotation per track crossing is under one revolution; the range
+        // spans at most `runs` crossings.
+        let runs = geometry.track_runs(lba, count).expect("in range").len() as u64;
+        prop_assert!(
+            plan.breakdown.rotation.as_nanos()
+                < runs * model.rotation_period.as_nanos(),
+            "rotation {} over {} runs", plan.breakdown.rotation, runs
+        );
+        // Transfer is rotation-locked: at least count sector times of the
+        // slowest zone touched, at most of the fastest.
+        prop_assert_eq!(plan.sector_done.len(), count as usize);
+        prop_assert!(plan.sector_done.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*plan.sector_done.last().expect("nonempty"), plan.completion);
+        // The head ends on the last sector's track.
+        let end_chs = geometry
+            .lba_to_chs(lba + u64::from(count) - 1)
+            .expect("in range");
+        prop_assert_eq!(plan.end_head.cylinder, end_chs.cylinder);
+        prop_assert_eq!(plan.end_head.head, end_chs.head);
+    }
+
+    #[test]
+    fn seek_curve_is_monotone_everywhere(
+        (t2t_us, avg_extra_us, full_extra_us, cyls) in
+            (100u64..3_000, 1u64..20_000, 1u64..30_000, 2u32..30_000)
+    ) {
+        let t2t = SimDuration::from_micros(t2t_us);
+        let avg = t2t + SimDuration::from_micros(avg_extra_us);
+        let full = avg + SimDuration::from_micros(full_extra_us);
+        let s = SeekModel::new(t2t, avg, full, cyls);
+        let mut prev = SimDuration::ZERO;
+        // Sample the curve densely enough to catch knee glitches.
+        let step = (cyls / 64).max(1);
+        let mut d = 0;
+        while d < cyls {
+            let t = s.seek_time(d);
+            prop_assert!(t >= prev, "seek({d}) = {t} < seek({}) = {prev}", d.saturating_sub(step));
+            prev = t;
+            d += step;
+        }
+        prop_assert!(s.seek_time(cyls * 2) <= full);
+    }
+
+    #[test]
+    fn time_until_angle_is_bounded_and_consistent(
+        (rot_ns, now_ns, target) in (1_000_000u64..50_000_000, 0u64..10_000_000_000, 0.0f64..1.0)
+    ) {
+        let model = MechanicalModel {
+            rotation_period: SimDuration::from_nanos(rot_ns),
+            seek: SeekModel::new(
+                SimDuration::from_micros(1000),
+                SimDuration::from_micros(5000),
+                SimDuration::from_micros(9000),
+                100,
+            ),
+            head_switch: SimDuration::from_micros(800),
+            read_overhead: SimDuration::from_micros(300),
+            write_overhead: SimDuration::from_micros(900),
+            seek_overhead: SimDuration::from_micros(200),
+            write_after_write: SimDuration::from_micros(100),
+            spindle_wander: SimDuration::ZERO,
+            wander_period: SimDuration::from_secs(1),
+        };
+        let now = SimTime::from_nanos(now_ns);
+        let wait = model.time_until_angle(now, target);
+        prop_assert!(wait < model.rotation_period, "wait {wait} >= period");
+        // After waiting, the platter is (within rounding) at the target.
+        let then = now + wait;
+        let phase = model.phase(then);
+        let diff = (phase - target).abs().min(1.0 - (phase - target).abs());
+        prop_assert!(diff < 1e-6, "phase {phase} vs target {target}");
+    }
+}

@@ -1,0 +1,175 @@
+//! The file-system interface shared by [`ExtFs`](crate::ExtFs) and
+//! [`Lfs`](crate::Lfs).
+
+use std::fmt;
+
+use trail_core::TrailError;
+use trail_sim::Simulator;
+
+/// File-system block size: 4 KiB, the common ext2 configuration of the
+/// paper's era (eight 512-byte sectors).
+pub const FS_BLOCK_SIZE: usize = 4096;
+
+/// An open file, identified by its inode number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FileHandle(pub u32);
+
+/// File-system errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// No file by that name.
+    NoSuchFile,
+    /// A file by that name already exists.
+    FileExists,
+    /// The directory or the device is full.
+    NoSpace,
+    /// Offsets must be block-aligned; names must fit the directory entry.
+    InvalidArgument,
+    /// The handle does not name a live file.
+    BadHandle,
+    /// The underlying storage stack rejected a request.
+    Storage(TrailError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NoSuchFile => write!(f, "no such file"),
+            FsError::FileExists => write!(f, "file already exists"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::InvalidArgument => {
+                write!(f, "offset must be block-aligned and the name must fit")
+            }
+            FsError::BadHandle => write!(f, "stale or invalid file handle"),
+            FsError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TrailError> for FsError {
+    fn from(e: TrailError) -> Self {
+        FsError::Storage(e)
+    }
+}
+
+/// Callback for operations that complete without data.
+pub type FsCallback = Box<dyn FnOnce(&mut Simulator, Result<(), FsError>)>;
+
+/// Callback for reads.
+pub type FsReadCallback = Box<dyn FnOnce(&mut Simulator, Result<Vec<u8>, FsError>)>;
+
+/// Aggregate file-system counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FsStats {
+    /// Synchronous writes completed.
+    pub sync_writes: u64,
+    /// Asynchronous (buffered) writes accepted.
+    pub async_writes: u64,
+    /// Reads completed.
+    pub reads: u64,
+    /// Metadata block writes issued (inodes, directory, indirect blocks,
+    /// checkpoints).
+    pub meta_writes: u64,
+    /// Data bytes written through the file system.
+    pub bytes_written: u64,
+}
+
+/// A minimal file system over a block stack.
+///
+/// Offsets must be multiples of [`FS_BLOCK_SIZE`]; the final block of a
+/// write may be partial (the remainder of the block is zero-filled).
+pub trait FileSystem {
+    /// Creates an empty file, returning its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::FileExists`], [`FsError::NoSpace`], or
+    /// [`FsError::InvalidArgument`] for an oversized name.
+    fn create(&self, name: &str) -> Result<FileHandle, FsError>;
+
+    /// Opens an existing file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSuchFile`].
+    fn open(&self, name: &str) -> Result<FileHandle, FsError>;
+
+    /// Deletes a file, freeing its blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSuchFile`].
+    fn delete(&self, name: &str) -> Result<(), FsError>;
+
+    /// The file's current size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadHandle`].
+    fn file_size(&self, file: FileHandle) -> Result<u64, FsError>;
+
+    /// Writes `data` at `offset`. With `sync`, `cb` fires when the data
+    /// (and the metadata the file system deems part of the synchronous
+    /// contract) is durable; without, the file system may buffer and `cb`
+    /// fires when the write is accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadHandle`], [`FsError::InvalidArgument`] for an
+    /// unaligned offset or empty data, [`FsError::NoSpace`].
+    fn write(
+        &self,
+        sim: &mut Simulator,
+        file: FileHandle,
+        offset: u64,
+        data: Vec<u8>,
+        sync: bool,
+        cb: FsCallback,
+    ) -> Result<(), FsError>;
+
+    /// Reads `len` bytes at `offset` (zero-filled beyond end of file for
+    /// allocated blocks; reading entirely past the end errors).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadHandle`], [`FsError::InvalidArgument`].
+    fn read(
+        &self,
+        sim: &mut Simulator,
+        file: FileHandle,
+        offset: u64,
+        len: usize,
+        cb: FsReadCallback,
+    ) -> Result<(), FsError>;
+
+    /// Outstanding I/O inside the file system and the stack below.
+    fn pending_work(&self) -> usize;
+
+    /// Counters so far.
+    fn stats(&self) -> FsStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_chain() {
+        use std::error::Error;
+        assert!(!FsError::NoSuchFile.to_string().is_empty());
+        let e = FsError::Storage(TrailError::BadDevice);
+        assert!(e.source().is_some());
+        let from: FsError = TrailError::OutOfRange.into();
+        assert_eq!(from, FsError::Storage(TrailError::OutOfRange));
+    }
+}

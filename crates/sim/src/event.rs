@@ -1,0 +1,372 @@
+//! The discrete-event executor.
+//!
+//! [`Simulator`] owns a virtual clock and a priority queue of scheduled
+//! events. Components of the storage stack (disks, drivers, workload
+//! generators) are shared via `Rc<RefCell<_>>`; events are boxed closures
+//! that receive `&mut Simulator` so they can read the clock and schedule
+//! further events. Execution is single-threaded and fully deterministic:
+//! events at equal timestamps run in scheduling order.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A boxed event callback, run exactly once when its time arrives.
+pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+/// Identifies a scheduled event so that it can be cancelled.
+///
+/// # Examples
+///
+/// ```
+/// use trail_sim::{SimDuration, Simulator};
+///
+/// let mut sim = Simulator::new();
+/// let id = sim.schedule_in(SimDuration::from_millis(1), Box::new(|_| {}));
+/// assert!(sim.cancel(id));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Ties on time break by scheduling order for determinism.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic single-threaded discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+/// use trail_sim::{SimDuration, Simulator};
+///
+/// let mut sim = Simulator::new();
+/// let fired = Rc::new(Cell::new(false));
+/// let flag = Rc::clone(&fired);
+/// sim.schedule_in(
+///     SimDuration::from_micros(250),
+///     Box::new(move |sim| {
+///         assert_eq!(sim.now().as_nanos(), 250_000);
+///         flag.set(true);
+///     }),
+/// );
+/// sim.run();
+/// assert!(fired.get());
+/// ```
+pub struct Simulator {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator with an empty event queue at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Returns the number of events currently scheduled (including any that
+    /// have been cancelled but not yet popped).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at(&mut self, at: SimTime, f: EventFn) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { time: at, seq, f });
+        EventId(seq)
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, f: EventFn) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, f)
+    }
+
+    /// Schedules `f` to run at the current time, after already-queued events
+    /// with the same timestamp.
+    pub fn schedule_now(&mut self, f: EventFn) -> EventId {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancels a scheduled event.
+    ///
+    /// Returns `true` if the event had not yet run (or been cancelled).
+    /// Cancelling an already-executed event returns `false` and has no
+    /// other effect.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply tell "already run" from "still queued", so track
+        // both via the cancellation set: entries are removed when popped.
+        if self.queue.iter().any(|s| s.seq == id.0) {
+            self.cancelled.insert(id.0)
+        } else {
+            false
+        }
+    }
+
+    /// Executes the next pending event, advancing the clock to its time.
+    ///
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.f)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with timestamps `<= until`, then advances the clock to
+    /// `until` (even if the queue drained earlier or later events remain).
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            let next_time = loop {
+                match self.queue.peek() {
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.queue.pop().expect("peeked event vanished");
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.time),
+                    None => break None,
+                }
+            };
+            match next_time {
+                Some(t) if t <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if until > self.now {
+            self.now = until;
+        }
+    }
+
+    /// Runs events for a span of `dur` from the current time.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let until = self.now + dur;
+        self.run_until(until);
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (delay, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let order = Rc::clone(&order);
+            sim.schedule_in(
+                SimDuration::from_nanos(delay),
+                Box::new(move |_| order.borrow_mut().push(tag)),
+            );
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut sim = Simulator::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..5 {
+            let order = Rc::clone(&order);
+            sim.schedule_at(
+                SimTime::from_nanos(100),
+                Box::new(move |_| order.borrow_mut().push(tag)),
+            );
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(
+            SimDuration::from_millis(5),
+            Box::new(|sim| assert_eq!(sim.now(), SimTime::from_nanos(5_000_000))),
+        );
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_nanos(5_000_000));
+        assert_eq!(sim.events_executed(), 1);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        fn chain(sim: &mut Simulator, hits: Rc<RefCell<u32>>, remaining: u32) {
+            if remaining == 0 {
+                return;
+            }
+            *hits.borrow_mut() += 1;
+            sim.schedule_in(
+                SimDuration::from_nanos(1),
+                Box::new(move |sim| chain(sim, hits, remaining - 1)),
+            );
+        }
+        let h = Rc::clone(&hits);
+        sim.schedule_now(Box::new(move |sim| chain(sim, h, 10)));
+        sim.run();
+        assert_eq!(*hits.borrow(), 10);
+        // The 10th increment (at t=9) schedules a final no-op event at t=10.
+        assert_eq!(sim.now(), SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_run() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(RefCell::new(false));
+        let f = Rc::clone(&fired);
+        let id = sim.schedule_in(
+            SimDuration::from_millis(1),
+            Box::new(move |_| *f.borrow_mut() = true),
+        );
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel must report false");
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn cancel_of_executed_event_is_false() {
+        let mut sim = Simulator::new();
+        let id = sim.schedule_now(Box::new(|_| {}));
+        sim.run();
+        assert!(!sim.cancel(id));
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for ms in [1u64, 2, 3, 4] {
+            let log = Rc::clone(&log);
+            sim.schedule_in(
+                SimDuration::from_millis(ms),
+                Box::new(move |_| log.borrow_mut().push(ms)),
+            );
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(2));
+        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(2));
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_with_no_events() {
+        let mut sim = Simulator::new();
+        sim.run_until(SimTime::from_nanos(777));
+        assert_eq!(sim.now(), SimTime::from_nanos(777));
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let mut sim = Simulator::new();
+        sim.run_for(SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_millis(1));
+        assert_eq!(sim.now().as_millis_f64(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(SimDuration::from_millis(1), Box::new(|_| {}));
+        sim.run();
+        sim.schedule_at(SimTime::ZERO, Box::new(|_| {}));
+    }
+}

@@ -1,0 +1,409 @@
+//! Virtual time for the simulation kernel.
+//!
+//! All latencies in the Trail reproduction are *virtual*: they are computed
+//! analytically by the mechanical disk model and advanced by the event
+//! executor. [`SimTime`] is an absolute instant (nanoseconds since the start
+//! of the simulation) and [`SimDuration`] a span between two instants. Both
+//! are thin newtypes over `u64` nanoseconds so that a time is never confused
+//! with a span ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant in virtual time, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use trail_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(2);
+/// assert_eq!(t.as_nanos(), 2_000_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use trail_sim::SimDuration;
+///
+/// let d = SimDuration::from_micros(1500);
+/// assert_eq!(d.as_millis_f64(), 1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after the simulation origin.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Returns the number of nanoseconds since the simulation origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this instant expressed in (possibly fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Returns this instant expressed in (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// Returns the span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is later than self"),
+        )
+    }
+
+    /// Returns the span from `earlier` to `self`, or [`SimDuration::ZERO`]
+    /// if `earlier` is later than `self`.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional milliseconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is negative or not finite.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "duration must be finite and non-negative, got {millis}"
+        );
+        SimDuration((millis * 1.0e6).round() as u64)
+    }
+
+    /// Creates a span from fractional seconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative, got {secs}"
+        );
+        SimDuration((secs * 1.0e9).round() as u64)
+    }
+
+    /// Returns the span in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span in (possibly fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1.0e3
+    }
+
+    /// Returns the span in (possibly fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Returns the span in (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// Returns `true` if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by a non-negative floating-point factor,
+    /// rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative, got {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Returns the span minus `other`, or zero if `other` is larger.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual time overflow: instant + duration"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual time underflow: instant - duration"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual duration overflow"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual duration underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("virtual duration overflow in multiplication"),
+        )
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({:.6} ms)", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({:.6} ms)", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_plus_duration() {
+        let t = SimTime::from_nanos(10) + SimDuration::from_nanos(5);
+        assert_eq!(t.as_nanos(), 15);
+    }
+
+    #[test]
+    fn duration_since_ordering() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(250);
+        assert_eq!(b.duration_since(a).as_nanos(), 150);
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is later")]
+    fn duration_since_panics_when_reversed() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(250);
+        let _ = a.duration_since(b);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimDuration::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_nanos(), 1_500_000);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_nanos(), 250_000_000);
+    }
+
+    #[test]
+    fn fractional_views() {
+        let d = SimDuration::from_nanos(2_500_000);
+        assert_eq!(d.as_millis_f64(), 2.5);
+        assert_eq!(d.as_micros_f64(), 2_500.0);
+        let t = SimTime::from_nanos(1_500_000_000);
+        assert_eq!(t.as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(4);
+        assert_eq!((d * 3).as_millis_f64(), 12.0);
+        assert_eq!((d / 2).as_millis_f64(), 2.0);
+        assert_eq!(d / SimDuration::from_millis(2), 2.0);
+        assert_eq!(d.mul_f64(0.5).as_millis_f64(), 2.0);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_millis(10)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total.as_millis_f64(), 10.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimDuration::from_millis(1);
+        let b = SimDuration::from_millis(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let ta = SimTime::from_nanos(1);
+        let tb = SimTime::from_nanos(2);
+        assert_eq!(ta.max(tb), tb);
+        assert_eq!(ta.min(tb), ta);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{:?}", SimTime::ZERO).is_empty());
+        assert!(!format!("{}", SimDuration::ZERO).is_empty());
+    }
+}

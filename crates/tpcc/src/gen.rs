@@ -1,0 +1,83 @@
+//! TPC-C random-input helpers: the non-uniform NURand distribution and the
+//! transaction-type mix.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// TPC-C's NURand(A, x, y): a non-uniform distribution over `[x, y]` with
+/// a hot set, used for customer and item selection (spec §2.1.6).
+///
+/// `c` is the per-field constant (any fixed value is spec-conformant for a
+/// given run).
+pub fn nurand(rng: &mut SmallRng, a: u64, c: u64, x: u64, y: u64) -> u64 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+/// The five TPC-C transaction types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TxnType {
+    /// New-Order (45 % of the mix; the tpmC-counted transaction).
+    NewOrder,
+    /// Payment (43 %).
+    Payment,
+    /// Order-Status (4 %).
+    OrderStatus,
+    /// Delivery (4 %).
+    Delivery,
+    /// Stock-Level (4 %).
+    StockLevel,
+}
+
+impl TxnType {
+    /// Draws a transaction type from the spec's standard mix.
+    pub fn draw(rng: &mut SmallRng) -> TxnType {
+        match rng.gen_range(0..100u32) {
+            0..=44 => TxnType::NewOrder,
+            45..=87 => TxnType::Payment,
+            88..=91 => TxnType::OrderStatus,
+            92..=95 => TxnType::Delivery,
+            _ => TxnType::StockLevel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nurand_stays_in_range_and_is_nonuniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            let v = nurand(&mut rng, 255, 42, 1, 100);
+            assert!((1..=100).contains(&v));
+            counts[(v - 1) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(
+            max / min.max(1.0) > 1.5,
+            "NURand should be visibly skewed: max {max} min {min}"
+        );
+    }
+
+    #[test]
+    fn mix_approximates_spec_percentages() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            *counts.entry(TxnType::draw(&mut rng)).or_insert(0u32) += 1;
+        }
+        let pct = |t: TxnType| f64::from(counts[&t]) * 100.0 / n as f64;
+        assert!((pct(TxnType::NewOrder) - 45.0).abs() < 1.0);
+        assert!((pct(TxnType::Payment) - 43.0).abs() < 1.0);
+        assert!((pct(TxnType::OrderStatus) - 4.0).abs() < 0.5);
+        assert!((pct(TxnType::Delivery) - 4.0).abs() < 0.5);
+        assert!((pct(TxnType::StockLevel) - 4.0).abs() < 0.5);
+    }
+}

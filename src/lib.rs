@@ -1,0 +1,73 @@
+//! # Trail: track-based disk logging
+//!
+//! A complete, from-scratch reproduction of Chiueh & Huang, *Track-Based
+//! Disk Logging* (DSN 2002) — the **Trail** low-write-latency disk
+//! subsystem — together with every substrate it needs: a mechanical-disk
+//! simulator, a block I/O layer, disk-timing calibration probes, a
+//! Berkeley-DB-like transactional engine, and the TPC-C workload the paper
+//! evaluates with.
+//!
+//! This umbrella crate re-exports the workspace's public APIs under one
+//! roof. The layers, bottom to top:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `trail-sim` | deterministic discrete-event simulator, virtual time, measurement collectors |
+//! | [`disk`] | `trail-disk` | zoned-geometry rotating-disk model with power-failure injection |
+//! | [`blockio`] | `trail-blockio` | request queues, C-LOOK/FIFO schedulers, the baseline driver |
+//! | [`probe`] | `trail-probe` | rotation/skew/δ calibration (paper §3.1) |
+//! | [`core`] | `trail-core` | **the Trail driver**: head prediction, self-describing log, batching, recovery |
+//! | [`db`] | `trail-db` | WAL + group commit + page cache transactional engine |
+//! | [`tpcc`] | `trail-tpcc` | the TPC-C workload and closed-loop terminals |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use trail::prelude::*;
+//!
+//! // A simulated machine: one SCSI log disk, one IDE data disk.
+//! let mut sim = Simulator::new();
+//! let log = Disk::new("log", profiles::seagate_st41601n());
+//! let data = Disk::new("data", profiles::wd_caviar_10gb());
+//!
+//! // Format (probes rotation period and calibrates delta), then boot.
+//! format_log_disk(&mut sim, &log, FormatOptions::default())?;
+//! let (trail, _) = TrailDriver::start(&mut sim, log, vec![data], TrailConfig::default())?;
+//!
+//! // Synchronous writes are durable in ~1.5 ms instead of ~16 ms.
+//! trail.write(&mut sim, 0, 4096, vec![42; 1024], Box::new(|_, done| {
+//!     println!("durable after {}", done.latency());
+//! }))?;
+//! trail.run_until_quiescent(&mut sim);
+//! trail.shutdown(&mut sim)?;
+//! # Ok::<(), trail::core::TrailError>(())
+//! ```
+//!
+//! # Reproducing the paper
+//!
+//! Every table and figure has a harness binary in `trail-bench`
+//! (`cargo run --release -p trail-bench --bin table2`, etc.); see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use trail_blockio as blockio;
+pub use trail_core as core;
+pub use trail_db as db;
+pub use trail_disk as disk;
+pub use trail_probe as probe;
+pub use trail_sim as sim;
+pub use trail_tpcc as tpcc;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use trail_blockio::{IoDone, IoKind, IoRequest, StandardDriver};
+    pub use trail_core::{
+        format_log_disk, read_header, recover, FormatOptions, RecoveryOptions, TrailConfig,
+        TrailDriver, TrailError,
+    };
+    pub use trail_disk::{profiles, Disk, DiskCommand, SECTOR_SIZE};
+    pub use trail_sim::{SimDuration, SimTime, Simulator};
+}
