@@ -73,15 +73,7 @@ fn bench_fig3_slice(c: &mut Criterion) {
         })
     });
     c.bench_function("fig3_standard_clustered_1k_x50", |b| {
-        b.iter(|| {
-            black_box(sync_writes_standard(
-                1,
-                50,
-                1024,
-                ArrivalMode::Clustered,
-                9,
-            ))
-        })
+        b.iter(|| black_box(sync_writes_standard(1, 50, 1024, ArrivalMode::Clustered, 9)))
     });
 }
 

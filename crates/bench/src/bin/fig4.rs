@@ -14,8 +14,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use trail_core::{
-    format_log_disk, read_header, recover, FormatOptions, RecoveryOptions, TrailConfig,
-    TrailDriver,
+    format_log_disk, read_header, recover, FormatOptions, RecoveryOptions, TrailConfig, TrailDriver,
 };
 use trail_disk::profiles::DriveProfile;
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
@@ -93,8 +92,14 @@ fn main() {
             }
             let mut sim = Simulator::new();
             let header = read_header(&mut sim, &log_a).expect("header");
-            recover(&mut sim, &log_a, &data_a, &header, RecoveryOptions::default())
-                .expect("recovery")
+            recover(
+                &mut sim,
+                &log_a,
+                &data_a,
+                &header,
+                RecoveryOptions::default(),
+            )
+            .expect("recovery")
         };
         let without_wb = {
             log_b.power_on();

@@ -181,12 +181,26 @@ fn main() {
     let f = lfs.create("churn").expect("create");
     // Write 128 blocks, overwrite every other one, then clean.
     for i in 0..128usize {
-        lfs.write(&mut sim, f, (i * BLK) as u64, vec![2u8; BLK], false, Box::new(|_, _| {}))
-            .expect("accepted");
+        lfs.write(
+            &mut sim,
+            f,
+            (i * BLK) as u64,
+            vec![2u8; BLK],
+            false,
+            Box::new(|_, _| {}),
+        )
+        .expect("accepted");
     }
     for i in (0..128usize).step_by(2) {
-        lfs.write(&mut sim, f, (i * BLK) as u64, vec![3u8; BLK], false, Box::new(|_, _| {}))
-            .expect("accepted");
+        lfs.write(
+            &mut sim,
+            f,
+            (i * BLK) as u64,
+            vec![3u8; BLK],
+            false,
+            Box::new(|_, _| {}),
+        )
+        .expect("accepted");
     }
     sim.run();
     disk.reset_stats();

@@ -10,13 +10,19 @@
 //! - a 4-KByte write completes in a few milliseconds (abstract: <1.5 ms —
 //!   see EXPERIMENTS.md for the media-rate discrepancy note).
 
-use trail_bench::{sync_writes_trail, ArrivalMode};
+use trail_bench::{sync_writes_trail_recorded, write_bench_json, ArrivalMode, BenchArgs};
 use trail_core::TrailConfig;
 use trail_disk::{profiles, Disk};
 use trail_probe::{calibrate_delta, estimate_write_overhead, measure_rotation_period};
 use trail_sim::{SimDuration, Simulator};
+use trail_telemetry::{JsonValue, RecorderHandle};
 
 fn main() {
+    let args = BenchArgs::parse();
+    let recorder = args.recorder();
+    let handle = |r: &Option<std::rc::Rc<trail_telemetry::MemoryRecorder>>| {
+        r.clone().map(|r| r as RecorderHandle)
+    };
     println!("== §5.1 micro-measurements (ST41601N-class log disk) ==");
 
     // --- Probe-level calibration -------------------------------------
@@ -52,18 +58,42 @@ fn main() {
     let sparse = ArrivalMode::Sparse {
         gap: SimDuration::from_millis(5),
     };
-    let one_sector = sync_writes_trail(TrailConfig::default(), 1, 300, 512, sparse, 3);
+    let one_sector = sync_writes_trail_recorded(
+        TrailConfig::default(),
+        1,
+        300,
+        512,
+        sparse,
+        3,
+        handle(&recorder),
+    );
     println!(
         "one-sector sync write (sparse): mean {:.3} ms, max {:.3} ms (paper: ~1.40 ms)",
         one_sector.latency.mean().as_millis_f64(),
         one_sector.latency.max().as_millis_f64()
     );
-    let four_kb = sync_writes_trail(TrailConfig::default(), 1, 300, 4096, sparse, 5);
+    let four_kb = sync_writes_trail_recorded(
+        TrailConfig::default(),
+        1,
+        300,
+        4096,
+        sparse,
+        5,
+        handle(&recorder),
+    );
     println!(
         "4-KB sync write (sparse): mean {:.3} ms (abstract claims <1.5 ms; media-rate transfer of 8 sectors alone is ~1.0 ms — see EXPERIMENTS.md)",
         four_kb.latency.mean().as_millis_f64()
     );
-    let clustered = sync_writes_trail(TrailConfig::default(), 1, 300, 512, ArrivalMode::Clustered, 7);
+    let clustered = sync_writes_trail_recorded(
+        TrailConfig::default(),
+        1,
+        300,
+        512,
+        ArrivalMode::Clustered,
+        7,
+        handle(&recorder),
+    );
     println!(
         "one-sector sync write (clustered): mean {:.3} ms — includes visible repositioning (paper: write + reposition ≈ 3.0 ms)",
         clustered.latency.mean().as_millis_f64()
@@ -72,19 +102,13 @@ fn main() {
     // --- Residual rotational latency ----------------------------------
     // Run a sparse workload and read the log disk's rotation-wait stats.
     let config = TrailConfig::default();
-    let mut tb = trail_bench::testbed(config);
+    let mut tb = trail_bench::testbed_recorded(config, handle(&recorder));
     use rand::Rng;
     let mut rng = trail_sim::rng(11);
     for i in 0..200u64 {
         let lba = rng.gen_range(0..1_000_000u64);
         tb.trail
-            .write(
-                &mut tb.sim,
-                0,
-                lba,
-                vec![1u8; 512],
-                Box::new(|_, _| {}),
-            )
+            .write(&mut tb.sim, 0, lba, vec![1u8; 512], Box::new(|_, _| {}))
             .expect("write");
         tb.trail.run_until_quiescent(&mut tb.sim);
         let _ = i;
@@ -101,4 +125,39 @@ fn main() {
     );
     let repositions = tb.trail.with_stats(|s| s.repositions);
     println!("repositions performed: {repositions}");
+
+    write_bench_json(
+        "micro",
+        &JsonValue::obj(vec![
+            ("bench", JsonValue::str("micro")),
+            (
+                "rotation_period_ms",
+                JsonValue::Num(rotation.as_millis_f64()),
+            ),
+            ("delta_minimal", JsonValue::Num(cal.minimal as f64)),
+            (
+                "write_overhead_ms",
+                JsonValue::Num(overhead.as_millis_f64()),
+            ),
+            (
+                "one_sector_sparse_ms",
+                JsonValue::Num(one_sector.latency.mean().as_millis_f64()),
+            ),
+            (
+                "four_kb_sparse_ms",
+                JsonValue::Num(four_kb.latency.mean().as_millis_f64()),
+            ),
+            (
+                "one_sector_clustered_ms",
+                JsonValue::Num(clustered.latency.mean().as_millis_f64()),
+            ),
+            ("residual_rotation_mean_ms", JsonValue::Num(mean_rot)),
+            ("residual_rotation_max_ms", JsonValue::Num(max_rot)),
+            ("repositions", JsonValue::Num(repositions as f64)),
+        ]),
+    )
+    .expect("write BENCH_micro.json");
+    if let Some(r) = &recorder {
+        args.write_outputs(r).expect("write trace/metrics outputs");
+    }
 }

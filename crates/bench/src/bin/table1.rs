@@ -9,15 +9,16 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use trail_bench::testbed;
+use trail_bench::{testbed_recorded, write_bench_json, BenchArgs};
 use trail_core::TrailConfig;
 use trail_disk::SECTOR_SIZE;
 use trail_sim::{SimTime, Simulator};
+use trail_telemetry::{JsonValue, RecorderHandle};
 
 /// Issues `total` one-sector writes in groups of `batch`: each group is
 /// submitted at once (so the driver folds it into one record) and the next
 /// group is submitted when the whole group has been acknowledged.
-fn elapsed_for_batch(batch: usize, total: usize) -> f64 {
+fn elapsed_for_batch(batch: usize, total: usize, recorder: Option<RecorderHandle>) -> f64 {
     // Force a repositioning after every record, as the paper's Table 1
     // setup does (each physical write incurs the repositioning delay) —
     // achieved by the default threshold: a batch of up to 32 sectors plus
@@ -28,7 +29,7 @@ fn elapsed_for_batch(batch: usize, total: usize) -> f64 {
         reposition_every_write: true,
         ..TrailConfig::default()
     };
-    let mut tb = testbed(config);
+    let mut tb = testbed_recorded(config, recorder);
     let start = tb.sim.now();
     let done_at: Rc<RefCell<SimTime>> = Rc::new(RefCell::new(start));
     let mut issued = 0usize;
@@ -59,14 +60,7 @@ fn elapsed_for_batch(batch: usize, total: usize) -> f64 {
                         *done_at.borrow_mut() = sim.now();
                         pending.set(pending.get() - 1);
                         if pending.get() == 0 {
-                            submit_group(
-                                sim,
-                                trail2,
-                                issued + group,
-                                batch,
-                                total,
-                                done_at,
-                            );
+                            submit_group(sim, trail2, issued + group, batch, total, done_at);
                         }
                     }),
                 )
@@ -89,19 +83,42 @@ fn elapsed_for_batch(batch: usize, total: usize) -> f64 {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
+    let recorder = args.recorder();
+    let handle = |r: &Option<std::rc::Rc<trail_telemetry::MemoryRecorder>>| {
+        r.clone().map(|r| r as RecorderHandle)
+    };
     println!("== Table 1 — elapsed time for 32 one-sector writes vs. batch size ==");
     println!("| batch size | elapsed (ms) | paper (ms) |");
     println!("|---|---|---|");
     let paper = [129.9, 69.6, 33.1, 17.7, 10.9, 8.4];
+    let mut rows: Vec<JsonValue> = Vec::new();
     for (i, batch) in [1usize, 2, 4, 8, 16, 32].iter().enumerate() {
-        let ms = elapsed_for_batch(*batch, 32);
+        let ms = elapsed_for_batch(*batch, 32, handle(&recorder));
         println!("| {batch} | {ms:.1} | {} |", paper[i]);
+        rows.push(JsonValue::obj(vec![
+            ("batch", JsonValue::Num(*batch as f64)),
+            ("elapsed_ms", JsonValue::Num(ms)),
+            ("paper_ms", JsonValue::Num(paper[i])),
+        ]));
     }
     println!();
-    let r1 = elapsed_for_batch(1, 32);
-    let r32 = elapsed_for_batch(32, 32);
+    let r1 = elapsed_for_batch(1, 32, None);
+    let r32 = elapsed_for_batch(32, 32, None);
     println!(
         "Extremes ratio: {:.1}x (paper: ~15x; 129.9 / 8.4 = 15.5)",
         r1 / r32
     );
+    write_bench_json(
+        "table1",
+        &JsonValue::obj(vec![
+            ("bench", JsonValue::str("table1")),
+            ("rows", JsonValue::Arr(rows)),
+            ("extremes_ratio", JsonValue::Num(r1 / r32)),
+        ]),
+    )
+    .expect("write BENCH_table1.json");
+    if let Some(r) = &recorder {
+        args.write_outputs(r).expect("write trace/metrics outputs");
+    }
 }

@@ -6,16 +6,23 @@
 //!   disk I/O time, logging   17.6 s       30.4 s  28.8 s
 //!   throughput (tpmC)        1004         616     663
 
-use trail_bench::{tpcc_setup, TpccRig};
+use trail_bench::{tpcc_setup_recorded, write_bench_json, BenchArgs, TpccRig};
 use trail_db::FlushPolicy;
+use trail_telemetry::{JsonValue, RecorderHandle};
 use trail_tpcc::{run, ChainOn, RunConfig, TpccReport};
 
-fn run_config(trail: bool, policy: FlushPolicy, chain: ChainOn, txns: usize) -> TpccReport {
+fn run_config(
+    trail: bool,
+    policy: FlushPolicy,
+    chain: ChainOn,
+    txns: usize,
+    recorder: Option<RecorderHandle>,
+) -> TpccReport {
     let rig = TpccRig {
         policy,
         ..TpccRig::default()
     };
-    let mut setup = tpcc_setup(trail, &rig);
+    let mut setup = tpcc_setup_recorded(trail, &rig, recorder);
     run(
         &mut setup.sim,
         &setup.db,
@@ -29,15 +36,33 @@ fn run_config(trail: bool, policy: FlushPolicy, chain: ChainOn, txns: usize) -> 
 }
 
 fn main() {
-    let txns: usize = std::env::args()
-        .nth(1)
+    let args = BenchArgs::parse();
+    let txns: usize = args
+        .positional
+        .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(5000);
+    let recorder = args.recorder();
+    let handle = |r: &Option<std::rc::Rc<trail_telemetry::MemoryRecorder>>| {
+        r.clone().map(|r| r as RecorderHandle)
+    };
     eprintln!("running Table 2 with {txns} transactions per configuration...");
 
-    let trail = run_config(true, FlushPolicy::EveryCommit, ChainOn::Durable, txns);
+    let trail = run_config(
+        true,
+        FlushPolicy::EveryCommit,
+        ChainOn::Durable,
+        txns,
+        handle(&recorder),
+    );
     eprintln!("  EXT2+Trail done");
-    let plain = run_config(false, FlushPolicy::EveryCommit, ChainOn::Durable, txns);
+    let plain = run_config(
+        false,
+        FlushPolicy::EveryCommit,
+        ChainOn::Durable,
+        txns,
+        handle(&recorder),
+    );
     eprintln!("  EXT2 done");
     let gc = run_config(
         false,
@@ -46,6 +71,7 @@ fn main() {
         },
         ChainOn::Control,
         txns,
+        handle(&recorder),
     );
     eprintln!("  EXT2+GC done");
 
@@ -81,4 +107,39 @@ fn main() {
         100.0 * (1.0 - trail.logging_io_time.as_secs_f64() / plain.logging_io_time.as_secs_f64()),
         gc.response.mean().as_secs_f64() / plain.response.mean().as_secs_f64(),
     );
+
+    let config_json = |name: &str, r: &TpccReport| {
+        JsonValue::obj(vec![
+            ("config", JsonValue::str(name)),
+            (
+                "avg_response_s",
+                JsonValue::Num(r.response.mean().as_secs_f64()),
+            ),
+            (
+                "logging_io_s",
+                JsonValue::Num(r.logging_io_time.as_secs_f64()),
+            ),
+            ("tpmc", JsonValue::Num(r.tpmc)),
+            ("group_commits", JsonValue::Num(r.group_commits as f64)),
+        ])
+    };
+    write_bench_json(
+        "table2",
+        &JsonValue::obj(vec![
+            ("bench", JsonValue::str("table2")),
+            ("transactions", JsonValue::Num(txns as f64)),
+            (
+                "rows",
+                JsonValue::Arr(vec![
+                    config_json("ext2+trail", &trail),
+                    config_json("ext2", &plain),
+                    config_json("ext2+gc", &gc),
+                ]),
+            ),
+        ]),
+    )
+    .expect("write BENCH_table2.json");
+    if let Some(r) = &recorder {
+        args.write_outputs(r).expect("write trace/metrics outputs");
+    }
 }

@@ -18,7 +18,11 @@ use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
 use trail_db::{Database, DbConfig, FlushPolicy, TrailStack};
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
 use trail_sim::{LatencySummary, SimDuration, SimTime, Simulator};
+use trail_telemetry::RecorderHandle;
 use trail_tpcc::{populate, CpuModel, Scale, Workload};
+
+pub mod report;
+pub use report::{write_bench_json, BenchArgs};
 
 /// The paper's testbed: one ST41601N-class SCSI log disk and three
 /// WD-Caviar-class IDE data disks.
@@ -40,6 +44,16 @@ pub struct Testbed {
 ///
 /// Panics if formatting or boot fails (a harness bug).
 pub fn testbed(config: TrailConfig) -> Testbed {
+    testbed_recorded(config, None)
+}
+
+/// Like [`testbed`], with an optional telemetry recorder attached to the
+/// whole stack (after the format/boot noise, so traces start clean).
+///
+/// # Panics
+///
+/// Panics if formatting or boot fails (a harness bug).
+pub fn testbed_recorded(config: TrailConfig, recorder: Option<RecorderHandle>) -> Testbed {
     let mut sim = Simulator::new();
     let log_disk = Disk::new("trail-log", profiles::seagate_st41601n());
     let data_disks: Vec<Disk> = (0..3)
@@ -53,6 +67,9 @@ pub fn testbed(config: TrailConfig) -> Testbed {
     log_disk.reset_stats();
     for d in &data_disks {
         d.reset_stats();
+    }
+    if let Some(r) = recorder {
+        trail.set_recorder(r);
     }
     Testbed {
         sim,
@@ -94,7 +111,21 @@ pub fn sync_writes_trail(
     mode: ArrivalMode,
     seed: u64,
 ) -> SyncWriteResult {
-    let mut tb = testbed(config);
+    sync_writes_trail_recorded(config, procs, writes_per_proc, size_bytes, mode, seed, None)
+}
+
+/// [`sync_writes_trail`] with an optional telemetry recorder attached to
+/// the Trail stack for the duration of the run.
+pub fn sync_writes_trail_recorded(
+    config: TrailConfig,
+    procs: usize,
+    writes_per_proc: usize,
+    size_bytes: usize,
+    mode: ArrivalMode,
+    seed: u64,
+    recorder: Option<RecorderHandle>,
+) -> SyncWriteResult {
+    let mut tb = testbed_recorded(config, recorder);
     let lat = Rc::new(RefCell::new(LatencySummary::new()));
     let capacity = tb.data_disks[0].geometry().total_sectors() - 1024;
     for p in 0..procs {
@@ -176,9 +207,25 @@ pub fn sync_writes_standard(
     mode: ArrivalMode,
     seed: u64,
 ) -> SyncWriteResult {
+    sync_writes_standard_recorded(procs, writes_per_proc, size_bytes, mode, seed, None)
+}
+
+/// [`sync_writes_standard`] with an optional telemetry recorder attached
+/// to the baseline driver (and its disk) for the duration of the run.
+pub fn sync_writes_standard_recorded(
+    procs: usize,
+    writes_per_proc: usize,
+    size_bytes: usize,
+    mode: ArrivalMode,
+    seed: u64,
+    recorder: Option<RecorderHandle>,
+) -> SyncWriteResult {
     let mut sim = Simulator::new();
     let disk = Disk::new("data0", profiles::wd_caviar_10gb());
     let driver = StandardDriver::new(disk.clone());
+    if let Some(r) = recorder {
+        driver.set_recorder(r);
+    }
     let lat = Rc::new(RefCell::new(LatencySummary::new()));
     let capacity = disk.geometry().total_sectors() - 1024;
     for p in 0..procs {
@@ -230,9 +277,7 @@ fn spawn_standard_writer(
             Box::new(move |sim, done| {
                 lat.borrow_mut().record(done.latency());
                 match next.mode {
-                    ArrivalMode::Clustered => {
-                        spawn_standard_writer(sim, respawn_driver, lat, next)
-                    }
+                    ArrivalMode::Clustered => spawn_standard_writer(sim, respawn_driver, lat, next),
                     ArrivalMode::Sparse { gap } => {
                         sim.schedule_in(
                             gap,
@@ -293,6 +338,17 @@ pub struct TpccSetup {
 /// stack, populates it (untimed), places the images on the simulated
 /// disks, and warms the cache.
 pub fn tpcc_setup(trail: bool, rig: &TpccRig) -> TpccSetup {
+    tpcc_setup_recorded(trail, rig, None)
+}
+
+/// [`tpcc_setup`] with an optional telemetry recorder attached through
+/// the database engine to the whole storage stack (after population, so
+/// the untimed bulk load does not pollute the trace).
+pub fn tpcc_setup_recorded(
+    trail: bool,
+    rig: &TpccRig,
+    recorder: Option<RecorderHandle>,
+) -> TpccSetup {
     let db_config = DbConfig {
         cache_pages: rig.cache_pages,
         flush_policy: rig.policy,
@@ -351,6 +407,9 @@ pub fn tpcc_setup(trail: bool, rig: &TpccRig) -> TpccSetup {
     ordered.sort_by_key(|(pid, _)| (pid.dev, pid.page_no));
     for (pid, bytes) in ordered {
         db.warm(*pid, bytes);
+    }
+    if let Some(r) = recorder {
+        db.set_recorder(r);
     }
     let workload = Workload::new(rig.scale, rig.seed, CpuModel::default());
     TpccSetup {

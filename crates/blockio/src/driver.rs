@@ -13,7 +13,8 @@ use std::fmt;
 use std::rc::Rc;
 
 use trail_disk::{Disk, DiskCommand, DiskError, SECTOR_SIZE};
-use trail_sim::{LatencySummary, SimTime, Simulator};
+use trail_sim::{LatencySummary, SimDuration, SimTime, Simulator};
+use trail_telemetry::{null_recorder, Event, EventKind, Layer, RecorderHandle, RequestBreakdown};
 
 use crate::request::{IoCallback, IoDone, IoKind, IoRequest, RequestId};
 use crate::sched::{apply_priority, Clook, Priority, QueuedIo, Scheduler};
@@ -50,6 +51,24 @@ struct Inner {
     next_id: u64,
     next_seq: u64,
     stats: DriverStats,
+    recorder: RecorderHandle,
+}
+
+impl Inner {
+    /// Emits one queue-lifecycle event if telemetry is enabled. The
+    /// driver's name for trace purposes is its disk's name.
+    fn emit(&self, at: SimTime, dur: SimDuration, req: RequestId, kind: EventKind) {
+        if self.recorder.enabled() {
+            self.recorder.record(Event {
+                at,
+                dur,
+                layer: Layer::BlockIo,
+                source: self.disk.name(),
+                req: Some(req.0),
+                kind,
+            });
+        }
+    }
 }
 
 /// A queueing block driver over one [`Disk`]. Clones share the driver.
@@ -81,7 +100,7 @@ impl StandardDriver {
     /// Creates a driver with the default C-LOOK scheduler and no read
     /// priority.
     pub fn new(disk: Disk) -> Self {
-        Self::with_policy(disk, Box::new(Clook), Priority::None)
+        Self::with_policy(disk, Box::new(Clook::default()), Priority::None)
     }
 
     /// Creates a driver with an explicit scheduler and priority policy.
@@ -96,8 +115,18 @@ impl StandardDriver {
                 next_id: 0,
                 next_seq: 0,
                 stats: DriverStats::default(),
+                recorder: null_recorder(),
             })),
         }
+    }
+
+    /// Attaches a telemetry recorder to this driver *and* its disk, so
+    /// one call wires the whole request path: `Enqueue`/`Dispatch`/
+    /// `Complete` here, mechanical phase events below.
+    pub fn set_recorder(&self, recorder: RecorderHandle) {
+        let mut d = self.inner.borrow_mut();
+        d.disk.set_recorder(Rc::clone(&recorder));
+        d.recorder = recorder;
     }
 
     /// The underlying disk.
@@ -163,6 +192,14 @@ impl StandardDriver {
             if depth > d.stats.max_queue_depth {
                 d.stats.max_queue_depth = depth;
             }
+            d.emit(
+                sim.now(),
+                SimDuration::ZERO,
+                id,
+                EventKind::Enqueue {
+                    depth: depth as u32,
+                },
+            );
             id
         };
         self.dispatch(sim);
@@ -204,6 +241,14 @@ impl StandardDriver {
                 },
             };
             d.in_flight = true;
+            d.emit(
+                sim.now(),
+                SimDuration::ZERO,
+                queued.id,
+                EventKind::Dispatch {
+                    depth: views.len() as u32,
+                },
+            );
             (d.disk.clone(), cmd, queued)
         };
         let driver = self.clone();
@@ -230,6 +275,25 @@ impl StandardDriver {
                     } else {
                         d.stats.write_latency.record(lat);
                     }
+                    // The queue wait is the end-to-end latency minus the
+                    // mechanical service time; both are integer-nanosecond
+                    // differences of the same virtual clock, so the five
+                    // components sum *exactly* to the end-to-end latency.
+                    d.emit(
+                        done.issued,
+                        lat,
+                        done.id,
+                        EventKind::Complete {
+                            breakdown: RequestBreakdown {
+                                queue: lat - done.breakdown.total,
+                                overhead: done.breakdown.overhead,
+                                seek: done.breakdown.seek,
+                                rotation: done.breakdown.rotation,
+                                transfer: done.breakdown.transfer,
+                                total: lat,
+                            },
+                        },
+                    );
                 }
                 (queued.cb)(sim, done);
                 driver.dispatch(sim);
@@ -322,7 +386,10 @@ mod tests {
             )
             .unwrap();
         }
-        assert!(drv.queue_depth() > 0, "requests should queue behind the first");
+        assert!(
+            drv.queue_depth() > 0,
+            "requests should queue behind the first"
+        );
         sim.run();
         assert_eq!(*done.borrow(), 20);
         assert_eq!(drv.queue_depth(), 0);
@@ -367,7 +434,8 @@ mod tests {
     #[test]
     fn reads_first_priority_overtakes_writes() {
         let disk = Disk::new("t", profiles::tiny_test_disk());
-        let drv = StandardDriver::with_policy(disk, Box::new(Clook), Priority::ReadsFirst);
+        let drv =
+            StandardDriver::with_policy(disk, Box::new(Clook::default()), Priority::ReadsFirst);
         let mut sim = Simulator::new();
         let order = StdRc::new(StdRefCell::new(Vec::new()));
         // First write occupies the disk; then queue 2 writes and 1 read.
@@ -442,6 +510,48 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_breakdown_sums_exactly_to_latency() {
+        use trail_telemetry::MemoryRecorder;
+
+        let (mut sim, drv) = setup();
+        let rec = MemoryRecorder::shared();
+        drv.set_recorder(rec.clone());
+        // Queue several writes so later ones see real queueing delay.
+        for i in 0..6u64 {
+            drv.submit(
+                &mut sim,
+                IoRequest {
+                    lba: i * 700,
+                    kind: IoKind::Write {
+                        data: vec![0; SECTOR_SIZE],
+                    },
+                },
+                Box::new(|_, _| {}),
+            )
+            .unwrap();
+        }
+        sim.run();
+        assert_eq!(rec.count_kind("Enqueue"), 6);
+        assert_eq!(rec.count_kind("Dispatch"), 6);
+        assert_eq!(rec.count_kind("Complete"), 6);
+        // Disk-layer phases rode along via the shared recorder.
+        assert!(rec.count_kind("RotWait") >= 6);
+        let mut saw_queueing = false;
+        for e in rec.snapshot() {
+            if let EventKind::Complete { breakdown } = e.kind {
+                assert!(
+                    breakdown.is_exact(),
+                    "residual {} ns at req {:?}",
+                    breakdown.residual_nanos(),
+                    e.req
+                );
+                saw_queueing |= !breakdown.queue.is_zero();
+            }
+        }
+        assert!(saw_queueing, "some request must have waited in queue");
+    }
+
+    #[test]
     fn clook_reduces_total_seek_versus_fifo() {
         // Same interleaved workload under FIFO and C-LOOK; the elevator
         // must finish sooner in total.
@@ -465,7 +575,7 @@ mod tests {
             disk.with_stats(|s| s.total_seek.as_millis_f64())
         };
         let fifo = run(Box::new(crate::sched::Fifo));
-        let clook = run(Box::new(Clook));
+        let clook = run(Box::<Clook>::default());
         assert!(
             clook < fifo,
             "C-LOOK total seek {clook} ms should beat FIFO {fifo} ms"

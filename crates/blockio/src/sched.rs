@@ -43,10 +43,20 @@ impl Scheduler for Fifo {
 }
 
 /// Circular one-way elevator (C-LOOK): service the nearest request at or
-/// beyond the head's current cylinder; when none remain ahead, sweep back
-/// to the lowest-cylinder request.
+/// beyond the sweep position; when none remain ahead, wrap back to the
+/// lowest-cylinder request.
+///
+/// The sweep position advances *strictly past* each serviced cylinder.
+/// Filtering on the head's cylinder alone would let a sustained stream of
+/// arrivals to one hot cylinder capture the arm indefinitely — every new
+/// arrival is "at or beyond" a head that never leaves — starving requests
+/// farther out. Advancing the boundary guarantees each pending cylinder is
+/// visited at most one full sweep after its request arrives.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct Clook;
+pub struct Clook {
+    /// Lowest cylinder the current sweep may still visit.
+    sweep_from: u32,
+}
 
 impl Scheduler for Clook {
     fn pick(&mut self, queue: &[QueuedIo], head: HeadPosition, geometry: &DiskGeometry) -> usize {
@@ -56,20 +66,21 @@ impl Scheduler for Clook {
                 .map(|chs| chs.cylinder)
                 .unwrap_or(u32::MAX)
         };
-        let ahead = queue
-            .iter()
-            .enumerate()
-            .filter(|(_, q)| key(q) >= head.cylinder)
-            .min_by_key(|(_, q)| (key(q), q.seq));
-        match ahead {
-            Some((i, _)) => i,
-            None => queue
+        // The arm may have been moved under us (e.g. by another dispatch
+        // path), so the sweep never lags behind the physical head.
+        let from = self.sweep_from.max(head.cylinder);
+        let nearest_from = |bound: u32| {
+            queue
                 .iter()
                 .enumerate()
+                .filter(|(_, q)| key(q) >= bound)
                 .min_by_key(|(_, q)| (key(q), q.seq))
-                .map(|(i, _)| i)
-                .expect("scheduler invoked with empty queue"),
-        }
+        };
+        let (i, q) = nearest_from(from)
+            .or_else(|| nearest_from(0))
+            .expect("scheduler invoked with empty queue");
+        self.sweep_from = key(q).saturating_add(1);
+        i
     }
 }
 
@@ -134,7 +145,7 @@ mod tests {
             cylinder: 4,
             head: 0,
         };
-        let mut s = Clook;
+        let mut s = Clook::default();
         assert_eq!(s.pick(&queue, head, &g), 1, "cylinder 5 is nearest ahead");
         // Head beyond all requests: wrap to the lowest cylinder.
         let head = HeadPosition {
@@ -148,7 +159,7 @@ mod tests {
     fn clook_breaks_ties_by_arrival() {
         let g = profiles::tiny_test_disk().geometry;
         let queue = vec![q(81, false, 5), q(80, false, 3)];
-        let mut s = Clook;
+        let mut s = Clook::default();
         // Same cylinder (1): earlier arrival wins.
         assert_eq!(s.pick(&queue, HeadPosition::default(), &g), 1);
     }

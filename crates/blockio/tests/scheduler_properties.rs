@@ -21,20 +21,18 @@ struct GenReq {
 }
 
 fn arb_workload() -> impl Strategy<Value = Vec<GenReq>> {
-    proptest::collection::vec(
-        (0u64..60_000, 0u64..4_000, any::<bool>(), 1u8..255),
-        1..60,
+    proptest::collection::vec((0u64..60_000, 0u64..4_000, any::<bool>(), 1u8..255), 1..60).prop_map(
+        |v| {
+            v.into_iter()
+                .map(|(at_us, lba, is_read, tag)| GenReq {
+                    at_us,
+                    lba,
+                    is_read,
+                    tag,
+                })
+                .collect()
+        },
     )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(at_us, lba, is_read, tag)| GenReq {
-                at_us,
-                lba,
-                is_read,
-                tag,
-            })
-            .collect()
-    })
 }
 
 fn run_workload(
@@ -77,8 +75,7 @@ fn run_workload(
                             if is_read {
                                 // A read must observe the tag of the last
                                 // *completed* write to this lba (or zero).
-                                let expect =
-                                    fw.borrow().get(&lba).copied().unwrap_or(0);
+                                let expect = fw.borrow().get(&lba).copied().unwrap_or(0);
                                 assert_eq!(
                                     done.data.expect("read data")[0],
                                     expect,
@@ -118,14 +115,93 @@ proptest! {
     }
 
     /// C-LOOK's total arm movement never exceeds FIFO's by more than a
-    /// small factor on bursty workloads (it exists to reduce it).
+    /// modest factor (it exists to reduce it). The slack absorbs
+    /// adversarial arrival orders — a stream that happens to arrive
+    /// nearly sorted makes FIFO close to optimal while C-LOOK pays one
+    /// extra wrap per sweep — without letting a pathological scheduler
+    /// regression (multiples of FIFO's movement) slip through.
     #[test]
     fn clook_does_not_explode_seek_distance(reqs in arb_workload()) {
         let (_, _, fifo_seek) = run_workload(&reqs, boxed_fifo, Priority::None);
         let (_, _, clook_seek) = run_workload(&reqs, boxed_clook, Priority::None);
         prop_assert!(
-            clook_seek <= fifo_seek * 1.05 + 2.5,
+            clook_seek <= fifo_seek * 1.5 + 5.0,
             "C-LOOK seek {clook_seek} ms vs FIFO {fifo_seek} ms"
+        );
+    }
+
+    /// C-LOOK must not starve a far-edge request under a sustained
+    /// hot-cylinder write stream — the classic elevator-starvation
+    /// scenario. Once the far request is queued, the ascending sweep
+    /// leaves the hot band and services it within (roughly) one sweep,
+    /// so the number of hot completions between its submission and its
+    /// completion is bounded by the backlog at submission plus one
+    /// sweep's worth of new arrivals — never the whole remaining stream.
+    #[test]
+    fn clook_far_edge_request_is_not_starved(
+        hot_count in 150usize..300,
+        gap_us in 150u64..400,
+        far_after in 20usize..60,
+    ) {
+        let mut sim = Simulator::new();
+        let disk = Disk::new("t", profiles::tiny_test_disk());
+        let driver = StandardDriver::with_policy(disk.clone(), Box::new(Clook::default()), Priority::None);
+        let hot_done = Rc::new(RefCell::new(0usize));
+        let far_done_after: Rc<RefCell<Option<usize>>> = Rc::new(RefCell::new(None));
+        for i in 0..hot_count {
+            // The hot cylinder: a 32-LBA band at the low edge of the disk.
+            let lba = (i % 32) as u64;
+            let driver = driver.clone();
+            let hot_done = Rc::clone(&hot_done);
+            sim.schedule_in(
+                SimDuration::from_micros(i as u64 * gap_us),
+                Box::new(move |sim| {
+                    let hot_done = Rc::clone(&hot_done);
+                    driver
+                        .submit(
+                            sim,
+                            IoRequest {
+                                lba,
+                                kind: IoKind::Write { data: vec![1; SECTOR_SIZE] },
+                            },
+                            Box::new(move |_, _| *hot_done.borrow_mut() += 1),
+                        )
+                        .expect("valid hot write");
+                }),
+            );
+        }
+        {
+            // One write at the far edge, submitted mid-stream.
+            let driver = driver.clone();
+            let hot_done = Rc::clone(&hot_done);
+            let far_done_after = Rc::clone(&far_done_after);
+            sim.schedule_in(
+                SimDuration::from_micros(far_after as u64 * gap_us + 1),
+                Box::new(move |sim| {
+                    let hot_done = Rc::clone(&hot_done);
+                    let far_done_after = Rc::clone(&far_done_after);
+                    driver
+                        .submit(
+                            sim,
+                            IoRequest {
+                                lba: 3_999,
+                                kind: IoKind::Write { data: vec![2; SECTOR_SIZE] },
+                            },
+                            Box::new(move |_, _| {
+                                *far_done_after.borrow_mut() = Some(*hot_done.borrow());
+                            }),
+                        )
+                        .expect("valid far write");
+                }),
+            );
+        }
+        sim.run();
+        prop_assert_eq!(*hot_done.borrow(), hot_count);
+        let done_after = far_done_after.borrow().expect("far request completed");
+        prop_assert!(
+            done_after <= far_after + 64,
+            "far-edge request starved: {done_after} hot completions before it \
+             (submitted after {far_after} arrivals, {hot_count} total)"
         );
     }
 }
@@ -135,5 +211,5 @@ fn boxed_fifo() -> Box<dyn trail_blockio::Scheduler> {
 }
 
 fn boxed_clook() -> Box<dyn trail_blockio::Scheduler> {
-    Box::new(Clook)
+    Box::new(Clook::default())
 }

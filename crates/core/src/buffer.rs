@@ -151,10 +151,7 @@ impl BufferTable {
     /// Panics if the block is not pinned (a write-back must have been
     /// queued by [`insert_write`](Self::insert_write)).
     pub fn snapshot(&self, key: BlockKey) -> (Vec<u8>, u64) {
-        let e = self
-            .entries
-            .get(&key)
-            .expect("snapshot of unpinned block");
+        let e = self.entries.get(&key).expect("snapshot of unpinned block");
         (e.data.clone(), e.version)
     }
 

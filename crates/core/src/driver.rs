@@ -32,7 +32,8 @@ use trail_blockio::{Clook, IoCallback, IoDone, IoKind, IoRequest, Priority, Stan
 use trail_disk::{
     CommandKind, Disk, DiskCommand, DiskGeometry, Lba, SectorBuf, ServiceBreakdown, SECTOR_SIZE,
 };
-use trail_sim::{EventId, LatencySummary, SimTime, Simulator};
+use trail_sim::{EventId, LatencySummary, SimDuration, SimTime, Simulator};
+use trail_telemetry::{null_recorder, Event, EventKind, Layer, RecorderHandle};
 
 use crate::buffer::{BlockKey, BufferTable, WritebackOutcome};
 use crate::config::TrailConfig;
@@ -185,6 +186,7 @@ struct Inner {
     idle_timer: Option<EventId>,
     idle_refresh_count: u32,
     stalled: bool,
+    recorder: RecorderHandle,
 }
 
 /// What `start` found and did while bringing the driver up.
@@ -214,6 +216,10 @@ struct RecordCtx {
     header_sector: u32,
     total_sectors: u32,
     batch: Vec<QueuedWrite>,
+    /// Whether the record landed exactly at the predicted sector (the
+    /// §3.1 prediction was used as-is; a miss means the predicted sector
+    /// was occupied and the head had to wait for a later free run).
+    predicted_hit: bool,
 }
 
 /// The Trail track-based logging driver. Clones share the driver.
@@ -273,7 +279,13 @@ impl TrailDriver {
     ) -> Result<(TrailDriver, BootReport), TrailError> {
         let data = data_disks
             .iter()
-            .map(|d| StandardDriver::with_policy(d.clone(), Box::new(Clook), Priority::ReadsFirst))
+            .map(|d| {
+                StandardDriver::with_policy(
+                    d.clone(),
+                    Box::new(Clook::default()),
+                    Priority::ReadsFirst,
+                )
+            })
             .collect();
         Self::start_with_data_drivers(sim, log_disk, data_disks, data, config)
     }
@@ -326,7 +338,12 @@ impl TrailDriver {
         write_header(sim, &log_disk, &new_header)?;
 
         let geometry = header.geometry.clone();
-        let min_spt = geometry.zones().iter().map(|z| z.spt).min().expect("zones nonempty");
+        let min_spt = geometry
+            .zones()
+            .iter()
+            .map(|z| z.spt)
+            .min()
+            .expect("zones nonempty");
         let effective_max_batch = config.max_batch_sectors.min(min_spt - 1);
         let (first, mut last) = data_track_range(&geometry);
         if let Some(limit) = config.log_track_limit {
@@ -367,6 +384,7 @@ impl TrailDriver {
                 idle_timer: None,
                 idle_refresh_count: 0,
                 stalled: false,
+                recorder: null_recorder(),
             })),
         };
         driver.initial_position(sim)?;
@@ -378,10 +396,7 @@ impl TrailDriver {
     fn initial_position(&self, sim: &mut Simulator) -> Result<(), TrailError> {
         let (track, lba) = {
             let mut d = self.inner.borrow_mut();
-            let track = d
-                .pool
-                .allocate_next()
-                .expect("fresh pool cannot be full");
+            let track = d.pool.allocate_next().expect("fresh pool cannot be full");
             (track, d.geometry.track_first_lba(track))
         };
         let res = trail_probe::run_blocking(
@@ -622,6 +637,38 @@ impl TrailDriver {
         self.inner.borrow().stalled
     }
 
+    /// Attaches a telemetry recorder, cascading to the log disk and every
+    /// data-disk driver (which in turn cascade to their own disks). The
+    /// default is a [`trail_telemetry::NullRecorder`], which costs nothing.
+    pub fn set_recorder(&self, recorder: RecorderHandle) {
+        let mut d = self.inner.borrow_mut();
+        d.log_disk.set_recorder(Rc::clone(&recorder));
+        for drv in &d.data {
+            drv.set_recorder(Rc::clone(&recorder));
+        }
+        d.recorder = recorder;
+    }
+
+    /// Records a core-layer event, sourced from the log disk's name (so
+    /// [`MultiTrail`](crate::MultiTrail) instances stay distinguishable).
+    fn emit(&self, at: SimTime, dur: SimDuration, kind: EventKind) {
+        let recorder = {
+            let d = self.inner.borrow();
+            if !d.recorder.enabled() {
+                return;
+            }
+            (Rc::clone(&d.recorder), d.log_disk.name())
+        };
+        recorder.0.record(Event {
+            at,
+            dur,
+            layer: Layer::Core,
+            source: recorder.1,
+            req: None,
+            kind,
+        });
+    }
+
     // ------------------------------------------------------------------
     // Log-disk path
     // ------------------------------------------------------------------
@@ -640,7 +687,7 @@ impl TrailDriver {
                         sim,
                         DiskCommand::Write { lba, data: bytes },
                         Box::new(move |sim, res| {
-                            driver.on_log_write_done(sim, res.completed, ctx);
+                            driver.on_log_write_done(sim, res, ctx);
                         }),
                     ),
                     "log disk rejected a planned record write",
@@ -680,7 +727,11 @@ impl TrailDriver {
         );
         let pred_sector = (pred_lba - first_lba) as u32;
         let first_need = 1 + d.log_queue.front().expect("queue nonempty").sectors();
-        let Some(s) = d.current.as_ref().expect("checked above").find_fit(pred_sector, first_need)
+        let Some(s) = d
+            .current
+            .as_ref()
+            .expect("checked above")
+            .find_fit(pred_sector, first_need)
         else {
             return if d.stalled {
                 LogAction::None
@@ -747,11 +798,13 @@ impl TrailDriver {
                 header_sector: s,
                 total_sectors: total,
                 batch,
+                predicted_hit: s == pred_sector,
             },
         }
     }
 
-    fn on_log_write_done(&self, sim: &mut Simulator, completed: SimTime, ctx: RecordCtx) {
+    fn on_log_write_done(&self, sim: &mut Simulator, res: trail_disk::DiskResult, ctx: RecordCtx) {
+        let completed = res.completed;
         let mut acks: Vec<(IoCallback, IoDone)> = Vec::new();
         let mut writebacks: Vec<BlockKey> = Vec::new();
         let reposition_next;
@@ -769,16 +822,18 @@ impl TrailDriver {
 
             let mut pending = HashSet::new();
             for w in &ctx.batch {
-                let key = BlockKey { dev: w.dev, lba: w.lba };
-                let (_, already_queued) =
-                    d.buffers.insert_write(key, w.data.clone(), ctx.seq);
+                let key = BlockKey {
+                    dev: w.dev,
+                    lba: w.lba,
+                };
+                let (_, already_queued) = d.buffers.insert_write(key, w.data.clone(), ctx.seq);
                 pending.insert(key);
                 if !already_queued {
                     writebacks.push(key);
                 }
             }
-            let header_lba_u32 = (d.geometry.track_first_lba(ctx.track)
-                + u64::from(ctx.header_sector)) as u32;
+            let header_lba_u32 =
+                (d.geometry.track_first_lba(ctx.track) + u64::from(ctx.header_sector)) as u32;
             d.active_records.insert(
                 ctx.seq,
                 ActiveRecord {
@@ -814,6 +869,22 @@ impl TrailDriver {
             reposition_next = d.config.reposition_every_write
                 || cur.utilization() >= d.config.track_util_threshold;
         }
+        self.emit(
+            res.issued,
+            completed.duration_since(res.issued),
+            EventKind::BatchFlush {
+                batch: ctx.batch.len() as u32,
+            },
+        );
+        self.emit(
+            completed,
+            SimDuration::ZERO,
+            if ctx.predicted_hit {
+                EventKind::PredictHit
+            } else {
+                EventKind::PredictMiss
+            },
+        );
         for key in writebacks {
             self.enqueue_writeback(sim, key);
         }
@@ -876,6 +947,11 @@ impl TrailDriver {
                         d.log_busy = false;
                         d.stats.repositions += 1;
                     }
+                    driver.emit(
+                        res.issued,
+                        res.completed.duration_since(res.issued),
+                        EventKind::Reposition { track: next },
+                    );
                     driver.service_log(sim);
                 }),
             ),
@@ -951,6 +1027,14 @@ impl TrailDriver {
             d.stats.writebacks += 1;
             (data, version, d.data[key.dev as usize].clone())
         };
+        self.emit(
+            sim.now(),
+            SimDuration::ZERO,
+            EventKind::WriteBack {
+                dev: key.dev,
+                lba: key.lba,
+            },
+        );
         let driver = self.clone();
         tolerate_power_loss(
             drv.submit(
@@ -988,10 +1072,7 @@ impl TrailDriver {
                             rec.pending.is_empty()
                         };
                         if done {
-                            let rec = d
-                                .active_records
-                                .remove(&seq)
-                                .expect("record present");
+                            let rec = d.active_records.remove(&seq).expect("record present");
                             freed += d.pool.commit_record(rec.track);
                         }
                     }
@@ -1013,7 +1094,6 @@ impl TrailDriver {
         }
     }
 }
-
 
 /// Resolves an internal submission: power loss while a command was being
 /// issued means the machine died — the event is silently dropped (recovery

@@ -34,7 +34,10 @@ impl fmt::Display for TrailError {
             TrailError::BadDevice => write!(f, "no such data disk"),
             TrailError::OutOfRange => write!(f, "request addresses sectors beyond the data disk"),
             TrailError::BadDataLength => {
-                write!(f, "write payload must be a positive multiple of the sector size")
+                write!(
+                    f,
+                    "write payload must be a positive multiple of the sector size"
+                )
             }
         }
     }

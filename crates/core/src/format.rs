@@ -456,8 +456,9 @@ mod tests {
         assert_eq!(parsed.entries[2].log_lba, 2003);
         // Restoring puts the displaced byte back.
         for (i, e) in parsed.entries.iter().enumerate() {
-            let mut sec: SectorBuf =
-                bytes[(i + 1) * SECTOR_SIZE..(i + 2) * SECTOR_SIZE].try_into().unwrap();
+            let mut sec: SectorBuf = bytes[(i + 1) * SECTOR_SIZE..(i + 2) * SECTOR_SIZE]
+                .try_into()
+                .unwrap();
             restore_payload(e, &mut sec);
             assert_eq!(sec, p[i].data, "payload sector {i} restored exactly");
         }

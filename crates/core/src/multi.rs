@@ -79,7 +79,13 @@ impl MultiTrail {
         // Trail instance.
         let data: Vec<StandardDriver> = data_disks
             .iter()
-            .map(|d| StandardDriver::with_policy(d.clone(), Box::new(Clook), Priority::ReadsFirst))
+            .map(|d| {
+                StandardDriver::with_policy(
+                    d.clone(),
+                    Box::new(Clook::default()),
+                    Priority::ReadsFirst,
+                )
+            })
             .collect();
         let mut drivers = Vec::with_capacity(log_disks.len());
         let mut boots = Vec::with_capacity(log_disks.len());
@@ -110,6 +116,15 @@ impl MultiTrail {
     /// All Trail instances (for statistics).
     pub fn drivers(&self) -> &[TrailDriver] {
         &self.drivers
+    }
+
+    /// Attaches a telemetry recorder to every Trail instance (and, through
+    /// them, the log disks, the shared data-disk drivers, and the data
+    /// disks themselves).
+    pub fn set_recorder(&self, recorder: trail_telemetry::RecorderHandle) {
+        for d in &self.drivers {
+            d.set_recorder(std::rc::Rc::clone(&recorder));
+        }
     }
 
     /// Deterministic block-to-log routing (FNV-1a over the address).

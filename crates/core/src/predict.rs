@@ -167,7 +167,10 @@ impl HeadPredictor {
         let sector = self
             .geometry
             .next_sector_from_angle(track, (angle + lead).rem_euclid(1.0));
-        Some((sector, self.geometry.track_first_lba(track) + u64::from(sector)))
+        Some((
+            sector,
+            self.geometry.track_first_lba(track) + u64::from(sector),
+        ))
     }
 }
 

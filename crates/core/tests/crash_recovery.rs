@@ -7,8 +7,7 @@ use std::rc::Rc;
 
 use rand::Rng;
 use trail_core::{
-    format_log_disk, recover, read_header, FormatOptions, RecoveryOptions, TrailConfig,
-    TrailDriver,
+    format_log_disk, read_header, recover, FormatOptions, RecoveryOptions, TrailConfig, TrailDriver,
 };
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
 use trail_sim::{SimDuration, Simulator};
@@ -135,8 +134,7 @@ fn recover_and_verify(ledger: &Ledger, log: Disk, data: Vec<Disk>) {
 
 #[test]
 fn acked_writes_survive_a_crash_mid_workload() {
-    let (ledger, log, data) =
-        run_workload_and_crash(42, SimDuration::from_millis(120), 300);
+    let (ledger, log, data) = run_workload_and_crash(42, SimDuration::from_millis(120), 300);
     assert!(
         !ledger.acked.is_empty(),
         "workload must have acknowledged writes before the crash"
@@ -149,8 +147,7 @@ fn crash_at_many_instants_never_loses_acked_data() {
     // Sweep the crash instant across the workload, including moments that
     // land mid-record-transfer (torn records).
     for ms in [5u64, 17, 33, 52, 71, 94, 113, 156, 199] {
-        let (ledger, log, data) =
-            run_workload_and_crash(7 + ms, SimDuration::from_millis(ms), 400);
+        let (ledger, log, data) = run_workload_and_crash(7 + ms, SimDuration::from_millis(ms), 400);
         recover_and_verify(&ledger, log, data);
     }
 }
@@ -176,8 +173,7 @@ fn recovery_with_no_records_is_empty() {
 
 #[test]
 fn driver_start_performs_recovery_automatically() {
-    let (ledger, log, data) =
-        run_workload_and_crash(99, SimDuration::from_millis(80), 200);
+    let (ledger, log, data) = run_workload_and_crash(99, SimDuration::from_millis(80), 200);
     log.power_on();
     for d in &data {
         d.power_on();
@@ -196,15 +192,13 @@ fn driver_start_performs_recovery_automatically() {
     drv.shutdown(&mut sim).unwrap();
     // And the epoch bump retired the old records: next boot is clean.
     let mut sim2 = Simulator::new();
-    let (_, boot2) =
-        TrailDriver::start(&mut sim2, log, data, TrailConfig::default()).unwrap();
+    let (_, boot2) = TrailDriver::start(&mut sim2, log, data, TrailConfig::default()).unwrap();
     assert!(boot2.recovered.is_none());
 }
 
 #[test]
 fn skipping_write_back_is_faster_but_finds_the_same_records() {
-    let (_ledger, log, data) =
-        run_workload_and_crash(1234, SimDuration::from_millis(150), 400);
+    let (_ledger, log, data) = run_workload_and_crash(1234, SimDuration::from_millis(150), 400);
     log.power_on();
     for d in &data {
         d.power_on();
@@ -357,8 +351,7 @@ fn torn_record_is_detected_and_dropped() {
         }
         let mut sim2 = Simulator::new();
         let header = read_header(&mut sim2, &log).unwrap();
-        let report =
-            recover(&mut sim2, &log, &data, &header, RecoveryOptions::default()).unwrap();
+        let report = recover(&mut sim2, &log, &data, &header, RecoveryOptions::default()).unwrap();
         if report.torn_records_dropped > 0 {
             found_torn = true;
             // The committed record must still have been recovered.

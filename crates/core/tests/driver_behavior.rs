@@ -55,13 +55,16 @@ fn epoch_advances_across_clean_restarts() {
     let log = Disk::new("log", profiles::tiny_test_disk());
     let data = Disk::new("d", profiles::tiny_test_disk());
     format_log_disk(&mut sim, &log, FormatOptions::default()).unwrap();
-    let (drv, boot) =
-        TrailDriver::start(&mut sim, log.clone(), vec![data.clone()], TrailConfig::default())
-            .unwrap();
+    let (drv, boot) = TrailDriver::start(
+        &mut sim,
+        log.clone(),
+        vec![data.clone()],
+        TrailConfig::default(),
+    )
+    .unwrap();
     assert_eq!(boot.epoch, 1);
     drv.shutdown(&mut sim).unwrap();
-    let (_, boot2) =
-        TrailDriver::start(&mut sim, log, vec![data], TrailConfig::default()).unwrap();
+    let (_, boot2) = TrailDriver::start(&mut sim, log, vec![data], TrailConfig::default()).unwrap();
     assert_eq!(boot2.epoch, 2);
     assert!(boot2.recovered.is_none(), "clean shutdown skips recovery");
 }
@@ -94,8 +97,7 @@ fn single_sector_sync_write_latency_matches_paper_anchor() {
     }
     let lats = lat.borrow();
     assert_eq!(lats.len(), 20);
-    let mean_ms =
-        lats.iter().map(|d| d.as_millis_f64()).sum::<f64>() / lats.len() as f64;
+    let mean_ms = lats.iter().map(|d| d.as_millis_f64()).sum::<f64>() / lats.len() as f64;
     // The +3-sector calibration margin adds ~0.35 ms over the paper's
     // bare 1.40 ms (see trail_probe::DELTA_SAFETY_MARGIN).
     assert!(
@@ -263,14 +265,8 @@ fn utilization_threshold_triggers_reposition() {
     );
     // Tiny disk zone 0 has 40 spt; a 13-sector write + header = 14 sectors
     // = 35 % utilization, crossing the 30 % threshold in one record.
-    drv.write(
-        &mut sim,
-        0,
-        0,
-        sector_data(1, 13),
-        Box::new(|_, _| {}),
-    )
-    .unwrap();
+    drv.write(&mut sim, 0, 0, sector_data(1, 13), Box::new(|_, _| {}))
+        .unwrap();
     drv.run_until_quiescent(&mut sim);
     drv.with_stats(|s| {
         assert_eq!(s.repositions, 1, "threshold crossing must move the head");
@@ -435,11 +431,13 @@ fn request_validation() {
         TrailError::OutOfRange
     );
     assert_eq!(
-        drv.read(&mut sim, 0, cap, 1, Box::new(|_, _| {})).unwrap_err(),
+        drv.read(&mut sim, 0, cap, 1, Box::new(|_, _| {}))
+            .unwrap_err(),
         TrailError::OutOfRange
     );
     assert_eq!(
-        drv.read(&mut sim, 0, 0, 0, Box::new(|_, _| {})).unwrap_err(),
+        drv.read(&mut sim, 0, 0, 0, Box::new(|_, _| {}))
+            .unwrap_err(),
         TrailError::OutOfRange
     );
 }
@@ -499,11 +497,7 @@ fn sync_writes_remain_fast_after_many_records() {
         worst < 16.0,
         "worst sync write {worst} ms suggests a lost free-track invariant"
     );
-    let late_mean = lats[150..]
-        .iter()
-        .map(|d| d.as_millis_f64())
-        .sum::<f64>()
-        / 50.0;
+    let late_mean = lats[150..].iter().map(|d| d.as_millis_f64()).sum::<f64>() / 50.0;
     assert!(
         late_mean < 4.0,
         "late-run mean {late_mean} ms should stay near the anchor"

@@ -10,10 +10,7 @@ use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
 use trail_sim::{SimDuration, Simulator};
 
-fn boot_limited(
-    sim: &mut Simulator,
-    tracks: u64,
-) -> (TrailDriver, Disk, Disk) {
+fn boot_limited(sim: &mut Simulator, tracks: u64) -> (TrailDriver, Disk, Disk) {
     let log = Disk::new("log", profiles::tiny_test_disk());
     let data = Disk::new("d0", profiles::tiny_test_disk());
     format_log_disk(sim, &log, FormatOptions::default()).unwrap();
@@ -21,8 +18,7 @@ fn boot_limited(
         log_track_limit: Some(tracks),
         ..TrailConfig::default()
     };
-    let (drv, _) =
-        TrailDriver::start(sim, log.clone(), vec![data.clone()], config).unwrap();
+    let (drv, _) = TrailDriver::start(sim, log.clone(), vec![data.clone()], config).unwrap();
     (drv, log, data)
 }
 
@@ -149,8 +145,7 @@ fn crash_on_a_wrapped_log_recovers() {
         log_track_limit: Some(4),
         ..TrailConfig::default()
     };
-    let (_drv2, boot) =
-        TrailDriver::start(&mut sim2, log, vec![data.clone()], config).unwrap();
+    let (_drv2, boot) = TrailDriver::start(&mut sim2, log, vec![data.clone()], config).unwrap();
     let report = boot.recovered.expect("dirty log recovers");
     assert!(report.records_found > 0);
     // Every acked burst write must be present (blocks overwritten within

@@ -75,13 +75,7 @@ fn same_block_always_routes_to_the_same_log() {
     // value always wins.
     for v in 1..=30u8 {
         multi
-            .write(
-                &mut sim,
-                0,
-                7,
-                vec![v; SECTOR_SIZE],
-                Box::new(|_, _| {}),
-            )
+            .write(&mut sim, 0, 7, vec![v; SECTOR_SIZE], Box::new(|_, _| {}))
             .unwrap();
     }
     multi.run_until_quiescent(&mut sim);

@@ -18,6 +18,7 @@ use std::rc::Rc;
 use trail_core::TrailError;
 use trail_disk::{Lba, SECTOR_SIZE};
 use trail_sim::{LatencySummary, SimDuration, SimTime, Simulator};
+use trail_telemetry::{null_recorder, Event, EventKind, Layer, RecorderHandle};
 
 use crate::cache::{BufferPool, CacheStats};
 use crate::page::{Page, PageId, Rid, PAGE_SIZE, SECTORS_PER_PAGE};
@@ -177,6 +178,7 @@ struct DbInner {
     /// When the (single) CPU frees up; only consulted under `single_cpu`.
     cpu_free_at: SimTime,
     stats: DbStats,
+    recorder: RecorderHandle,
 }
 
 enum StepOutcome {
@@ -230,6 +232,7 @@ impl Database {
                 active_txns: 0,
                 cpu_free_at: SimTime::ZERO,
                 stats: DbStats::default(),
+                recorder: null_recorder(),
             })),
         }
     }
@@ -237,6 +240,33 @@ impl Database {
     /// Engine counters.
     pub fn with_stats<R>(&self, f: impl FnOnce(&DbStats) -> R) -> R {
         f(&self.inner.borrow().stats)
+    }
+
+    /// Attaches a telemetry recorder, cascading to the storage stack
+    /// below (and through it, every driver and disk).
+    pub fn set_recorder(&self, recorder: RecorderHandle) {
+        let mut d = self.inner.borrow_mut();
+        d.stack.set_recorder(Rc::clone(&recorder));
+        d.recorder = recorder;
+    }
+
+    /// Records a db-layer event.
+    fn emit(&self, at: SimTime, dur: SimDuration, kind: EventKind) {
+        let recorder = {
+            let d = self.inner.borrow();
+            if !d.recorder.enabled() {
+                return;
+            }
+            Rc::clone(&d.recorder)
+        };
+        recorder.record(Event {
+            at,
+            dur,
+            layer: Layer::Db,
+            source: "wal".to_string(),
+            req: None,
+            kind,
+        });
     }
 
     /// WAL counters (group commits, logging I/O time).
@@ -366,12 +396,7 @@ impl Database {
 
     /// Drives a transaction forward until it suspends on a page read or
     /// commits.
-    fn advance(
-        &self,
-        sim: &mut Simulator,
-        mut ctx: TxnCtx,
-        on_control: ControlCallback,
-    ) {
+    fn advance(&self, sim: &mut Simulator, mut ctx: TxnCtx, on_control: ControlCallback) {
         let mut evict_writes: Vec<(PageId, Vec<u8>)> = Vec::new();
         let outcome = {
             let mut d = self.inner.borrow_mut();
@@ -421,8 +446,7 @@ impl Database {
                                 lba,
                                 SECTORS_PER_PAGE,
                                 Box::new(move |sim, done| {
-                                    let bytes =
-                                        done.data.expect("page read returns data");
+                                    let bytes = done.data.expect("page read returns data");
                                     let mut evictions = Vec::new();
                                     {
                                         let mut d = db.inner.borrow_mut();
@@ -579,7 +603,29 @@ impl Database {
                 d.wal.finish_flush(durable_at, issued);
                 std::mem::take(&mut d.control_waiters)
             };
+            let flushed_bytes: usize = pieces.iter().map(|(_, data)| data.len()).sum();
+            self.emit(
+                issued,
+                durable_at.duration_since(issued),
+                EventKind::WalForce {
+                    bytes: flushed_bytes as u64,
+                },
+            );
+            self.emit(
+                durable_at,
+                SimDuration::ZERO,
+                EventKind::GroupCommit {
+                    group: commits.len() as u32,
+                },
+            );
             for c in commits {
+                self.emit(
+                    durable_at,
+                    SimDuration::ZERO,
+                    EventKind::TxnCommit {
+                        txn: u64::from(c.txn),
+                    },
+                );
                 (c.on_durable)(sim, durable_at);
             }
             // Commits that blocked on this force resume.

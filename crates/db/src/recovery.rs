@@ -110,9 +110,7 @@ pub fn scan_wal(
 
 /// Replays scanned records into the committed row image: the value (or
 /// absence) of every row touched by a *committed* transaction.
-pub fn replay_committed(
-    records: &[(u64, WalRecord)],
-) -> HashMap<(TableId, u64), Option<Vec<u8>>> {
+pub fn replay_committed(records: &[(u64, WalRecord)]) -> HashMap<(TableId, u64), Option<Vec<u8>>> {
     let committed: HashSet<u32> = records
         .iter()
         .filter_map(|(_, r)| match r {

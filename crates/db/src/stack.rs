@@ -8,6 +8,7 @@ use trail_blockio::{Clook, IoCallback, IoKind, IoRequest, Priority, StandardDriv
 use trail_core::{TrailDriver, TrailError};
 use trail_disk::{Disk, Lba};
 use trail_sim::Simulator;
+use trail_telemetry::RecorderHandle;
 
 /// A stack of block devices the database reads and writes through.
 ///
@@ -48,6 +49,10 @@ pub trait BlockStack {
 
     /// Number of devices.
     fn devices(&self) -> usize;
+
+    /// Attaches a telemetry recorder to every layer below this stack.
+    /// The default implementation drops the recorder (no instrumentation).
+    fn set_recorder(&self, _recorder: RecorderHandle) {}
 }
 
 /// The Trail stack: every device sits behind one [`TrailDriver`].
@@ -99,6 +104,10 @@ impl BlockStack for TrailStack {
     fn devices(&self) -> usize {
         self.devices
     }
+
+    fn set_recorder(&self, recorder: RecorderHandle) {
+        self.driver.set_recorder(recorder);
+    }
 }
 
 /// The baseline stack: each device is a plain queueing driver; writes pay
@@ -115,7 +124,7 @@ impl StandardStack {
         StandardStack {
             drivers: disks
                 .into_iter()
-                .map(|d| StandardDriver::with_policy(d, Box::new(Clook), Priority::None))
+                .map(|d| StandardDriver::with_policy(d, Box::new(Clook::default()), Priority::None))
                 .collect(),
         }
     }
@@ -183,6 +192,12 @@ impl BlockStack for StandardStack {
     fn devices(&self) -> usize {
         self.drivers.len()
     }
+
+    fn set_recorder(&self, recorder: RecorderHandle) {
+        for d in &self.drivers {
+            d.set_recorder(Rc::clone(&recorder));
+        }
+    }
 }
 
 /// Convenience alias used throughout the engine.
@@ -205,13 +220,7 @@ mod tests {
         let hit = Rc::new(Cell::new(false));
         let h = Rc::clone(&hit);
         stack
-            .write(
-                &mut sim,
-                1,
-                9,
-                vec![0x3C; SECTOR_SIZE],
-                Box::new(|_, _| {}),
-            )
+            .write(&mut sim, 1, 9, vec![0x3C; SECTOR_SIZE], Box::new(|_, _| {}))
             .unwrap();
         sim.run();
         stack

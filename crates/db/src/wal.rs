@@ -255,12 +255,7 @@ pub struct Wal {
 impl Wal {
     /// Creates a WAL appending into `[region_start, region_start +
     /// capacity_sectors)` on device `dev`.
-    pub fn new(
-        dev: usize,
-        region_start: u64,
-        capacity_sectors: u64,
-        policy: FlushPolicy,
-    ) -> Self {
+    pub fn new(dev: usize, region_start: u64, capacity_sectors: u64, policy: FlushPolicy) -> Self {
         Wal {
             dev,
             region_start,
@@ -477,7 +472,8 @@ mod tests {
 
     #[test]
     fn record_encode_decode_round_trip() {
-        let records = [WalRecord::Put {
+        let records = [
+            WalRecord::Put {
                 txn: 7,
                 table: 2,
                 key: 0xDEAD_BEEF,
@@ -489,7 +485,8 @@ mod tests {
                 key: 42,
             },
             WalRecord::Commit { txn: 7 },
-            WalRecord::Abort { txn: 8 }];
+            WalRecord::Abort { txn: 8 },
+        ];
         let mut buf = Vec::new();
         for (i, r) in records.iter().enumerate() {
             r.encode(i as u64, &mut buf);
@@ -586,7 +583,9 @@ mod tests {
             started: SimTime::ZERO,
             on_durable: Box::new(|_, _| {}),
         });
-        let job = wal.begin_flush(SimTime::from_nanos(100), false).expect("flushes");
+        let job = wal
+            .begin_flush(SimTime::from_nanos(100), false)
+            .expect("flushes");
         assert_eq!(job.lba, 64);
         assert_eq!(job.data.len() % SECTOR_SIZE, 0);
         assert_eq!(job.commits.len(), 1);
@@ -606,7 +605,9 @@ mod tests {
             started: SimTime::ZERO,
             on_durable: Box::new(|_, _| {}),
         });
-        let job2 = wal.begin_flush(SimTime::from_nanos(3_000), false).expect("flushes");
+        let job2 = wal
+            .begin_flush(SimTime::from_nanos(3_000), false)
+            .expect("flushes");
         assert_eq!(job2.lba, 64 + sectors);
         assert!(Wal::parse_chunk(&job2.data, 0).is_none(), "wrong seq");
         assert!(Wal::parse_chunk(&job2.data, 1).is_some());

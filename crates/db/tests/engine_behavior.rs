@@ -7,8 +7,8 @@ use std::rc::Rc;
 
 use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
 use trail_db::{
-    replay_committed, scan_wal, Database, DbConfig, FlushPolicy, Op, StandardStack,
-    TrailStack, TxnSpec,
+    replay_committed, scan_wal, Database, DbConfig, FlushPolicy, Op, StandardStack, TrailStack,
+    TxnSpec,
 };
 use trail_disk::{profiles, Disk};
 use trail_sim::{SimDuration, Simulator};
@@ -172,10 +172,7 @@ fn cache_misses_suspend_and_resume_transactions() {
     let (mut sim, db, _) = standard_setup(FlushPolicy::EveryCommit);
     // Load 2000 rows of 256 bytes: ~143 pages, far beyond the 64-page
     // cache.
-    let images = db.load(
-        0,
-        (0..2000u64).map(|k| (k, vec![(k % 251) as u8; 256])),
-    );
+    let images = db.load(0, (0..2000u64).map(|k| (k, vec![(k % 251) as u8; 256])));
     assert!(images.len() > 100);
     // Place the images on the table device.
     let stack = StandardStack::new(vec![
@@ -183,9 +180,9 @@ fn cache_misses_suspend_and_resume_transactions() {
         Disk::new("y", profiles::tiny_test_disk()),
     ]);
     let _ = stack; // images are placed below via the db's own stack
-    // (Re-create: the standard_setup stack is private, so run reads that
-    // miss; the disk holds zeros, but the index points at real pages —
-    // what we check here is the suspension machinery, not byte equality.)
+                   // (Re-create: the standard_setup stack is private, so run reads that
+                   // miss; the disk holds zeros, but the index points at real pages —
+                   // what we check here is the suspension machinery, not byte equality.)
     let done = Rc::new(Cell::new(0u32));
     for k in (0..2000u64).step_by(23) {
         let done = Rc::clone(&done);
@@ -379,7 +376,9 @@ fn load_and_warm_populate_without_timing() {
         &mut sim,
         TxnSpec {
             cpu: SimDuration::ZERO,
-            ops: (0..100u64).map(|k| Op::Read(3, k)).collect::<Vec<_>>()
+            ops: (0..100u64)
+                .map(|k| Op::Read(3, k))
+                .collect::<Vec<_>>()
                 .into_iter()
                 .chain([Op::Write(3, 0, vec![1u8; 8])])
                 .collect(),

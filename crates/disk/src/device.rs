@@ -13,6 +13,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use trail_sim::{BusyMeter, LatencySummary, SimDuration, SimTime, Simulator};
+use trail_telemetry::{null_recorder, Event, EventKind, Layer, RecorderHandle};
 
 use crate::geometry::{DiskGeometry, Lba, SECTOR_SIZE};
 use crate::mechanics::{CommandKind, HeadPosition, MechanicalModel, ServiceBreakdown};
@@ -100,7 +101,10 @@ impl fmt::Display for DiskError {
             DiskError::PoweredOff => write!(f, "disk is powered off"),
             DiskError::OutOfRange => write!(f, "addressed sector range is outside the disk"),
             DiskError::BadDataLength => {
-                write!(f, "write payload must be a positive multiple of {SECTOR_SIZE} bytes")
+                write!(
+                    f,
+                    "write payload must be a positive multiple of {SECTOR_SIZE} bytes"
+                )
             }
         }
     }
@@ -154,6 +158,7 @@ struct DiskInner {
     power_epoch: u64,
     in_flight: Vec<PendingSector>,
     stats: DiskStats,
+    recorder: RecorderHandle,
 }
 
 /// A simulated disk drive. Clones share the same device.
@@ -205,8 +210,16 @@ impl Disk {
                 power_epoch: 0,
                 in_flight: Vec::new(),
                 stats: DiskStats::default(),
+                recorder: null_recorder(),
             })),
         }
+    }
+
+    /// Attaches a telemetry recorder. The default [`null_recorder`] keeps
+    /// instrumentation free; an enabled recorder receives one
+    /// [`Event`] per mechanical phase of every completed command.
+    pub fn set_recorder(&self, recorder: RecorderHandle) {
+        self.inner.borrow_mut().recorder = recorder;
     }
 
     /// The device's name (for diagnostics).
@@ -264,7 +277,7 @@ impl Disk {
         cb: DiskCallback,
     ) -> Result<(), DiskError> {
         let now = sim.now();
-        let (plan, kind, lba, count, epoch) = {
+        let (plan, kind, lba, count, epoch, from_cyl) = {
             let mut d = self.inner.borrow_mut();
             if !d.powered {
                 return Err(DiskError::PoweredOff);
@@ -280,7 +293,15 @@ impl Disk {
                         return Err(DiskError::OutOfRange);
                     }
                     d.mech
-                        .plan(&d.geometry, now, d.head, CommandKind::Read, *lba, *count, d.prev_was_write)
+                        .plan(
+                            &d.geometry,
+                            now,
+                            d.head,
+                            CommandKind::Read,
+                            *lba,
+                            *count,
+                            d.prev_was_write,
+                        )
                         .ok_or(DiskError::OutOfRange)?
                 }
                 DiskCommand::Write { lba, data } => {
@@ -289,7 +310,15 @@ impl Disk {
                     }
                     let count = (data.len() / SECTOR_SIZE) as u32;
                     d.mech
-                        .plan(&d.geometry, now, d.head, CommandKind::Write, *lba, count, d.prev_was_write)
+                        .plan(
+                            &d.geometry,
+                            now,
+                            d.head,
+                            CommandKind::Write,
+                            *lba,
+                            count,
+                            d.prev_was_write,
+                        )
                         .ok_or(DiskError::OutOfRange)?
                 }
                 DiskCommand::Seek { lba } => d
@@ -317,14 +346,14 @@ impl Disk {
             }
             d.busy = true;
             d.stats.busy.start(now);
-            (plan, kind, lba, count, d.power_epoch)
+            (plan, kind, lba, count, d.power_epoch, d.head.cylinder)
         };
 
         let disk = self.clone();
         sim.schedule_at(
             plan.completion,
             Box::new(move |sim| {
-                let result = {
+                let (result, telemetry) = {
                     let mut d = disk.inner.borrow_mut();
                     if !d.powered || d.power_epoch != epoch {
                         // Power was cut while this command was in flight;
@@ -364,15 +393,35 @@ impl Disk {
                     d.stats.total_seek += plan.breakdown.seek;
                     d.stats.total_rotation += plan.breakdown.rotation;
                     d.stats.total_transfer += plan.breakdown.transfer;
-                    DiskResult {
+                    let telemetry = d.recorder.enabled().then(|| {
+                        (
+                            Rc::clone(&d.recorder),
+                            d.name.clone(),
+                            d.mech.rotation_period,
+                            d.head.cylinder,
+                        )
+                    });
+                    let result = DiskResult {
                         kind,
                         lba,
                         data,
                         issued: now - plan.breakdown.total,
                         completed: now,
                         breakdown: plan.breakdown,
-                    }
+                    };
+                    (result, telemetry)
                 };
+                if let Some((recorder, name, rotation_period, to_cyl)) = telemetry {
+                    emit_phase_events(
+                        &*recorder,
+                        &name,
+                        &result,
+                        &plan,
+                        rotation_period,
+                        from_cyl,
+                        to_cyl,
+                    );
+                }
                 cb(sim, result);
             }),
         );
@@ -433,6 +482,61 @@ impl Disk {
     /// The current arm position (test/diagnostic use).
     pub fn head_position(&self) -> HeadPosition {
         self.inner.borrow().head
+    }
+}
+
+/// Replays a completed command's mechanical phases into the recorder as
+/// consecutive spans. For multi-track transfers the per-phase sums are
+/// rendered as single spans (the decomposition stays exact; only the
+/// interleaving of repeated seek/rotate/transfer cycles is collapsed).
+fn emit_phase_events(
+    recorder: &dyn trail_telemetry::Recorder,
+    name: &str,
+    result: &DiskResult,
+    plan: &crate::mechanics::ServicePlan,
+    rotation_period: SimDuration,
+    from_cyl: u32,
+    to_cyl: u32,
+) {
+    let b = result.breakdown;
+    let ev = |at: SimTime, dur: SimDuration, kind: EventKind| Event {
+        at,
+        dur,
+        layer: Layer::Disk,
+        source: name.to_string(),
+        req: None,
+        kind,
+    };
+    let mut t = result.issued + b.overhead;
+    if !b.seek.is_zero() || result.kind == CommandKind::Seek {
+        recorder.record(ev(t, b.seek, EventKind::Seek { from_cyl, to_cyl }));
+    }
+    t += b.seek;
+    if result.kind == CommandKind::Seek {
+        return;
+    }
+    recorder.record(ev(t, b.rotation, EventKind::RotWait));
+    // "Just missed it": the command paid at least 90% of a revolution
+    // waiting for its sector to come around again.
+    if b.rotation.as_nanos() * 10 >= rotation_period.as_nanos() * 9 {
+        recorder.record(ev(t, SimDuration::ZERO, EventKind::FullRotationMiss));
+    }
+    t += b.rotation;
+    recorder.record(ev(
+        t,
+        b.transfer,
+        EventKind::Transfer {
+            sectors: plan.sector_done.len() as u32,
+        },
+    ));
+    if plan.track_switches > 0 {
+        recorder.record(ev(
+            t,
+            SimDuration::ZERO,
+            EventKind::TrackSwitch {
+                switches: plan.track_switches,
+            },
+        ));
     }
 }
 
@@ -550,7 +654,10 @@ mod tests {
         assert_eq!(
             disk.submit(
                 &mut sim,
-                DiskCommand::Write { lba: 0, data: vec![] },
+                DiskCommand::Write {
+                    lba: 0,
+                    data: vec![]
+                },
                 Box::new(|_, _| {})
             )
             .unwrap_err(),
@@ -634,8 +741,7 @@ mod tests {
         // overhead + rotation to sector 0 + 2 sector times, plus epsilon.
         let t0 = SimTime::ZERO + mech.overhead(CommandKind::Write, false);
         let rot = mech.time_until_angle(t0, g.sector_angle(0, 0));
-        let cut = t0 + rot + mech.sector_time(g.spt_of_track(0)) * 2
-            + SimDuration::from_nanos(10);
+        let cut = t0 + rot + mech.sector_time(g.spt_of_track(0)) * 2 + SimDuration::from_nanos(10);
         sim.run_until(cut);
         disk.power_cut(sim.now());
         sim.run();

@@ -293,8 +293,7 @@ impl DiskGeometry {
         let cyl_in_zone = u64::from(chs.cylinder - self.zone_start_cyl[z]);
         Some(
             self.zone_start_lba[z]
-                + (cyl_in_zone * u64::from(self.heads) + u64::from(chs.head))
-                    * u64::from(zone.spt)
+                + (cyl_in_zone * u64::from(self.heads) + u64::from(chs.head)) * u64::from(zone.spt)
                 + u64::from(chs.sector),
         )
     }
@@ -523,7 +522,10 @@ mod tests {
         let t = g.track_index(chs);
         assert_eq!(t, 5);
         assert_eq!(g.track_to_cyl_head(t), (2, 1));
-        assert_eq!(g.track_first_lba(t), g.chs_to_lba(Chs { sector: 0, ..chs }).unwrap());
+        assert_eq!(
+            g.track_first_lba(t),
+            g.chs_to_lba(Chs { sector: 0, ..chs }).unwrap()
+        );
         assert_eq!(g.spt_of_track(t), 10);
         assert_eq!(g.spt_of_track(15), 8);
     }

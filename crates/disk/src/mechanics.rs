@@ -174,8 +174,7 @@ impl MechanicalModel {
             return base;
         }
         let w = self.spindle_wander.as_nanos() as f64
-            * (std::f64::consts::TAU * t.as_nanos() as f64
-                / self.wander_period.as_nanos() as f64)
+            * (std::f64::consts::TAU * t.as_nanos() as f64 / self.wander_period.as_nanos() as f64)
                 .sin();
         (base + w / p as f64).rem_euclid(1.0)
     }
@@ -286,6 +285,7 @@ impl MechanicalModel {
             sector_done,
             end_head: pos,
             breakdown,
+            track_switches: (runs.len() - 1) as u32,
         })
     }
 
@@ -322,6 +322,7 @@ impl MechanicalModel {
                 head: chs.head,
             },
             breakdown,
+            track_switches: 0,
         })
     }
 }
@@ -354,6 +355,9 @@ pub struct ServicePlan {
     pub end_head: HeadPosition,
     /// Timing decomposition.
     pub breakdown: ServiceBreakdown,
+    /// Number of track boundaries the transfer crossed (zero for
+    /// single-track transfers and pure seeks).
+    pub track_switches: u32,
 }
 
 #[cfg(test)]
@@ -542,10 +546,10 @@ mod tests {
         assert_eq!(plan.breakdown.transfer, SimDuration::from_micros(15_000));
         // With zero skew the head switch always costs rotation too.
         assert!(plan.breakdown.seek >= m.head_switch);
-        assert!(plan
-            .sector_done
-            .windows(2)
-            .all(|w| w[0] <= w[1]), "sector completions must be ordered");
+        assert!(
+            plan.sector_done.windows(2).all(|w| w[0] <= w[1]),
+            "sector completions must be ordered"
+        );
         assert_eq!(plan.completion, *plan.sector_done.last().unwrap());
     }
 
@@ -580,14 +584,8 @@ mod tests {
         // Rotation paid: initial alignment + post-switch alignment. The
         // post-switch wait is skew (1 ms) - head_switch (0.8 ms) = 0.2 ms.
         let expected_post_switch = SimDuration::from_micros(200);
-        let initial = m.time_until_angle(
-            SimTime::ZERO + m.read_overhead,
-            g.sector_angle(0, 0),
-        );
-        assert_eq!(
-            plan.breakdown.rotation,
-            initial + expected_post_switch
-        );
+        let initial = m.time_until_angle(SimTime::ZERO + m.read_overhead, g.sector_angle(0, 0));
+        assert_eq!(plan.breakdown.rotation, initial + expected_post_switch);
     }
 
     #[test]
@@ -620,10 +618,7 @@ mod tests {
         assert_eq!(plan.end_head.head, 1);
         assert_eq!(plan.breakdown.transfer, SimDuration::ZERO);
         assert_eq!(plan.breakdown.rotation, SimDuration::ZERO);
-        assert_eq!(
-            plan.breakdown.seek,
-            m.seek.seek_time(10).max(m.head_switch)
-        );
+        assert_eq!(plan.breakdown.seek, m.seek.seek_time(10).max(m.head_switch));
     }
 
     #[test]
@@ -631,10 +626,26 @@ mod tests {
         let g = geometry();
         let m = model();
         let a = m
-            .plan(&g, SimTime::ZERO, HeadPosition::default(), CommandKind::Write, 12, 1, false)
+            .plan(
+                &g,
+                SimTime::ZERO,
+                HeadPosition::default(),
+                CommandKind::Write,
+                12,
+                1,
+                false,
+            )
             .unwrap();
         let b = m
-            .plan(&g, SimTime::ZERO, HeadPosition::default(), CommandKind::Write, 12, 1, true)
+            .plan(
+                &g,
+                SimTime::ZERO,
+                HeadPosition::default(),
+                CommandKind::Write,
+                12,
+                1,
+                true,
+            )
             .unwrap();
         assert_eq!(
             b.breakdown.overhead - a.breakdown.overhead,

@@ -225,6 +225,9 @@ mod tests {
     fn tiny_disk_is_small_and_valid() {
         let p = tiny_test_disk();
         assert!(p.geometry.total_sectors() < 10_000);
-        assert!(p.geometry.lba_to_chs(p.geometry.total_sectors() - 1).is_some());
+        assert!(p
+            .geometry
+            .lba_to_chs(p.geometry.total_sectors() - 1)
+            .is_some());
     }
 }

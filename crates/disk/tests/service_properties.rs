@@ -2,9 +2,7 @@
 //! hold for arbitrary commands on arbitrary geometries.
 
 use proptest::prelude::*;
-use trail_disk::{
-    CommandKind, DiskGeometry, HeadPosition, MechanicalModel, SeekModel, Zone,
-};
+use trail_disk::{CommandKind, DiskGeometry, HeadPosition, MechanicalModel, SeekModel, Zone};
 use trail_sim::{SimDuration, SimTime};
 
 fn arb_geometry() -> impl Strategy<Value = DiskGeometry> {
@@ -30,11 +28,11 @@ fn arb_geometry() -> impl Strategy<Value = DiskGeometry> {
 fn arb_model(geometry: &DiskGeometry) -> impl Strategy<Value = MechanicalModel> {
     let cyls = geometry.cylinders().max(2);
     (
-        5_000_000u64..20_000_000,   // rotation 5-20 ms
-        100u64..2_000,              // t2t µs
-        1u64..5,                    // avg multiplier
-        200u64..1_500,              // head switch µs
-        100u64..1_500,              // overheads µs
+        5_000_000u64..20_000_000, // rotation 5-20 ms
+        100u64..2_000,            // t2t µs
+        1u64..5,                  // avg multiplier
+        200u64..1_500,            // head switch µs
+        100u64..1_500,            // overheads µs
     )
         .prop_map(move |(rot, t2t, mult, hs, ov)| {
             let t2t = SimDuration::from_micros(t2t);

@@ -76,10 +76,7 @@ impl Inode {
         if i < DIRECT {
             self.direct[i]
         } else {
-            self.indirect_map
-                .get(i - DIRECT)
-                .copied()
-                .unwrap_or(0)
+            self.indirect_map.get(i - DIRECT).copied().unwrap_or(0)
         }
     }
 }
@@ -186,8 +183,11 @@ impl ExtFs {
                 .position(|&b| b == 0)
                 .unwrap_or(NAME_LEN);
             let name = String::from_utf8_lossy(&sb[off + 1..off + 1 + name_end]).into_owned();
-            let ino =
-                u32::from_le_bytes(sb[off + 1 + NAME_LEN..off + 5 + NAME_LEN].try_into().expect("len"));
+            let ino = u32::from_le_bytes(
+                sb[off + 1 + NAME_LEN..off + 5 + NAME_LEN]
+                    .try_into()
+                    .expect("len"),
+            );
             dir.insert(name, ino);
         }
         // Inode table.
@@ -199,10 +199,7 @@ impl ExtFs {
             N_INODES as u32,
         )
         .map_err(FsError::Storage)?;
-        let mut inodes: Vec<Inode> = itable
-            .chunks_exact(512)
-            .map(Inode::decode)
-            .collect();
+        let mut inodes: Vec<Inode> = itable.chunks_exact(512).map(Inode::decode).collect();
         // Load indirect maps and rebuild the allocation frontier.
         let mut max_block = DATA_START_BLOCK - 1;
         for ino in inodes.iter_mut() {
@@ -454,8 +451,7 @@ impl FileSystem for ExtFs {
                 let start_blk = d.inodes[file.0 as usize].block_at(first + i);
                 let mut run = 1usize;
                 while i + run < nblocks
-                    && d.inodes[file.0 as usize].block_at(first + i + run)
-                        == start_blk + run as u32
+                    && d.inodes[file.0 as usize].block_at(first + i + run) == start_blk + run as u32
                 {
                     run += 1;
                 }

@@ -65,7 +65,10 @@ enum BlockAddr {
     /// In the in-memory segment buffer at this block offset.
     Buffered(u32),
     /// On disk: segment and block offset within it.
-    OnDisk { seg: u32, off: u32 },
+    OnDisk {
+        seg: u32,
+        off: u32,
+    },
 }
 
 #[derive(Clone, Default)]
@@ -167,8 +170,7 @@ impl Lfs {
             }
             d.flush_in_flight = true;
             let seg = d.current_seg;
-            let entries: Vec<(u32, usize)> =
-                d.buffer.iter().map(|(f, b, _)| (*f, *b)).collect();
+            let entries: Vec<(u32, usize)> = d.buffer.iter().map(|(f, b, _)| (*f, *b)).collect();
             let mut bytes = Vec::with_capacity(d.buffer.len() * FS_BLOCK_SIZE);
             for (_, _, data) in &d.buffer {
                 bytes.extend_from_slice(data);
@@ -199,13 +201,11 @@ impl Lfs {
                             .map(|f| f.map.get(block) == Some(&BlockAddr::Buffered(off as u32)))
                             .unwrap_or(false);
                         if live {
-                            d.files[file as usize]
-                                .as_mut()
-                                .expect("checked live")
-                                .map[block] = BlockAddr::OnDisk {
-                                seg,
-                                off: off as u32,
-                            };
+                            d.files[file as usize].as_mut().expect("checked live").map[block] =
+                                BlockAddr::OnDisk {
+                                    seg,
+                                    off: off as u32,
+                                };
                             slots.push(Some((file, block)));
                         } else {
                             slots.push(None);
@@ -263,9 +263,8 @@ impl Lfs {
                     if i as u32 == d.current_seg {
                         return None;
                     }
-                    s.as_ref().map(|seg| {
-                        (i, seg.slots.iter().filter(|x| x.is_some()).count())
-                    })
+                    s.as_ref()
+                        .map(|seg| (i, seg.slots.iter().filter(|x| x.is_some()).count()))
                 })
                 .collect();
             scored.sort_by_key(|&(_, live)| live);
@@ -329,10 +328,7 @@ impl Lfs {
                             // (it may have been overwritten meanwhile).
                             let still = d.files[file as usize]
                                 .as_ref()
-                                .map(|f| {
-                                    f.map.get(block)
-                                        == Some(&BlockAddr::OnDisk { seg, off })
-                                })
+                                .map(|f| f.map.get(block) == Some(&BlockAddr::OnDisk { seg, off }))
                                 .unwrap_or(false);
                             if !still {
                                 continue;
@@ -341,10 +337,8 @@ impl Lfs {
                             let bytes = data[from..from + FS_BLOCK_SIZE].to_vec();
                             let idx = d.buffer.len() as u32;
                             d.buffer.push((file, block, bytes));
-                            d.files[file as usize]
-                                .as_mut()
-                                .expect("checked live")
-                                .map[block] = BlockAddr::Buffered(idx);
+                            d.files[file as usize].as_mut().expect("checked live").map[block] =
+                                BlockAddr::Buffered(idx);
                             d.lfs_stats.cleaner_rewritten_bytes += FS_BLOCK_SIZE as u64;
                         }
                         d.pending -= 1;
@@ -427,7 +421,11 @@ impl FileSystem for Lfs {
             if data.is_empty() || !offset.is_multiple_of(FS_BLOCK_SIZE as u64) {
                 return Err(FsError::InvalidArgument);
             }
-            if d.files.get(file.0 as usize).and_then(Option::as_ref).is_none() {
+            if d.files
+                .get(file.0 as usize)
+                .and_then(Option::as_ref)
+                .is_none()
+            {
                 return Err(FsError::BadHandle);
             }
             let first = (offset / FS_BLOCK_SIZE as u64) as usize;

@@ -158,7 +158,8 @@ fn extfs_rejects_unaligned_io() {
     );
     write_all(&mut sim, &fs, f, 0, vec![1u8; BLK], true);
     assert_eq!(
-        fs.read(&mut sim, f, 17, 10, Box::new(|_, _| {})).unwrap_err(),
+        fs.read(&mut sim, f, 17, 10, Box::new(|_, _| {}))
+            .unwrap_err(),
         FsError::InvalidArgument
     );
     assert_eq!(
@@ -212,7 +213,14 @@ fn lfs_write_read_round_trip_buffered_and_flushed() {
 #[test]
 fn lfs_async_writes_batch_into_segments() {
     let (mut sim, stack, disk) = stack();
-    let fs = Lfs::new(stack, 0, LfsConfig { segment_blocks: 8, segments: 64 });
+    let fs = Lfs::new(
+        stack,
+        0,
+        LfsConfig {
+            segment_blocks: 8,
+            segments: 64,
+        },
+    );
     let f = fs.create("batch").unwrap();
     disk.reset_stats();
     // 32 async block writes = 4 full segments, far fewer disk commands.
@@ -259,14 +267,22 @@ fn lfs_overwrites_leave_dead_blocks_and_cleaner_reclaims() {
     let occupied_before = fs.segment_occupancy();
     let done = Rc::new(Cell::new(false));
     let d = Rc::clone(&done);
-    fs.clean(&mut sim, 4, Box::new(move |_, r| {
-        r.expect("clean succeeds");
-        d.set(true);
-    }));
+    fs.clean(
+        &mut sim,
+        4,
+        Box::new(move |_, r| {
+            r.expect("clean succeeds");
+            d.set(true);
+        }),
+    );
     sim.run();
     assert!(done.get());
     let stats = fs.lfs_stats();
-    assert!(stats.segments_cleaned >= 2, "cleaned {}", stats.segments_cleaned);
+    assert!(
+        stats.segments_cleaned >= 2,
+        "cleaned {}",
+        stats.segments_cleaned
+    );
     // Fully-dead segments cost no I/O; partially-live ones cost read +
     // rewrite — both counters are exercised by this layout.
     assert!(fs.segment_occupancy() <= occupied_before);
@@ -292,7 +308,14 @@ fn lfs_cleaner_costs_io_that_trail_does_not_pay() {
     );
     let f = fs.create("live").unwrap();
     for i in 0..16u64 {
-        write_all(&mut sim, &fs, f, i * BLK as u64, vec![i as u8 + 1; BLK], false);
+        write_all(
+            &mut sim,
+            &fs,
+            f,
+            i * BLK as u64,
+            vec![i as u8 + 1; BLK],
+            false,
+        );
     }
     // Overwrite every *other* block: each segment is half dead, so the
     // cleaner must move the live half.
@@ -303,10 +326,14 @@ fn lfs_cleaner_costs_io_that_trail_does_not_pay() {
     disk.reset_stats();
     let done = Rc::new(Cell::new(false));
     let d = Rc::clone(&done);
-    fs.clean(&mut sim, 2, Box::new(move |_, r| {
-        r.expect("clean succeeds");
-        d.set(true);
-    }));
+    fs.clean(
+        &mut sim,
+        2,
+        Box::new(move |_, r| {
+            r.expect("clean succeeds");
+            d.set(true);
+        }),
+    );
     sim.run();
     assert!(done.get());
     let stats = fs.lfs_stats();
@@ -321,7 +348,14 @@ fn lfs_cleaner_costs_io_that_trail_does_not_pay() {
 #[test]
 fn lfs_delete_frees_segments_without_io() {
     let (mut sim, stack, disk) = stack();
-    let fs = Lfs::new(stack, 0, LfsConfig { segment_blocks: 8, segments: 16 });
+    let fs = Lfs::new(
+        stack,
+        0,
+        LfsConfig {
+            segment_blocks: 8,
+            segments: 16,
+        },
+    );
     let f = fs.create("gone").unwrap();
     for i in 0..8u64 {
         write_all(&mut sim, &fs, f, i * BLK as u64, vec![9u8; BLK], false);

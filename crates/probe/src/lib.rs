@@ -224,7 +224,14 @@ pub fn calibrate_delta(
     let threshold = period.mul_f64(0.75);
     for delta in 0..spt {
         // Reference point: head has just passed sector 0 of the track.
-        run_blocking(sim, disk, DiskCommand::Read { lba: base, count: 1 })?;
+        run_blocking(
+            sim,
+            disk,
+            DiskCommand::Read {
+                lba: base,
+                count: 1,
+            },
+        )?;
         let target = base + u64::from(delta % spt);
         let res = run_blocking(
             sim,
@@ -274,7 +281,14 @@ pub fn estimate_write_overhead(
     let mut best = SimDuration::MAX;
     for i in 0..samples {
         // Reference point: head just passed sector 0 of the track.
-        run_blocking(sim, disk, DiskCommand::Read { lba: base, count: 1 })?;
+        run_blocking(
+            sim,
+            disk,
+            DiskCommand::Read {
+                lba: base,
+                count: 1,
+            },
+        )?;
         let lba = base + u64::from(i % spt);
         let res = run_blocking(
             sim,
@@ -354,9 +368,9 @@ mod tests {
         // Expected: ceil(write_overhead / sector_time) plus head-just-past-
         // sector-0 geometry; must be in the ballpark of 10-12 and below the
         // paper's bound of 15 for this drive class.
-        let overhead_sectors =
-            (mech.write_overhead.as_nanos() as f64 / mech.sector_time(spt).as_nanos() as f64).ceil()
-                as u32;
+        let overhead_sectors = (mech.write_overhead.as_nanos() as f64
+            / mech.sector_time(spt).as_nanos() as f64)
+            .ceil() as u32;
         assert!(
             cal.minimal >= overhead_sectors.saturating_sub(1)
                 && cal.minimal <= overhead_sectors + 2,

@@ -59,44 +59,79 @@ impl LatencySummary {
         self.samples.iter().copied().sum()
     }
 
-    /// Returns the arithmetic mean, or zero if empty.
+    /// Returns the arithmetic mean, or the **zero sentinel** if empty (use
+    /// [`try_mean`](Self::try_mean) to distinguish "empty" from "all-zero
+    /// samples").
     pub fn mean(&self) -> SimDuration {
+        self.try_mean().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Returns the arithmetic mean, or `None` if no samples were recorded.
+    pub fn try_mean(&self) -> Option<SimDuration> {
         if self.samples.is_empty() {
-            return SimDuration::ZERO;
+            return None;
         }
-        SimDuration::from_nanos(
-            (self.samples.iter().map(|d| d.as_nanos() as u128).sum::<u128>()
+        Some(SimDuration::from_nanos(
+            (self
+                .samples
+                .iter()
+                .map(|d| d.as_nanos() as u128)
+                .sum::<u128>()
                 / self.samples.len() as u128) as u64,
-        )
+        ))
     }
 
-    /// Returns the smallest sample, or zero if empty.
+    /// Returns the smallest sample, or the **zero sentinel** if empty (use
+    /// [`try_min`](Self::try_min) to distinguish).
     pub fn min(&self) -> SimDuration {
-        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+        self.try_min().unwrap_or(SimDuration::ZERO)
     }
 
-    /// Returns the largest sample, or zero if empty.
+    /// Returns the smallest sample, or `None` if no samples were recorded.
+    pub fn try_min(&self) -> Option<SimDuration> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Returns the largest sample, or the **zero sentinel** if empty (use
+    /// [`try_max`](Self::try_max) to distinguish).
     pub fn max(&self) -> SimDuration {
-        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.try_max().unwrap_or(SimDuration::ZERO)
     }
 
-    /// Returns the `p`-th percentile (0.0ᅳ100.0) by nearest-rank, or zero if
-    /// empty.
+    /// Returns the largest sample, or `None` if no samples were recorded.
+    pub fn try_max(&self) -> Option<SimDuration> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Returns the `p`-th percentile (0.0ᅳ100.0) by nearest-rank, or the
+    /// **zero sentinel** if empty (use
+    /// [`try_percentile`](Self::try_percentile) to distinguish). On a
+    /// single-sample set every percentile is that sample.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `0.0..=100.0`.
     pub fn percentile(&mut self, p: f64) -> SimDuration {
+        self.try_percentile(p).unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Returns the `p`-th percentile (0.0ᅳ100.0) by nearest-rank, or `None`
+    /// if no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn try_percentile(&mut self, p: f64) -> Option<SimDuration> {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.samples.is_empty() {
-            return SimDuration::ZERO;
+            return None;
         }
         if !self.sorted {
             self.samples.sort_unstable();
             self.sorted = true;
         }
         let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.saturating_sub(1)]
+        Some(self.samples[rank.saturating_sub(1)])
     }
 
     /// Returns the sample standard deviation in milliseconds, or zero for
@@ -234,7 +269,9 @@ impl BusyMeter {
     }
 }
 
-/// A monotonically increasing event counter.
+/// A monotonically increasing event counter. Saturates at `u64::MAX`
+/// instead of wrapping, so a runaway count can never masquerade as a
+/// small one.
 ///
 /// # Examples
 ///
@@ -255,14 +292,14 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds one.
+    /// Adds one (saturating).
     pub fn incr(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n` (saturating).
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Returns the current value.
@@ -298,9 +335,7 @@ mod tests {
 
     #[test]
     fn summary_percentiles() {
-        let mut s: LatencySummary = (1..=100)
-            .map(SimDuration::from_millis)
-            .collect();
+        let mut s: LatencySummary = (1..=100).map(SimDuration::from_millis).collect();
         assert_eq!(s.percentile(50.0).as_millis_f64(), 50.0);
         assert_eq!(s.percentile(99.0).as_millis_f64(), 99.0);
         assert_eq!(s.percentile(100.0).as_millis_f64(), 100.0);
@@ -326,8 +361,14 @@ mod tests {
 
     #[test]
     fn summary_merge() {
-        let mut a: LatencySummary = [1u64, 2].iter().map(|&m| SimDuration::from_millis(m)).collect();
-        let b: LatencySummary = [3u64, 4].iter().map(|&m| SimDuration::from_millis(m)).collect();
+        let mut a: LatencySummary = [1u64, 2]
+            .iter()
+            .map(|&m| SimDuration::from_millis(m))
+            .collect();
+        let b: LatencySummary = [3u64, 4]
+            .iter()
+            .map(|&m| SimDuration::from_millis(m))
+            .collect();
         a.merge(&b);
         assert_eq!(a.count(), 4);
         assert_eq!(a.mean().as_millis_f64(), 2.5);
@@ -368,5 +409,52 @@ mod tests {
         c.add(10);
         assert_eq!(c.get(), 11);
         assert_eq!(c.to_string(), "11");
+    }
+
+    #[test]
+    fn empty_summary_is_fully_defined() {
+        let mut s = LatencySummary::new();
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.min(), SimDuration::ZERO);
+        assert_eq!(s.max(), SimDuration::ZERO);
+        assert_eq!(s.total(), SimDuration::ZERO);
+        assert_eq!(s.stddev_millis(), 0.0);
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(s.percentile(p), SimDuration::ZERO);
+            assert_eq!(s.try_percentile(p), None);
+        }
+        assert_eq!(s.try_mean(), None);
+        assert_eq!(s.try_min(), None);
+        assert_eq!(s.try_max(), None);
+    }
+
+    #[test]
+    fn single_sample_summary_is_fully_defined() {
+        let mut s = LatencySummary::new();
+        let only = SimDuration::from_millis(7);
+        s.record(only);
+        assert_eq!(s.mean(), only);
+        assert_eq!(s.min(), only);
+        assert_eq!(s.max(), only);
+        assert_eq!(s.stddev_millis(), 0.0);
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(s.percentile(p), only, "p{p} of a single sample");
+            assert_eq!(s.try_percentile(p), Some(only));
+        }
+        assert_eq!(s.try_mean(), Some(only));
+        assert_eq!(s.try_min(), Some(only));
+        assert_eq!(s.try_max(), Some(only));
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX, "incr saturates");
+        c.add(1_000);
+        assert_eq!(c.get(), u64::MAX, "add saturates");
     }
 }

@@ -1,0 +1,451 @@
+//! A small self-contained JSON value type, serializer, and parser.
+//!
+//! The workspace builds offline with no serialization dependencies, so
+//! the trace and metrics exporters construct [`JsonValue`] trees by hand
+//! and render them with [`JsonValue::to_json`]. The parser exists mainly
+//! so tests can round-trip exported traces; it accepts standard JSON.
+//!
+//! Object fields preserve insertion order, which keeps exports
+//! deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use trail_telemetry::JsonValue;
+//!
+//! let v = JsonValue::Obj(vec![
+//!     ("name".to_string(), JsonValue::Str("Seek".to_string())),
+//!     ("ts".to_string(), JsonValue::Num(1.5)),
+//! ]);
+//! let text = v.to_json();
+//! assert_eq!(text, r#"{"name":"Seek","ts":1.5}"#);
+//! assert_eq!(JsonValue::parse(&text).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// A JSON document: null, boolean, number, string, array, or object.
+///
+/// Objects are ordered association lists rather than maps so that
+/// serialization order matches construction order.
+#[derive(Clone, PartialEq, Debug)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// Convenience constructor for an object from `(&str, value)` pairs.
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a field of an object, or `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a [`JsonValue::Num`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a [`JsonValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`JsonValue::Arr`].
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is a [`JsonValue::Obj`].
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => write_number(*n, out),
+            JsonValue::Str(s) => write_string(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first byte offset at which
+    /// the input stops being valid JSON.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+/// Serializes a finite `f64`, preferring integer form for whole numbers
+/// that fit losslessly (Chrome's trace viewer is happier with `17` than
+/// `17.0`, and it keeps counts readable).
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: what went wrong and the byte offset where.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JsonError {
+    /// Byte offset into the input at which parsing failed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain (unescaped, non-terminator) bytes.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are not produced by our exporter;
+                            // map unpaired ones to the replacement char.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_scalars() {
+        assert_eq!(JsonValue::Null.to_json(), "null");
+        assert_eq!(JsonValue::Bool(true).to_json(), "true");
+        assert_eq!(JsonValue::Num(17.0).to_json(), "17");
+        assert_eq!(JsonValue::Num(1.5).to_json(), "1.5");
+        assert_eq!(JsonValue::str("a\"b\\c\nd").to_json(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn serializes_nested_structures() {
+        let v = JsonValue::obj(vec![
+            (
+                "xs",
+                JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Null]),
+            ),
+            ("o", JsonValue::obj(vec![("k", JsonValue::Bool(false))])),
+        ]);
+        assert_eq!(v.to_json(), r#"{"xs":[1,null],"o":{"k":false}}"#);
+    }
+
+    #[test]
+    fn parses_what_it_writes() {
+        let v = JsonValue::obj(vec![
+            ("name", JsonValue::str("Seek with \"quotes\" and \u{1F4BE}")),
+            ("ts", JsonValue::Num(12.25)),
+            ("neg", JsonValue::Num(-3.0)),
+            ("exp", JsonValue::Num(1.0e-3)),
+            ("arr", JsonValue::Arr(vec![JsonValue::Bool(true)])),
+        ]);
+        assert_eq!(JsonValue::parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , \"\\u0041\\t\" ] } ").unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].as_str(),
+            Some("A\t")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            let e = JsonValue::parse(bad).unwrap_err();
+            assert!(!e.to_string().is_empty(), "no message for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate() {
+        let v = JsonValue::parse(r#"{"a":{"b":[10,20]}}"#).unwrap();
+        let b = v.get("a").unwrap().get("b").unwrap().as_arr().unwrap();
+        assert_eq!(b[1].as_f64(), Some(20.0));
+        assert!(v.get("missing").is_none());
+        assert!(v.as_obj().is_some());
+    }
+}

@@ -1,0 +1,341 @@
+//! Aggregation: duration histograms and the compact metrics dump.
+
+use std::collections::BTreeMap;
+
+use trail_sim::SimDuration;
+
+use crate::json::JsonValue;
+use crate::{Event, EventKind};
+
+/// A power-of-two-bucket histogram of durations.
+///
+/// Bucket `i` holds samples whose nanosecond value has bit length `i`
+/// (bucket 0 is exactly zero), so relative resolution is a factor of two
+/// at every scale while storage stays constant. Percentiles are resolved
+/// by nearest rank to the *upper bound* of the containing bucket — a
+/// conservative estimate with bounded relative error, which is plenty
+/// for spotting latency-distribution shifts.
+///
+/// # Examples
+///
+/// ```
+/// use trail_sim::SimDuration;
+/// use trail_telemetry::DurationHistogram;
+///
+/// let mut h = DurationHistogram::new();
+/// for us in [100u64, 200, 400, 800] {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), SimDuration::from_micros(800));
+/// assert!(h.percentile(50.0) >= SimDuration::from_micros(200));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DurationHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    (64 - ns.leading_zeros()) as usize
+}
+
+fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        // Computed in u128 so bucket 64 yields u64::MAX instead of
+        // overflowing the shift.
+        ((1u128 << bucket) - 1) as u64
+    }
+}
+
+impl DurationHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.buckets[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Exact minimum, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Exact maximum, or zero if empty.
+    pub fn max(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.max_ns)
+        }
+    }
+
+    /// Nearest-rank percentile resolved to the containing bucket's upper
+    /// bound (clamped to the exact maximum), or zero if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return SimDuration::from_nanos(bucket_upper_bound(i).min(self.max_ns));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// The non-empty buckets as `(upper_bound_ns, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper_bound(i), n))
+            .collect()
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("count", JsonValue::Num(self.count as f64)),
+            ("mean_ms", JsonValue::Num(self.mean().as_millis_f64())),
+            ("min_ms", JsonValue::Num(self.min().as_millis_f64())),
+            (
+                "p50_ms",
+                JsonValue::Num(self.percentile(50.0).as_millis_f64()),
+            ),
+            (
+                "p95_ms",
+                JsonValue::Num(self.percentile(95.0).as_millis_f64()),
+            ),
+            (
+                "p99_ms",
+                JsonValue::Num(self.percentile(99.0).as_millis_f64()),
+            ),
+            ("max_ms", JsonValue::Num(self.max().as_millis_f64())),
+            (
+                "buckets",
+                JsonValue::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(ub, n)| {
+                            JsonValue::Arr(vec![
+                                JsonValue::Num(ub as f64),
+                                JsonValue::Num(n as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Aggregates an event stream into a compact metrics document:
+/// per-kind event counts, and latency histograms (end-to-end plus each
+/// breakdown component) over the `Complete` events.
+pub fn metrics_json(events: &[Event]) -> JsonValue {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut total = DurationHistogram::new();
+    let mut queue = DurationHistogram::new();
+    let mut overhead = DurationHistogram::new();
+    let mut seek = DurationHistogram::new();
+    let mut rotation = DurationHistogram::new();
+    let mut transfer = DurationHistogram::new();
+    let mut batch_writes = 0u64;
+    let mut group_commits = 0u64;
+    for e in events {
+        *counts.entry(e.kind.name()).or_insert(0) += 1;
+        match e.kind {
+            EventKind::Complete { breakdown } => {
+                total.record(breakdown.total);
+                queue.record(breakdown.queue);
+                overhead.record(breakdown.overhead);
+                seek.record(breakdown.seek);
+                rotation.record(breakdown.rotation);
+                transfer.record(breakdown.transfer);
+            }
+            EventKind::BatchFlush { batch } => batch_writes += u64::from(batch),
+            EventKind::GroupCommit { group } => group_commits += u64::from(group),
+            _ => {}
+        }
+    }
+    let counts_json = JsonValue::Obj(
+        counts
+            .iter()
+            .map(|(k, v)| (k.to_string(), JsonValue::Num(*v as f64)))
+            .collect(),
+    );
+    JsonValue::obj(vec![
+        ("events", JsonValue::Num(events.len() as f64)),
+        ("counts", counts_json),
+        (
+            "complete_latency",
+            JsonValue::obj(vec![
+                ("total", total.to_json()),
+                ("queue", queue.to_json()),
+                ("overhead", overhead.to_json()),
+                ("seek", seek.to_json()),
+                ("rotation", rotation.to_json()),
+                ("transfer", transfer.to_json()),
+            ]),
+        ),
+        (
+            "derived",
+            JsonValue::obj(vec![
+                ("batched_writes", JsonValue::Num(batch_writes as f64)),
+                ("group_committed_txns", JsonValue::Num(group_commits as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// Serializes [`metrics_json`] to a JSON string ready to write to disk.
+pub fn metrics_json_string(events: &[Event]) -> String {
+    metrics_json(events).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, RequestBreakdown};
+    use trail_sim::SimTime;
+
+    #[test]
+    fn histogram_empty_is_defined() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn histogram_tracks_exact_extremes_and_bounded_percentiles() {
+        let mut h = DurationHistogram::new();
+        h.record(SimDuration::ZERO);
+        for us in [10u64, 20, 40, 5000] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::from_micros(5000));
+        // p100 is clamped to the exact max, not the bucket bound.
+        assert_eq!(h.percentile(100.0), SimDuration::from_micros(5000));
+        // The median (40 µs sample, bucket upper bound < 2× sample).
+        let p50 = h.percentile(50.0);
+        assert!(p50 >= SimDuration::from_micros(20));
+        assert!(p50 <= SimDuration::from_micros(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn histogram_percentile_rejects_out_of_range() {
+        DurationHistogram::new().percentile(-1.0);
+    }
+
+    #[test]
+    fn metrics_dump_counts_and_aggregates() {
+        let breakdown = RequestBreakdown {
+            queue: SimDuration::from_micros(1),
+            overhead: SimDuration::from_micros(2),
+            seek: SimDuration::from_micros(3),
+            rotation: SimDuration::from_micros(4),
+            transfer: SimDuration::from_micros(5),
+            total: SimDuration::from_micros(15),
+        };
+        let mk = |kind| Event {
+            at: SimTime::ZERO,
+            dur: SimDuration::ZERO,
+            layer: Layer::BlockIo,
+            source: "drv".to_string(),
+            req: None,
+            kind,
+        };
+        let events = vec![
+            mk(EventKind::Complete { breakdown }),
+            mk(EventKind::Complete { breakdown }),
+            mk(EventKind::BatchFlush { batch: 7 }),
+            mk(EventKind::GroupCommit { group: 3 }),
+        ];
+        let m = metrics_json(&events);
+        assert_eq!(m.get("events").unwrap().as_f64(), Some(4.0));
+        let counts = m.get("counts").unwrap();
+        assert_eq!(counts.get("Complete").unwrap().as_f64(), Some(2.0));
+        assert_eq!(counts.get("BatchFlush").unwrap().as_f64(), Some(1.0));
+        let latency = m.get("complete_latency").unwrap();
+        assert_eq!(
+            latency.get("total").unwrap().get("count").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            latency
+                .get("queue")
+                .unwrap()
+                .get("mean_ms")
+                .unwrap()
+                .as_f64(),
+            Some(0.001)
+        );
+        let derived = m.get("derived").unwrap();
+        assert_eq!(derived.get("batched_writes").unwrap().as_f64(), Some(7.0));
+        assert_eq!(
+            derived.get("group_committed_txns").unwrap().as_f64(),
+            Some(3.0)
+        );
+        // The dump itself must be valid JSON.
+        assert!(JsonValue::parse(&metrics_json_string(&events)).is_ok());
+    }
+}

@@ -1,0 +1,217 @@
+//! Chrome trace-event export.
+//!
+//! Renders a captured event stream in the Chrome trace-event JSON format
+//! (the `{"traceEvents": [...]}` object form), which loads directly in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. Spans
+//! become duration (`"ph": "X"`) events; zero-length events become
+//! instants (`"ph": "i"`). Each stack layer is mapped to its own thread
+//! id so layers render as separate swim lanes.
+
+use crate::json::JsonValue;
+use crate::{Event, EventKind};
+
+/// Converts nanoseconds to the trace format's microsecond timestamps.
+fn us(nanos: u64) -> f64 {
+    nanos as f64 / 1_000.0
+}
+
+fn kind_args(event: &Event) -> Vec<(&'static str, JsonValue)> {
+    let mut args: Vec<(&'static str, JsonValue)> = Vec::new();
+    if let Some(req) = event.req {
+        args.push(("req", JsonValue::Num(req as f64)));
+    }
+    match event.kind {
+        EventKind::Seek { from_cyl, to_cyl } => {
+            args.push(("from_cyl", JsonValue::Num(f64::from(from_cyl))));
+            args.push(("to_cyl", JsonValue::Num(f64::from(to_cyl))));
+        }
+        EventKind::Transfer { sectors } => {
+            args.push(("sectors", JsonValue::Num(f64::from(sectors))));
+        }
+        EventKind::TrackSwitch { switches } => {
+            args.push(("switches", JsonValue::Num(f64::from(switches))));
+        }
+        EventKind::Enqueue { depth } | EventKind::Dispatch { depth } => {
+            args.push(("depth", JsonValue::Num(f64::from(depth))));
+        }
+        EventKind::Complete { breakdown } => {
+            args.push(("queue_us", JsonValue::Num(us(breakdown.queue.as_nanos()))));
+            args.push((
+                "overhead_us",
+                JsonValue::Num(us(breakdown.overhead.as_nanos())),
+            ));
+            args.push(("seek_us", JsonValue::Num(us(breakdown.seek.as_nanos()))));
+            args.push((
+                "rotation_us",
+                JsonValue::Num(us(breakdown.rotation.as_nanos())),
+            ));
+            args.push((
+                "transfer_us",
+                JsonValue::Num(us(breakdown.transfer.as_nanos())),
+            ));
+            args.push(("total_us", JsonValue::Num(us(breakdown.total.as_nanos()))));
+        }
+        EventKind::Reposition { track } => {
+            args.push(("track", JsonValue::Num(track as f64)));
+        }
+        EventKind::BatchFlush { batch } => {
+            args.push(("batch", JsonValue::Num(f64::from(batch))));
+        }
+        EventKind::WriteBack { dev, lba } => {
+            args.push(("dev", JsonValue::Num(f64::from(dev))));
+            args.push(("lba", JsonValue::Num(lba as f64)));
+        }
+        EventKind::WalForce { bytes } => {
+            args.push(("bytes", JsonValue::Num(bytes as f64)));
+        }
+        EventKind::GroupCommit { group } => {
+            args.push(("group", JsonValue::Num(f64::from(group))));
+        }
+        EventKind::TxnCommit { txn } => {
+            args.push(("txn", JsonValue::Num(txn as f64)));
+        }
+        EventKind::RotWait
+        | EventKind::FullRotationMiss
+        | EventKind::PredictHit
+        | EventKind::PredictMiss => {}
+    }
+    args
+}
+
+fn trace_event(event: &Event) -> JsonValue {
+    let mut fields = vec![
+        ("name", JsonValue::str(event.kind.name())),
+        ("cat", JsonValue::str(event.layer.as_str())),
+        ("ts", JsonValue::Num(us(event.at.as_nanos()))),
+        ("pid", JsonValue::Num(1.0)),
+        ("tid", JsonValue::Num(f64::from(event.layer.tid()))),
+    ];
+    if event.dur.is_zero() {
+        fields.push(("ph", JsonValue::str("i")));
+        fields.push(("s", JsonValue::str("t")));
+    } else {
+        fields.push(("ph", JsonValue::str("X")));
+        fields.push(("dur", JsonValue::Num(us(event.dur.as_nanos()))));
+    }
+    let mut args = vec![("source", JsonValue::str(event.source.clone()))];
+    args.extend(kind_args(event));
+    fields.push(("args", JsonValue::obj(args)));
+    JsonValue::obj(fields)
+}
+
+/// Builds the Chrome trace-event document for an event stream.
+///
+/// Thread-name metadata events label each layer's swim lane.
+pub fn chrome_trace(events: &[Event]) -> JsonValue {
+    let mut trace_events: Vec<JsonValue> = Vec::with_capacity(events.len() + 4);
+    for layer in [
+        crate::Layer::Disk,
+        crate::Layer::BlockIo,
+        crate::Layer::Core,
+        crate::Layer::Db,
+    ] {
+        trace_events.push(JsonValue::obj(vec![
+            ("name", JsonValue::str("thread_name")),
+            ("ph", JsonValue::str("M")),
+            ("pid", JsonValue::Num(1.0)),
+            ("tid", JsonValue::Num(f64::from(layer.tid()))),
+            (
+                "args",
+                JsonValue::obj(vec![("name", JsonValue::str(layer.as_str()))]),
+            ),
+        ]));
+    }
+    trace_events.extend(events.iter().map(trace_event));
+    JsonValue::obj(vec![
+        ("traceEvents", JsonValue::Arr(trace_events)),
+        ("displayTimeUnit", JsonValue::str("ms")),
+    ])
+}
+
+/// Serializes [`chrome_trace`] to a JSON string ready to write to disk.
+pub fn chrome_trace_string(events: &[Event]) -> String {
+    chrome_trace(events).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, RequestBreakdown};
+    use trail_sim::{SimDuration, SimTime};
+
+    fn span(kind: EventKind) -> Event {
+        Event {
+            at: SimTime::from_nanos(2_000),
+            dur: SimDuration::from_nanos(1_500),
+            layer: Layer::Disk,
+            source: "d0".to_string(),
+            req: Some(42),
+            kind,
+        }
+    }
+
+    #[test]
+    fn spans_become_duration_events() {
+        let doc = chrome_trace(&[span(EventKind::Transfer { sectors: 8 })]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 4 thread-name metadata events + the span.
+        assert_eq!(events.len(), 5);
+        let e = &events[4];
+        assert_eq!(e.get("name").unwrap().as_str(), Some("Transfer"));
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(e.get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(e.get("dur").unwrap().as_f64(), Some(1.5));
+        let args = e.get("args").unwrap();
+        assert_eq!(args.get("sectors").unwrap().as_f64(), Some(8.0));
+        assert_eq!(args.get("req").unwrap().as_f64(), Some(42.0));
+        assert_eq!(args.get("source").unwrap().as_str(), Some("d0"));
+    }
+
+    #[test]
+    fn instants_have_scope() {
+        let mut e = span(EventKind::PredictHit);
+        e.dur = SimDuration::ZERO;
+        let doc = chrome_trace(&[e]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let inst = &events[4];
+        assert_eq!(inst.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
+        assert!(inst.get("dur").is_none());
+    }
+
+    #[test]
+    fn complete_event_exposes_breakdown_in_microseconds() {
+        let breakdown = RequestBreakdown {
+            queue: SimDuration::from_micros(5),
+            overhead: SimDuration::from_micros(4),
+            seek: SimDuration::from_micros(3),
+            rotation: SimDuration::from_micros(2),
+            transfer: SimDuration::from_micros(1),
+            total: SimDuration::from_micros(15),
+        };
+        let doc = chrome_trace(&[span(EventKind::Complete { breakdown })]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let args = events[4].get("args").unwrap();
+        assert_eq!(args.get("queue_us").unwrap().as_f64(), Some(5.0));
+        assert_eq!(args.get("total_us").unwrap().as_f64(), Some(15.0));
+    }
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        let events = vec![
+            span(EventKind::Seek {
+                from_cyl: 10,
+                to_cyl: 90,
+            }),
+            span(EventKind::Complete {
+                breakdown: RequestBreakdown::default(),
+            }),
+        ];
+        let text = chrome_trace_string(&events);
+        let doc = JsonValue::parse(&text).expect("exported trace must parse");
+        assert_eq!(
+            doc.get("traceEvents").unwrap().as_arr().unwrap().len(),
+            4 + events.len()
+        );
+    }
+}

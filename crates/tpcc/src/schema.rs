@@ -96,7 +96,8 @@ impl Scale {
 
     /// Total customers.
     pub fn total_customers(&self) -> u64 {
-        u64::from(self.warehouses) * u64::from(self.districts)
+        u64::from(self.warehouses)
+            * u64::from(self.districts)
             * u64::from(self.customers_per_district)
     }
 }

@@ -74,10 +74,7 @@ impl Workload {
         for w in 1..=scale.warehouses {
             for d in 1..=scale.districts {
                 next_o_id.insert((w, d), u64::from(scale.initial_orders_per_district));
-                next_delivery.insert(
-                    (w, d),
-                    u64::from(scale.initial_orders_per_district) / 2,
-                );
+                next_delivery.insert((w, d), u64::from(scale.initial_orders_per_district) / 2);
             }
         }
         Workload {
@@ -223,10 +220,7 @@ impl Workload {
             Op::Read(table::ORDERS, key::order(w, d, o)),
         ];
         for line in 0..10 {
-            ops.push(Op::Read(
-                table::ORDER_LINE,
-                key::order_line(w, d, o, line),
-            ));
+            ops.push(Op::Read(table::ORDER_LINE, key::order_line(w, d, o, line)));
         }
         TxnSpec {
             cpu: self.cpu.order_status,
@@ -264,7 +258,11 @@ impl Workload {
                     row(key::order_line(w, d, oldest, line), row_size::ORDER_LINE),
                 ));
             }
-            ops.push(Op::Write(table::CUSTOMER, cust, row(cust, row_size::CUSTOMER)));
+            ops.push(Op::Write(
+                table::CUSTOMER,
+                cust,
+                row(cust, row_size::CUSTOMER),
+            ));
         }
         TxnSpec {
             cpu: self.cpu.delivery,
@@ -282,10 +280,7 @@ impl Workload {
         for back in 1..=20u64 {
             let o = newest.saturating_sub(back);
             for line in 0..2 {
-                ops.push(Op::Read(
-                    table::ORDER_LINE,
-                    key::order_line(w, d, o, line),
-                ));
+                ops.push(Op::Read(table::ORDER_LINE, key::order_line(w, d, o, line)));
             }
             let i = self.pick_item();
             ops.push(Op::Read(table::STOCK, key::stock(w, i)));
@@ -300,10 +295,7 @@ impl Workload {
 /// Populates the database with the initial TPC-C image (untimed "restore
 /// from backup"). Returns the page images the caller must place on the
 /// devices and warm into the cache.
-pub fn populate(
-    db: &trail_db::Database,
-    scale: &Scale,
-) -> Vec<(trail_db::PageId, Vec<u8>)> {
+pub fn populate(db: &trail_db::Database, scale: &Scale) -> Vec<(trail_db::PageId, Vec<u8>)> {
     let mut images = Vec::new();
     images.extend(db.load(
         table::ITEM,
@@ -312,16 +304,25 @@ pub fn populate(
     for w in 1..=scale.warehouses {
         images.extend(db.load(
             table::WAREHOUSE,
-            [(key::warehouse(w), row(key::warehouse(w), row_size::WAREHOUSE))],
+            [(
+                key::warehouse(w),
+                row(key::warehouse(w), row_size::WAREHOUSE),
+            )],
         ));
-        images.extend(db.load(
-            table::STOCK,
-            (1..=scale.items).map(move |i| (key::stock(w, i), row(key::stock(w, i), row_size::STOCK))),
-        ));
+        images.extend(
+            db.load(
+                table::STOCK,
+                (1..=scale.items)
+                    .map(move |i| (key::stock(w, i), row(key::stock(w, i), row_size::STOCK))),
+            ),
+        );
         for d in 1..=scale.districts {
             images.extend(db.load(
                 table::DISTRICT,
-                [(key::district(w, d), row(key::district(w, d), row_size::DISTRICT))],
+                [(
+                    key::district(w, d),
+                    row(key::district(w, d), row_size::DISTRICT),
+                )],
             ));
             images.extend(db.load(
                 table::CUSTOMER,
@@ -334,7 +335,10 @@ pub fn populate(
             images.extend(db.load(
                 table::ORDERS,
                 (0..orders).map(move |o| {
-                    (key::order(w, d, o), row(key::order(w, d, o), row_size::ORDERS))
+                    (
+                        key::order(w, d, o),
+                        row(key::order(w, d, o), row_size::ORDERS),
+                    )
                 }),
             ));
             images.extend(db.load(
@@ -349,7 +353,10 @@ pub fn populate(
             images.extend(db.load(
                 table::NEW_ORDER,
                 (orders / 2..orders).map(move |o| {
-                    (key::new_order(w, d, o), row(key::new_order(w, d, o), row_size::NEW_ORDER))
+                    (
+                        key::new_order(w, d, o),
+                        row(key::new_order(w, d, o), row_size::NEW_ORDER),
+                    )
                 }),
             ));
         }
@@ -435,10 +442,10 @@ mod tests {
     fn read_only_profiles_write_nothing() {
         let mut w = workload();
         for spec in [w.order_status(), w.stock_level()] {
-            assert!(spec
-                .ops
-                .iter()
-                .all(|o| matches!(o, Op::Read(..))), "read-only profile wrote");
+            assert!(
+                spec.ops.iter().all(|o| matches!(o, Op::Read(..))),
+                "read-only profile wrote"
+            );
         }
     }
 

@@ -37,7 +37,13 @@ fn db_config(policy: FlushPolicy) -> DbConfig {
 }
 
 /// Builds devices, populates, warms, runs. `trail` selects the stack.
-fn run_tpcc(trail: bool, policy: FlushPolicy, chain: ChainOn, txns: usize, conc: usize) -> TpccReport {
+fn run_tpcc(
+    trail: bool,
+    policy: FlushPolicy,
+    chain: ChainOn,
+    txns: usize,
+    conc: usize,
+) -> TpccReport {
     let mut sim = Simulator::new();
     let disks: Vec<Disk> = (0..3)
         .map(|i| Disk::new(format!("d{i}"), profiles::wd_caviar_10gb()))
@@ -49,7 +55,10 @@ fn run_tpcc(trail: bool, policy: FlushPolicy, chain: ChainOn, txns: usize, conc:
             TrailDriver::start(&mut sim, log, disks.clone(), TrailConfig::default()).unwrap();
         Database::new(Rc::new(TrailStack::new(drv, 3)), db_config(policy))
     } else {
-        Database::new(Rc::new(StandardStack::new(disks.clone())), db_config(policy))
+        Database::new(
+            Rc::new(StandardStack::new(disks.clone())),
+            db_config(policy),
+        )
     };
     let scale = Scale::tiny();
     let images = populate(&db, &scale);

@@ -71,14 +71,25 @@ fn main() -> Result<(), TrailError> {
         d.power_on();
     }
     let mut sim2 = Simulator::new();
-    let (trail, boot) =
-        TrailDriver::start(&mut sim2, log, data.clone(), TrailConfig::default())?;
+    let (trail, boot) = TrailDriver::start(&mut sim2, log, data.clone(), TrailConfig::default())?;
     let report = boot.recovered.expect("dirty log disk triggers recovery");
     println!("\nrecovery report:");
-    println!("  locate youngest record: {} ({} track scans)", report.locate_time, report.tracks_scanned);
-    println!("  rebuild active records: {} ({} records)", report.rebuild_time, report.records_found);
-    println!("  write back to data disks: {} ({} sectors)", report.writeback_time, report.sectors_replayed);
-    println!("  torn in-flight records dropped: {}", report.torn_records_dropped);
+    println!(
+        "  locate youngest record: {} ({} track scans)",
+        report.locate_time, report.tracks_scanned
+    );
+    println!(
+        "  rebuild active records: {} ({} records)",
+        report.rebuild_time, report.records_found
+    );
+    println!(
+        "  write back to data disks: {} ({} sectors)",
+        report.writeback_time, report.sectors_replayed
+    );
+    println!(
+        "  torn in-flight records dropped: {}",
+        report.torn_records_dropped
+    );
 
     // Every acknowledged write must now be on its data disk.
     let mut verified = 0;

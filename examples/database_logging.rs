@@ -86,7 +86,10 @@ fn main() -> Result<(), TrailError> {
                 TrailDriver::start(&mut sim, log, disks.clone(), TrailConfig::default())?;
             Database::new(Rc::new(TrailStack::new(drv, 3)), db_config(policy))
         } else {
-            Database::new(Rc::new(StandardStack::new(disks.clone())), db_config(policy))
+            Database::new(
+                Rc::new(StandardStack::new(disks.clone())),
+                db_config(policy),
+            )
         };
         place_and_warm(&db, &disks, &scale);
         let workload = Workload::new(scale, 7, CpuModel::default());
@@ -108,6 +111,8 @@ fn main() -> Result<(), TrailError> {
             report.group_commits,
         );
     }
-    println!("\n(The paper's Table 2 at full scale: cargo run --release -p trail-bench --bin table2)");
+    println!(
+        "\n(The paper's Table 2 at full scale: cargo run --release -p trail-bench --bin table2)"
+    );
     Ok(())
 }

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --release --example geometry_probe`
 
 use trail::prelude::*;
-use trail::probe::{calibrate_delta, estimate_write_overhead, measure_rotation_period, measure_track_skew};
+use trail::probe::{
+    calibrate_delta, estimate_write_overhead, measure_rotation_period, measure_track_skew,
+};
 
 fn main() -> Result<(), TrailError> {
     let mut sim = Simulator::new();
@@ -43,7 +45,11 @@ fn main() -> Result<(), TrailError> {
     println!("\ndelta calibration (latency cliff):");
     for s in cal.samples.iter().take((cal.minimal + 4) as usize) {
         let bar = "#".repeat((s.latency.as_millis_f64() * 3.0) as usize);
-        println!("  delta {:>2}: {:>7.3} ms {bar}", s.delta, s.latency.as_millis_f64());
+        println!(
+            "  delta {:>2}: {:>7.3} ms {bar}",
+            s.delta,
+            s.latency.as_millis_f64()
+        );
     }
     println!(
         "  => minimal delta {} sectors, driver uses {} (paper: < 15 on this drive)",

@@ -69,9 +69,8 @@ fn crash_round_trip(seed: u64, crash_ms: u64, n_writes: usize) -> Result<(), Str
         d.power_on();
     }
     let mut sim2 = Simulator::new();
-    let (_trail2, boot) =
-        TrailDriver::start(&mut sim2, log, data.clone(), TrailConfig::default())
-            .map_err(|e| e.to_string())?;
+    let (_trail2, boot) = TrailDriver::start(&mut sim2, log, data.clone(), TrailConfig::default())
+        .map_err(|e| e.to_string())?;
     if boot.recovered.is_none() {
         return Err("dirty disk must trigger recovery".into());
     }

@@ -12,9 +12,8 @@ fn testbed() -> (Simulator, TrailDriver, Disk) {
     let log = Disk::new("log", profiles::seagate_st41601n());
     let data = Disk::new("data0", profiles::wd_caviar_10gb());
     format_log_disk(&mut sim, &log, FormatOptions::default()).expect("format");
-    let (trail, _) =
-        TrailDriver::start(&mut sim, log.clone(), vec![data], TrailConfig::default())
-            .expect("boot");
+    let (trail, _) = TrailDriver::start(&mut sim, log.clone(), vec![data], TrailConfig::default())
+        .expect("boot");
     log.reset_stats();
     (sim, trail, log)
 }
@@ -127,19 +126,13 @@ fn reposition_cost_is_about_1_5_ms() {
         reposition_every_write: true,
         ..TrailConfig::default()
     };
-    let (trail, _) =
-        TrailDriver::start(&mut sim, log, vec![data], config).expect("boot");
+    let (trail, _) = TrailDriver::start(&mut sim, log, vec![data], config).expect("boot");
     // Clustered chain of 40 one-sector writes: each cycle = write +
     // reposition, so cycle time ≈ 1.4 + ~1.6 ≈ 3.0 ms (paper: "Trail can
     // complete a one-sector synchronous disk write within 3.0 msec").
     let start = sim.now();
     let done = Rc::new(std::cell::Cell::new(0u32));
-    fn chain(
-        sim: &mut Simulator,
-        trail: TrailDriver,
-        done: Rc<std::cell::Cell<u32>>,
-        i: u64,
-    ) {
+    fn chain(sim: &mut Simulator, trail: TrailDriver, done: Rc<std::cell::Cell<u32>>, i: u64) {
         if i == 40 {
             return;
         }

@@ -1,0 +1,143 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the minimal benchmarking API the workspace's bench target
+//! uses: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! It is a smoke harness, not a statistics engine: each benchmark runs a
+//! short warm-up plus a fixed number of timed iterations and prints the
+//! mean wall-clock time per iteration. That keeps `cargo bench` useful
+//! for spotting order-of-magnitude regressions while staying dependency
+//! free. Set `CRITERION_STUB_ITERS` to change the iteration count.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How much setup output to hold per batch in [`Bencher::iter_batched`].
+/// The stub runs one setup per iteration regardless, so the variants
+/// only exist for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass, untimed.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Runs `routine` over fresh state from `setup`, timing only the
+    /// routine.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut timed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+        }
+        self.elapsed = timed;
+    }
+}
+
+/// The benchmark registry / runner.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters.max(1),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed.as_nanos() / u128::from(b.iters.max(1));
+        println!("bench {name:<40} {mean:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routines() {
+        let mut calls = 0u64;
+        Criterion { iters: 4 }.bench_function("counting", |b| b.iter(|| calls += 1));
+        // One warm-up call plus the timed iterations.
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_with_routine() {
+        let mut sum = 0u64;
+        Criterion { iters: 3 }.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| sum += x, BatchSize::LargeInput)
+        });
+        assert_eq!(sum, 8);
+    }
+}
