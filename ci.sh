@@ -13,4 +13,24 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== completion-token API gate =="
+# The Completion<T> token in trail-sim is the one completion primitive;
+# no layer may reintroduce a bespoke boxed-closure completion typedef.
+if grep -rn --include='*.rs' 'Box<dyn FnOnce' crates src \
+    | grep -v '^crates/sim/' \
+    | grep -v 'EventFn\|schedule_at\|schedule_in'; then
+  echo "found a bespoke Box<dyn FnOnce> completion callback outside trail-sim" >&2
+  exit 1
+fi
+
+echo "== run_all --quick smoke =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release --offline -p trail-bench --bin run_all -- \
+  --quick --out-dir "$smoke_dir" >/dev/null
+for name in micro table1 fig3 fig4 ablation fs_compare table2 table3 track_util; do
+  test -s "$smoke_dir/BENCH_$name.json" \
+    || { echo "run_all --quick did not produce BENCH_$name.json" >&2; exit 1; }
+done
+
 echo "CI gate passed."

@@ -1,271 +1,25 @@
-//! Ablations of Trail's design choices (DESIGN.md §5):
+//! Ablations of Trail's design choices: track-utilization threshold, reposition policy, δ sensitivity, batch cap, and multiple log disks.
 //!
-//! 1. the 30 % track-utilization threshold (paper §4.2) — sweep it;
-//! 2. reposition-after-every-write (the ICCD'93 policy) vs. the
-//!    threshold policy (this paper);
-//! 3. δ sensitivity — an under-calibrated δ costs a full rotation;
-//! 4. the batched-write optimization — cap the batch size.
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every table and figure at once.
+//!
+//! Usage: `ablation [scale] [--trace-out <path>] [--metrics-out <path>]`
 
-use trail_bench::{sync_writes_trail, testbed, ArrivalMode};
-use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
-use trail_disk::{profiles, Disk, SECTOR_SIZE};
-use trail_probe::calibrate_delta;
-use trail_sim::{SimDuration, Simulator};
+use trail_bench::{run_scenario, write_bench_json, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
 
 fn main() {
-    threshold_sweep();
-    reposition_policy();
-    delta_sensitivity();
-    batch_cap();
-    multi_log_disks();
-}
-
-/// Paper §5.1's final optimization: "it is possible to employ multiple
-/// log disks to completely hide the disk re-positioning overhead."
-fn multi_log_disks() {
-    use trail_core::MultiTrail;
-    println!();
-    println!("== Ablation 5 — multiple log disks hide repositioning ==");
-    println!("| log disks | clustered mean latency (ms) | elapsed for 200 writes (ms) |");
-    println!("|---|---|---|");
-    for n in [1usize, 2, 3] {
-        let mut sim = Simulator::new();
-        let logs: Vec<Disk> = (0..n)
-            .map(|i| Disk::new(format!("log{i}"), profiles::seagate_st41601n()))
-            .collect();
-        for l in &logs {
-            format_log_disk(&mut sim, l, FormatOptions::default()).expect("format");
-        }
-        let data = vec![Disk::new("d0", profiles::wd_caviar_10gb())];
-        let config = TrailConfig {
-            reposition_every_write: true,
-            ..TrailConfig::default()
-        };
-        let (multi, _) = MultiTrail::start(&mut sim, logs, data, config).expect("boot");
-        let lat = std::rc::Rc::new(std::cell::RefCell::new(trail_sim::LatencySummary::new()));
-        let start = sim.now();
-        let done = std::rc::Rc::new(std::cell::Cell::new(0u32));
-        fn next(
-            sim: &mut Simulator,
-            multi: MultiTrail,
-            lat: std::rc::Rc<std::cell::RefCell<trail_sim::LatencySummary>>,
-            done: std::rc::Rc<std::cell::Cell<u32>>,
-            seed: u64,
-            remaining: u32,
-        ) {
-            use rand::Rng;
-            if remaining == 0 {
-                return;
-            }
-            let mut rng = trail_sim::rng(seed);
-            let lba = rng.gen_range(0..1_000_000u64);
-            let nseed = rng.gen();
-            let m2 = multi.clone();
-            let l2 = std::rc::Rc::clone(&lat);
-            let d2 = std::rc::Rc::clone(&done);
-            multi
-                .write(
-                    sim,
-                    0,
-                    lba,
-                    vec![1u8; SECTOR_SIZE],
-                    Box::new(move |sim, doneio| {
-                        l2.borrow_mut().record(doneio.latency());
-                        d2.set(d2.get() + 1);
-                        let l3 = std::rc::Rc::clone(&l2);
-                        next(sim, m2, l3, d2, nseed, remaining - 1);
-                    }),
-                )
-                .expect("write");
-        }
-        next(
-            &mut sim,
-            multi.clone(),
-            std::rc::Rc::clone(&lat),
-            std::rc::Rc::clone(&done),
-            9,
-            200,
-        );
-        while done.get() < 200 {
-            assert!(sim.step(), "stalled");
-        }
-        let elapsed = sim.now().duration_since(start).as_millis_f64();
-        println!(
-            "| {n} | {:.3} | {elapsed:.1} |",
-            lat.borrow().mean().as_millis_f64()
-        );
-    }
-}
-
-fn threshold_sweep() {
-    println!("== Ablation 1 — track-utilization threshold (paper fixes 30%) ==");
-    println!("| threshold | clustered mean latency (ms) | repositions | mean track util |");
-    println!("|---|---|---|---|");
-    for &th in &[0.10f64, 0.30, 0.50, 0.90] {
-        let config = TrailConfig {
-            track_util_threshold: th,
-            ..TrailConfig::default()
-        };
-        let mut tb = testbed(config);
-        use rand::Rng;
-        let mut rng = trail_sim::rng(21);
-        let lat = std::rc::Rc::new(std::cell::RefCell::new(trail_sim::LatencySummary::new()));
-        for _ in 0..300 {
-            let l = std::rc::Rc::clone(&lat);
-            let lba = rng.gen_range(0..1_000_000u64);
-            tb.trail
-                .write(
-                    &mut tb.sim,
-                    0,
-                    lba,
-                    vec![7u8; 2 * SECTOR_SIZE],
-                    Box::new(move |_, done| l.borrow_mut().record(done.latency())),
-                )
-                .expect("write");
-        }
-        tb.sim.run();
-        tb.trail.run_until_quiescent(&mut tb.sim);
-        let (repos, util) = tb.trail.with_stats(|s| {
-            let u = if s.track_utilization.is_empty() {
-                0.0
-            } else {
-                s.track_utilization.iter().sum::<f64>() / s.track_utilization.len() as f64
-            };
-            (s.repositions, u)
-        });
-        println!(
-            "| {th:.2} | {:.3} | {repos} | {:.1}% |",
-            lat.borrow().mean().as_millis_f64(),
-            util * 100.0
-        );
-    }
-    println!();
-}
-
-fn reposition_policy() {
-    println!("== Ablation 2 — reposition-every-write (ICCD'93) vs. 30% threshold (DSN'02) ==");
-    println!("| policy | sparse mean (ms) | clustered mean (ms) | repositions/write |");
-    println!("|---|---|---|---|");
-    for (name, every) in [("threshold 30%", false), ("every write", true)] {
-        let config = TrailConfig {
-            reposition_every_write: every,
-            ..TrailConfig::default()
-        };
-        let sparse = sync_writes_trail(
-            config,
-            1,
-            200,
-            1024,
-            ArrivalMode::Sparse {
-                gap: SimDuration::from_millis(5),
-            },
-            31,
-        );
-        let clustered = sync_writes_trail(config, 1, 200, 1024, ArrivalMode::Clustered, 33);
-        // Count repositions on a fresh clustered run.
-        let mut tb = testbed(config);
-        for i in 0..100u64 {
-            tb.trail
-                .write(&mut tb.sim, 0, i * 8, vec![1u8; 1024], Box::new(|_, _| {}))
-                .expect("write");
-            tb.trail.run_until_quiescent(&mut tb.sim);
-        }
-        let repos = tb.trail.with_stats(|s| s.repositions) as f64 / 100.0;
-        println!(
-            "| {name} | {:.3} | {:.3} | {repos:.2} |",
-            sparse.latency.mean().as_millis_f64(),
-            clustered.latency.mean().as_millis_f64(),
-        );
-    }
-    println!();
-}
-
-fn delta_sensitivity() {
-    println!("== Ablation 3 — prediction offset delta (calibrated vs. detuned) ==");
-    // Calibrate first to know the minimal value.
-    let mut sim = Simulator::new();
-    let probe_disk = Disk::new("probe", profiles::seagate_st41601n());
-    let cal = calibrate_delta(&mut sim, &probe_disk, 0).expect("calibration");
-    println!(
-        "(calibrated minimal = {}, recommended = {})",
-        cal.minimal, cal.recommended
-    );
-    println!("| delta | sparse mean latency (ms) |");
-    println!("|---|---|");
-    let candidates = [
-        cal.minimal.saturating_sub(4),
-        cal.minimal.saturating_sub(2),
-        cal.minimal,
-        cal.recommended,
-        cal.recommended + 4,
-        cal.recommended + 12,
-    ];
-    for &delta in &candidates {
-        let mut sim = Simulator::new();
-        let log = Disk::new("log", profiles::seagate_st41601n());
-        let data = Disk::new("data", profiles::wd_caviar_10gb());
-        format_log_disk(
-            &mut sim,
-            &log,
-            FormatOptions {
-                delta_override: Some(delta),
-            },
-        )
-        .expect("format");
-        let (trail, _) =
-            TrailDriver::start(&mut sim, log, vec![data], TrailConfig::default()).expect("boot");
-        let lat = std::rc::Rc::new(std::cell::RefCell::new(trail_sim::LatencySummary::new()));
-        use rand::Rng;
-        let mut rng = trail_sim::rng(77);
-        for _ in 0..150 {
-            let l = std::rc::Rc::clone(&lat);
-            let lba = rng.gen_range(0..1_000_000u64);
-            trail
-                .write(
-                    &mut sim,
-                    0,
-                    lba,
-                    vec![3u8; SECTOR_SIZE],
-                    Box::new(move |_, done| l.borrow_mut().record(done.latency())),
-                )
-                .expect("write");
-            trail.run_until_quiescent(&mut sim);
-            sim.run_for(SimDuration::from_millis(4));
-        }
-        println!("| {delta} | {:.3} |", lat.borrow().mean().as_millis_f64());
-    }
-    println!();
-}
-
-fn batch_cap() {
-    println!("== Ablation 4 — batched-write optimization (cap the batch) ==");
-    println!("| max batch sectors | elapsed for 64 clustered 1-sector writes (ms) |");
-    println!("|---|---|");
-    for &cap in &[1u32, 4, 16, 32] {
-        let config = TrailConfig {
-            max_batch_sectors: cap,
-            ..TrailConfig::default()
-        };
-        let mut tb = testbed(config);
-        let start = tb.sim.now();
-        let done = std::rc::Rc::new(std::cell::Cell::new(0u32));
-        for i in 0..64u64 {
-            let done = std::rc::Rc::clone(&done);
-            tb.trail
-                .write(
-                    &mut tb.sim,
-                    0,
-                    i * 8,
-                    vec![9u8; SECTOR_SIZE],
-                    Box::new(move |_, _| done.set(done.get() + 1)),
-                )
-                .expect("write");
-        }
-        // Run until all 64 are acknowledged.
-        while done.get() < 64 {
-            assert!(tb.sim.step(), "writes did not complete");
-        }
-        let elapsed = tb.sim.now().duration_since(start);
-        println!("| {cap} | {:.1} |", elapsed.as_millis_f64());
+    let args = BenchArgs::parse();
+    let recorder = args.recorder();
+    let cfg = ScenarioConfig {
+        scale: args.positional.first().and_then(|a| a.parse().ok()),
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..ScenarioConfig::full()
+    };
+    let out = run_scenario("ablation", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    write_bench_json("ablation", &out.json).expect("write BENCH_ablation.json");
+    if let Some(r) = &recorder {
+        args.write_outputs(r).expect("write trace/metrics outputs");
     }
 }

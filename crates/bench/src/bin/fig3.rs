@@ -1,129 +1,24 @@
-//! Figure 3: average synchronous write latency of Trail vs. the standard
-//! disk subsystem, for sparse and clustered workloads, at 1 and 5
-//! processes, across request sizes.
+//! Figure 3: average synchronous write latency of Trail vs. the standard disk subsystem, for sparse and clustered workloads, at 1 and 5 processes, across request sizes.
 //!
-//! Paper: Trail is up to 11.85× faster; clustered Trail writes are slower
-//! than sparse ones (visible repositioning); the standard subsystem is
-//! insensitive to the arrival mode at one process but degrades with
-//! queueing at five; Trail's advantage shrinks as the request size grows.
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every table and figure at once.
 //!
-//! Usage: `fig3 [writes] [--trace-out <path>] [--metrics-out <path>]`
-//! (default 400 writes per cell; the flags record every run's telemetry).
+//! Usage: `fig3 [scale] [--trace-out <path>] [--metrics-out <path>]`
 
-use trail_bench::{
-    sync_writes_standard_recorded, sync_writes_trail_recorded, write_bench_json, ArrivalMode,
-    BenchArgs,
-};
-use trail_core::TrailConfig;
-use trail_sim::SimDuration;
-use trail_telemetry::{JsonValue, RecorderHandle};
+use trail_bench::{run_scenario, write_bench_json, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
 
 fn main() {
     let args = BenchArgs::parse();
-    let writes: usize = args
-        .positional
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(400);
     let recorder = args.recorder();
-    let handle = |r: &Option<std::rc::Rc<trail_telemetry::MemoryRecorder>>| {
-        r.clone().map(|r| r as RecorderHandle)
+    let cfg = ScenarioConfig {
+        scale: args.positional.first().and_then(|a| a.parse().ok()),
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..ScenarioConfig::full()
     };
-
-    let sizes_kb = [1usize, 4, 8, 16, 32, 64];
-    let sparse = ArrivalMode::Sparse {
-        gap: SimDuration::from_millis(5),
-    };
-    let clustered = ArrivalMode::Clustered;
-    let mut rows: Vec<JsonValue> = Vec::new();
-
-    for procs in [1usize, 5] {
-        println!();
-        println!(
-            "== Figure 3({}) — average synchronous write latency, {procs} process(es) ==",
-            if procs == 1 { 'a' } else { 'b' }
-        );
-        println!(
-            "| size (KB) | Trail sparse (ms) | Trail clustered (ms) | Std sparse (ms) | Std clustered (ms) | best speedup |"
-        );
-        println!("|---|---|---|---|---|---|");
-        for &kb in &sizes_kb {
-            let size = kb * 1024;
-            let per_proc = (writes / procs).max(1);
-            let t_sparse = sync_writes_trail_recorded(
-                TrailConfig::default(),
-                procs,
-                per_proc,
-                size,
-                sparse,
-                7 + kb as u64,
-                handle(&recorder),
-            )
-            .latency
-            .mean()
-            .as_millis_f64();
-            let t_clustered = sync_writes_trail_recorded(
-                TrailConfig::default(),
-                procs,
-                per_proc,
-                size,
-                clustered,
-                11 + kb as u64,
-                handle(&recorder),
-            )
-            .latency
-            .mean()
-            .as_millis_f64();
-            let s_sparse = sync_writes_standard_recorded(
-                procs,
-                per_proc,
-                size,
-                sparse,
-                13 + kb as u64,
-                handle(&recorder),
-            )
-            .latency
-            .mean()
-            .as_millis_f64();
-            let s_clustered = sync_writes_standard_recorded(
-                procs,
-                per_proc,
-                size,
-                clustered,
-                17 + kb as u64,
-                handle(&recorder),
-            )
-            .latency
-            .mean()
-            .as_millis_f64();
-            let speedup = (s_sparse / t_sparse).max(s_clustered / t_clustered);
-            println!(
-                "| {kb} | {t_sparse:.3} | {t_clustered:.3} | {s_sparse:.3} | {s_clustered:.3} | {speedup:.2}x |"
-            );
-            rows.push(JsonValue::obj(vec![
-                ("procs", JsonValue::Num(procs as f64)),
-                ("size_kb", JsonValue::Num(kb as f64)),
-                ("trail_sparse_ms", JsonValue::Num(t_sparse)),
-                ("trail_clustered_ms", JsonValue::Num(t_clustered)),
-                ("std_sparse_ms", JsonValue::Num(s_sparse)),
-                ("std_clustered_ms", JsonValue::Num(s_clustered)),
-                ("best_speedup", JsonValue::Num(speedup)),
-            ]));
-        }
-    }
-    println!();
-    println!("Paper anchors: Trail up to 11.85x faster; sparse Trail < clustered Trail;");
-    println!("standard subsystem insensitive to mode at 1 process; advantage shrinks with size.");
-
-    write_bench_json(
-        "fig3",
-        &JsonValue::obj(vec![
-            ("bench", JsonValue::str("fig3")),
-            ("writes", JsonValue::Num(writes as f64)),
-            ("rows", JsonValue::Arr(rows)),
-        ]),
-    )
-    .expect("write BENCH_fig3.json");
+    let out = run_scenario("fig3", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    write_bench_json("fig3", &out.json).expect("write BENCH_fig3.json");
     if let Some(r) = &recorder {
         args.write_outputs(r).expect("write trace/metrics outputs");
     }

@@ -1,137 +1,25 @@
-//! Figure 4: data recovery overhead.
+//! Figure 4: data recovery overhead breakdown (locate / rebuild / write-back) as the number of pending requests Q varies, with and without the write-back stage.
 //!
-//! (a) The breakdown of recovery delay across the three stages (locate the
-//!     youngest record by binary search; rebuild the active records via
-//!     `prev_sect`; write them back to the data disks) as the number of
-//!     pending requests Q varies from 32 to 256.
-//! (b) Recovery time with the write-back stage included vs. bypassed —
-//!     paper: more than 3.5× slower with write-back at Q = 256.
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every table and figure at once.
 //!
-//! Paper anchor: locating the youngest record takes ~450 ms on the
-//! 35,717-track 5400-RPM disk (≈20 track scans).
+//! Usage: `fig4 [scale] [--trace-out <path>] [--metrics-out <path>]`
 
-use std::cell::Cell;
-use std::rc::Rc;
-
-use trail_core::{
-    format_log_disk, read_header, recover, FormatOptions, RecoveryOptions, TrailConfig, TrailDriver,
-};
-use trail_disk::profiles::DriveProfile;
-use trail_disk::{profiles, Disk, SECTOR_SIZE};
-use trail_sim::Simulator;
-
-/// The standard data-disk profile: the log disk acknowledges a burst about
-/// eight times faster than random write-backs drain, so nearly all Q
-/// requests are still pending when power is cut at the last ack.
-fn data_disk() -> DriveProfile {
-    profiles::wd_caviar_10gb()
-}
-
-/// Runs a burst of `q` 4-KB writes and cuts power the moment the last one
-/// is acknowledged. Returns the crashed devices.
-fn crash_with_pending(q: usize, seed: u64) -> (Disk, Vec<Disk>, usize) {
-    use rand::Rng;
-    let mut sim = Simulator::new();
-    let log = Disk::new("trail-log", profiles::seagate_st41601n());
-    let data: Vec<Disk> = (0..3)
-        .map(|i| Disk::new(format!("data{i}"), data_disk()))
-        .collect();
-    format_log_disk(&mut sim, &log, FormatOptions::default()).expect("format");
-    let (trail, _) =
-        TrailDriver::start(&mut sim, log.clone(), data.clone(), TrailConfig::default())
-            .expect("boot");
-    let mut rng = trail_sim::rng(seed);
-    let acked = Rc::new(Cell::new(0usize));
-    let capacity = data[0].geometry().total_sectors() - 64;
-    for _ in 0..q {
-        let acked = Rc::clone(&acked);
-        let log2 = log.clone();
-        let data2 = data.clone();
-        let lba = rng.gen_range(0..capacity / 8) * 8;
-        trail
-            .write(
-                &mut sim,
-                rng.gen_range(0..3),
-                lba,
-                vec![rng.gen::<u8>(); 8 * SECTOR_SIZE],
-                Box::new(move |sim, _| {
-                    acked.set(acked.get() + 1);
-                    if acked.get() == q {
-                        let now = sim.now();
-                        log2.power_cut(now);
-                        for d in &data2 {
-                            d.power_cut(now);
-                        }
-                    }
-                }),
-            )
-            .expect("write accepted");
-    }
-    sim.run();
-    assert_eq!(acked.get(), q, "all requests must be acknowledged");
-    let pending = trail.pinned_blocks();
-    (log, data, pending)
-}
+use trail_bench::{run_scenario, write_bench_json, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
 
 fn main() {
-    println!("== Figure 4 — recovery overhead vs. pending requests Q ==");
-    println!(
-        "| Q | pending at crash | locate (ms) | rebuild (ms) | write-back (ms) | total (ms) | total w/o WB (ms) | WB/no-WB |"
-    );
-    println!("|---|---|---|---|---|---|---|---|");
-    for &q in &[32usize, 64, 128, 256] {
-        // Two identically-seeded crashes: one recovered with write-back,
-        // one without (recovery mutates the disks).
-        let (log_a, data_a, pending) = crash_with_pending(q, 99);
-        let (log_b, data_b, _) = crash_with_pending(q, 99);
-
-        let with_wb = {
-            log_a.power_on();
-            for d in &data_a {
-                d.power_on();
-            }
-            let mut sim = Simulator::new();
-            let header = read_header(&mut sim, &log_a).expect("header");
-            recover(
-                &mut sim,
-                &log_a,
-                &data_a,
-                &header,
-                RecoveryOptions::default(),
-            )
-            .expect("recovery")
-        };
-        let without_wb = {
-            log_b.power_on();
-            for d in &data_b {
-                d.power_on();
-            }
-            let mut sim = Simulator::new();
-            let header = read_header(&mut sim, &log_b).expect("header");
-            recover(
-                &mut sim,
-                &log_b,
-                &data_b,
-                &header,
-                RecoveryOptions { write_back: false },
-            )
-            .expect("recovery")
-        };
-        println!(
-            "| {q} | {pending} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2}x |",
-            with_wb.locate_time.as_millis_f64(),
-            with_wb.rebuild_time.as_millis_f64(),
-            with_wb.writeback_time.as_millis_f64(),
-            with_wb.total_time().as_millis_f64(),
-            without_wb.total_time().as_millis_f64(),
-            with_wb.total_time() / without_wb.total_time(),
-        );
-        eprintln!(
-            "  Q={q}: {} records rebuilt, {} sectors replayed, {} tracks scanned",
-            with_wb.records_found, with_wb.sectors_replayed, with_wb.tracks_scanned
-        );
+    let args = BenchArgs::parse();
+    let recorder = args.recorder();
+    let cfg = ScenarioConfig {
+        scale: args.positional.first().and_then(|a| a.parse().ok()),
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..ScenarioConfig::full()
+    };
+    let out = run_scenario("fig4", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    write_bench_json("fig4", &out.json).expect("write BENCH_fig4.json");
+    if let Some(r) = &recorder {
+        args.write_outputs(r).expect("write trace/metrics outputs");
     }
-    println!();
-    println!("Paper anchors: locate stage ~450 ms (binary search, ~20 track scans of 35,717);");
-    println!("write-back dominates; >3.5x slower with write-back at Q=256.");
 }

@@ -1,222 +1,25 @@
-//! The paper's §2/§4.3 file-system comparisons, measured instead of
-//! argued:
+//! The paper's §2/§4.3 file-system comparisons, measured: synchronous appends, asynchronous throughput, and garbage collection across ext2-like, LFS, and Trail.
 //!
-//! 1. **Synchronous file writes**: LFS "cannot support synchronous writes
-//!    well because of the inability to batch, and all disk writes still
-//!    incur rotational latency" — versus the ext2-like FS on a standard
-//!    disk and the same FS on Trail.
-//! 2. **Asynchronous throughput**: LFS's strength (large sequential
-//!    segment writes) is preserved, to show the comparison is fair.
-//! 3. **Garbage collection**: "LFS needs a disk read and a disk write to
-//!    clean a disk segment"; Trail reclaims log tracks with zero I/O
-//!    because write-back happens from memory.
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every table and figure at once.
+//!
+//! Usage: `fs_compare [scale] [--trace-out <path>] [--metrics-out <path>]`
 
-use std::cell::Cell;
-use std::rc::Rc;
-
-use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
-use trail_db::{BlockStack, StandardStack, TrailStack};
-use trail_disk::{profiles, Disk};
-use trail_fs::{ExtFs, FileSystem, Lfs, LfsConfig};
-use trail_sim::{LatencySummary, SimDuration, Simulator};
-
-const BLK: usize = 4096;
-
-fn standard_stack() -> (Simulator, Rc<dyn BlockStack>, Disk) {
-    let sim = Simulator::new();
-    let disk = Disk::new("fsdev", profiles::wd_caviar_10gb());
-    let stack: Rc<dyn BlockStack> = Rc::new(StandardStack::new(vec![disk.clone()]));
-    (sim, stack, disk)
-}
-
-fn trail_stack() -> (Simulator, Rc<dyn BlockStack>, TrailDriver, Disk) {
-    let mut sim = Simulator::new();
-    let log = Disk::new("trail-log", profiles::seagate_st41601n());
-    let disk = Disk::new("fsdev", profiles::wd_caviar_10gb());
-    format_log_disk(&mut sim, &log, FormatOptions::default()).expect("format");
-    let (drv, _) = TrailDriver::start(&mut sim, log, vec![disk.clone()], TrailConfig::default())
-        .expect("boot");
-    let stack: Rc<dyn BlockStack> = Rc::new(TrailStack::new(drv.clone(), 1));
-    (sim, stack, drv, disk)
-}
-
-/// Issues `n` synchronous 4-KB writes into a **preallocated** log file (as
-/// database systems lay out their logs, precisely to avoid paying an
-/// indirect-block rewrite on every O_SYNC append) and returns the mean
-/// latency in ms.
-fn sync_appends(sim: &mut Simulator, fs: &dyn FileSystem, n: usize) -> f64 {
-    let file = fs.create("synclog").expect("create");
-    // Preallocate: one bulk write sizes the file and allocates its blocks.
-    let done = Rc::new(Cell::new(false));
-    let d = Rc::clone(&done);
-    fs.write(
-        sim,
-        file,
-        0,
-        vec![0u8; n * BLK],
-        false,
-        Box::new(move |_, r| {
-            r.expect("preallocate");
-            d.set(true);
-        }),
-    )
-    .expect("accepted");
-    while !done.get() {
-        assert!(sim.step(), "preallocate stalled");
-    }
-    sim.run();
-    let lat = Rc::new(std::cell::RefCell::new(LatencySummary::new()));
-    for i in 0..n {
-        let start = sim.now();
-        let l = Rc::clone(&lat);
-        let done = Rc::new(Cell::new(false));
-        let d = Rc::clone(&done);
-        fs.write(
-            sim,
-            file,
-            (i * BLK) as u64,
-            vec![(i % 251) as u8; BLK],
-            true,
-            Box::new(move |sim, r| {
-                r.expect("sync write");
-                l.borrow_mut().record(sim.now().duration_since(start));
-                d.set(true);
-            }),
-        )
-        .expect("accepted");
-        while !done.get() {
-            assert!(sim.step(), "write stalled");
-        }
-        // Sparse arrivals (past the repositioning window).
-        sim.run_for(SimDuration::from_millis(4));
-    }
-    let out = lat.borrow().mean().as_millis_f64();
-    out
-}
+use trail_bench::{run_scenario, write_bench_json, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
 
 fn main() {
-    println!("== FS comparison 1 — synchronous 4-KB file appends (mean latency) ==");
-    println!("| file system | stack | mean sync write (ms) |");
-    println!("|---|---|---|");
-    let n = 150;
-
-    let (mut sim, stack, _) = standard_stack();
-    let extfs = ExtFs::format(&mut sim, Rc::clone(&stack), 0, 1_000_000).expect("format");
-    let ext_std = sync_appends(&mut sim, &extfs, n);
-    println!("| ext2-like | standard | {ext_std:.3} |");
-
-    let (mut sim, stack, _drv, _) = trail_stack();
-    let extfs = ExtFs::format(&mut sim, Rc::clone(&stack), 0, 1_000_000).expect("format");
-    let ext_trail = sync_appends(&mut sim, &extfs, n);
-    println!("| ext2-like | **Trail** | {ext_trail:.3} |");
-
-    let (mut sim, stack, _) = standard_stack();
-    let lfs = Lfs::new(Rc::clone(&stack), 0, LfsConfig::default());
-    let lfs_std = sync_appends(&mut sim, &lfs, n);
-    println!("| LFS | standard | {lfs_std:.3} |");
-
-    // The paper's own §2 comparison is at the block level: a Trail log
-    // write vs. an LFS partial-segment force.
-    let raw_trail = trail_bench::sync_writes_trail(
-        TrailConfig::default(),
-        1,
-        n,
-        BLK,
-        trail_bench::ArrivalMode::Sparse {
-            gap: SimDuration::from_millis(4),
-        },
-        7,
-    )
-    .latency
-    .mean()
-    .as_millis_f64();
-    println!("| raw block device | **Trail** | {raw_trail:.3} |");
-    println!();
-    println!(
-        "ext2/Trail is {:.1}x faster than ext2/standard and {:.1}x faster than LFS/standard",
-        ext_std / ext_trail,
-        lfs_std / ext_trail
-    );
-    println!("(paper §2: Trail 'has a better synchronous write performance than LFS');");
-    println!("LFS beats plain ext2 on sync writes only through fewer metadata writes.");
-
-    // ---------------- async throughput sanity ----------------
-    println!();
-    println!("== FS comparison 2 — 128 asynchronous 4-KB writes (LFS's home turf) ==");
-    let (mut sim, stack, disk) = standard_stack();
-    let lfs = Lfs::new(Rc::clone(&stack), 0, LfsConfig::default());
-    let f = lfs.create("bulk").expect("create");
-    disk.reset_stats();
-    let t0 = sim.now();
-    for i in 0..128usize {
-        lfs.write(
-            &mut sim,
-            f,
-            (i * BLK) as u64,
-            vec![1u8; BLK],
-            false,
-            Box::new(|_, _| {}),
-        )
-        .expect("accepted");
+    let args = BenchArgs::parse();
+    let recorder = args.recorder();
+    let cfg = ScenarioConfig {
+        scale: args.positional.first().and_then(|a| a.parse().ok()),
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..ScenarioConfig::full()
+    };
+    let out = run_scenario("fs_compare", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    write_bench_json("fs_compare", &out.json).expect("write BENCH_fs_compare.json");
+    if let Some(r) = &recorder {
+        args.write_outputs(r).expect("write trace/metrics outputs");
     }
-    sim.run();
-    println!(
-        "LFS: 128 buffered writes -> {} disk commands, {:.1} ms",
-        disk.with_stats(|s| s.writes),
-        sim.now().duration_since(t0).as_millis_f64()
-    );
-
-    // ---------------- garbage collection ----------------
-    println!();
-    println!("== FS comparison 3 — reclaiming overwritten space ==");
-    let (mut sim, stack, disk) = standard_stack();
-    let lfs = Lfs::new(
-        Rc::clone(&stack),
-        0,
-        LfsConfig {
-            segment_blocks: 16,
-            segments: 64,
-        },
-    );
-    let f = lfs.create("churn").expect("create");
-    // Write 128 blocks, overwrite every other one, then clean.
-    for i in 0..128usize {
-        lfs.write(
-            &mut sim,
-            f,
-            (i * BLK) as u64,
-            vec![2u8; BLK],
-            false,
-            Box::new(|_, _| {}),
-        )
-        .expect("accepted");
-    }
-    for i in (0..128usize).step_by(2) {
-        lfs.write(
-            &mut sim,
-            f,
-            (i * BLK) as u64,
-            vec![3u8; BLK],
-            false,
-            Box::new(|_, _| {}),
-        )
-        .expect("accepted");
-    }
-    sim.run();
-    disk.reset_stats();
-    let done = Rc::new(Cell::new(false));
-    let d = Rc::clone(&done);
-    lfs.clean(&mut sim, 8, Box::new(move |_, _| d.set(true)));
-    sim.run();
-    assert!(done.get());
-    let s = lfs.lfs_stats();
-    println!(
-        "LFS cleaner: {} segments cleaned, {} KB read back, {} KB rewritten",
-        s.segments_cleaned,
-        s.cleaner_read_bytes / 1024,
-        s.cleaner_rewritten_bytes / 1024
-    );
-    println!("Trail: log tracks are reclaimed when write-back (from memory) commits —");
-    println!("zero garbage-collection I/O by construction (§2: 'Trail incurs less disk");
-    println!("access overhead due to garbage collection').");
 }

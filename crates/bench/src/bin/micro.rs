@@ -1,162 +1,24 @@
-//! §5.1 micro-measurements: the latency anchors the paper reports in
-//! prose.
+//! §5.1 micro-measurements: the latency anchors the paper reports in prose (rotation period, calibrated δ, fixed write overhead, residual rotational latency).
 //!
-//! - a one-sector synchronous write is "consistently around 1.40 msec"
-//!   (0.13 ms transfer + ~1.3 ms fixed overhead);
-//! - the calibrated δ is below 15 sectors on the ST41601N;
-//! - residual rotational latency is under 0.5 ms, an order of magnitude
-//!   below the 5.5 ms average;
-//! - repositioning (track-to-track switch) costs ~1.5 ms;
-//! - a 4-KByte write completes in a few milliseconds (abstract: <1.5 ms —
-//!   see EXPERIMENTS.md for the media-rate discrepancy note).
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every table and figure at once.
+//!
+//! Usage: `micro [scale] [--trace-out <path>] [--metrics-out <path>]`
 
-use trail_bench::{sync_writes_trail_recorded, write_bench_json, ArrivalMode, BenchArgs};
-use trail_core::TrailConfig;
-use trail_disk::{profiles, Disk};
-use trail_probe::{calibrate_delta, estimate_write_overhead, measure_rotation_period};
-use trail_sim::{SimDuration, Simulator};
-use trail_telemetry::{JsonValue, RecorderHandle};
+use trail_bench::{run_scenario, write_bench_json, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
 
 fn main() {
     let args = BenchArgs::parse();
     let recorder = args.recorder();
-    let handle = |r: &Option<std::rc::Rc<trail_telemetry::MemoryRecorder>>| {
-        r.clone().map(|r| r as RecorderHandle)
+    let cfg = ScenarioConfig {
+        scale: args.positional.first().and_then(|a| a.parse().ok()),
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..ScenarioConfig::full()
     };
-    println!("== §5.1 micro-measurements (ST41601N-class log disk) ==");
-
-    // --- Probe-level calibration -------------------------------------
-    let mut sim = Simulator::new();
-    let disk = Disk::new("log", profiles::seagate_st41601n());
-    let rotation = measure_rotation_period(&mut sim, &disk, 7).expect("rotation probe");
-    println!(
-        "rotation period: {:.3} ms (5400 RPM = 11.111 ms; avg rotational delay {:.2} ms, paper 5.5 ms)",
-        rotation.as_millis_f64(),
-        rotation.as_millis_f64() / 2.0
-    );
-    let cal = calibrate_delta(&mut sim, &disk, 0).expect("delta calibration");
-    println!(
-        "delta calibration: minimal {} sectors, recommended {} (paper: < 15 on this drive)",
-        cal.minimal, cal.recommended
-    );
-    println!("| delta | single-sector write latency (ms) |");
-    println!("|---|---|");
-    for s in cal
-        .samples
-        .iter()
-        .filter(|s| s.delta + 4 >= cal.minimal && s.delta <= cal.minimal + 4)
-    {
-        println!("| {} | {:.3} |", s.delta, s.latency.as_millis_f64());
-    }
-    let overhead = estimate_write_overhead(&mut sim, &disk, 3, 90).expect("overhead probe");
-    println!(
-        "fixed write overhead estimate: {:.3} ms (paper: ~1.3 ms hardware-related)",
-        overhead.as_millis_f64()
-    );
-
-    // --- Driver-level latency anchors ---------------------------------
-    let sparse = ArrivalMode::Sparse {
-        gap: SimDuration::from_millis(5),
-    };
-    let one_sector = sync_writes_trail_recorded(
-        TrailConfig::default(),
-        1,
-        300,
-        512,
-        sparse,
-        3,
-        handle(&recorder),
-    );
-    println!(
-        "one-sector sync write (sparse): mean {:.3} ms, max {:.3} ms (paper: ~1.40 ms)",
-        one_sector.latency.mean().as_millis_f64(),
-        one_sector.latency.max().as_millis_f64()
-    );
-    let four_kb = sync_writes_trail_recorded(
-        TrailConfig::default(),
-        1,
-        300,
-        4096,
-        sparse,
-        5,
-        handle(&recorder),
-    );
-    println!(
-        "4-KB sync write (sparse): mean {:.3} ms (abstract claims <1.5 ms; media-rate transfer of 8 sectors alone is ~1.0 ms — see EXPERIMENTS.md)",
-        four_kb.latency.mean().as_millis_f64()
-    );
-    let clustered = sync_writes_trail_recorded(
-        TrailConfig::default(),
-        1,
-        300,
-        512,
-        ArrivalMode::Clustered,
-        7,
-        handle(&recorder),
-    );
-    println!(
-        "one-sector sync write (clustered): mean {:.3} ms — includes visible repositioning (paper: write + reposition ≈ 3.0 ms)",
-        clustered.latency.mean().as_millis_f64()
-    );
-
-    // --- Residual rotational latency ----------------------------------
-    // Run a sparse workload and read the log disk's rotation-wait stats.
-    let config = TrailConfig::default();
-    let mut tb = trail_bench::testbed_recorded(config, handle(&recorder));
-    use rand::Rng;
-    let mut rng = trail_sim::rng(11);
-    for i in 0..200u64 {
-        let lba = rng.gen_range(0..1_000_000u64);
-        tb.trail
-            .write(&mut tb.sim, 0, lba, vec![1u8; 512], Box::new(|_, _| {}))
-            .expect("write");
-        tb.trail.run_until_quiescent(&mut tb.sim);
-        let _ = i;
-        tb.sim.run_for(SimDuration::from_millis(4));
-    }
-    let (mean_rot, max_rot) = tb.log_disk.with_stats(|s| {
-        (
-            s.rotation_waits.mean().as_millis_f64(),
-            s.rotation_waits.max().as_millis_f64(),
-        )
-    });
-    println!(
-        "log-disk rotational latency during Trail writes: mean {mean_rot:.3} ms, max {max_rot:.3} ms (paper: reduced below 0.5 ms vs. 5.5 ms average)"
-    );
-    let repositions = tb.trail.with_stats(|s| s.repositions);
-    println!("repositions performed: {repositions}");
-
-    write_bench_json(
-        "micro",
-        &JsonValue::obj(vec![
-            ("bench", JsonValue::str("micro")),
-            (
-                "rotation_period_ms",
-                JsonValue::Num(rotation.as_millis_f64()),
-            ),
-            ("delta_minimal", JsonValue::Num(cal.minimal as f64)),
-            (
-                "write_overhead_ms",
-                JsonValue::Num(overhead.as_millis_f64()),
-            ),
-            (
-                "one_sector_sparse_ms",
-                JsonValue::Num(one_sector.latency.mean().as_millis_f64()),
-            ),
-            (
-                "four_kb_sparse_ms",
-                JsonValue::Num(four_kb.latency.mean().as_millis_f64()),
-            ),
-            (
-                "one_sector_clustered_ms",
-                JsonValue::Num(clustered.latency.mean().as_millis_f64()),
-            ),
-            ("residual_rotation_mean_ms", JsonValue::Num(mean_rot)),
-            ("residual_rotation_max_ms", JsonValue::Num(max_rot)),
-            ("repositions", JsonValue::Num(repositions as f64)),
-        ]),
-    )
-    .expect("write BENCH_micro.json");
+    let out = run_scenario("micro", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    write_bench_json("micro", &out.json).expect("write BENCH_micro.json");
     if let Some(r) = &recorder {
         args.write_outputs(r).expect("write trace/metrics outputs");
     }

@@ -1,0 +1,71 @@
+//! Regenerates every table and figure of the paper in one command, each
+//! scenario on its own worker thread.
+//!
+//! ```text
+//! run_all [--quick] [--threads N] [--seed S] [--out-dir DIR]
+//! ```
+//!
+//! - `--quick` runs the shrunk sweeps (seconds, the CI smoke gate);
+//!   the default is the paper-scale runs.
+//! - `--threads N` caps the worker pool (default: all cores).
+//! - `--seed S` mixes `S` into every workload RNG (default 0 keeps the
+//!   historical per-experiment seeds).
+//! - `--out-dir DIR` receives the `BENCH_<name>.json` files (default:
+//!   current directory).
+//!
+//! Reports print and JSON files are written in registry order from the
+//! main thread, so the artifacts are byte-identical at any thread count.
+
+use std::path::PathBuf;
+
+use trail_bench::{run_all_scenarios, RunAllOptions};
+
+fn main() {
+    let mut opts = RunAllOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads needs a number");
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed needs a number");
+            }
+            "--out-dir" => {
+                opts.out_dir = PathBuf::from(it.next().expect("--out-dir needs a path"));
+            }
+            other => panic!("unknown argument {other:?} (see run_all --help in the source)"),
+        }
+    }
+
+    let summary = run_all_scenarios(&opts).expect("write bench artifacts");
+    for r in &summary.results {
+        println!();
+        println!("######## {} — {}", r.name, r.title);
+        println!();
+        print!("{}", r.report);
+        eprintln!(
+            "wrote {} ({:.2} s on its worker)",
+            r.json_path.display(),
+            r.wall.as_secs_f64()
+        );
+    }
+    println!();
+    println!(
+        "== run_all: {} scenarios on {} thread(s): serial estimate {:.1} s, elapsed {:.1} s — wall-clock speedup {:.2}x ==",
+        summary.results.len(),
+        summary.threads,
+        summary.serial_estimate.as_secs_f64(),
+        summary.elapsed.as_secs_f64(),
+        summary.speedup()
+    );
+}

@@ -1,123 +1,24 @@
-//! Table 1: total elapsed time for servicing a sequence of 32 one-sector
-//! synchronous writes, as the write batch size varies from 1 to 32.
+//! Table 1: total elapsed time for servicing a sequence of one-sector synchronous writes as the write batch size varies (paper row: 129.9 … 8.4 ms, a ~15x spread).
 //!
-//! Paper row: 129.9, 69.6, 33.1, 17.7, 10.9, 8.4 ms — a factor of ~15
-//! between the extremes, because each physical log-disk write pays a
-//! repositioning delay and a write-after-write command delay that batching
-//! amortizes.
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every table and figure at once.
+//!
+//! Usage: `table1 [scale] [--trace-out <path>] [--metrics-out <path>]`
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use trail_bench::{testbed_recorded, write_bench_json, BenchArgs};
-use trail_core::TrailConfig;
-use trail_disk::SECTOR_SIZE;
-use trail_sim::{SimTime, Simulator};
-use trail_telemetry::{JsonValue, RecorderHandle};
-
-/// Issues `total` one-sector writes in groups of `batch`: each group is
-/// submitted at once (so the driver folds it into one record) and the next
-/// group is submitted when the whole group has been acknowledged.
-fn elapsed_for_batch(batch: usize, total: usize, recorder: Option<RecorderHandle>) -> f64 {
-    // Force a repositioning after every record, as the paper's Table 1
-    // setup does (each physical write incurs the repositioning delay) —
-    // achieved by the default threshold: a batch of up to 32 sectors plus
-    // header always exceeds 30 % of a 90-sector track only when big; to
-    // match the paper's "each physical write pays repositioning", use the
-    // every-write policy.
-    let config = TrailConfig {
-        reposition_every_write: true,
-        ..TrailConfig::default()
-    };
-    let mut tb = testbed_recorded(config, recorder);
-    let start = tb.sim.now();
-    let done_at: Rc<RefCell<SimTime>> = Rc::new(RefCell::new(start));
-    let mut issued = 0usize;
-    fn submit_group(
-        sim: &mut Simulator,
-        trail: trail_core::TrailDriver,
-        issued: usize,
-        batch: usize,
-        total: usize,
-        done_at: Rc<RefCell<SimTime>>,
-    ) {
-        if issued >= total {
-            return;
-        }
-        let group = batch.min(total - issued);
-        let pending = Rc::new(std::cell::Cell::new(group));
-        for k in 0..group {
-            let trail2 = trail.clone();
-            let pending = Rc::clone(&pending);
-            let done_at = Rc::clone(&done_at);
-            trail
-                .write(
-                    sim,
-                    0,
-                    (issued + k) as u64 * 16,
-                    vec![0xB7; SECTOR_SIZE],
-                    Box::new(move |sim, _| {
-                        *done_at.borrow_mut() = sim.now();
-                        pending.set(pending.get() - 1);
-                        if pending.get() == 0 {
-                            submit_group(sim, trail2, issued + group, batch, total, done_at);
-                        }
-                    }),
-                )
-                .expect("write accepted");
-        }
-    }
-    submit_group(
-        &mut tb.sim,
-        tb.trail.clone(),
-        issued,
-        batch,
-        total,
-        Rc::clone(&done_at),
-    );
-    issued += total; // all groups chain internally
-    let _ = issued;
-    tb.sim.run();
-    let end = *done_at.borrow();
-    end.duration_since(start).as_millis_f64()
-}
+use trail_bench::{run_scenario, write_bench_json, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
 
 fn main() {
     let args = BenchArgs::parse();
     let recorder = args.recorder();
-    let handle = |r: &Option<std::rc::Rc<trail_telemetry::MemoryRecorder>>| {
-        r.clone().map(|r| r as RecorderHandle)
+    let cfg = ScenarioConfig {
+        scale: args.positional.first().and_then(|a| a.parse().ok()),
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..ScenarioConfig::full()
     };
-    println!("== Table 1 — elapsed time for 32 one-sector writes vs. batch size ==");
-    println!("| batch size | elapsed (ms) | paper (ms) |");
-    println!("|---|---|---|");
-    let paper = [129.9, 69.6, 33.1, 17.7, 10.9, 8.4];
-    let mut rows: Vec<JsonValue> = Vec::new();
-    for (i, batch) in [1usize, 2, 4, 8, 16, 32].iter().enumerate() {
-        let ms = elapsed_for_batch(*batch, 32, handle(&recorder));
-        println!("| {batch} | {ms:.1} | {} |", paper[i]);
-        rows.push(JsonValue::obj(vec![
-            ("batch", JsonValue::Num(*batch as f64)),
-            ("elapsed_ms", JsonValue::Num(ms)),
-            ("paper_ms", JsonValue::Num(paper[i])),
-        ]));
-    }
-    println!();
-    let r1 = elapsed_for_batch(1, 32, None);
-    let r32 = elapsed_for_batch(32, 32, None);
-    println!(
-        "Extremes ratio: {:.1}x (paper: ~15x; 129.9 / 8.4 = 15.5)",
-        r1 / r32
-    );
-    write_bench_json(
-        "table1",
-        &JsonValue::obj(vec![
-            ("bench", JsonValue::str("table1")),
-            ("rows", JsonValue::Arr(rows)),
-            ("extremes_ratio", JsonValue::Num(r1 / r32)),
-        ]),
-    )
-    .expect("write BENCH_table1.json");
+    let out = run_scenario("table1", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    write_bench_json("table1", &out.json).expect("write BENCH_table1.json");
     if let Some(r) = &recorder {
         args.write_outputs(r).expect("write trace/metrics outputs");
     }

@@ -1,144 +1,24 @@
-//! Table 2: TPC-C (w = 1, concurrency 1, log buffer 50 KB) on the three
-//! storage configurations, 5000 transactions.
+//! Table 2: TPC-C (w = 1, concurrency 1, log buffer 50 KB) on the three storage configurations.
 //!
-//! Paper row:                 EXT2+Trail   EXT2    EXT2+GC
-//!   avg response time (s)    0.059        0.097   0.90
-//!   disk I/O time, logging   17.6 s       30.4 s  28.8 s
-//!   throughput (tpmC)        1004         616     663
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every table and figure at once.
+//!
+//! Usage: `table2 [scale] [--trace-out <path>] [--metrics-out <path>]`
 
-use trail_bench::{tpcc_setup_recorded, write_bench_json, BenchArgs, TpccRig};
-use trail_db::FlushPolicy;
-use trail_telemetry::{JsonValue, RecorderHandle};
-use trail_tpcc::{run, ChainOn, RunConfig, TpccReport};
-
-fn run_config(
-    trail: bool,
-    policy: FlushPolicy,
-    chain: ChainOn,
-    txns: usize,
-    recorder: Option<RecorderHandle>,
-) -> TpccReport {
-    let rig = TpccRig {
-        policy,
-        ..TpccRig::default()
-    };
-    let mut setup = tpcc_setup_recorded(trail, &rig, recorder);
-    run(
-        &mut setup.sim,
-        &setup.db,
-        setup.workload,
-        RunConfig {
-            transactions: txns,
-            concurrency: 1,
-            chain_on: chain,
-        },
-    )
-}
+use trail_bench::{run_scenario, write_bench_json, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
 
 fn main() {
     let args = BenchArgs::parse();
-    let txns: usize = args
-        .positional
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(5000);
     let recorder = args.recorder();
-    let handle = |r: &Option<std::rc::Rc<trail_telemetry::MemoryRecorder>>| {
-        r.clone().map(|r| r as RecorderHandle)
+    let cfg = ScenarioConfig {
+        scale: args.positional.first().and_then(|a| a.parse().ok()),
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..ScenarioConfig::full()
     };
-    eprintln!("running Table 2 with {txns} transactions per configuration...");
-
-    let trail = run_config(
-        true,
-        FlushPolicy::EveryCommit,
-        ChainOn::Durable,
-        txns,
-        handle(&recorder),
-    );
-    eprintln!("  EXT2+Trail done");
-    let plain = run_config(
-        false,
-        FlushPolicy::EveryCommit,
-        ChainOn::Durable,
-        txns,
-        handle(&recorder),
-    );
-    eprintln!("  EXT2 done");
-    let gc = run_config(
-        false,
-        FlushPolicy::GroupCommit {
-            buffer_bytes: 50 * 1024,
-        },
-        ChainOn::Control,
-        txns,
-        handle(&recorder),
-    );
-    eprintln!("  EXT2+GC done");
-
-    println!("== Table 2 — TPC-C, {txns} transactions, concurrency 1, w=1, 50 KB log buffer ==");
-    println!("| metric | EXT2+Trail | EXT2 | EXT2+GC | paper (Trail/EXT2/GC) |");
-    println!("|---|---|---|---|---|");
-    println!(
-        "| avg response time (s) | {:.3} | {:.3} | {:.3} | 0.059 / 0.097 / 0.90 |",
-        trail.response.mean().as_secs_f64(),
-        plain.response.mean().as_secs_f64(),
-        gc.response.mean().as_secs_f64(),
-    );
-    println!(
-        "| disk I/O time for logging (s) | {:.1} | {:.1} | {:.1} | 17.6 / 30.4 / 28.8 |",
-        trail.logging_io_time.as_secs_f64(),
-        plain.logging_io_time.as_secs_f64(),
-        gc.logging_io_time.as_secs_f64(),
-    );
-    println!(
-        "| throughput (tpmC) | {:.0} | {:.0} | {:.0} | 1004 / 616 / 663 |",
-        trail.tpmc, plain.tpmc, gc.tpmc,
-    );
-    println!(
-        "| group commits | {} | {} | {} | — |",
-        trail.group_commits, plain.group_commits, gc.group_commits,
-    );
-    println!();
-    println!(
-        "Shape checks: Trail/EXT2 throughput = {:.2}x (paper 1.63x); \
-         Trail logging reduction vs EXT2 = {:.0}% (paper 42%); \
-         GC response {:.1}x EXT2's (paper ~9x).",
-        trail.tpmc / plain.tpmc,
-        100.0 * (1.0 - trail.logging_io_time.as_secs_f64() / plain.logging_io_time.as_secs_f64()),
-        gc.response.mean().as_secs_f64() / plain.response.mean().as_secs_f64(),
-    );
-
-    let config_json = |name: &str, r: &TpccReport| {
-        JsonValue::obj(vec![
-            ("config", JsonValue::str(name)),
-            (
-                "avg_response_s",
-                JsonValue::Num(r.response.mean().as_secs_f64()),
-            ),
-            (
-                "logging_io_s",
-                JsonValue::Num(r.logging_io_time.as_secs_f64()),
-            ),
-            ("tpmc", JsonValue::Num(r.tpmc)),
-            ("group_commits", JsonValue::Num(r.group_commits as f64)),
-        ])
-    };
-    write_bench_json(
-        "table2",
-        &JsonValue::obj(vec![
-            ("bench", JsonValue::str("table2")),
-            ("transactions", JsonValue::Num(txns as f64)),
-            (
-                "rows",
-                JsonValue::Arr(vec![
-                    config_json("ext2+trail", &trail),
-                    config_json("ext2", &plain),
-                    config_json("ext2+gc", &gc),
-                ]),
-            ),
-        ]),
-    )
-    .expect("write BENCH_table2.json");
+    let out = run_scenario("table2", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    write_bench_json("table2", &out.json).expect("write BENCH_table2.json");
     if let Some(r) = &recorder {
         args.write_outputs(r).expect("write trace/metrics outputs");
     }

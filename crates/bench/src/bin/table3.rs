@@ -1,48 +1,25 @@
-//! Table 3: total number of group commits (synchronous disk writes) in a
-//! 10,000-transaction TPC-C run, for different log buffer sizes, at
-//! concurrency 4.
+//! Table 3: group commits vs. log buffer size (concurrency 4).
 //!
-//! Paper row: 4 KB → 10960, 100 KB → 448, 400 KB → 113, 800 KB → 57,
-//! 1200 KB → 39.
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every table and figure at once.
+//!
+//! Usage: `table3 [scale] [--trace-out <path>] [--metrics-out <path>]`
 
-use trail_bench::{tpcc_setup, TpccRig};
-use trail_db::FlushPolicy;
-use trail_tpcc::{run, ChainOn, RunConfig};
+use trail_bench::{run_scenario, write_bench_json, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
 
 fn main() {
-    let txns: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(10_000);
-    let paper = [
-        (4usize, 10_960u64),
-        (100, 448),
-        (400, 113),
-        (800, 57),
-        (1200, 39),
-    ];
-    println!("== Table 3 — group commits in a {txns}-transaction run, concurrency 4, w=1 ==");
-    println!("| log buffer (KB) | group commits | paper |");
-    println!("|---|---|---|");
-    for &(kb, paper_count) in &paper {
-        let rig = TpccRig {
-            policy: FlushPolicy::GroupCommit {
-                buffer_bytes: kb * 1024,
-            },
-            ..TpccRig::default()
-        };
-        let mut setup = tpcc_setup(false, &rig);
-        let report = run(
-            &mut setup.sim,
-            &setup.db,
-            setup.workload,
-            RunConfig {
-                transactions: txns,
-                concurrency: 4,
-                chain_on: ChainOn::Control,
-            },
-        );
-        println!("| {kb} | {} | {paper_count} |", report.group_commits);
-        eprintln!("  buffer {kb} KB done ({} commits)", report.group_commits);
+    let args = BenchArgs::parse();
+    let recorder = args.recorder();
+    let cfg = ScenarioConfig {
+        scale: args.positional.first().and_then(|a| a.parse().ok()),
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..ScenarioConfig::full()
+    };
+    let out = run_scenario("table3", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    write_bench_json("table3", &out.json).expect("write BENCH_table3.json");
+    if let Some(r) = &recorder {
+        args.write_outputs(r).expect("write trace/metrics outputs");
     }
 }

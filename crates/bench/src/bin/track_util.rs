@@ -1,68 +1,25 @@
-//! §5.2 text: per-track space utilization of Trail's log disk versus
-//! TPC-C transaction concurrency.
+//! §5.2 text: per-track space utilization of Trail's log disk versus TPC-C transaction concurrency.
 //!
-//! Paper: concurrency 4 → 12 %, concurrency 8 → 21 %, concurrency 12 →
-//! over 30 % — batched writes alone achieve good utilization under bursty
-//! traffic, without multiple batched writes per track.
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every table and figure at once.
+//!
+//! Usage: `track_util [scale] [--trace-out <path>] [--metrics-out <path>]`
 
-use trail_bench::{tpcc_setup, TpccRig};
-use trail_db::FlushPolicy;
-use trail_tpcc::{run, ChainOn, RunConfig};
+use trail_bench::{run_scenario, write_bench_json, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
 
 fn main() {
-    let txns: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2_000);
-    println!("== Log-disk per-track utilization vs. TPC-C concurrency ({txns} txns) ==");
-    println!("| concurrency | mean track utilization | paper |");
-    println!("|---|---|---|");
-    let paper = [(1usize, "—"), (4, "12%"), (8, "21%"), (12, ">30%")];
-    for &(conc, paper_val) in &paper {
-        let rig = TpccRig {
-            policy: FlushPolicy::EveryCommit,
-            ..TpccRig::default()
-        };
-        let mut setup = tpcc_setup(true, &rig);
-        let trail = setup.trail.clone().expect("trail rig");
-        run(
-            &mut setup.sim,
-            &setup.db,
-            setup.workload,
-            RunConfig {
-                transactions: txns,
-                concurrency: conc,
-                chain_on: ChainOn::Durable,
-            },
-        );
-        // The paper's §5.2 statistic assumes "Trail performs exactly one
-        // batched write to each track": utilization = batch sectors (plus
-        // the header) over the track's capacity. Use the outer zone's SPT
-        // (90), where the log head spends these short runs.
-        let spt = 90.0;
-        let batch_util = trail.with_stats(|s| {
-            if s.batch_sizes.is_empty() {
-                0.0
-            } else {
-                s.batch_sizes
-                    .iter()
-                    .map(|&b| f64::from(b + 1) / spt)
-                    .sum::<f64>()
-                    / s.batch_sizes.len() as f64
-            }
-        });
-        let track_util = trail.with_stats(|s| {
-            if s.track_utilization.is_empty() {
-                0.0
-            } else {
-                s.track_utilization.iter().sum::<f64>() / s.track_utilization.len() as f64
-            }
-        });
-        println!(
-            "| {conc} | {:.1}% (actual track fill: {:.1}%) | {paper_val} |",
-            batch_util * 100.0,
-            track_util * 100.0
-        );
-        eprintln!("  concurrency {conc} done");
+    let args = BenchArgs::parse();
+    let recorder = args.recorder();
+    let cfg = ScenarioConfig {
+        scale: args.positional.first().and_then(|a| a.parse().ok()),
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..ScenarioConfig::full()
+    };
+    let out = run_scenario("track_util", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    write_bench_json("track_util", &out.json).expect("write BENCH_track_util.json");
+    if let Some(r) = &recorder {
+        args.write_outputs(r).expect("write trace/metrics outputs");
     }
 }

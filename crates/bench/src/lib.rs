@@ -13,16 +13,20 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use trail_blockio::{IoKind, IoRequest, StandardDriver};
+use trail_blockio::{IoDone, IoKind, IoRequest, StandardDriver};
 use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
 use trail_db::{Database, DbConfig, FlushPolicy, TrailStack};
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
-use trail_sim::{LatencySummary, SimDuration, SimTime, Simulator};
+use trail_sim::{Completion, Delivered, LatencySummary, SimDuration, SimTime, Simulator};
 use trail_telemetry::RecorderHandle;
 use trail_tpcc::{populate, CpuModel, Scale, Workload};
 
 pub mod report;
-pub use report::{write_bench_json, BenchArgs};
+pub mod runner;
+pub mod scenarios;
+pub use report::{write_bench_json, write_bench_json_in, BenchArgs};
+pub use runner::{run_all_scenarios, RunAllOptions, RunAllSummary};
+pub use scenarios::{all_scenarios, run_scenario, ScenarioConfig, ScenarioOutput, ScenarioSpec};
 
 /// The paper's testbed: one ST41601N-class SCSI log disk and three
 /// WD-Caviar-class IDE data disks.
@@ -54,28 +58,21 @@ pub fn testbed(config: TrailConfig) -> Testbed {
 ///
 /// Panics if formatting or boot fails (a harness bug).
 pub fn testbed_recorded(config: TrailConfig, recorder: Option<RecorderHandle>) -> Testbed {
-    let mut sim = Simulator::new();
-    let log_disk = Disk::new("trail-log", profiles::seagate_st41601n());
-    let data_disks: Vec<Disk> = (0..3)
-        .map(|i| Disk::new(format!("data{i}"), profiles::wd_caviar_10gb()))
-        .collect();
-    format_log_disk(&mut sim, &log_disk, FormatOptions::default()).expect("format log disk");
-    let (trail, _) = TrailDriver::start(&mut sim, log_disk.clone(), data_disks.clone(), config)
+    // The builder's default scenario *is* the paper's testbed; it also
+    // resets the format/boot noise so measurements start clean.
+    let built = trail::StackBuilder::new()
+        .trail(config)
+        .build()
         .expect("boot Trail");
-    // Formatting runs the δ-calibration sweep, whose under-compensated
-    // probes pay full rotations by design; start measurements clean.
-    log_disk.reset_stats();
-    for d in &data_disks {
-        d.reset_stats();
-    }
+    let trail = built.trail.expect("Trail scenario has a driver");
     if let Some(r) = recorder {
         trail.set_recorder(r);
     }
     Testbed {
-        sim,
+        sim: built.sim,
         trail,
-        data_disks,
-        log_disk,
+        data_disks: built.data_disks,
+        log_disk: built.log_disk.expect("Trail scenario has a log disk"),
     }
 }
 
@@ -176,25 +173,21 @@ fn spawn_trail_writer(
         ..params
     };
     let respawn = trail.clone();
+    let done = sim.completion(move |sim: &mut Simulator, del: Delivered<IoDone>| {
+        let Ok(done) = del else { return };
+        lat.borrow_mut().record(done.latency());
+        match next.mode {
+            ArrivalMode::Clustered => spawn_trail_writer(sim, respawn, lat, next),
+            ArrivalMode::Sparse { gap } => {
+                sim.schedule_in(
+                    gap,
+                    Box::new(move |sim| spawn_trail_writer(sim, respawn, lat, next)),
+                );
+            }
+        }
+    });
     trail
-        .write(
-            sim,
-            0,
-            lba,
-            data,
-            Box::new(move |sim, done| {
-                lat.borrow_mut().record(done.latency());
-                match next.mode {
-                    ArrivalMode::Clustered => spawn_trail_writer(sim, respawn, lat, next),
-                    ArrivalMode::Sparse { gap } => {
-                        sim.schedule_in(
-                            gap,
-                            Box::new(move |sim| spawn_trail_writer(sim, respawn, lat, next)),
-                        );
-                    }
-                }
-            }),
-        )
+        .write(sim, 0, lba, data, done)
         .expect("trail write accepted");
 }
 
@@ -267,6 +260,19 @@ fn spawn_standard_writer(
         ..params
     };
     let respawn_driver = driver.clone();
+    let done = sim.completion(move |sim: &mut Simulator, del: Delivered<IoDone>| {
+        let Ok(done) = del else { return };
+        lat.borrow_mut().record(done.latency());
+        match next.mode {
+            ArrivalMode::Clustered => spawn_standard_writer(sim, respawn_driver, lat, next),
+            ArrivalMode::Sparse { gap } => {
+                sim.schedule_in(
+                    gap,
+                    Box::new(move |sim| spawn_standard_writer(sim, respawn_driver, lat, next)),
+                );
+            }
+        }
+    });
     driver
         .submit(
             sim,
@@ -274,20 +280,7 @@ fn spawn_standard_writer(
                 lba,
                 kind: IoKind::Write { data },
             },
-            Box::new(move |sim, done| {
-                lat.borrow_mut().record(done.latency());
-                match next.mode {
-                    ArrivalMode::Clustered => spawn_standard_writer(sim, respawn_driver, lat, next),
-                    ArrivalMode::Sparse { gap } => {
-                        sim.schedule_in(
-                            gap,
-                            Box::new(move |sim| {
-                                spawn_standard_writer(sim, respawn_driver, lat, next)
-                            }),
-                        );
-                    }
-                }
-            }),
+            done,
         )
         .expect("standard write accepted");
 }
@@ -441,7 +434,7 @@ pub fn standard_write(
     driver: &StandardDriver,
     lba: u64,
     data: Vec<u8>,
-    cb: trail_blockio::IoCallback,
+    done: Completion<IoDone>,
 ) {
     driver
         .submit(
@@ -450,7 +443,7 @@ pub fn standard_write(
                 lba,
                 kind: IoKind::Write { data },
             },
-            cb,
+            done,
         )
         .expect("standard write accepted");
 }

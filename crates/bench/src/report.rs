@@ -101,6 +101,22 @@ pub fn write_bench_json(name: &str, results: &JsonValue) -> std::io::Result<Path
     Ok(path)
 }
 
+/// [`write_bench_json`] into an explicit directory, silently (the
+/// `run_all` runner prints its own ledger). Returns the path written.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn write_bench_json_in(
+    dir: &std::path::Path,
+    name: &str,
+    results: &JsonValue,
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, results.to_json())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

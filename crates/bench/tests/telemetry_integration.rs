@@ -7,7 +7,7 @@ use std::rc::Rc;
 use trail_bench::{sync_writes_trail, sync_writes_trail_recorded, ArrivalMode};
 use trail_core::TrailConfig;
 use trail_sim::SimDuration;
-use trail_telemetry::{EventKind, JsonValue, MemoryRecorder, RecorderHandle};
+use trail_telemetry::{EventKind, JsonValue, Layer, MemoryRecorder, RecorderHandle};
 
 fn sparse() -> ArrivalMode {
     ArrivalMode::Sparse {
@@ -35,7 +35,7 @@ fn breakdowns_sum_exactly_to_end_to_end_latency() {
         .snapshot()
         .into_iter()
         .filter_map(|e| match e.kind {
-            EventKind::Complete { breakdown } => Some(breakdown),
+            EventKind::Complete { breakdown } => Some((e.layer, breakdown)),
             _ => None,
         })
         .collect();
@@ -44,7 +44,17 @@ fn breakdowns_sum_exactly_to_end_to_end_latency() {
         "expected at least one Complete per request, got {}",
         completes.len()
     );
-    for b in &completes {
+    // The shared completion lifecycle must emit Completes from BOTH layers
+    // the token traverses: the core driver's host-facing acknowledgement
+    // and the block layer's per-disk command completion.
+    for layer in [Layer::Core, Layer::BlockIo] {
+        let n = completes.iter().filter(|(l, _)| *l == layer).count();
+        assert!(
+            n >= 60,
+            "expected one {layer:?} Complete per request, got {n}"
+        );
+    }
+    for (_, b) in &completes {
         assert!(
             b.residual_nanos().unsigned_abs() <= 1_000,
             "breakdown off by {} ns: {b:?}",

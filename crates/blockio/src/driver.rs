@@ -12,11 +12,11 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use trail_disk::{Disk, DiskCommand, DiskError, SECTOR_SIZE};
-use trail_sim::{LatencySummary, SimDuration, SimTime, Simulator};
-use trail_telemetry::{null_recorder, Event, EventKind, Layer, RecorderHandle, RequestBreakdown};
+use trail_disk::{Disk, DiskCommand, DiskError, DiskResult, SECTOR_SIZE};
+use trail_sim::{Completion, Delivered, LatencySummary, SimTime, Simulator};
+use trail_telemetry::{Layer, LifecycleEmitter, RecorderHandle, RequestBreakdown};
 
-use crate::request::{IoCallback, IoDone, IoKind, IoRequest, RequestId};
+use crate::request::{IoDone, IoKind, IoRequest, RequestId};
 use crate::sched::{apply_priority, Clook, Priority, QueuedIo, Scheduler};
 
 /// Aggregate driver measurements.
@@ -39,7 +39,7 @@ struct Queued {
     seq: u64,
     issued: SimTime,
     req: IoRequest,
-    cb: IoCallback,
+    done: Completion<IoDone>,
 }
 
 struct Inner {
@@ -51,24 +51,8 @@ struct Inner {
     next_id: u64,
     next_seq: u64,
     stats: DriverStats,
-    recorder: RecorderHandle,
-}
-
-impl Inner {
-    /// Emits one queue-lifecycle event if telemetry is enabled. The
-    /// driver's name for trace purposes is its disk's name.
-    fn emit(&self, at: SimTime, dur: SimDuration, req: RequestId, kind: EventKind) {
-        if self.recorder.enabled() {
-            self.recorder.record(Event {
-                at,
-                dur,
-                layer: Layer::BlockIo,
-                source: self.disk.name(),
-                req: Some(req.0),
-                kind,
-            });
-        }
-    }
+    // The driver's name for trace purposes is its disk's name.
+    lifecycle: LifecycleEmitter,
 }
 
 /// A queueing block driver over one [`Disk`]. Clones share the driver.
@@ -83,10 +67,14 @@ impl Inner {
 /// let mut sim = Simulator::new();
 /// let disk = Disk::new("data", profiles::wd_caviar_10gb());
 /// let drv = StandardDriver::new(disk);
+/// let done = sim.completion(|_, d: trail_sim::Delivered<trail_blockio::IoDone>| {
+///     let done = d.expect("delivered");
+///     assert!(done.latency().as_millis_f64() > 0.0);
+/// });
 /// drv.submit(
 ///     &mut sim,
 ///     IoRequest { lba: 0, kind: IoKind::Write { data: vec![9; SECTOR_SIZE] } },
-///     Box::new(|_, done| assert!(done.latency().as_millis_f64() > 0.0)),
+///     done,
 /// )?;
 /// sim.run();
 /// # Ok::<(), trail_disk::DiskError>(())
@@ -105,6 +93,7 @@ impl StandardDriver {
 
     /// Creates a driver with an explicit scheduler and priority policy.
     pub fn with_policy(disk: Disk, scheduler: Box<dyn Scheduler>, priority: Priority) -> Self {
+        let lifecycle = LifecycleEmitter::new(Layer::BlockIo, disk.name());
         StandardDriver {
             inner: Rc::new(RefCell::new(Inner {
                 disk,
@@ -115,7 +104,7 @@ impl StandardDriver {
                 next_id: 0,
                 next_seq: 0,
                 stats: DriverStats::default(),
-                recorder: null_recorder(),
+                lifecycle,
             })),
         }
     }
@@ -126,7 +115,7 @@ impl StandardDriver {
     pub fn set_recorder(&self, recorder: RecorderHandle) {
         let mut d = self.inner.borrow_mut();
         d.disk.set_recorder(Rc::clone(&recorder));
-        d.recorder = recorder;
+        d.lifecycle.set_recorder(recorder);
     }
 
     /// The underlying disk.
@@ -149,18 +138,20 @@ impl StandardDriver {
         f(&self.inner.borrow().stats)
     }
 
-    /// Submits a request; `cb` fires when it is durable (writes) or the
-    /// data is available (reads).
+    /// Submits a request; `done` is delivered when it is durable (writes)
+    /// or the data is available (reads). The handler runs as its own
+    /// simulator event, so it may submit new I/O into this driver freely.
     ///
     /// # Errors
     ///
     /// Returns [`DiskError::OutOfRange`] or [`DiskError::BadDataLength`]
-    /// without queueing anything if the request is malformed.
+    /// without queueing anything if the request is malformed; `done` is
+    /// then cancelled (delivered `Err(Cancelled)` on the next step).
     pub fn submit(
         &self,
         sim: &mut Simulator,
         req: IoRequest,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<RequestId, DiskError> {
         let id = {
             let mut d = self.inner.borrow_mut();
@@ -185,21 +176,14 @@ impl StandardDriver {
                 seq,
                 issued: sim.now(),
                 req,
-                cb,
+                done,
             });
             d.stats.submitted += 1;
             let depth = d.queue.len();
             if depth > d.stats.max_queue_depth {
                 d.stats.max_queue_depth = depth;
             }
-            d.emit(
-                sim.now(),
-                SimDuration::ZERO,
-                id,
-                EventKind::Enqueue {
-                    depth: depth as u32,
-                },
-            );
+            d.lifecycle.enqueue(sim.now(), id.0, depth as u32);
             id
         };
         self.dispatch(sim);
@@ -224,11 +208,19 @@ impl StandardDriver {
                 })
                 .collect();
             let candidates = apply_priority(&views, d.priority);
-            let cand_views: Vec<QueuedIo> = candidates.iter().map(|(_, v)| *v).collect();
             let head = d.disk.head_position();
             let geometry = d.disk.geometry();
-            let picked = d.scheduler.pick(&cand_views, head, &geometry);
-            let idx = candidates[picked].0;
+            let picked = if candidates.len() == views.len() {
+                // No filtering happened; the queue is already in arrival
+                // order, so the candidate list is the identity mapping and
+                // the scheduler can look at the views directly.
+                debug_assert!(candidates.iter().copied().eq(0..views.len()));
+                d.scheduler.pick(&views, head, &geometry)
+            } else {
+                let cand_views: Vec<QueuedIo> = candidates.iter().map(|&i| views[i]).collect();
+                d.scheduler.pick(&cand_views, head, &geometry)
+            };
+            let idx = candidates[picked];
             let queued = d.queue.remove(idx);
             let cmd = match &queued.req.kind {
                 IoKind::Read { count } => DiskCommand::Read {
@@ -241,68 +233,67 @@ impl StandardDriver {
                 },
             };
             d.in_flight = true;
-            d.emit(
-                sim.now(),
-                SimDuration::ZERO,
-                queued.id,
-                EventKind::Dispatch {
-                    depth: views.len() as u32,
-                },
-            );
+            d.lifecycle
+                .dispatch(sim.now(), queued.id.0, views.len() as u32);
             (d.disk.clone(), cmd, queued)
         };
         let driver = self.clone();
-        let submit_result = disk.submit(
-            sim,
-            cmd,
-            Box::new(move |sim, res| {
-                let done = IoDone {
-                    id: queued.id,
-                    lba: res.lba,
-                    kind: res.kind,
-                    data: res.data,
-                    issued: queued.issued,
-                    completed: res.completed,
-                    breakdown: res.breakdown,
-                };
-                {
-                    let mut d = driver.inner.borrow_mut();
-                    d.in_flight = false;
-                    d.stats.completed += 1;
-                    let lat = done.latency();
-                    if done.kind == trail_disk::CommandKind::Read {
-                        d.stats.read_latency.record(lat);
-                    } else {
-                        d.stats.write_latency.record(lat);
-                    }
-                    // The queue wait is the end-to-end latency minus the
-                    // mechanical service time; both are integer-nanosecond
-                    // differences of the same virtual clock, so the five
-                    // components sum *exactly* to the end-to-end latency.
-                    d.emit(
-                        done.issued,
-                        lat,
-                        done.id,
-                        EventKind::Complete {
-                            breakdown: RequestBreakdown {
-                                queue: lat - done.breakdown.total,
-                                overhead: done.breakdown.overhead,
-                                seek: done.breakdown.seek,
-                                rotation: done.breakdown.rotation,
-                                transfer: done.breakdown.transfer,
-                                total: lat,
-                            },
-                        },
-                    );
+        let disk_done = sim.completion(move |sim: &mut Simulator, res: Delivered<DiskResult>| {
+            let res = match res {
+                Ok(res) => res,
+                // The disk lost power with this command in flight. Clear
+                // the dispatch slot and drop `queued`, which cascades the
+                // cancellation to the request's own `Completion`.
+                Err(_) => {
+                    driver.inner.borrow_mut().in_flight = false;
+                    return;
                 }
-                (queued.cb)(sim, done);
-                driver.dispatch(sim);
-            }),
-        );
+            };
+            let done = IoDone {
+                id: queued.id,
+                lba: res.lba,
+                kind: res.kind,
+                data: res.data,
+                issued: queued.issued,
+                completed: res.completed,
+                breakdown: res.breakdown,
+            };
+            {
+                let mut d = driver.inner.borrow_mut();
+                d.in_flight = false;
+                d.stats.completed += 1;
+                let lat = done.latency();
+                if done.kind == trail_disk::CommandKind::Read {
+                    d.stats.read_latency.record(lat);
+                } else {
+                    d.stats.write_latency.record(lat);
+                }
+                // The queue wait is the end-to-end latency minus the
+                // mechanical service time; both are integer-nanosecond
+                // differences of the same virtual clock, so the five
+                // components sum *exactly* to the end-to-end latency.
+                d.lifecycle.complete(
+                    done.issued,
+                    done.id.0,
+                    RequestBreakdown {
+                        queue: lat - done.breakdown.total,
+                        overhead: done.breakdown.overhead,
+                        seek: done.breakdown.seek,
+                        rotation: done.breakdown.rotation,
+                        transfer: done.breakdown.transfer,
+                        total: lat,
+                    },
+                );
+            }
+            queued.done.complete(sim, done);
+            driver.dispatch(sim);
+        });
+        let submit_result = disk.submit(sim, cmd, disk_done);
         // The request was validated at submission and the disk was idle, so
         // the only legitimate rejection is a power loss that raced the
-        // dispatch — the machine died, so the request simply vanishes
-        // (exactly what happens to an in-flight request on real hardware).
+        // dispatch. The disk consumed our token, whose handler drops the
+        // request's `Completion` — the submitter hears `Err(Cancelled)` on
+        // the next step instead of waiting forever.
         match submit_result {
             Ok(()) => {}
             Err(DiskError::PoweredOff) => {
@@ -343,6 +334,23 @@ mod tests {
         let seen = StdRc::new(StdRefCell::new(None));
         let drv2 = drv.clone();
         let seen2 = StdRc::clone(&seen);
+        let write_done = sim.completion(move |sim, d| {
+            d.expect("write delivered");
+            // Re-entrant submit from a completion handler: safe, because
+            // delivery is a fresh simulator event.
+            let read_done = sim.completion(move |_, d: trail_sim::Delivered<IoDone>| {
+                *seen2.borrow_mut() = d.expect("read delivered").data
+            });
+            drv2.submit(
+                sim,
+                IoRequest {
+                    lba: 11,
+                    kind: IoKind::Read { count: 1 },
+                },
+                read_done,
+            )
+            .unwrap();
+        });
         drv.submit(
             &mut sim,
             IoRequest {
@@ -351,17 +359,7 @@ mod tests {
                     data: vec![0xC3; SECTOR_SIZE],
                 },
             },
-            Box::new(move |sim, _| {
-                drv2.submit(
-                    sim,
-                    IoRequest {
-                        lba: 11,
-                        kind: IoKind::Read { count: 1 },
-                    },
-                    Box::new(move |_, done| *seen2.borrow_mut() = done.data),
-                )
-                .unwrap();
-            }),
+            write_done,
         )
         .unwrap();
         sim.run();
@@ -374,6 +372,10 @@ mod tests {
         let done = StdRc::new(StdRefCell::new(0u32));
         for i in 0..20u64 {
             let done = StdRc::clone(&done);
+            let c = sim.completion(move |_, d| {
+                d.expect("delivered");
+                *done.borrow_mut() += 1;
+            });
             drv.submit(
                 &mut sim,
                 IoRequest {
@@ -382,7 +384,7 @@ mod tests {
                         data: vec![i as u8; SECTOR_SIZE],
                     },
                 },
-                Box::new(move |_, _| *done.borrow_mut() += 1),
+                c,
             )
             .unwrap();
         }
@@ -408,6 +410,9 @@ mod tests {
         let lats = StdRc::new(StdRefCell::new(Vec::new()));
         for i in 0..5u64 {
             let lats = StdRc::clone(&lats);
+            let c = sim.completion(move |_, d: trail_sim::Delivered<IoDone>| {
+                lats.borrow_mut().push(d.expect("done").latency())
+            });
             drv.submit(
                 &mut sim,
                 IoRequest {
@@ -416,7 +421,7 @@ mod tests {
                         data: vec![0; SECTOR_SIZE],
                     },
                 },
-                Box::new(move |_, done| lats.borrow_mut().push(done.latency())),
+                c,
             )
             .unwrap();
         }
@@ -441,6 +446,10 @@ mod tests {
         // First write occupies the disk; then queue 2 writes and 1 read.
         for i in 0..3u64 {
             let order = StdRc::clone(&order);
+            let c = sim.completion(move |_, d| {
+                d.expect("delivered");
+                order.borrow_mut().push(format!("w{i}"));
+            });
             drv.submit(
                 &mut sim,
                 IoRequest {
@@ -449,18 +458,22 @@ mod tests {
                         data: vec![0; SECTOR_SIZE],
                     },
                 },
-                Box::new(move |_, _| order.borrow_mut().push(format!("w{i}"))),
+                c,
             )
             .unwrap();
         }
         let order2 = StdRc::clone(&order);
+        let c = sim.completion(move |_, d| {
+            d.expect("delivered");
+            order2.borrow_mut().push("r".into());
+        });
         drv.submit(
             &mut sim,
             IoRequest {
                 lba: 2000,
                 kind: IoKind::Read { count: 1 },
             },
-            Box::new(move |_, _| order2.borrow_mut().push("r".into())),
+            c,
         )
         .unwrap();
         sim.run();
@@ -474,6 +487,15 @@ mod tests {
     fn rejects_malformed_requests() {
         let (mut sim, drv) = setup();
         let total = drv.disk().geometry().total_sectors();
+        let cancelled = StdRc::new(StdRefCell::new(0u32));
+        let mint = |sim: &Simulator| {
+            let cancelled = StdRc::clone(&cancelled);
+            sim.completion(move |_, d| {
+                assert!(d.is_err(), "rejected request must cancel its completion");
+                *cancelled.borrow_mut() += 1;
+            })
+        };
+        let c = mint(&sim);
         assert!(matches!(
             drv.submit(
                 &mut sim,
@@ -481,10 +503,11 @@ mod tests {
                     lba: total,
                     kind: IoKind::Read { count: 1 }
                 },
-                Box::new(|_, _| {})
+                c
             ),
             Err(DiskError::OutOfRange)
         ));
+        let c = mint(&sim);
         assert!(matches!(
             drv.submit(
                 &mut sim,
@@ -492,10 +515,11 @@ mod tests {
                     lba: 0,
                     kind: IoKind::Read { count: 0 }
                 },
-                Box::new(|_, _| {})
+                c
             ),
             Err(DiskError::OutOfRange)
         ));
+        let c = mint(&sim);
         assert!(matches!(
             drv.submit(
                 &mut sim,
@@ -503,21 +527,24 @@ mod tests {
                     lba: 0,
                     kind: IoKind::Write { data: vec![1] }
                 },
-                Box::new(|_, _| {})
+                c
             ),
             Err(DiskError::BadDataLength)
         ));
+        sim.run();
+        assert_eq!(*cancelled.borrow(), 3);
     }
 
     #[test]
     fn telemetry_breakdown_sums_exactly_to_latency() {
-        use trail_telemetry::MemoryRecorder;
+        use trail_telemetry::{EventKind, MemoryRecorder};
 
         let (mut sim, drv) = setup();
         let rec = MemoryRecorder::shared();
         drv.set_recorder(rec.clone());
         // Queue several writes so later ones see real queueing delay.
         for i in 0..6u64 {
+            let c = sim.completion(|_, _| {});
             drv.submit(
                 &mut sim,
                 IoRequest {
@@ -526,7 +553,7 @@ mod tests {
                         data: vec![0; SECTOR_SIZE],
                     },
                 },
-                Box::new(|_, _| {}),
+                c,
             )
             .unwrap();
         }
@@ -561,13 +588,14 @@ mod tests {
             let mut sim = Simulator::new();
             let lbas = [0u64, 4000, 100, 4100, 200, 4200, 300, 4300];
             for &lba in &lbas {
+                let c = sim.completion(|_, _| {});
                 drv.submit(
                     &mut sim,
                     IoRequest {
                         lba,
                         kind: IoKind::Read { count: 1 },
                     },
-                    Box::new(|_, _| {}),
+                    c,
                 )
                 .unwrap();
             }

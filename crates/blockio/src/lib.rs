@@ -22,13 +22,15 @@
 //!
 //! let mut sim = Simulator::new();
 //! let drv = StandardDriver::new(Disk::new("data", profiles::wd_caviar_10gb()));
+//! let done = sim.completion(|_, d: trail_sim::Delivered<trail_blockio::IoDone>| {
+//!     // A synchronous write on the baseline pays seek + rotation.
+//!     let done = d.expect("delivered");
+//!     assert!(done.breakdown.rotation.as_millis_f64() >= 0.0);
+//! });
 //! drv.submit(
 //!     &mut sim,
 //!     IoRequest { lba: 4096, kind: IoKind::Write { data: vec![0u8; SECTOR_SIZE] } },
-//!     Box::new(|_, done| {
-//!         // A synchronous write on the baseline pays seek + rotation.
-//!         assert!(done.breakdown.rotation.as_millis_f64() >= 0.0);
-//!     }),
+//!     done,
 //! )?;
 //! sim.run();
 //! # Ok::<(), trail_disk::DiskError>(())
@@ -42,5 +44,5 @@ mod request;
 mod sched;
 
 pub use driver::{DriverStats, StandardDriver};
-pub use request::{IoCallback, IoDone, IoKind, IoRequest, RequestId};
+pub use request::{IoDone, IoKind, IoRequest, RequestId};
 pub use sched::{apply_priority, Clook, Fifo, Priority, QueuedIo, Scheduler};

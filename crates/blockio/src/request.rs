@@ -1,7 +1,7 @@
 //! Block-level request and completion types shared by all drivers.
 
 use trail_disk::{CommandKind, Lba, ServiceBreakdown, SECTOR_SIZE};
-use trail_sim::{SimTime, Simulator};
+use trail_sim::SimTime;
 
 /// Identifies a submitted request within one driver.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -82,9 +82,6 @@ impl IoDone {
         self.completed.duration_since(self.issued)
     }
 }
-
-/// Callback invoked when a request completes.
-pub type IoCallback = Box<dyn FnOnce(&mut Simulator, IoDone)>;
 
 #[cfg(test)]
 mod tests {

@@ -95,26 +95,27 @@ pub enum Priority {
     ReadsFirst,
 }
 
-/// Applies a priority policy, returning the candidate subset of the queue
-/// as (original index, request) pairs.
-pub fn apply_priority(queue: &[QueuedIo], priority: Priority) -> Vec<(usize, QueuedIo)> {
-    let mut candidates: Vec<(usize, QueuedIo)> = match priority {
-        Priority::None => queue.iter().copied().enumerate().collect(),
+/// Applies a priority policy, returning the indices (into `queue`) of the
+/// candidate requests, ordered by arrival. No queue entries are copied;
+/// callers index back into their own slice.
+pub fn apply_priority(queue: &[QueuedIo], priority: Priority) -> Vec<usize> {
+    let mut candidates: Vec<usize> = match priority {
+        Priority::None => (0..queue.len()).collect(),
         Priority::ReadsFirst => {
-            let reads: Vec<_> = queue
+            let reads: Vec<usize> = queue
                 .iter()
-                .copied()
                 .enumerate()
                 .filter(|(_, q)| q.is_read)
+                .map(|(i, _)| i)
                 .collect();
             if reads.is_empty() {
-                queue.iter().copied().enumerate().collect()
+                (0..queue.len()).collect()
             } else {
                 reads
             }
         }
     };
-    candidates.sort_by_key(|(_, q)| q.seq);
+    candidates.sort_by_key(|&i| queue[i].seq);
     candidates
 }
 
@@ -168,8 +169,8 @@ mod tests {
     fn priority_restricts_to_reads_when_present() {
         let queue = vec![q(1, false, 0), q(2, true, 1), q(3, true, 2)];
         let cands = apply_priority(&queue, Priority::ReadsFirst);
-        assert_eq!(cands.len(), 2);
-        assert!(cands.iter().all(|(_, r)| r.is_read));
+        assert_eq!(cands, vec![1, 2]);
+        assert!(cands.iter().all(|&i| queue[i].is_read));
         // With no reads queued, writes flow through.
         let wqueue = vec![q(1, false, 0), q(2, false, 1)];
         assert_eq!(apply_priority(&wqueue, Priority::ReadsFirst).len(), 2);

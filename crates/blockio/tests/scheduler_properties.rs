@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use proptest::prelude::*;
-use trail_blockio::{Clook, Fifo, IoKind, IoRequest, Priority, StandardDriver};
+use trail_blockio::{Clook, Fifo, IoDone, IoKind, IoRequest, Priority, StandardDriver};
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
 use trail_sim::{SimDuration, Simulator};
 
@@ -66,26 +66,24 @@ fn run_workload(
                 let lba = r.lba;
                 let tag = r.tag;
                 let is_read = r.is_read;
+                let done = sim.completion(move |_, d| {
+                    let done: IoDone = d.expect("delivered");
+                    *c2.borrow_mut() += 1;
+                    if is_read {
+                        // A read must observe the tag of the last
+                        // *completed* write to this lba (or zero).
+                        let expect = fw.borrow().get(&lba).copied().unwrap_or(0);
+                        assert_eq!(
+                            done.data.expect("read data")[0],
+                            expect,
+                            "read at lba {lba} saw stale data"
+                        );
+                    } else {
+                        fw.borrow_mut().insert(lba, tag);
+                    }
+                });
                 driver
-                    .submit(
-                        sim,
-                        IoRequest { lba, kind },
-                        Box::new(move |_, done| {
-                            *c2.borrow_mut() += 1;
-                            if is_read {
-                                // A read must observe the tag of the last
-                                // *completed* write to this lba (or zero).
-                                let expect = fw.borrow().get(&lba).copied().unwrap_or(0);
-                                assert_eq!(
-                                    done.data.expect("read data")[0],
-                                    expect,
-                                    "read at lba {lba} saw stale data"
-                                );
-                            } else {
-                                fw.borrow_mut().insert(lba, tag);
-                            }
-                        }),
-                    )
+                    .submit(sim, IoRequest { lba, kind }, done)
                     .expect("valid request");
             }),
         );
@@ -157,6 +155,10 @@ proptest! {
                 SimDuration::from_micros(i as u64 * gap_us),
                 Box::new(move |sim| {
                     let hot_done = Rc::clone(&hot_done);
+                    let done = sim.completion(move |_, d| {
+                        d.expect("delivered");
+                        *hot_done.borrow_mut() += 1;
+                    });
                     driver
                         .submit(
                             sim,
@@ -164,7 +166,7 @@ proptest! {
                                 lba,
                                 kind: IoKind::Write { data: vec![1; SECTOR_SIZE] },
                             },
-                            Box::new(move |_, _| *hot_done.borrow_mut() += 1),
+                            done,
                         )
                         .expect("valid hot write");
                 }),
@@ -180,6 +182,10 @@ proptest! {
                 Box::new(move |sim| {
                     let hot_done = Rc::clone(&hot_done);
                     let far_done_after = Rc::clone(&far_done_after);
+                    let done = sim.completion(move |_, d| {
+                        d.expect("delivered");
+                        *far_done_after.borrow_mut() = Some(*hot_done.borrow());
+                    });
                     driver
                         .submit(
                             sim,
@@ -187,9 +193,7 @@ proptest! {
                                 lba: 3_999,
                                 kind: IoKind::Write { data: vec![2; SECTOR_SIZE] },
                             },
-                            Box::new(move |_, _| {
-                                *far_done_after.borrow_mut() = Some(*hot_done.borrow());
-                            }),
+                            done,
                         )
                         .expect("valid far write");
                 }),

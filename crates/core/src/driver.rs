@@ -28,12 +28,13 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use trail_blockio::{Clook, IoCallback, IoDone, IoKind, IoRequest, Priority, StandardDriver};
+use trail_blockio::{Clook, IoDone, IoKind, IoRequest, Priority, StandardDriver};
 use trail_disk::{
-    CommandKind, Disk, DiskCommand, DiskGeometry, Lba, SectorBuf, ServiceBreakdown, SECTOR_SIZE,
+    CommandKind, Disk, DiskCommand, DiskGeometry, DiskResult, Lba, SectorBuf, ServiceBreakdown,
+    SECTOR_SIZE,
 };
-use trail_sim::{EventId, LatencySummary, SimDuration, SimTime, Simulator};
-use trail_telemetry::{null_recorder, Event, EventKind, Layer, RecorderHandle};
+use trail_sim::{Completion, Delivered, EventId, LatencySummary, SimDuration, SimTime, Simulator};
+use trail_telemetry::{EventKind, Layer, LifecycleEmitter, RecorderHandle, RequestBreakdown};
 
 use crate::buffer::{BlockKey, BufferTable, WritebackOutcome};
 use crate::config::TrailConfig;
@@ -75,7 +76,7 @@ pub struct TrailStats {
 
 struct AckState {
     remaining: usize,
-    cb: Option<IoCallback>,
+    done: Option<Completion<IoDone>>,
     issued: SimTime,
     dev: u8,
     lba: u64,
@@ -186,7 +187,9 @@ struct Inner {
     idle_timer: Option<EventId>,
     idle_refresh_count: u32,
     stalled: bool,
-    recorder: RecorderHandle,
+    // Sourced from the log disk's name, so MultiTrail instances stay
+    // distinguishable in traces.
+    lifecycle: LifecycleEmitter,
 }
 
 /// What `start` found and did while bringing the driver up.
@@ -236,16 +239,11 @@ struct RecordCtx {
 /// let data = Disk::new("data0", profiles::wd_caviar_10gb());
 /// format_log_disk(&mut sim, &log, FormatOptions::default())?;
 /// let (trail, _boot) = TrailDriver::start(&mut sim, log, vec![data], TrailConfig::default())?;
-/// trail.write(
-///     &mut sim,
-///     0,
-///     1024,
-///     vec![7u8; 2 * SECTOR_SIZE],
-///     Box::new(|_, done| {
-///         // Durable in ~1.5 ms instead of ~16 ms.
-///         assert!(done.latency().as_millis_f64() < 4.0);
-///     }),
-/// )?;
+/// let done = sim.completion(|_, d: trail_sim::Delivered<trail_blockio::IoDone>| {
+///     // Durable in ~1.5 ms instead of ~16 ms.
+///     assert!(d.expect("durable").latency().as_millis_f64() < 4.0);
+/// });
+/// trail.write(&mut sim, 0, 1024, vec![7u8; 2 * SECTOR_SIZE], done)?;
 /// trail.run_until_quiescent(&mut sim);
 /// # Ok::<(), trail_core::TrailError>(())
 /// ```
@@ -361,6 +359,7 @@ impl TrailDriver {
             );
         }
         let predictor = HeadPredictor::new(geometry.clone(), header.rotation_period, header.delta);
+        let lifecycle = LifecycleEmitter::new(Layer::Core, log_disk.name());
         let driver = TrailDriver {
             inner: Rc::new(RefCell::new(Inner {
                 config,
@@ -384,7 +383,7 @@ impl TrailDriver {
                 idle_timer: None,
                 idle_refresh_count: 0,
                 stalled: false,
-                recorder: null_recorder(),
+                lifecycle,
             })),
         };
         driver.initial_position(sim)?;
@@ -412,24 +411,24 @@ impl TrailDriver {
     }
 
     /// Submits a synchronous write of `data` to sector `lba` of data disk
-    /// `dev`. `cb` fires when the write is **durable** (logged); the
-    /// data-disk copy happens in the background.
+    /// `dev`. `done` is delivered when the write is **durable** (logged);
+    /// the data-disk copy happens in the background.
     ///
     /// Requests larger than the batch limit are split into multiple log
-    /// records; `cb` fires when the last piece is durable.
+    /// records; `done` is delivered when the last piece is durable.
     ///
     /// # Errors
     ///
     /// Returns [`TrailError::BadDevice`], [`TrailError::BadDataLength`],
     /// or [`TrailError::OutOfRange`] without side effects on a malformed
-    /// request.
+    /// request (`done` is cancelled).
     pub fn write(
         &self,
         sim: &mut Simulator,
         dev: usize,
         lba: Lba,
         data: Vec<u8>,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
         {
             let mut d = self.inner.borrow_mut();
@@ -443,11 +442,12 @@ impl TrailDriver {
             if lba + sectors > d.data_capacity[dev] {
                 return Err(TrailError::OutOfRange);
             }
+            let req = done.id().raw();
             let chunk_sectors = d.effective_max_batch as usize;
             let chunks: Vec<&[u8]> = data.chunks(chunk_sectors * SECTOR_SIZE).collect();
             let ack = Rc::new(RefCell::new(AckState {
                 remaining: chunks.len(),
-                cb: Some(cb),
+                done: Some(done),
                 issued: sim.now(),
                 dev: dev as u8,
                 lba,
@@ -462,6 +462,8 @@ impl TrailDriver {
                 });
                 off += (chunk.len() / SECTOR_SIZE) as u64;
             }
+            d.lifecycle
+                .enqueue(sim.now(), req, d.log_queue.len() as u32);
             if let Some(t) = d.idle_timer.take() {
                 sim.cancel(t);
             }
@@ -490,7 +492,7 @@ impl TrailDriver {
         dev: usize,
         lba: Lba,
         count: u32,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
         let hit: Option<Vec<u8>> = {
             let mut d = self.inner.borrow_mut();
@@ -518,32 +520,33 @@ impl TrailDriver {
         };
         match hit {
             Some(data) => {
-                let issued = sim.now();
-                sim.schedule_now(Box::new(move |sim| {
-                    cb(
-                        sim,
-                        IoDone {
-                            id: trail_blockio::RequestId(0),
-                            lba,
-                            kind: CommandKind::Read,
-                            data: Some(data),
-                            issued,
-                            completed: sim.now(),
-                            breakdown: ServiceBreakdown::default(),
-                        },
-                    );
-                }));
+                // Zero-latency buffer hit; delivery is already deferred by
+                // the completion itself.
+                done.complete(
+                    sim,
+                    IoDone {
+                        id: trail_blockio::RequestId(0),
+                        lba,
+                        kind: CommandKind::Read,
+                        data: Some(data),
+                        issued: sim.now(),
+                        completed: sim.now(),
+                        breakdown: ServiceBreakdown::default(),
+                    },
+                );
                 Ok(())
             }
             None => {
                 let drv = self.inner.borrow().data[dev].clone();
+                // Uniform completion type: forward the caller's token
+                // straight to the data-disk driver.
                 drv.submit(
                     sim,
                     IoRequest {
                         lba,
                         kind: IoKind::Read { count },
                     },
-                    cb,
+                    done,
                 )
                 .map_err(TrailError::Disk)?;
                 Ok(())
@@ -646,27 +649,12 @@ impl TrailDriver {
         for drv in &d.data {
             drv.set_recorder(Rc::clone(&recorder));
         }
-        d.recorder = recorder;
+        d.lifecycle.set_recorder(recorder);
     }
 
-    /// Records a core-layer event, sourced from the log disk's name (so
-    /// [`MultiTrail`](crate::MultiTrail) instances stay distinguishable).
+    /// Records a core-layer event through the shared lifecycle emitter.
     fn emit(&self, at: SimTime, dur: SimDuration, kind: EventKind) {
-        let recorder = {
-            let d = self.inner.borrow();
-            if !d.recorder.enabled() {
-                return;
-            }
-            (Rc::clone(&d.recorder), d.log_disk.name())
-        };
-        recorder.0.record(Event {
-            at,
-            dur,
-            layer: Layer::Core,
-            source: recorder.1,
-            req: None,
-            kind,
-        });
+        self.inner.borrow().lifecycle.event(at, dur, None, kind);
     }
 
     // ------------------------------------------------------------------
@@ -682,14 +670,17 @@ impl TrailDriver {
             LogAction::Dispatch { lba, bytes, ctx } => {
                 let driver = self.clone();
                 let log_disk = self.inner.borrow().log_disk.clone();
-                tolerate_power_loss(
-                    log_disk.submit(
-                        sim,
-                        DiskCommand::Write { lba, data: bytes },
-                        Box::new(move |sim, res| {
+                // A cancelled delivery means power was lost with the record
+                // in flight; dropping `ctx` cascades the cancellation to
+                // every host completion riding in the batch.
+                let done =
+                    sim.completion(move |sim: &mut Simulator, res: Delivered<DiskResult>| {
+                        if let Ok(res) = res {
                             driver.on_log_write_done(sim, res, ctx);
-                        }),
-                    ),
+                        }
+                    });
+                tolerate_power_loss(
+                    log_disk.submit(sim, DiskCommand::Write { lba, data: bytes }, done),
                     "log disk rejected a planned record write",
                 );
             }
@@ -748,8 +739,13 @@ impl TrailDriver {
             if total + n > cap {
                 break;
             }
+            let depth = d.log_queue.len() as u32;
+            let w = d.log_queue.pop_front().expect("front observed");
+            if let Some(c) = w.ack.borrow().done.as_ref() {
+                d.lifecycle.dispatch(now, c.id().raw(), depth);
+            }
             total += n;
-            batch.push(d.log_queue.pop_front().expect("front observed"));
+            batch.push(w);
         }
         debug_assert!(!batch.is_empty(), "first request was checked to fit");
         let header_lba = first_lba + u64::from(s);
@@ -803,9 +799,9 @@ impl TrailDriver {
         }
     }
 
-    fn on_log_write_done(&self, sim: &mut Simulator, res: trail_disk::DiskResult, ctx: RecordCtx) {
+    fn on_log_write_done(&self, sim: &mut Simulator, res: DiskResult, ctx: RecordCtx) {
         let completed = res.completed;
-        let mut acks: Vec<(IoCallback, IoDone)> = Vec::new();
+        let mut acks: Vec<(Completion<IoDone>, IoDone)> = Vec::new();
         let mut writebacks: Vec<BlockKey> = Vec::new();
         let reposition_next;
         {
@@ -847,7 +843,7 @@ impl TrailDriver {
                 let mut ack = w.ack.borrow_mut();
                 ack.remaining -= 1;
                 if ack.remaining == 0 {
-                    let cb = ack.cb.take().expect("ack fires exactly once");
+                    let done_c = ack.done.take().expect("ack fires exactly once");
                     let done = IoDone {
                         id: trail_blockio::RequestId(0),
                         lba: ack.lba,
@@ -857,11 +853,22 @@ impl TrailDriver {
                         completed,
                         breakdown: ServiceBreakdown::default(),
                     };
-                    d.stats
-                        .sync_write_latency
-                        .record(completed.duration_since(ack.issued));
+                    let lat = completed.duration_since(ack.issued);
+                    d.stats.sync_write_latency.record(lat);
+                    d.lifecycle.complete(
+                        ack.issued,
+                        done_c.id().raw(),
+                        RequestBreakdown {
+                            queue: lat - res.breakdown.total,
+                            overhead: res.breakdown.overhead,
+                            seek: res.breakdown.seek,
+                            rotation: res.breakdown.rotation,
+                            transfer: res.breakdown.transfer,
+                            total: lat,
+                        },
+                    );
                     let _ = ack.dev;
-                    acks.push((cb, done));
+                    acks.push((done_c, done));
                 }
             }
             d.log_busy = false;
@@ -891,15 +898,16 @@ impl TrailDriver {
         // Reposition (or service the queue) *before* returning completions:
         // "after each request is serviced, the Trail driver moves the disk
         // head to the next track before it starts to service the next
-        // request(s)" (§4.2). An ack callback that submits a new write must
-        // find the head already on its way to a fresh track.
+        // request(s)" (§4.2). Completion delivery is deferred, so an ack
+        // handler that submits a new write always finds the head already on
+        // its way to a fresh track.
         if reposition_next {
             self.reposition(sim);
         } else {
             self.service_log(sim);
         }
-        for (cb, done) in acks {
-            cb(sim, done);
+        for (c, done) in acks {
+            c.complete(sim, done);
         }
     }
 
@@ -934,27 +942,25 @@ impl TrailDriver {
         let Some((next, lba)) = target else { return };
         let driver = self.clone();
         let log_disk = self.inner.borrow().log_disk.clone();
+        let done = sim.completion(move |sim: &mut Simulator, res: Delivered<DiskResult>| {
+            let Ok(res) = res else { return };
+            {
+                let mut d = driver.inner.borrow_mut();
+                d.predictor.set_reference(res.completed, res.lba);
+                let spt = d.geometry.spt_of_track(next);
+                d.current = Some(CurrentTrack::new(next, spt));
+                d.log_busy = false;
+                d.stats.repositions += 1;
+            }
+            driver.emit(
+                res.issued,
+                res.completed.duration_since(res.issued),
+                EventKind::Reposition { track: next },
+            );
+            driver.service_log(sim);
+        });
         tolerate_power_loss(
-            log_disk.submit(
-                sim,
-                DiskCommand::Read { lba, count: 1 },
-                Box::new(move |sim, res| {
-                    {
-                        let mut d = driver.inner.borrow_mut();
-                        d.predictor.set_reference(res.completed, res.lba);
-                        let spt = d.geometry.spt_of_track(next);
-                        d.current = Some(CurrentTrack::new(next, spt));
-                        d.log_busy = false;
-                        d.stats.repositions += 1;
-                    }
-                    driver.emit(
-                        res.issued,
-                        res.completed.duration_since(res.issued),
-                        EventKind::Reposition { track: next },
-                    );
-                    driver.service_log(sim);
-                }),
-            ),
+            log_disk.submit(sim, DiskCommand::Read { lba, count: 1 }, done),
             "log disk rejected a repositioning read",
         );
     }
@@ -995,6 +1001,16 @@ impl TrailDriver {
         };
         let driver = self.clone();
         let log_disk = self.inner.borrow().log_disk.clone();
+        let done = sim.completion(move |sim: &mut Simulator, res: Delivered<DiskResult>| {
+            let Ok(res) = res else { return };
+            {
+                let mut d = driver.inner.borrow_mut();
+                d.predictor.set_reference(res.completed, res.lba);
+                d.log_busy = false;
+                d.stats.idle_refreshes += 1;
+            }
+            driver.service_log(sim);
+        });
         tolerate_power_loss(
             log_disk.submit(
                 sim,
@@ -1002,15 +1018,7 @@ impl TrailDriver {
                     lba: target,
                     count: 1,
                 },
-                Box::new(move |sim, res| {
-                    {
-                        let mut d = driver.inner.borrow_mut();
-                        d.predictor.set_reference(res.completed, res.lba);
-                        d.log_busy = false;
-                        d.stats.idle_refreshes += 1;
-                    }
-                    driver.service_log(sim);
-                }),
+                done,
             ),
             "log disk rejected an idle refresh read",
         );
@@ -1036,6 +1044,13 @@ impl TrailDriver {
             },
         );
         let driver = self.clone();
+        // A cancelled delivery means the machine lost power with the
+        // write-back in flight; recovery at next boot re-issues it.
+        let wb = sim.completion(move |sim, d| {
+            if d.is_ok() {
+                driver.on_writeback_done(sim, key, version);
+            }
+        });
         tolerate_power_loss(
             drv.submit(
                 sim,
@@ -1043,9 +1058,7 @@ impl TrailDriver {
                     lba: key.lba,
                     kind: IoKind::Write { data },
                 },
-                Box::new(move |sim, _| {
-                    driver.on_writeback_done(sim, key, version);
-                }),
+                wb,
             )
             .map(|_| ()),
             "data disk rejected a validated write-back",

@@ -38,9 +38,10 @@
 //! assert!(boot.recovered.is_none(), "clean disk boots without recovery");
 //!
 //! // A synchronous 4-KByte write completes in ~1.5 ms (paper abstract).
-//! trail.write(&mut sim, 0, 2048, vec![0xAB; 8 * SECTOR_SIZE], Box::new(|_, done| {
-//!     assert!(done.latency().as_millis_f64() < 4.0);
-//! }))?;
+//! let done = sim.completion(|_, d: trail_sim::Delivered<trail_blockio::IoDone>| {
+//!     assert!(d.expect("durable").latency().as_millis_f64() < 4.0);
+//! });
+//! trail.write(&mut sim, 0, 2048, vec![0xAB; 8 * SECTOR_SIZE], done)?;
 //! trail.run_until_quiescent(&mut sim);
 //! trail.shutdown(&mut sim)?;
 //! # Ok::<(), trail_core::TrailError>(())

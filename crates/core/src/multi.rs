@@ -20,9 +20,9 @@
 //! availability-routed "completely hide" variant would need a global
 //! write order across logs, which the paper leaves open).
 
-use trail_blockio::{Clook, IoCallback, Priority, StandardDriver};
+use trail_blockio::{Clook, IoDone, Priority, StandardDriver};
 use trail_disk::{Disk, Lba};
-use trail_sim::Simulator;
+use trail_sim::{Completion, Simulator};
 
 use crate::config::TrailConfig;
 use crate::driver::{BootReport, TrailDriver, TrailStats};
@@ -48,7 +48,8 @@ use crate::error::TrailError;
 /// let (multi, boots) =
 ///     MultiTrail::start(&mut sim, logs, vec![data], TrailConfig::default())?;
 /// assert_eq!(boots.len(), 2);
-/// multi.write(&mut sim, 0, 64, vec![1u8; SECTOR_SIZE], Box::new(|_, _| {}))?;
+/// let done = sim.completion(|_, _| {});
+/// multi.write(&mut sim, 0, 64, vec![1u8; SECTOR_SIZE], done)?;
 /// multi.run_until_quiescent(&mut sim);
 /// # Ok::<(), trail_core::TrailError>(())
 /// ```
@@ -153,9 +154,9 @@ impl MultiTrail {
         dev: usize,
         lba: Lba,
         data: Vec<u8>,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
-        self.drivers[self.route(dev, lba)].write(sim, dev, lba, data, cb)
+        self.drivers[self.route(dev, lba)].write(sim, dev, lba, data, done)
     }
 
     /// Submits a read; semantics as [`TrailDriver::read`].
@@ -169,9 +170,9 @@ impl MultiTrail {
         dev: usize,
         lba: Lba,
         count: u32,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
-        self.drivers[self.route(dev, lba)].read(sim, dev, lba, count, cb)
+        self.drivers[self.route(dev, lba)].read(sim, dev, lba, count, done)
     }
 
     /// Outstanding work across all instances.

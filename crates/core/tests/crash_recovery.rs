@@ -65,16 +65,14 @@ fn run_workload_and_crash(
         sim.schedule_at(
             when.max(sim.now()),
             Box::new(move |sim| {
-                drv2.write(
-                    sim,
-                    dev,
-                    lba,
-                    tagged_sector(tag),
-                    Box::new(move |_, _| {
+                // A crash can cancel in-flight tokens; only a real delivery
+                // counts as an acknowledgement.
+                let done = sim.completion(move |_, d: trail_sim::Delivered<_>| {
+                    if d.is_ok() {
                         l2.borrow_mut().acked.insert((dev, lba), tag);
-                    }),
-                )
-                .unwrap();
+                    }
+                });
+                drv2.write(sim, dev, lba, tagged_sector(tag), done).unwrap();
             }),
         );
     }
@@ -185,7 +183,8 @@ fn driver_start_performs_recovery_automatically() {
     assert!(report.write_back_performed);
     verify_ledger(&ledger, &data);
     // The recovered driver is fully operational.
-    drv.write(&mut sim, 0, 1, tagged_sector(0xDD), Box::new(|_, _| {}))
+    let done = sim.completion(|_, _| {});
+    drv.write(&mut sim, 0, 1, tagged_sector(0xDD), done)
         .unwrap();
     drv.run_until_quiescent(&mut sim);
     assert_eq!(data[0].peek_sector(1)[1], 0xDD);
@@ -237,12 +236,13 @@ fn binary_search_scans_logarithmically_many_tracks() {
     let (drv, _) =
         TrailDriver::start(&mut sim, log.clone(), data.clone(), TrailConfig::default()).unwrap();
     for i in 0..600u64 {
+        let done = sim.completion(|_, _| {});
         drv.write(
             &mut sim,
             0,
             i % 64,
             tagged_sector((i % 200 + 1) as u8),
-            Box::new(|_, _| {}),
+            done,
         )
         .unwrap();
         drv.run_until_quiescent(&mut sim);
@@ -283,12 +283,13 @@ fn log_head_bounds_the_backward_scan() {
     // Sparse writes: each one commits before the next, so log_head stays
     // right behind the tail.
     for i in 0..120u64 {
+        let done = sim.completion(|_, _| {});
         drv.write(
             &mut sim,
             0,
             i % 64,
             tagged_sector((i % 200 + 1) as u8),
-            Box::new(|_, _| {}),
+            done,
         )
         .unwrap();
         drv.run_until_quiescent(&mut sim);
@@ -328,18 +329,14 @@ fn torn_record_is_detected_and_dropped() {
             TrailDriver::start(&mut sim, log.clone(), data.clone(), TrailConfig::default())
                 .unwrap();
         // One committed write, then a large in-flight record to tear.
-        drv.write(&mut sim, 0, 5, tagged_sector(0x11), Box::new(|_, _| {}))
+        let done = sim.completion(|_, _| {});
+        drv.write(&mut sim, 0, 5, tagged_sector(0x11), done)
             .unwrap();
         drv.run_until_quiescent(&mut sim);
         let start = sim.now();
-        drv.write(
-            &mut sim,
-            0,
-            10,
-            vec![0x22; 20 * SECTOR_SIZE],
-            Box::new(|_, _| {}),
-        )
-        .unwrap();
+        let done = sim.completion(|_, _| {});
+        drv.write(&mut sim, 0, 10, vec![0x22; 20 * SECTOR_SIZE], done)
+            .unwrap();
         sim.run_until(start + SimDuration::from_micros(probe_us));
         log.power_cut(sim.now());
         for d in &data {

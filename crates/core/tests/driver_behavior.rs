@@ -3,9 +3,10 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use trail_blockio::IoDone;
 use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver, TrailError};
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
-use trail_sim::{SimDuration, SimTime, Simulator};
+use trail_sim::{Delivered, SimDuration, SimTime, Simulator};
 
 /// Formats a log disk and boots a driver over `n_data` tiny data disks.
 fn boot(
@@ -85,14 +86,11 @@ fn single_sector_sync_write_latency_matches_paper_anchor() {
         let lat = Rc::clone(&lat);
         // Sparse mode: spaced well beyond the repositioning overhead.
         sim.run_for(SimDuration::from_millis(20));
-        drv.write(
-            &mut sim,
-            0,
-            100 + i,
-            sector_data(i as u8, 1),
-            Box::new(move |_, done| lat.borrow_mut().push(done.latency())),
-        )
-        .unwrap();
+        let done = sim.completion(move |_, d: Delivered<IoDone>| {
+            lat.borrow_mut().push(d.expect("durable").latency());
+        });
+        drv.write(&mut sim, 0, 100 + i, sector_data(i as u8, 1), done)
+            .unwrap();
         drv.run_until_quiescent(&mut sim);
     }
     let lats = lat.borrow();
@@ -118,14 +116,8 @@ fn written_data_reaches_the_data_disk() {
     let payload = sector_data(0x42, 3);
     let acked = Rc::new(Cell::new(false));
     let a = Rc::clone(&acked);
-    drv.write(
-        &mut sim,
-        0,
-        50,
-        payload.clone(),
-        Box::new(move |_, _| a.set(true)),
-    )
-    .unwrap();
+    let done = sim.completion(move |_, _| a.set(true));
+    drv.write(&mut sim, 0, 50, payload.clone(), done).unwrap();
     drv.run_until_quiescent(&mut sim);
     assert!(acked.get());
     assert_eq!(drv.pinned_blocks(), 0, "committed blocks are unpinned");
@@ -153,29 +145,17 @@ fn read_hits_pinned_buffer_before_writeback() {
         let drv2 = drv.clone();
         let payload2 = payload.clone();
         let read_data = Rc::clone(&read_data);
-        drv.write(
-            &mut sim,
-            0,
-            10,
-            payload.clone(),
-            Box::new(move |sim, _| {
-                // Immediately after the ack the block is still pinned; the
-                // read must be served from memory and return the new data.
-                let rd = Rc::clone(&read_data);
-                drv2.read(
-                    sim,
-                    0,
-                    10,
-                    2,
-                    Box::new(move |_, done| {
-                        *rd.borrow_mut() = done.data;
-                    }),
-                )
-                .unwrap();
-                let _ = payload2;
-            }),
-        )
-        .unwrap();
+        let done = sim.completion(move |sim: &mut Simulator, _| {
+            // Immediately after the ack the block is still pinned; the
+            // read must be served from memory and return the new data.
+            let rd = Rc::clone(&read_data);
+            let read_done = sim.completion(move |_, d: Delivered<IoDone>| {
+                *rd.borrow_mut() = d.expect("read delivered").data;
+            });
+            drv2.read(sim, 0, 10, 2, read_done).unwrap();
+            let _ = payload2;
+        });
+        drv.write(&mut sim, 0, 10, payload.clone(), done).unwrap();
     }
     drv.run_until_quiescent(&mut sim);
     assert_eq!(read_data.borrow().as_deref(), Some(&payload[..]));
@@ -200,14 +180,10 @@ fn read_miss_goes_to_data_disk() {
     data[0].poke_sector(200, &sector);
     let got = Rc::new(RefCell::new(None));
     let g = Rc::clone(&got);
-    drv.read(
-        &mut sim,
-        0,
-        200,
-        1,
-        Box::new(move |_, done| *g.borrow_mut() = done.data),
-    )
-    .unwrap();
+    let done = sim.completion(move |_, d: Delivered<IoDone>| {
+        *g.borrow_mut() = d.expect("read delivered").data;
+    });
+    drv.read(&mut sim, 0, 200, 1, done).unwrap();
     drv.run_until_quiescent(&mut sim);
     sim.run();
     assert_eq!(got.borrow().as_ref().unwrap()[7], 0x99);
@@ -228,14 +204,9 @@ fn clustered_writes_batch_into_fewer_records() {
     let acks = Rc::new(Cell::new(0u32));
     for i in 0..16u64 {
         let acks = Rc::clone(&acks);
-        drv.write(
-            &mut sim,
-            0,
-            300 + i,
-            sector_data(i as u8, 1),
-            Box::new(move |_, _| acks.set(acks.get() + 1)),
-        )
-        .unwrap();
+        let done = sim.completion(move |_, _| acks.set(acks.get() + 1));
+        drv.write(&mut sim, 0, 300 + i, sector_data(i as u8, 1), done)
+            .unwrap();
     }
     drv.run_until_quiescent(&mut sim);
     assert_eq!(acks.get(), 16);
@@ -265,8 +236,8 @@ fn utilization_threshold_triggers_reposition() {
     );
     // Tiny disk zone 0 has 40 spt; a 13-sector write + header = 14 sectors
     // = 35 % utilization, crossing the 30 % threshold in one record.
-    drv.write(&mut sim, 0, 0, sector_data(1, 13), Box::new(|_, _| {}))
-        .unwrap();
+    let done = sim.completion(|_, _| {});
+    drv.write(&mut sim, 0, 0, sector_data(1, 13), done).unwrap();
     drv.run_until_quiescent(&mut sim);
     drv.with_stats(|s| {
         assert_eq!(s.repositions, 1, "threshold crossing must move the head");
@@ -287,8 +258,8 @@ fn below_threshold_track_is_reused() {
     // Two sparse 1-sector writes: 2+2 sectors on a 40-sector track stays
     // under 30 %, so no reposition happens between them.
     for i in 0..2u64 {
-        drv.write(&mut sim, 0, i, sector_data(9, 1), Box::new(|_, _| {}))
-            .unwrap();
+        let done = sim.completion(|_, _| {});
+        drv.write(&mut sim, 0, i, sector_data(9, 1), done).unwrap();
         drv.run_until_quiescent(&mut sim);
     }
     drv.with_stats(|s| {
@@ -310,8 +281,8 @@ fn reposition_every_write_ablation() {
         },
     );
     for i in 0..3u64 {
-        drv.write(&mut sim, 0, i, sector_data(7, 1), Box::new(|_, _| {}))
-            .unwrap();
+        let done = sim.completion(|_, _| {});
+        drv.write(&mut sim, 0, i, sector_data(7, 1), done).unwrap();
         drv.run_until_quiescent(&mut sim);
     }
     drv.with_stats(|s| {
@@ -335,14 +306,8 @@ fn large_write_splits_and_acks_once() {
     let payload = sector_data(0xEE, 80);
     let acks = Rc::new(Cell::new(0u32));
     let a = Rc::clone(&acks);
-    drv.write(
-        &mut sim,
-        0,
-        0,
-        payload.clone(),
-        Box::new(move |_, _| a.set(a.get() + 1)),
-    )
-    .unwrap();
+    let done = sim.completion(move |_, _| a.set(a.get() + 1));
+    drv.write(&mut sim, 0, 0, payload.clone(), done).unwrap();
     drv.run_until_quiescent(&mut sim);
     assert_eq!(acks.get(), 1, "split request must acknowledge exactly once");
     drv.with_stats(|s| assert!(s.log_records >= 3));
@@ -368,7 +333,8 @@ fn overwrite_keeps_only_newest_contents() {
     let v2 = sector_data(0x02, 1);
     let v3 = sector_data(0x03, 1);
     for v in [v1, v2, v3.clone()] {
-        drv.write(&mut sim, 0, 25, v, Box::new(|_, _| {})).unwrap();
+        let done = sim.completion(|_, _| {});
+        drv.write(&mut sim, 0, 25, v, done).unwrap();
     }
     drv.run_until_quiescent(&mut sim);
     assert_eq!(&data[0].peek_sector(25)[..], &v3[..]);
@@ -388,14 +354,9 @@ fn multiple_data_disks_are_independent() {
         TrailConfig::default(),
     );
     for dev in 0..3usize {
-        drv.write(
-            &mut sim,
-            dev,
-            40,
-            sector_data(dev as u8 + 1, 1),
-            Box::new(|_, _| {}),
-        )
-        .unwrap();
+        let done = sim.completion(|_, _| {});
+        drv.write(&mut sim, dev, 40, sector_data(dev as u8 + 1, 1), done)
+            .unwrap();
     }
     drv.run_until_quiescent(&mut sim);
     for (dev, disk) in data.iter().enumerate() {
@@ -415,30 +376,49 @@ fn request_validation() {
         TrailConfig::default(),
     );
     let cap = data[0].geometry().total_sectors();
+    // A rejected submission drops its completion; the token must come back
+    // cancelled rather than vanish.
+    let cancelled = Rc::new(Cell::new(0u32));
+    let mint = |sim: &Simulator| {
+        let c = Rc::clone(&cancelled);
+        sim.completion(move |_, d: Delivered<IoDone>| {
+            if d.is_err() {
+                c.set(c.get() + 1);
+            }
+        })
+    };
+    let done = mint(&sim);
     assert_eq!(
-        drv.write(&mut sim, 5, 0, sector_data(1, 1), Box::new(|_, _| {}))
+        drv.write(&mut sim, 5, 0, sector_data(1, 1), done)
             .unwrap_err(),
         TrailError::BadDevice
     );
+    let done = mint(&sim);
     assert_eq!(
-        drv.write(&mut sim, 0, 0, vec![1, 2, 3], Box::new(|_, _| {}))
-            .unwrap_err(),
+        drv.write(&mut sim, 0, 0, vec![1, 2, 3], done).unwrap_err(),
         TrailError::BadDataLength
     );
+    let done = mint(&sim);
     assert_eq!(
-        drv.write(&mut sim, 0, cap, sector_data(1, 1), Box::new(|_, _| {}))
+        drv.write(&mut sim, 0, cap, sector_data(1, 1), done)
             .unwrap_err(),
         TrailError::OutOfRange
     );
+    let done = mint(&sim);
     assert_eq!(
-        drv.read(&mut sim, 0, cap, 1, Box::new(|_, _| {}))
-            .unwrap_err(),
+        drv.read(&mut sim, 0, cap, 1, done).unwrap_err(),
         TrailError::OutOfRange
     );
+    let done = mint(&sim);
     assert_eq!(
-        drv.read(&mut sim, 0, 0, 0, Box::new(|_, _| {}))
-            .unwrap_err(),
+        drv.read(&mut sim, 0, 0, 0, done).unwrap_err(),
         TrailError::OutOfRange
+    );
+    sim.run();
+    assert_eq!(
+        cancelled.get(),
+        5,
+        "every rejected request cancels its token"
     );
 }
 
@@ -450,8 +430,8 @@ fn idle_timer_refreshes_reference_once() {
         ..TrailConfig::default()
     };
     let (drv, _) = boot(&mut sim, profiles::tiny_test_disk(), 1, config);
-    drv.write(&mut sim, 0, 0, sector_data(1, 1), Box::new(|_, _| {}))
-        .unwrap();
+    let done = sim.completion(|_, _| {});
+    drv.write(&mut sim, 0, 0, sector_data(1, 1), done).unwrap();
     drv.run_until_quiescent(&mut sim);
     // Run well past the idle threshold: exactly one refresh fires, and the
     // event queue then drains (no runaway timers).
@@ -459,8 +439,8 @@ fn idle_timer_refreshes_reference_once() {
     drv.with_stats(|s| assert_eq!(s.idle_refreshes, 1));
     assert!(sim.now() > SimTime::ZERO + SimDuration::from_millis(50));
     // Fresh activity re-arms the cycle.
-    drv.write(&mut sim, 0, 1, sector_data(2, 1), Box::new(|_, _| {}))
-        .unwrap();
+    let done = sim.completion(|_, _| {});
+    drv.write(&mut sim, 0, 1, sector_data(2, 1), done).unwrap();
     drv.run_until_quiescent(&mut sim);
     sim.run();
     drv.with_stats(|s| assert_eq!(s.idle_refreshes, 2));
@@ -480,14 +460,11 @@ fn sync_writes_remain_fast_after_many_records() {
     let lats = Rc::new(RefCell::new(Vec::<SimDuration>::new()));
     for i in 0..200u64 {
         let lats = Rc::clone(&lats);
-        drv.write(
-            &mut sim,
-            0,
-            (i * 13) % 4000,
-            sector_data(i as u8, 2),
-            Box::new(move |_, done| lats.borrow_mut().push(done.latency())),
-        )
-        .unwrap();
+        let done = sim.completion(move |_, d: Delivered<IoDone>| {
+            lats.borrow_mut().push(d.expect("durable").latency());
+        });
+        drv.write(&mut sim, 0, (i * 13) % 4000, sector_data(i as u8, 2), done)
+            .unwrap();
         drv.run_until_quiescent(&mut sim);
         sim.run_for(SimDuration::from_millis(3));
     }

@@ -32,14 +32,9 @@ fn log_full_stalls_then_drains() {
     let acks = Rc::new(Cell::new(0u32));
     for i in 0..300u64 {
         let acks = Rc::clone(&acks);
-        drv.write(
-            &mut sim,
-            0,
-            i,
-            vec![(i % 250 + 1) as u8; SECTOR_SIZE],
-            Box::new(move |_, _| acks.set(acks.get() + 1)),
-        )
-        .unwrap();
+        let done = sim.completion(move |_, _| acks.set(acks.get() + 1));
+        drv.write(&mut sim, 0, i, vec![(i % 250 + 1) as u8; SECTOR_SIZE], done)
+            .unwrap();
     }
     drv.run_until_quiescent(&mut sim);
     assert_eq!(acks.get(), 300, "every write must eventually be acked");
@@ -60,12 +55,13 @@ fn ring_wraps_and_keeps_serving() {
     let mut sim = Simulator::new();
     let (drv, _, data) = boot_limited(&mut sim, 4);
     for i in 0..300u64 {
+        let done = sim.completion(|_, _| {});
         drv.write(
             &mut sim,
             0,
             i % 64,
             vec![(i % 250 + 1) as u8; SECTOR_SIZE],
-            Box::new(|_, _| {}),
+            done,
         )
         .unwrap();
         drv.run_until_quiescent(&mut sim);
@@ -97,14 +93,9 @@ fn crash_on_a_wrapped_log_recovers() {
     let (drv, log, data) = boot_limited(&mut sim, 4);
     // Phase 1: recycle the ring thoroughly (all committed).
     for i in 0..200u64 {
-        drv.write(
-            &mut sim,
-            0,
-            i % 64,
-            vec![1u8; SECTOR_SIZE],
-            Box::new(|_, _| {}),
-        )
-        .unwrap();
+        let done = sim.completion(|_, _| {});
+        drv.write(&mut sim, 0, i % 64, vec![1u8; SECTOR_SIZE], done)
+            .unwrap();
         drv.run_until_quiescent(&mut sim);
     }
     // Phase 2: a burst, crashed mid-flight.
@@ -118,16 +109,13 @@ fn crash_on_a_wrapped_log_recovers() {
         sim.schedule_at(
             t0 + SimDuration::from_micros(i * 350),
             Box::new(move |sim| {
-                drv2.write(
-                    sim,
-                    0,
-                    lba,
-                    vec![tag; SECTOR_SIZE],
-                    Box::new(move |_, _| {
+                let done = sim.completion(move |_, d: trail_sim::Delivered<_>| {
+                    if d.is_ok() {
                         acked.borrow_mut().insert(lba, tag);
-                    }),
-                )
-                .unwrap();
+                    }
+                });
+                drv2.write(sim, 0, lba, vec![tag; SECTOR_SIZE], done)
+                    .unwrap();
             }),
         );
     }

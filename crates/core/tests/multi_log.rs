@@ -33,13 +33,14 @@ fn writes_spread_across_log_disks_and_land_on_data() {
     let mut sim = Simulator::new();
     let (multi, _, data) = boot(3, &mut sim);
     for i in 0..60u64 {
+        let done = sim.completion(|_, _| {});
         multi
             .write(
                 &mut sim,
                 (i % 2) as usize,
                 i,
                 vec![(i + 1) as u8; SECTOR_SIZE],
-                Box::new(|_, _| {}),
+                done,
             )
             .unwrap();
     }
@@ -74,8 +75,9 @@ fn same_block_always_routes_to_the_same_log() {
     // Rapid overwrites of one block: order must be preserved, so the final
     // value always wins.
     for v in 1..=30u8 {
+        let done = sim.completion(|_, _| {});
         multi
-            .write(&mut sim, 0, 7, vec![v; SECTOR_SIZE], Box::new(|_, _| {}))
+            .write(&mut sim, 0, 7, vec![v; SECTOR_SIZE], done)
             .unwrap();
     }
     multi.run_until_quiescent(&mut sim);
@@ -99,30 +101,18 @@ fn reads_route_to_the_pinning_driver() {
         let multi2 = multi.clone();
         let seen2 = Rc::clone(&seen);
         let expect = payload.clone();
-        multi
-            .write(
-                &mut sim,
-                0,
-                33,
-                payload,
-                Box::new(move |sim, _| {
-                    // Still pinned: the read must hit the same instance's
-                    // buffer and see the new data.
-                    multi2
-                        .read(
-                            sim,
-                            0,
-                            33,
-                            1,
-                            Box::new(move |_, done| {
-                                assert_eq!(done.data.as_deref(), Some(&expect[..]));
-                                *seen2.borrow_mut() = Some(());
-                            }),
-                        )
-                        .unwrap();
-                }),
-            )
-            .unwrap();
+        let done = sim.completion(move |sim: &mut Simulator, _| {
+            // Still pinned: the read must hit the same instance's
+            // buffer and see the new data.
+            let read_done =
+                sim.completion(move |_, d: trail_sim::Delivered<trail_blockio::IoDone>| {
+                    let done = d.expect("read delivered");
+                    assert_eq!(done.data.as_deref(), Some(&expect[..]));
+                    *seen2.borrow_mut() = Some(());
+                });
+            multi2.read(sim, 0, 33, 1, read_done).unwrap();
+        });
+        multi.write(&mut sim, 0, 33, payload, done).unwrap();
     }
     multi.run_until_quiescent(&mut sim);
     assert!(seen.borrow().is_some());
@@ -145,16 +135,13 @@ fn crash_recovery_covers_every_log_disk() {
         sim.schedule_at(
             t0 + SimDuration::from_micros(i * 300),
             Box::new(move |sim| {
+                let done = sim.completion(move |_, d: trail_sim::Delivered<_>| {
+                    if d.is_ok() {
+                        acked.borrow_mut().insert(lba, tag);
+                    }
+                });
                 multi2
-                    .write(
-                        sim,
-                        0,
-                        lba,
-                        vec![tag; SECTOR_SIZE],
-                        Box::new(move |_, _| {
-                            acked.borrow_mut().insert(lba, tag);
-                        }),
-                    )
+                    .write(sim, 0, lba, vec![tag; SECTOR_SIZE], done)
                     .unwrap();
             }),
         );
@@ -225,21 +212,16 @@ fn two_logs_hide_repositioning_from_clustered_writes() {
             }
             let m2 = multi.clone();
             let d2 = Rc::clone(&done);
+            let ack = sim.completion(move |sim: &mut Simulator, _| {
+                d2.set(d2.get() + 1);
+                let mut rng = trail_sim::rng(seed);
+                use rand::Rng as _;
+                let nlba = rng.gen_range(0..1_000_000u64);
+                let nseed = rng.gen();
+                next(sim, m2, d2, nlba, remaining - 1, nseed);
+            });
             multi
-                .write(
-                    sim,
-                    0,
-                    lba,
-                    vec![1u8; SECTOR_SIZE],
-                    Box::new(move |sim, _| {
-                        d2.set(d2.get() + 1);
-                        let mut rng = trail_sim::rng(seed);
-                        use rand::Rng as _;
-                        let nlba = rng.gen_range(0..1_000_000u64);
-                        let nseed = rng.gen();
-                        next(sim, m2, d2, nlba, remaining - 1, nseed);
-                    }),
-                )
+                .write(sim, 0, lba, vec![1u8; SECTOR_SIZE], ack)
                 .unwrap();
         }
         next(

@@ -42,8 +42,9 @@ fn write_after_idle(idle: SimDuration, idle_refresh_after: SimDuration) -> f64 {
     let (trail, _) = TrailDriver::start(&mut sim, log, vec![data], config).unwrap();
     // Anchor writes.
     for i in 0..3u64 {
+        let done = sim.completion(|_, _| {});
         trail
-            .write(&mut sim, 0, i * 8, vec![1u8; 512], Box::new(|_, _| {}))
+            .write(&mut sim, 0, i * 8, vec![1u8; 512], done)
             .unwrap();
         trail.run_until_quiescent(&mut sim);
     }
@@ -54,14 +55,11 @@ fn write_after_idle(idle: SimDuration, idle_refresh_after: SimDuration) -> f64 {
     // The probe write.
     let lat = Rc::new(RefCell::new(LatencySummary::new()));
     let l2 = Rc::clone(&lat);
+    let done = sim.completion(move |_, d: trail_sim::Delivered<trail_blockio::IoDone>| {
+        l2.borrow_mut().record(d.expect("durable").latency());
+    });
     trail
-        .write(
-            &mut sim,
-            0,
-            4096,
-            vec![2u8; 512],
-            Box::new(move |_, done| l2.borrow_mut().record(done.latency())),
-        )
+        .write(&mut sim, 0, 4096, vec![2u8; 512], done)
         .unwrap();
     trail.run_until_quiescent(&mut sim);
     let out = lat.borrow().mean().as_millis_f64();
@@ -125,22 +123,18 @@ fn wander_free_spindle_needs_no_refresh() {
         ..TrailConfig::default()
     };
     let (trail, _) = TrailDriver::start(&mut sim, log, vec![data], config).unwrap();
-    trail
-        .write(&mut sim, 0, 0, vec![1u8; 512], Box::new(|_, _| {}))
-        .unwrap();
+    let done = sim.completion(|_, _| {});
+    trail.write(&mut sim, 0, 0, vec![1u8; 512], done).unwrap();
     trail.run_until_quiescent(&mut sim);
     let resume = sim.now() + SimDuration::from_millis(700);
     sim.run_until(resume);
     let lat = Rc::new(RefCell::new(LatencySummary::new()));
     let l2 = Rc::clone(&lat);
+    let done = sim.completion(move |_, d: trail_sim::Delivered<trail_blockio::IoDone>| {
+        l2.borrow_mut().record(d.expect("durable").latency());
+    });
     trail
-        .write(
-            &mut sim,
-            0,
-            4096,
-            vec![2u8; 512],
-            Box::new(move |_, done| l2.borrow_mut().record(done.latency())),
-        )
+        .write(&mut sim, 0, 4096, vec![2u8; 512], done)
         .unwrap();
     trail.run_until_quiescent(&mut sim);
     let ms = lat.borrow().mean().as_millis_f64();

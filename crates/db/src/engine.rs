@@ -15,9 +15,10 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use trail_blockio::IoDone;
 use trail_core::TrailError;
 use trail_disk::{Lba, SECTOR_SIZE};
-use trail_sim::{LatencySummary, SimDuration, SimTime, Simulator};
+use trail_sim::{Completion, Delivered, LatencySummary, SimDuration, SimTime, Simulator};
 use trail_telemetry::{null_recorder, Event, EventKind, Layer, RecorderHandle};
 
 use crate::cache::{BufferPool, CacheStats};
@@ -27,13 +28,6 @@ use crate::wal::{FlushPolicy, PendingCommit, Wal, WalRecord, WalStats};
 
 /// Identifies a table.
 pub type TableId = u8;
-
-/// Callback fired when a transaction's commit record is durable.
-pub type DurableCallback = Box<dyn FnOnce(&mut Simulator, TxnResult)>;
-
-/// Callback fired when the engine finishes processing a transaction
-/// (control returns to the submitting client).
-pub type ControlCallback = Box<dyn FnOnce(&mut Simulator)>;
 
 /// One transaction operation.
 #[derive(Clone, Debug)]
@@ -155,7 +149,7 @@ struct TxnCtx {
     started: SimTime,
     ops: Vec<Op>,
     pos: usize,
-    on_durable: DurableCallback,
+    on_durable: Completion<TxnResult>,
 }
 
 struct DbInner {
@@ -169,9 +163,9 @@ struct DbInner {
     /// Pages with an in-flight write-back; reads are served from these
     /// copies so a racing disk read cannot observe stale bytes.
     flushing: HashMap<PageId, Vec<u8>>,
-    /// Control callbacks of commits that triggered a force and therefore
+    /// Control tokens of commits that triggered a force and therefore
     /// block until the next force completes.
-    control_waiters: Vec<ControlCallback>,
+    control_waiters: Vec<Completion<()>>,
     flusher_active: bool,
     next_txn: u32,
     active_txns: usize,
@@ -344,10 +338,11 @@ impl Database {
         d.cache.insert(pid, Page::from_bytes(bytes));
     }
 
-    /// Executes a transaction. `on_control` fires when the engine has
-    /// finished processing it (commit record buffered — the moment a
+    /// Executes a transaction. `on_control` is delivered when the engine
+    /// has finished processing it (commit record buffered — the moment a
     /// closed-loop client may submit its next transaction under group
-    /// commit); `on_durable` fires when the commit is forced to disk.
+    /// commit); `on_durable` is delivered when the commit is forced to
+    /// disk. Both tokens are cancelled if the run tears down first.
     ///
     /// # Errors
     ///
@@ -357,8 +352,8 @@ impl Database {
         &self,
         sim: &mut Simulator,
         spec: TxnSpec,
-        on_control: ControlCallback,
-        on_durable: DurableCallback,
+        on_control: Completion<()>,
+        on_durable: Completion<TxnResult>,
     ) -> Result<u32, TrailError> {
         let (txn, cpu_done_at) = {
             let mut d = self.inner.borrow_mut();
@@ -396,7 +391,7 @@ impl Database {
 
     /// Drives a transaction forward until it suspends on a page read or
     /// commits.
-    fn advance(&self, sim: &mut Simulator, mut ctx: TxnCtx, on_control: ControlCallback) {
+    fn advance(&self, sim: &mut Simulator, mut ctx: TxnCtx, on_control: Completion<()>) {
         let mut evict_writes: Vec<(PageId, Vec<u8>)> = Vec::new();
         let outcome = {
             let mut d = self.inner.borrow_mut();
@@ -439,33 +434,31 @@ impl Database {
                             d.stats.page_reads += 1;
                             (Rc::clone(&d.stack), pid.first_lba())
                         };
-                        stack
-                            .read(
-                                sim,
-                                pid.dev as usize,
-                                lba,
-                                SECTORS_PER_PAGE,
-                                Box::new(move |sim, done| {
-                                    let bytes = done.data.expect("page read returns data");
-                                    let mut evictions = Vec::new();
+                        let done = sim.completion(move |sim, d: Delivered<IoDone>| {
+                            // A cancelled read (teardown) drops the txn
+                            // context, cascade-cancelling its tokens.
+                            let Ok(done) = d else { return };
+                            let bytes = done.data.expect("page read returns data");
+                            let mut evictions = Vec::new();
+                            {
+                                let mut d = db.inner.borrow_mut();
+                                if !d.cache.contains(pid) {
+                                    if let Some((vid, vbytes, dirty)) =
+                                        d.cache.insert(pid, Page::from_bytes(&bytes))
                                     {
-                                        let mut d = db.inner.borrow_mut();
-                                        if !d.cache.contains(pid) {
-                                            if let Some((vid, vbytes, dirty)) =
-                                                d.cache.insert(pid, Page::from_bytes(&bytes))
-                                            {
-                                                if dirty {
-                                                    evictions.push((vid, vbytes));
-                                                }
-                                            }
+                                        if dirty {
+                                            evictions.push((vid, vbytes));
                                         }
                                     }
-                                    for (vid, vbytes) in evictions {
-                                        db.write_page(sim, vid, vbytes);
-                                    }
-                                    db.advance(sim, ctx, on_control);
-                                }),
-                            )
+                                }
+                            }
+                            for (vid, vbytes) in evictions {
+                                db.write_page(sim, vid, vbytes);
+                            }
+                            db.advance(sim, ctx, on_control);
+                        });
+                        stack
+                            .read(sim, pid.dev as usize, lba, SECTORS_PER_PAGE, done)
                             .expect("page read within device bounds");
                     }
                 }
@@ -475,25 +468,33 @@ impl Database {
                     let mut d = self.inner.borrow_mut();
                     let blocks_control = d.wal.commit_blocks_control();
                     let db = self.clone();
-                    let user_cb = ctx.on_durable;
+                    let user_done = ctx.on_durable;
                     let txn = ctx.txn;
+                    let started = ctx.started;
+                    let on_durable = sim.completion(move |sim, del: Delivered<SimTime>| {
+                        let Ok(durable_at) = del else {
+                            // Teardown before the force: cascade the
+                            // cancellation to the submitter's token.
+                            user_done.cancel(sim);
+                            return;
+                        };
+                        let result = TxnResult {
+                            txn,
+                            started,
+                            durable_at,
+                        };
+                        {
+                            let mut d = db.inner.borrow_mut();
+                            d.stats.committed += 1;
+                            d.stats.response.record(result.response());
+                            d.active_txns -= 1;
+                        }
+                        user_done.complete(sim, result);
+                    });
                     d.wal.register_commit(PendingCommit {
                         txn,
-                        started: ctx.started,
-                        on_durable: Box::new(move |sim, durable_at| {
-                            let result = TxnResult {
-                                txn,
-                                started: ctx.started,
-                                durable_at,
-                            };
-                            {
-                                let mut d = db.inner.borrow_mut();
-                                d.stats.committed += 1;
-                                d.stats.response.record(result.response());
-                                d.active_txns -= 1;
-                            }
-                            user_cb(sim, result);
-                        }),
+                        started,
+                        on_durable,
                     });
                     if blocks_control {
                         // This commit triggered a force: it runs the force
@@ -505,8 +506,8 @@ impl Database {
                         Some(on_control)
                     }
                 };
-                if let Some(cb) = deferred_control {
-                    cb(sim);
+                if let Some(token) = deferred_control {
+                    token.complete(sim, ());
                 }
                 self.maybe_flush_wal(sim);
                 self.maybe_flush_pages(sim);
@@ -523,20 +524,17 @@ impl Database {
             Rc::clone(&d.stack)
         };
         let db = self.clone();
+        let done = sim.completion(move |sim, d: Delivered<IoDone>| {
+            {
+                let mut inner = db.inner.borrow_mut();
+                inner.flushing.remove(&pid);
+            }
+            if d.is_ok() {
+                db.maybe_flush_pages(sim);
+            }
+        });
         stack
-            .write(
-                sim,
-                pid.dev as usize,
-                pid.first_lba(),
-                bytes,
-                Box::new(move |sim, _| {
-                    {
-                        let mut d = db.inner.borrow_mut();
-                        d.flushing.remove(&pid);
-                    }
-                    db.maybe_flush_pages(sim);
-                }),
-            )
+            .write(sim, pid.dev as usize, pid.first_lba(), bytes, done)
             .expect("page write within device bounds");
     }
 
@@ -626,11 +624,11 @@ impl Database {
                         txn: u64::from(c.txn),
                     },
                 );
-                (c.on_durable)(sim, durable_at);
+                c.on_durable.complete(sim, durable_at);
             }
             // Commits that blocked on this force resume.
             for w in waiters {
-                w(sim);
+                w.complete(sim, ());
             }
             // More commits may have buffered meanwhile.
             self.maybe_flush_wal(sim);
@@ -642,16 +640,15 @@ impl Database {
         };
         let (lba, data) = pieces[next].clone();
         let db = self.clone();
+        let done = sim.completion(move |sim, d: Delivered<IoDone>| {
+            // A cancelled piece (teardown) drops the pending commits,
+            // cascade-cancelling their durability tokens.
+            if d.is_ok() {
+                db.write_flush_pieces(sim, pieces, next + 1, commits, issued);
+            }
+        });
         stack
-            .write(
-                sim,
-                dev,
-                lba,
-                data,
-                Box::new(move |sim, _| {
-                    db.write_flush_pieces(sim, pieces, next + 1, commits, issued);
-                }),
-            )
+            .write(sim, dev, lba, data, done)
             .expect("log chunk write within device bounds");
     }
 
@@ -682,24 +679,21 @@ impl Database {
                 d.stats.page_flushes += 1;
                 Rc::clone(&d.stack)
             };
+            let done = sim.completion(move |sim, d: Delivered<IoDone>| {
+                {
+                    let mut inner = db.inner.borrow_mut();
+                    inner.flushing.remove(&pid);
+                }
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    db.inner.borrow_mut().flusher_active = false;
+                    if d.is_ok() {
+                        db.maybe_flush_pages(sim);
+                    }
+                }
+            });
             stack
-                .write(
-                    sim,
-                    pid.dev as usize,
-                    pid.first_lba(),
-                    bytes,
-                    Box::new(move |sim, _| {
-                        {
-                            let mut d = db.inner.borrow_mut();
-                            d.flushing.remove(&pid);
-                        }
-                        remaining.set(remaining.get() - 1);
-                        if remaining.get() == 0 {
-                            db.inner.borrow_mut().flusher_active = false;
-                            db.maybe_flush_pages(sim);
-                        }
-                    }),
-                )
+                .write(sim, pid.dev as usize, pid.first_lba(), bytes, done)
                 .expect("page write within device bounds");
         }
     }
@@ -738,6 +732,11 @@ impl Database {
                 let buffered = self.inner.borrow().wal.buffered_bytes();
                 if buffered > 0 {
                     self.force_log(sim);
+                    continue;
+                }
+                // Completion delivery is deferred: queued handlers may
+                // still fire (and may submit new transactions).
+                if sim.step() {
                     continue;
                 }
                 break;

@@ -31,9 +31,7 @@ mod stack;
 mod wal;
 
 pub use cache::{BufferPool, CacheStats};
-pub use engine::{
-    ControlCallback, Database, DbConfig, DbStats, DurableCallback, Op, TableId, TxnResult, TxnSpec,
-};
+pub use engine::{Database, DbConfig, DbStats, Op, TableId, TxnResult, TxnSpec};
 pub use page::{Page, PageId, Rid, PAGE_SIZE, SECTORS_PER_PAGE};
 pub use recovery::{read_blocking, replay_committed, scan_wal};
 pub use stack::{BlockStack, SharedStack, StandardStack, TrailStack};

@@ -39,15 +39,12 @@ pub fn read_blocking(
 ) -> Result<Vec<u8>, TrailError> {
     let slot: Rc<RefCell<Option<Vec<u8>>>> = Rc::new(RefCell::new(None));
     let out = Rc::clone(&slot);
-    stack.read(
-        sim,
-        dev,
-        lba,
-        count,
-        Box::new(move |_, done| {
+    let done = sim.completion(move |_, d: trail_sim::Delivered<trail_blockio::IoDone>| {
+        if let Ok(done) = d {
             *out.borrow_mut() = done.data;
-        }),
-    )?;
+        }
+    });
+    stack.read(sim, dev, lba, count, done)?;
     sim.run();
     let data = slot.borrow_mut().take();
     Ok(data.expect("recovery read did not complete"))

@@ -4,17 +4,18 @@
 
 use std::rc::Rc;
 
-use trail_blockio::{Clook, IoCallback, IoKind, IoRequest, Priority, StandardDriver};
+use trail_blockio::{Clook, IoDone, IoKind, IoRequest, Priority, Scheduler, StandardDriver};
 use trail_core::{TrailDriver, TrailError};
 use trail_disk::{Disk, Lba};
-use trail_sim::Simulator;
+use trail_sim::{Completion, Simulator};
 use trail_telemetry::RecorderHandle;
 
 /// A stack of block devices the database reads and writes through.
 ///
 /// `dev` indexes are stable across the stack's lifetime; writes are
-/// synchronous in the database's sense — the callback fires when the
-/// stack guarantees durability (for Trail, that is the *log-disk* write).
+/// synchronous in the database's sense — the completion is delivered when
+/// the stack guarantees durability (for Trail, that is the *log-disk*
+/// write). A rejected or abandoned submission cancels its token.
 pub trait BlockStack {
     /// Submits a durable write of `data` at `lba` on device `dev`.
     ///
@@ -27,7 +28,7 @@ pub trait BlockStack {
         dev: usize,
         lba: Lba,
         data: Vec<u8>,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError>;
 
     /// Submits a read of `count` sectors at `lba` on device `dev`.
@@ -41,7 +42,7 @@ pub trait BlockStack {
         dev: usize,
         lba: Lba,
         count: u32,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError>;
 
     /// Outstanding work inside the stack (used to drain at shutdown).
@@ -81,9 +82,9 @@ impl BlockStack for TrailStack {
         dev: usize,
         lba: Lba,
         data: Vec<u8>,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
-        self.driver.write(sim, dev, lba, data, cb)
+        self.driver.write(sim, dev, lba, data, done)
     }
 
     fn read(
@@ -92,9 +93,9 @@ impl BlockStack for TrailStack {
         dev: usize,
         lba: Lba,
         count: u32,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
-        self.driver.read(sim, dev, lba, count, cb)
+        self.driver.read(sim, dev, lba, count, done)
     }
 
     fn pending_work(&self) -> usize {
@@ -121,10 +122,20 @@ impl StandardStack {
     /// Builds a baseline stack over `disks` with C-LOOK scheduling and no
     /// read priority (Linux-of-the-era behavior).
     pub fn new(disks: Vec<Disk>) -> Self {
+        Self::with_policy(disks, || Box::new(Clook::default()), Priority::None)
+    }
+
+    /// Builds a baseline stack with an explicit scheduling policy;
+    /// `make_scheduler` is called once per disk.
+    pub fn with_policy(
+        disks: Vec<Disk>,
+        mut make_scheduler: impl FnMut() -> Box<dyn Scheduler>,
+        priority: Priority,
+    ) -> Self {
         StandardStack {
             drivers: disks
                 .into_iter()
-                .map(|d| StandardDriver::with_policy(d, Box::new(Clook::default()), Priority::None))
+                .map(|d| StandardDriver::with_policy(d, make_scheduler(), priority))
                 .collect(),
         }
     }
@@ -146,7 +157,7 @@ impl BlockStack for StandardStack {
         dev: usize,
         lba: Lba,
         data: Vec<u8>,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
         let drv = self.drivers.get(dev).ok_or(TrailError::BadDevice)?;
         drv.submit(
@@ -155,7 +166,7 @@ impl BlockStack for StandardStack {
                 lba,
                 kind: IoKind::Write { data },
             },
-            cb,
+            done,
         )
         .map(|_| ())
         .map_err(TrailError::Disk)
@@ -167,7 +178,7 @@ impl BlockStack for StandardStack {
         dev: usize,
         lba: Lba,
         count: u32,
-        cb: IoCallback,
+        done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
         let drv = self.drivers.get(dev).ok_or(TrailError::BadDevice)?;
         drv.submit(
@@ -176,7 +187,7 @@ impl BlockStack for StandardStack {
                 lba,
                 kind: IoKind::Read { count },
             },
-            cb,
+            done,
         )
         .map(|_| ())
         .map_err(TrailError::Disk)
@@ -219,22 +230,16 @@ mod tests {
         assert_eq!(stack.devices(), 2);
         let hit = Rc::new(Cell::new(false));
         let h = Rc::clone(&hit);
+        let done = sim.completion(|_, _| {});
         stack
-            .write(&mut sim, 1, 9, vec![0x3C; SECTOR_SIZE], Box::new(|_, _| {}))
+            .write(&mut sim, 1, 9, vec![0x3C; SECTOR_SIZE], done)
             .unwrap();
         sim.run();
-        stack
-            .read(
-                &mut sim,
-                1,
-                9,
-                1,
-                Box::new(move |_, done| {
-                    assert_eq!(done.data.unwrap()[0], 0x3C);
-                    h.set(true);
-                }),
-            )
-            .unwrap();
+        let done = sim.completion(move |_, d: trail_sim::Delivered<IoDone>| {
+            assert_eq!(d.expect("read delivered").data.unwrap()[0], 0x3C);
+            h.set(true);
+        });
+        stack.read(&mut sim, 1, 9, 1, done).unwrap();
         sim.run();
         assert!(hit.get());
         assert_eq!(stack.pending_work(), 0);
@@ -244,12 +249,14 @@ mod tests {
     fn standard_stack_rejects_bad_device() {
         let mut sim = Simulator::new();
         let stack = StandardStack::new(vec![Disk::new("a", profiles::tiny_test_disk())]);
+        let done = sim.completion(|_, _| {});
         assert!(matches!(
-            stack.write(&mut sim, 7, 0, vec![0; SECTOR_SIZE], Box::new(|_, _| {})),
+            stack.write(&mut sim, 7, 0, vec![0; SECTOR_SIZE], done),
             Err(TrailError::BadDevice)
         ));
+        let done = sim.completion(|_, _| {});
         assert!(matches!(
-            stack.read(&mut sim, 7, 0, 1, Box::new(|_, _| {})),
+            stack.read(&mut sim, 7, 0, 1, done),
             Err(TrailError::BadDevice)
         ));
     }
@@ -264,30 +271,20 @@ mod tests {
         let (drv, _) =
             TrailDriver::start(&mut sim, log, vec![data], TrailConfig::default()).unwrap();
         let stack = TrailStack::new(drv.clone(), 1);
+        let done = sim.completion(|_, d: trail_sim::Delivered<IoDone>| {
+            assert!(d.expect("durable").latency().as_millis_f64() < 5.0);
+        });
         stack
-            .write(
-                &mut sim,
-                0,
-                3,
-                vec![0x7E; SECTOR_SIZE],
-                Box::new(|_, done| {
-                    assert!(done.latency().as_millis_f64() < 5.0);
-                }),
-            )
+            .write(&mut sim, 0, 3, vec![0x7E; SECTOR_SIZE], done)
             .unwrap();
         drv.run_until_quiescent(&mut sim);
         assert_eq!(stack.pending_work(), 0);
         let got = Rc::new(Cell::new(0u8));
         let g = Rc::clone(&got);
-        stack
-            .read(
-                &mut sim,
-                0,
-                3,
-                1,
-                Box::new(move |_, done| g.set(done.data.unwrap()[0])),
-            )
-            .unwrap();
+        let done = sim.completion(move |_, d: trail_sim::Delivered<IoDone>| {
+            g.set(d.expect("read delivered").data.unwrap()[0]);
+        });
+        stack.read(&mut sim, 0, 3, 1, done).unwrap();
         sim.run();
         assert_eq!(got.get(), 0x7E);
     }

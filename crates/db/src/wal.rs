@@ -13,7 +13,7 @@
 //! mechanical disk.
 
 use trail_disk::SECTOR_SIZE;
-use trail_sim::{SimDuration, SimTime, Simulator};
+use trail_sim::{Completion, SimDuration, SimTime};
 
 /// When the log buffer is forced to disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -165,18 +165,15 @@ impl WalRecord {
     }
 }
 
-/// Callback fired with the durability instant when a commit's records
-/// reach the disk.
-pub type CommitDurableCallback = Box<dyn FnOnce(&mut Simulator, SimTime)>;
-
 /// A commit whose caller is waiting for durability.
 pub struct PendingCommit {
     /// Transaction id.
     pub txn: u32,
     /// When the transaction started (for response-time accounting).
     pub started: SimTime,
-    /// Fires when the commit record is durable.
-    pub on_durable: CommitDurableCallback,
+    /// Delivered with the durability instant when the commit's records
+    /// reach the disk; cancelled if the engine shuts down first.
+    pub on_durable: Completion<SimTime>,
 }
 
 /// A flush the engine must now submit to the stack.
@@ -219,15 +216,16 @@ pub struct WalStats {
 ///
 /// ```
 /// use trail_db::{FlushPolicy, Wal, WalRecord};
-/// use trail_sim::SimTime;
+/// use trail_sim::{SimTime, Simulator};
 ///
+/// let sim = Simulator::new();
 /// let mut wal = Wal::new(0, 64, 100_000, FlushPolicy::EveryCommit);
 /// wal.append(WalRecord::Put { txn: 1, table: 0, key: 9, value: vec![1, 2] });
 /// wal.append(WalRecord::Commit { txn: 1 });
 /// wal.register_commit(trail_db::PendingCommit {
 ///     txn: 1,
 ///     started: SimTime::ZERO,
-///     on_durable: Box::new(|_, _| {}),
+///     on_durable: sim.completion(|_, _: trail_sim::Delivered<SimTime>| {}),
 /// });
 /// assert!(wal.wants_flush());
 /// let job = wal.begin_flush(SimTime::ZERO, false).unwrap();
@@ -518,8 +516,13 @@ mod tests {
         assert!(WalRecord::decode(&buf).is_none());
     }
 
+    fn noop_durable(sim: &trail_sim::Simulator) -> Completion<SimTime> {
+        sim.completion(|_, _| {})
+    }
+
     #[test]
     fn every_commit_policy_forces_immediately() {
+        let sim = trail_sim::Simulator::new();
         let mut wal = Wal::new(0, 64, 1000, FlushPolicy::EveryCommit);
         wal.append(WalRecord::Put {
             txn: 1,
@@ -532,13 +535,14 @@ mod tests {
         wal.register_commit(PendingCommit {
             txn: 1,
             started: SimTime::ZERO,
-            on_durable: Box::new(|_, _| {}),
+            on_durable: noop_durable(&sim),
         });
         assert!(wal.wants_flush());
     }
 
     #[test]
     fn group_commit_waits_for_the_buffer_to_fill() {
+        let sim = trail_sim::Simulator::new();
         let mut wal = Wal::new(0, 64, 1000, FlushPolicy::GroupCommit { buffer_bytes: 500 });
         for txn in 0..5u32 {
             wal.append(WalRecord::Put {
@@ -551,7 +555,7 @@ mod tests {
             wal.register_commit(PendingCommit {
                 txn,
                 started: SimTime::ZERO,
-                on_durable: Box::new(|_, _| {}),
+                on_durable: noop_durable(&sim),
             });
         }
         // 5 × (~88 bytes) < 500: no force yet.
@@ -570,6 +574,7 @@ mod tests {
 
     #[test]
     fn flush_job_layout_and_chunk_parse() {
+        let sim = trail_sim::Simulator::new();
         let mut wal = Wal::new(0, 64, 1000, FlushPolicy::EveryCommit);
         wal.append(WalRecord::Put {
             txn: 1,
@@ -581,7 +586,7 @@ mod tests {
         wal.register_commit(PendingCommit {
             txn: 1,
             started: SimTime::ZERO,
-            on_durable: Box::new(|_, _| {}),
+            on_durable: noop_durable(&sim),
         });
         let job = wal
             .begin_flush(SimTime::from_nanos(100), false)
@@ -603,7 +608,7 @@ mod tests {
         wal.register_commit(PendingCommit {
             txn: 2,
             started: SimTime::ZERO,
-            on_durable: Box::new(|_, _| {}),
+            on_durable: noop_durable(&sim),
         });
         let job2 = wal
             .begin_flush(SimTime::from_nanos(3_000), false)
@@ -616,6 +621,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "wrapped its region")]
     fn region_overflow_panics() {
+        let sim = trail_sim::Simulator::new();
         let mut wal = Wal::new(0, 0, 1, FlushPolicy::EveryCommit);
         wal.append(WalRecord::Put {
             txn: 1,
@@ -626,7 +632,7 @@ mod tests {
         wal.register_commit(PendingCommit {
             txn: 1,
             started: SimTime::ZERO,
-            on_durable: Box::new(|_, _| {}),
+            on_durable: noop_durable(&sim),
         });
         let _ = wal.begin_flush(SimTime::ZERO, false);
     }

@@ -8,10 +8,10 @@ use std::rc::Rc;
 use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
 use trail_db::{
     replay_committed, scan_wal, Database, DbConfig, FlushPolicy, Op, StandardStack, TrailStack,
-    TxnSpec,
+    TxnResult, TxnSpec,
 };
 use trail_disk::{profiles, Disk};
-use trail_sim::{SimDuration, Simulator};
+use trail_sim::{Delivered, SimDuration, Simulator};
 
 const LOG_DEV: usize = 0;
 const TABLE_DEV: usize = 1;
@@ -73,16 +73,14 @@ fn commit_is_durable_and_readable_on_standard_stack() {
     let (mut sim, db, _) = standard_setup(FlushPolicy::EveryCommit);
     let durable = Rc::new(Cell::new(false));
     let d = Rc::clone(&durable);
-    db.execute(
-        &mut sim,
-        put_txn(0, 42, 0xAA, 100),
-        Box::new(|_| {}),
-        Box::new(move |_, res| {
-            assert!(res.response().as_millis_f64() > 0.0);
-            d.set(true);
-        }),
-    )
-    .unwrap();
+    let ctrl = sim.completion(|_, _| {});
+    let dur = sim.completion(move |_, del: Delivered<TxnResult>| {
+        let res = del.expect("durable");
+        assert!(res.response().as_millis_f64() > 0.0);
+        d.set(true);
+    });
+    db.execute(&mut sim, put_txn(0, 42, 0xAA, 100), ctrl, dur)
+        .unwrap();
     db.run_until_quiescent(&mut sim);
     assert!(durable.get());
     assert_eq!(db.peek_row(0, 42), Some(vec![0xAA; 100]));
@@ -99,13 +97,14 @@ fn every_commit_forces_once_per_serial_transaction() {
             return;
         }
         let db2 = db.clone();
-        db.execute(
-            sim,
-            put_txn(0, i, i as u8, 64),
-            Box::new(|_| {}),
-            Box::new(move |sim, _| chain(db2, sim, i + 1, n)),
-        )
-        .unwrap();
+        let ctrl = sim.completion(|_, _| {});
+        let dur = sim.completion(move |sim: &mut Simulator, del: Delivered<TxnResult>| {
+            if del.is_ok() {
+                chain(db2, sim, i + 1, n);
+            }
+        });
+        db.execute(sim, put_txn(0, i, i as u8, 64), ctrl, dur)
+            .unwrap();
     }
     chain(db.clone(), &mut sim, 0, 10);
     db.run_until_quiescent(&mut sim);
@@ -122,13 +121,14 @@ fn group_commit_batches_forces() {
             return;
         }
         let db2 = db.clone();
-        db.execute(
-            sim,
-            put_txn(0, i, i as u8, 100),
-            Box::new(move |sim| chain(db2, sim, i + 1, n)),
-            Box::new(|_, _| {}),
-        )
-        .unwrap();
+        let ctrl = sim.completion(move |sim: &mut Simulator, del: Delivered<()>| {
+            if del.is_ok() {
+                chain(db2, sim, i + 1, n);
+            }
+        });
+        let dur = sim.completion(|_, _| {});
+        db.execute(sim, put_txn(0, i, i as u8, 100), ctrl, dur)
+            .unwrap();
     }
     chain(db.clone(), &mut sim, 0, 30);
     db.run_until_quiescent(&mut sim);
@@ -149,13 +149,14 @@ fn group_commit_delays_durability_but_not_control() {
     for i in 0..4u64 {
         let c = Rc::clone(&control_at);
         let du = Rc::clone(&durable_at);
-        db.execute(
-            &mut sim,
-            put_txn(0, i, 1, 50),
-            Box::new(move |sim| c.borrow_mut().push(sim.now())),
-            Box::new(move |sim, _| du.borrow_mut().push(sim.now())),
-        )
-        .unwrap();
+        let ctrl = sim.completion(move |sim: &mut Simulator, _: Delivered<()>| {
+            c.borrow_mut().push(sim.now());
+        });
+        let dur = sim.completion(move |sim: &mut Simulator, _: Delivered<TxnResult>| {
+            du.borrow_mut().push(sim.now());
+        });
+        db.execute(&mut sim, put_txn(0, i, 1, 50), ctrl, dur)
+            .unwrap();
     }
     db.run_until_quiescent(&mut sim);
     assert_eq!(control_at.borrow().len(), 4);
@@ -186,14 +187,16 @@ fn cache_misses_suspend_and_resume_transactions() {
     let done = Rc::new(Cell::new(0u32));
     for k in (0..2000u64).step_by(23) {
         let done = Rc::clone(&done);
+        let ctrl = sim.completion(|_, _| {});
+        let dur = sim.completion(move |_, _: Delivered<TxnResult>| done.set(done.get() + 1));
         db.execute(
             &mut sim,
             TxnSpec {
                 cpu: SimDuration::from_micros(50),
                 ops: vec![Op::Read(0, k), Op::Write(0, k, vec![9u8; 256])],
             },
-            Box::new(|_| {}),
-            Box::new(move |_, _| done.set(done.get() + 1)),
+            ctrl,
+            dur,
         )
         .unwrap();
     }
@@ -210,21 +213,15 @@ fn cache_misses_suspend_and_resume_transactions() {
 #[test]
 fn growing_update_moves_the_row() {
     let (mut sim, db, _) = standard_setup(FlushPolicy::EveryCommit);
-    db.execute(
-        &mut sim,
-        put_txn(0, 5, 0x11, 16),
-        Box::new(|_| {}),
-        Box::new(|_, _| {}),
-    )
-    .unwrap();
+    let ctrl = sim.completion(|_, _| {});
+    let dur = sim.completion(|_, _| {});
+    db.execute(&mut sim, put_txn(0, 5, 0x11, 16), ctrl, dur)
+        .unwrap();
     db.run_until_quiescent(&mut sim);
-    db.execute(
-        &mut sim,
-        put_txn(0, 5, 0x22, 400),
-        Box::new(|_| {}),
-        Box::new(|_, _| {}),
-    )
-    .unwrap();
+    let ctrl = sim.completion(|_, _| {});
+    let dur = sim.completion(|_, _| {});
+    db.execute(&mut sim, put_txn(0, 5, 0x22, 400), ctrl, dur)
+        .unwrap();
     db.run_until_quiescent(&mut sim);
     assert_eq!(db.peek_row(0, 5), Some(vec![0x22; 400]));
 }
@@ -232,22 +229,21 @@ fn growing_update_moves_the_row() {
 #[test]
 fn delete_removes_the_row() {
     let (mut sim, db, _) = standard_setup(FlushPolicy::EveryCommit);
-    db.execute(
-        &mut sim,
-        put_txn(0, 5, 0x11, 16),
-        Box::new(|_| {}),
-        Box::new(|_, _| {}),
-    )
-    .unwrap();
+    let ctrl = sim.completion(|_, _| {});
+    let dur = sim.completion(|_, _| {});
+    db.execute(&mut sim, put_txn(0, 5, 0x11, 16), ctrl, dur)
+        .unwrap();
     db.run_until_quiescent(&mut sim);
+    let ctrl = sim.completion(|_, _| {});
+    let dur = sim.completion(|_, _| {});
     db.execute(
         &mut sim,
         TxnSpec {
             cpu: SimDuration::ZERO,
             ops: vec![Op::Delete(0, 5)],
         },
-        Box::new(|_| {}),
-        Box::new(|_, _| {}),
+        ctrl,
+        dur,
     )
     .unwrap();
     db.run_until_quiescent(&mut sim);
@@ -266,13 +262,14 @@ fn trail_stack_commits_much_faster_than_standard() {
                 return;
             }
             let db2 = db.clone();
-            db.execute(
-                sim,
-                put_txn(0, i % 40, i as u8, 200),
-                Box::new(|_| {}),
-                Box::new(move |sim, _| chain(db2, sim, i + 1, n)),
-            )
-            .unwrap();
+            let ctrl = sim.completion(|_, _| {});
+            let dur = sim.completion(move |sim: &mut Simulator, del: Delivered<TxnResult>| {
+                if del.is_ok() {
+                    chain(db2, sim, i + 1, n);
+                }
+            });
+            db.execute(sim, put_txn(0, i % 40, i as u8, 200), ctrl, dur)
+                .unwrap();
         }
         chain(db.clone(), &mut sim, 0, 40);
         db.run_until_quiescent(&mut sim);
@@ -306,15 +303,14 @@ fn full_stack_crash_recovers_committed_transactions() {
             t0 + SimDuration::from_millis(i),
             Box::new(move |sim| {
                 let durable = Rc::clone(&durable);
-                db2.execute(
-                    sim,
-                    put_txn(0, i, (i % 250) as u8 + 1, 120),
-                    Box::new(|_| {}),
-                    Box::new(move |_, _| {
+                let ctrl = sim.completion(|_, _| {});
+                let dur = sim.completion(move |_, del: Delivered<TxnResult>| {
+                    if del.is_ok() {
                         durable.borrow_mut().insert(i, (i % 250) as u8 + 1);
-                    }),
-                )
-                .unwrap();
+                    }
+                });
+                db2.execute(sim, put_txn(0, i, (i % 250) as u8 + 1, 120), ctrl, dur)
+                    .unwrap();
             }),
         );
     }
@@ -372,6 +368,8 @@ fn load_and_warm_populate_without_timing() {
     // Warm pages mean the reads are all hits.
     let done = Rc::new(Cell::new(false));
     let d2 = Rc::clone(&done);
+    let ctrl = sim.completion(|_, _| {});
+    let dur = sim.completion(move |_, _: Delivered<TxnResult>| d2.set(true));
     db.execute(
         &mut sim,
         TxnSpec {
@@ -383,8 +381,8 @@ fn load_and_warm_populate_without_timing() {
                 .chain([Op::Write(3, 0, vec![1u8; 8])])
                 .collect(),
         },
-        Box::new(|_| {}),
-        Box::new(move |_, _| d2.set(true)),
+        ctrl,
+        dur,
     )
     .unwrap();
     db.run_until_quiescent(&mut sim);

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use trail_sim::{BusyMeter, LatencySummary, SimDuration, SimTime, Simulator};
+use trail_sim::{BusyMeter, Completion, LatencySummary, SimDuration, SimTime, Simulator};
 use trail_telemetry::{null_recorder, Event, EventKind, Layer, RecorderHandle};
 
 use crate::geometry::{DiskGeometry, Lba, SECTOR_SIZE};
@@ -77,9 +77,6 @@ pub struct DiskResult {
     /// Mechanical timing decomposition.
     pub breakdown: ServiceBreakdown,
 }
-
-/// Callback invoked when a command completes.
-pub type DiskCallback = Box<dyn FnOnce(&mut Simulator, DiskResult)>;
 
 /// Errors returned synchronously by [`Disk::submit`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -175,13 +172,15 @@ struct DiskInner {
 /// let disk = Disk::new("log", profiles::seagate_st41601n());
 /// let done = Rc::new(Cell::new(false));
 /// let flag = Rc::clone(&done);
+/// let token = sim.completion(move |_, res: trail_sim::Delivered<trail_disk::DiskResult>| {
+///     let res = res.expect("delivered");
+///     assert!(res.completed > res.issued);
+///     flag.set(true);
+/// });
 /// disk.submit(
 ///     &mut sim,
 ///     DiskCommand::Write { lba: 0, data: vec![0xAB; SECTOR_SIZE] },
-///     Box::new(move |_, res| {
-///         assert!(res.completed > res.issued);
-///         flag.set(true);
-///     }),
+///     token,
 /// )
 /// .unwrap();
 /// sim.run();
@@ -263,18 +262,21 @@ impl Disk {
         d.stats = DiskStats::default();
     }
 
-    /// Submits a command; `cb` fires from the event loop at completion.
+    /// Submits a command; `done` is delivered from the event loop at
+    /// completion (the interrupt). On any rejection or power loss the
+    /// token is dropped, so the submitter hears `Err(Cancelled)` instead
+    /// of waiting forever.
     ///
     /// # Errors
     ///
-    /// Returns an error without side effects if the device is busy or
-    /// powered off, the range is outside the disk, or a write payload is
-    /// not sector-aligned.
+    /// Returns an error without mechanical side effects if the device is
+    /// busy or powered off, the range is outside the disk, or a write
+    /// payload is not sector-aligned (the token is consumed either way).
     pub fn submit(
         &self,
         sim: &mut Simulator,
         cmd: DiskCommand,
-        cb: DiskCallback,
+        done: Completion<DiskResult>,
     ) -> Result<(), DiskError> {
         let now = sim.now();
         let (plan, kind, lba, count, epoch, from_cyl) = {
@@ -357,7 +359,8 @@ impl Disk {
                     let mut d = disk.inner.borrow_mut();
                     if !d.powered || d.power_epoch != epoch {
                         // Power was cut while this command was in flight;
-                        // the host that issued it is gone too.
+                        // dropping `done` delivers Err(Cancelled) to the
+                        // host on the next simulator step.
                         return;
                     }
                     // Persist staged write sectors (all transferred by now).
@@ -422,7 +425,7 @@ impl Disk {
                         to_cyl,
                     );
                 }
-                cb(sim, result);
+                done.complete(sim, result);
             }),
         );
         Ok(())
@@ -430,7 +433,8 @@ impl Disk {
 
     /// Cuts power at `now`. Sectors whose media transfer completed before
     /// `now` persist; the rest of any in-flight command is lost, and its
-    /// completion callback will never fire.
+    /// completion token is delivered as `Err(Cancelled)` on the next
+    /// simulator step.
     pub fn power_cut(&self, now: SimTime) {
         let mut d = self.inner.borrow_mut();
         if !d.powered {
@@ -572,23 +576,21 @@ mod tests {
         let got = Rc::new(RefCell::new(None));
         let d2 = disk.clone();
         let got2 = Rc::clone(&got);
+        let token = sim.completion(move |sim: &mut Simulator, res: Delivered<DiskResult>| {
+            assert_eq!(res.expect("delivered").kind, CommandKind::Write);
+            let read_done = sim.completion(move |_, res: Delivered<DiskResult>| {
+                *got2.borrow_mut() = res.expect("delivered").data;
+            });
+            d2.submit(sim, DiskCommand::Read { lba: 7, count: 2 }, read_done)
+                .unwrap();
+        });
         disk.submit(
             &mut sim,
             DiskCommand::Write {
                 lba: 7,
                 data: write_buf(0x5A, 2),
             },
-            Box::new(move |sim, res| {
-                assert_eq!(res.kind, CommandKind::Write);
-                d2.submit(
-                    sim,
-                    DiskCommand::Read { lba: 7, count: 2 },
-                    Box::new(move |_, res| {
-                        *got2.borrow_mut() = res.data;
-                    }),
-                )
-                .unwrap();
-            }),
+            token,
         )
         .unwrap();
         sim.run();
@@ -598,47 +600,43 @@ mod tests {
     #[test]
     fn busy_disk_rejects_submission() {
         let (mut sim, disk) = setup();
-        disk.submit(
-            &mut sim,
-            DiskCommand::Read { lba: 0, count: 1 },
-            Box::new(|_, _| {}),
-        )
-        .unwrap();
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
+        disk.submit(&mut sim, DiskCommand::Read { lba: 0, count: 1 }, token)
+            .unwrap();
         assert!(disk.is_busy());
+        // The rejected submission consumes its token: the submitter hears
+        // Err(Cancelled) instead of waiting forever.
+        let rejected = Rc::new(Cell::new(false));
+        let r2 = Rc::clone(&rejected);
+        let token = sim.completion(move |_, res: Delivered<DiskResult>| {
+            r2.set(res.is_err());
+        });
         let err = disk
-            .submit(
-                &mut sim,
-                DiskCommand::Read { lba: 0, count: 1 },
-                Box::new(|_, _| {}),
-            )
+            .submit(&mut sim, DiskCommand::Read { lba: 0, count: 1 }, token)
             .unwrap_err();
         assert_eq!(err, DiskError::Busy);
         sim.run();
         assert!(!disk.is_busy());
+        assert!(rejected.get(), "rejected token must cancel-cascade");
     }
 
     #[test]
     fn rejects_bad_requests() {
         let (mut sim, disk) = setup();
         let cap = disk.geometry().total_sectors();
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
         assert_eq!(
-            disk.submit(
-                &mut sim,
-                DiskCommand::Read { lba: cap, count: 1 },
-                Box::new(|_, _| {})
-            )
-            .unwrap_err(),
+            disk.submit(&mut sim, DiskCommand::Read { lba: cap, count: 1 }, token)
+                .unwrap_err(),
             DiskError::OutOfRange
         );
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
         assert_eq!(
-            disk.submit(
-                &mut sim,
-                DiskCommand::Read { lba: 0, count: 0 },
-                Box::new(|_, _| {})
-            )
-            .unwrap_err(),
+            disk.submit(&mut sim, DiskCommand::Read { lba: 0, count: 0 }, token)
+                .unwrap_err(),
             DiskError::OutOfRange
         );
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
         assert_eq!(
             disk.submit(
                 &mut sim,
@@ -646,11 +644,12 @@ mod tests {
                     lba: 0,
                     data: vec![1, 2, 3]
                 },
-                Box::new(|_, _| {})
+                token
             )
             .unwrap_err(),
             DiskError::BadDataLength
         );
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
         assert_eq!(
             disk.submit(
                 &mut sim,
@@ -658,7 +657,7 @@ mod tests {
                     lba: 0,
                     data: vec![]
                 },
-                Box::new(|_, _| {})
+                token
             )
             .unwrap_err(),
             DiskError::BadDataLength
@@ -670,15 +669,13 @@ mod tests {
         let (mut sim, disk) = setup();
         let g = disk.geometry();
         let target = g.track_first_lba(5);
-        disk.submit(
-            &mut sim,
-            DiskCommand::Seek { lba: target },
-            Box::new(|_, res| {
-                assert_eq!(res.kind, CommandKind::Seek);
-                assert!(res.data.is_none());
-            }),
-        )
-        .unwrap();
+        let token = sim.completion(|_, res: Delivered<DiskResult>| {
+            let res = res.expect("delivered");
+            assert_eq!(res.kind, CommandKind::Seek);
+            assert!(res.data.is_none());
+        });
+        disk.submit(&mut sim, DiskCommand::Seek { lba: target }, token)
+            .unwrap();
         sim.run();
         let (cyl, head) = g.track_to_cyl_head(5);
         assert_eq!(disk.head_position().cylinder, cyl);
@@ -689,22 +686,20 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let (mut sim, disk) = setup();
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
         disk.submit(
             &mut sim,
             DiskCommand::Write {
                 lba: 0,
                 data: write_buf(1, 3),
             },
-            Box::new(|_, _| {}),
+            token,
         )
         .unwrap();
         sim.run();
-        disk.submit(
-            &mut sim,
-            DiskCommand::Read { lba: 0, count: 3 },
-            Box::new(|_, _| {}),
-        )
-        .unwrap();
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
+        disk.submit(&mut sim, DiskCommand::Read { lba: 0, count: 3 }, token)
+            .unwrap();
         sim.run();
         disk.with_stats(|s| {
             assert_eq!(s.writes, 1);
@@ -723,15 +718,18 @@ mod tests {
     fn power_cut_mid_transfer_persists_prefix_only() {
         let (mut sim, disk) = setup();
         // A multi-sector write; cut power after the 2nd sector lands.
-        let fired = Rc::new(Cell::new(false));
+        let fired = Rc::new(Cell::new(None));
         let f = Rc::clone(&fired);
+        let token = sim.completion(move |_, res: Delivered<DiskResult>| {
+            f.set(Some(res.is_err()));
+        });
         disk.submit(
             &mut sim,
             DiskCommand::Write {
                 lba: 0,
                 data: write_buf(0x77, 8),
             },
-            Box::new(move |_, _| f.set(true)),
+            token,
         )
         .unwrap();
         // Find the moment 2 sectors are done: peek into the plan indirectly
@@ -745,7 +743,11 @@ mod tests {
         sim.run_until(cut);
         disk.power_cut(sim.now());
         sim.run();
-        assert!(!fired.get(), "completion must not fire after power cut");
+        assert_eq!(
+            fired.get(),
+            Some(true),
+            "token must be delivered as cancelled after power cut"
+        );
         assert_eq!(disk.peek_sector(0)[0], 0x77);
         assert_eq!(disk.peek_sector(1)[0], 0x77);
         assert_eq!(disk.peek_sector(2)[0], 0x00, "third sector was torn off");
@@ -755,15 +757,12 @@ mod tests {
         assert!(!disk.is_busy());
         let ok = Rc::new(Cell::new(false));
         let ok2 = Rc::clone(&ok);
-        disk.submit(
-            &mut sim,
-            DiskCommand::Read { lba: 0, count: 1 },
-            Box::new(move |_, res| {
-                assert_eq!(res.data.unwrap()[0], 0x77);
-                ok2.set(true);
-            }),
-        )
-        .unwrap();
+        let token = sim.completion(move |_, res: Delivered<DiskResult>| {
+            assert_eq!(res.expect("delivered").data.unwrap()[0], 0x77);
+            ok2.set(true);
+        });
+        disk.submit(&mut sim, DiskCommand::Read { lba: 0, count: 1 }, token)
+            .unwrap();
         sim.run();
         assert!(ok.get());
     }
@@ -772,13 +771,10 @@ mod tests {
     fn powered_off_disk_rejects_commands() {
         let (mut sim, disk) = setup();
         disk.power_cut(sim.now());
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
         assert_eq!(
-            disk.submit(
-                &mut sim,
-                DiskCommand::Read { lba: 0, count: 1 },
-                Box::new(|_, _| {})
-            )
-            .unwrap_err(),
+            disk.submit(&mut sim, DiskCommand::Read { lba: 0, count: 1 }, token)
+                .unwrap_err(),
             DiskError::PoweredOff
         );
     }
@@ -794,4 +790,5 @@ mod tests {
 
     use std::cell::RefCell;
     use std::rc::Rc;
+    use trail_sim::Delivered;
 }

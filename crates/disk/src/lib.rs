@@ -24,13 +24,14 @@
 //!
 //! let mut sim = Simulator::new();
 //! let disk = Disk::new("log", profiles::seagate_st41601n());
+//! let done = sim.completion(|_, res: trail_sim::Delivered<trail_disk::DiskResult>| {
+//!     // Fixed overhead + seek + rotation + transfer.
+//!     assert!(res.expect("delivered").breakdown.total.as_millis_f64() > 1.0);
+//! });
 //! disk.submit(
 //!     &mut sim,
 //!     DiskCommand::Write { lba: 100, data: vec![1u8; SECTOR_SIZE] },
-//!     Box::new(|_, res| {
-//!         // Fixed overhead + seek + rotation + transfer.
-//!         assert!(res.breakdown.total.as_millis_f64() > 1.0);
-//!     }),
+//!     done,
 //! )?;
 //! sim.run();
 //! assert_eq!(disk.peek_sector(100)[0], 1);
@@ -46,7 +47,7 @@ mod mechanics;
 pub mod profiles;
 mod store;
 
-pub use device::{Disk, DiskCallback, DiskCommand, DiskError, DiskResult, DiskStats};
+pub use device::{Disk, DiskCommand, DiskError, DiskResult, DiskStats};
 pub use geometry::{Chs, DiskGeometry, Lba, TrackRun, Zone, SECTOR_SIZE};
 pub use mechanics::{
     CommandKind, HeadPosition, MechanicalModel, SeekModel, ServiceBreakdown, ServicePlan,

@@ -12,12 +12,11 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use trail_blockio::IoDone;
 use trail_db::BlockStack;
-use trail_sim::Simulator;
+use trail_sim::{Completion, Delivered, Simulator};
 
-use crate::vfs::{
-    FileHandle, FileSystem, FsCallback, FsError, FsReadCallback, FsStats, FS_BLOCK_SIZE,
-};
+use crate::vfs::{FileHandle, FileSystem, FsError, FsStats, FS_BLOCK_SIZE};
 
 const MAGIC: u32 = 0x4558_5446; // "EXTF"
 const SECTORS_PER_BLOCK: u64 = (FS_BLOCK_SIZE / 512) as u64;
@@ -114,8 +113,13 @@ fn write_blocking(
 ) -> Result<(), FsError> {
     let done = Rc::new(std::cell::Cell::new(false));
     let d2 = Rc::clone(&done);
+    let token = sim.completion(move |_, d: Delivered<IoDone>| {
+        if d.is_ok() {
+            d2.set(true);
+        }
+    });
     stack
-        .write(sim, dev, lba, data, Box::new(move |_, _| d2.set(true)))
+        .write(sim, dev, lba, data, token)
         .map_err(FsError::Storage)?;
     sim.run();
     assert!(done.get(), "blocking write did not complete");
@@ -397,7 +401,7 @@ impl FileSystem for ExtFs {
         offset: u64,
         data: Vec<u8>,
         _sync: bool,
-        cb: FsCallback,
+        done: Completion<Result<(), FsError>>,
     ) -> Result<(), FsError> {
         // ExtFs treats every write as O_SYNC, the paper's configuration.
         let (stack, dev, writes) = {
@@ -489,7 +493,7 @@ impl FileSystem for ExtFs {
             d.pending += 1;
             (Rc::clone(&d.stack), d.dev, writes)
         };
-        self.chain_writes(sim, stack, dev, writes, 0, cb);
+        self.chain_writes(sim, stack, dev, writes, 0, done);
         Ok(())
     }
 
@@ -499,7 +503,7 @@ impl FileSystem for ExtFs {
         file: FileHandle,
         offset: u64,
         len: usize,
-        cb: FsReadCallback,
+        done: Completion<Result<Vec<u8>, FsError>>,
     ) -> Result<(), FsError> {
         let (stack, dev, reads, take) = {
             let mut d = self.inner.borrow_mut();
@@ -524,7 +528,7 @@ impl FileSystem for ExtFs {
             d.pending += 1;
             (Rc::clone(&d.stack), d.dev, reads, take)
         };
-        self.gather_reads(sim, stack, dev, reads, Vec::new(), take, cb);
+        self.gather_reads(sim, stack, dev, reads, Vec::new(), take, done);
         Ok(())
     }
 
@@ -556,6 +560,10 @@ fn self_encode_directory(d: &Inner) -> Vec<u8> {
 impl ExtFs {
     /// Issues the synchronous write chain one piece at a time (each piece
     /// is a separate O_SYNC block write, as ext2 performs them).
+    ///
+    /// If a piece is rejected or dies in flight (device power loss), the
+    /// host's token is **cancelled** — delivered as `Err(Cancelled)` —
+    /// instead of silently leaking, and the pending count is released.
     fn chain_writes(
         &self,
         sim: &mut Simulator,
@@ -563,31 +571,28 @@ impl ExtFs {
         dev: usize,
         writes: Vec<(u64, Vec<u8>)>,
         next: usize,
-        cb: FsCallback,
+        done: Completion<Result<(), FsError>>,
     ) {
         if next >= writes.len() {
             self.inner.borrow_mut().pending -= 1;
-            cb(sim, Ok(()));
+            done.complete(sim, Ok(()));
             return;
         }
         let (lba, bytes) = writes[next].clone();
         let fs = self.clone();
         let stack2 = Rc::clone(&stack);
-        let result = stack.write(
-            sim,
-            dev,
-            lba,
-            bytes,
-            Box::new(move |sim, _| {
-                fs.chain_writes(sim, stack2, dev, writes, next + 1, cb);
-            }),
-        );
-        // A submission failure means the device lost power mid-chain: the
-        // host is gone and the callback (owned by the dropped closure)
-        // never fires — the same semantics as the Trail driver's.
-        if result.is_err() {
-            self.inner.borrow_mut().pending -= 1;
-        }
+        let io_done = sim.completion(move |sim: &mut Simulator, d: Delivered<IoDone>| {
+            if d.is_ok() {
+                fs.chain_writes(sim, stack2, dev, writes, next + 1, done);
+            } else {
+                fs.inner.borrow_mut().pending -= 1;
+                done.cancel(sim);
+            }
+        });
+        // A rejected submission (the device lost power mid-chain) cancels
+        // `io_done`, which the handler above turns into a cancelled host
+        // token — the error path and the in-flight-cancel path converge.
+        let _ = stack.write(sim, dev, lba, bytes, io_done);
     }
 
     #[allow(clippy::too_many_arguments)] // a scatter-read carries its whole plan
@@ -599,37 +604,41 @@ impl ExtFs {
         blocks: Vec<u32>,
         mut acc: Vec<u8>,
         take: usize,
-        cb: FsReadCallback,
+        done: Completion<Result<Vec<u8>, FsError>>,
     ) {
         if acc.len() >= take || blocks.is_empty() {
             acc.truncate(take);
             self.inner.borrow_mut().pending -= 1;
-            cb(sim, Ok(acc));
+            done.complete(sim, Ok(acc));
             return;
         }
         let blk = blocks[acc.len() / FS_BLOCK_SIZE];
         if blk == 0 {
             // Hole: zero-filled without I/O.
             acc.extend_from_slice(&[0u8; FS_BLOCK_SIZE]);
-            self.gather_reads(sim, stack, dev, blocks, acc, take, cb);
+            self.gather_reads(sim, stack, dev, blocks, acc, take, done);
             return;
         }
         let fs = self.clone();
         let stack2 = Rc::clone(&stack);
-        let result = stack.read(
+        let io_done = sim.completion(move |sim: &mut Simulator, d: Delivered<IoDone>| {
+            if let Ok(res) = d {
+                let mut acc = acc;
+                acc.extend_from_slice(&res.data.expect("read data"));
+                fs.gather_reads(sim, stack2, dev, blocks, acc, take, done);
+            } else {
+                fs.inner.borrow_mut().pending -= 1;
+                done.cancel(sim);
+            }
+        });
+        // See chain_writes: a rejected submission converges on the
+        // cancellation path through the handler.
+        let _ = stack.read(
             sim,
             dev,
             u64::from(blk) * SECTORS_PER_BLOCK,
             SECTORS_PER_BLOCK as u32,
-            Box::new(move |sim, done| {
-                let mut acc = acc;
-                acc.extend_from_slice(&done.data.expect("read data"));
-                fs.gather_reads(sim, stack2, dev, blocks, acc, take, cb);
-            }),
+            io_done,
         );
-        // See chain_writes: a submission failure is a power loss.
-        if result.is_err() {
-            self.inner.borrow_mut().pending -= 1;
-        }
     }
 }

@@ -15,12 +15,11 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use trail_blockio::IoDone;
 use trail_db::BlockStack;
-use trail_sim::Simulator;
+use trail_sim::{Completion, Delivered, Simulator};
 
-use crate::vfs::{
-    FileHandle, FileSystem, FsCallback, FsError, FsReadCallback, FsStats, FS_BLOCK_SIZE,
-};
+use crate::vfs::{FileHandle, FileSystem, FsError, FsStats, FS_BLOCK_SIZE};
 
 const SECTORS_PER_BLOCK: u64 = (FS_BLOCK_SIZE / 512) as u64;
 
@@ -157,15 +156,21 @@ impl Lfs {
     }
 
     /// Flushes the segment buffer to `current_seg` as one sequential
-    /// write; `on_done` fires at completion.
-    fn flush_segment(&self, sim: &mut Simulator, partial: bool, on_done: FsCallback) {
+    /// write; `on_done` is delivered at completion (or cancelled if the
+    /// device dies mid-flush).
+    fn flush_segment(
+        &self,
+        sim: &mut Simulator,
+        partial: bool,
+        on_done: Completion<Result<(), FsError>>,
+    ) {
         let (stack, dev, lba, bytes, seg, entries) = {
             let mut d = self.inner.borrow_mut();
             if d.buffer.is_empty() || d.flush_in_flight {
                 // Nothing to write (or a flush is already running; callers
                 // serialize forces behind pending_work instead).
                 drop(d);
-                on_done(sim, Ok(()));
+                on_done.complete(sim, Ok(()));
                 return;
             }
             d.flush_in_flight = true;
@@ -185,73 +190,81 @@ impl Lfs {
             (Rc::clone(&d.stack), d.dev, lba, bytes, seg, entries)
         };
         let fs = self.clone();
-        let result = stack.write(
-            sim,
-            dev,
-            lba,
-            bytes,
-            Box::new(move |sim, _| {
+        let io_done = sim.completion(move |sim: &mut Simulator, del: Delivered<IoDone>| {
+            if del.is_err() {
+                // The device died mid-flush: release the flush slot and
+                // cancel the host's token instead of leaking it. The
+                // buffered blocks stay buffered (they were never durable).
                 {
                     let mut d = fs.inner.borrow_mut();
-                    // Record slot liveness and repoint the block maps.
-                    let mut slots = Vec::with_capacity(entries.len());
-                    for (off, &(file, block)) in entries.iter().enumerate() {
-                        let live = d.files[file as usize]
-                            .as_ref()
-                            .map(|f| f.map.get(block) == Some(&BlockAddr::Buffered(off as u32)))
-                            .unwrap_or(false);
-                        if live {
-                            d.files[file as usize].as_mut().expect("checked live").map[block] =
-                                BlockAddr::OnDisk {
-                                    seg,
-                                    off: off as u32,
-                                };
-                            slots.push(Some((file, block)));
-                        } else {
-                            slots.push(None);
-                        }
-                    }
-                    d.segments[seg as usize] = Some(Segment { slots });
-                    d.buffer.drain(..entries.len());
-                    // Re-point any blocks still buffered (written while the
-                    // flush was in flight).
-                    let remap: Vec<(u32, usize, u32)> = d
-                        .buffer
-                        .iter()
-                        .enumerate()
-                        .map(|(i, (f, b, _))| (*f, *b, i as u32))
-                        .collect();
-                    for (f, b, i) in remap {
-                        if let Some(file) = d.files[f as usize].as_mut() {
-                            if matches!(file.map.get(b), Some(BlockAddr::Buffered(_))) {
-                                file.map[b] = BlockAddr::Buffered(i);
-                            }
-                        }
-                    }
-                    // Advance to a free segment.
-                    if let Some(next) = Self::first_free_segment(&d) {
-                        d.current_seg = next;
-                    }
                     d.flush_in_flight = false;
                     d.pending -= 1;
                 }
-                on_done(sim, Ok(()));
-            }),
-        );
-        // A submission failure means the device lost power: the host is
-        // gone, so the callback (owned by the dropped closure) never fires.
-        if result.is_err() {
-            let mut d = self.inner.borrow_mut();
-            d.flush_in_flight = false;
-            d.pending -= 1;
-        }
+                on_done.cancel(sim);
+                return;
+            }
+            {
+                let mut d = fs.inner.borrow_mut();
+                // Record slot liveness and repoint the block maps.
+                let mut slots = Vec::with_capacity(entries.len());
+                for (off, &(file, block)) in entries.iter().enumerate() {
+                    let live = d.files[file as usize]
+                        .as_ref()
+                        .map(|f| f.map.get(block) == Some(&BlockAddr::Buffered(off as u32)))
+                        .unwrap_or(false);
+                    if live {
+                        d.files[file as usize].as_mut().expect("checked live").map[block] =
+                            BlockAddr::OnDisk {
+                                seg,
+                                off: off as u32,
+                            };
+                        slots.push(Some((file, block)));
+                    } else {
+                        slots.push(None);
+                    }
+                }
+                d.segments[seg as usize] = Some(Segment { slots });
+                d.buffer.drain(..entries.len());
+                // Re-point any blocks still buffered (written while the
+                // flush was in flight).
+                let remap: Vec<(u32, usize, u32)> = d
+                    .buffer
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (f, b, _))| (*f, *b, i as u32))
+                    .collect();
+                for (f, b, i) in remap {
+                    if let Some(file) = d.files[f as usize].as_mut() {
+                        if matches!(file.map.get(b), Some(BlockAddr::Buffered(_))) {
+                            file.map[b] = BlockAddr::Buffered(i);
+                        }
+                    }
+                }
+                // Advance to a free segment.
+                if let Some(next) = Self::first_free_segment(&d) {
+                    d.current_seg = next;
+                }
+                d.flush_in_flight = false;
+                d.pending -= 1;
+            }
+            on_done.complete(sim, Ok(()));
+        });
+        // A rejected submission (power loss) cancels `io_done`; the
+        // handler above then releases the flush slot and cancels the
+        // host's token — no leak either way.
+        let _ = stack.write(sim, dev, lba, bytes, io_done);
     }
 
     /// Cleans up to `max_segments` of the deadest segments: reads their
     /// live blocks, re-appends them to the log, and frees the segments.
-    /// `cb` fires when the pass (including the forced re-append flush)
-    /// completes.
-    pub fn clean(&self, sim: &mut Simulator, max_segments: u32, cb: FsCallback) {
+    /// `done` is delivered when the pass (including the forced re-append
+    /// flush) completes, or cancelled on device teardown.
+    pub fn clean(
+        &self,
+        sim: &mut Simulator,
+        max_segments: u32,
+        done: Completion<Result<(), FsError>>,
+    ) {
         // Pick victims by live ratio.
         let victims: Vec<u32> = {
             let d = self.inner.borrow();
@@ -274,14 +287,20 @@ impl Lfs {
                 .map(|(i, _)| i as u32)
                 .collect()
         };
-        self.clean_next(sim, victims, 0, cb);
+        self.clean_next(sim, victims, 0, done);
     }
 
-    fn clean_next(&self, sim: &mut Simulator, victims: Vec<u32>, next: usize, cb: FsCallback) {
+    fn clean_next(
+        &self,
+        sim: &mut Simulator,
+        victims: Vec<u32>,
+        next: usize,
+        done: Completion<Result<(), FsError>>,
+    ) {
         if next >= victims.len() {
             // Force the re-appended blocks out so the pass's I/O is fully
             // accounted.
-            self.flush_segment(sim, true, cb);
+            self.flush_segment(sim, true, done);
             return;
         }
         let seg = victims[next];
@@ -289,7 +308,7 @@ impl Lfs {
             let mut d = self.inner.borrow_mut();
             let Some(segment) = d.segments[seg as usize].take() else {
                 drop(d);
-                self.clean_next(sim, victims, next + 1, cb);
+                self.clean_next(sim, victims, next + 1, done);
                 return;
             };
             let live: Vec<(u32, (u32, usize))> = segment
@@ -302,7 +321,7 @@ impl Lfs {
                 // Nothing live: the segment is free without any I/O.
                 d.lfs_stats.segments_cleaned += 1;
                 drop(d);
-                self.clean_next(sim, victims, next + 1, cb);
+                self.clean_next(sim, victims, next + 1, done);
                 return;
             }
             let nblocks = segment.slots.len() as u32;
@@ -313,40 +332,40 @@ impl Lfs {
             (Rc::clone(&d.stack), d.dev, lba, nblocks, live)
         };
         let fs = self.clone();
-        stack
-            .read(
-                sim,
-                dev,
-                lba,
-                nblocks * SECTORS_PER_BLOCK as u32,
-                Box::new(move |sim, done| {
-                    let data = done.data.expect("segment read");
-                    {
-                        let mut d = fs.inner.borrow_mut();
-                        for &(off, (file, block)) in &live {
-                            // Only re-append if the block still points here
-                            // (it may have been overwritten meanwhile).
-                            let still = d.files[file as usize]
-                                .as_ref()
-                                .map(|f| f.map.get(block) == Some(&BlockAddr::OnDisk { seg, off }))
-                                .unwrap_or(false);
-                            if !still {
-                                continue;
-                            }
-                            let from = off as usize * FS_BLOCK_SIZE;
-                            let bytes = data[from..from + FS_BLOCK_SIZE].to_vec();
-                            let idx = d.buffer.len() as u32;
-                            d.buffer.push((file, block, bytes));
-                            d.files[file as usize].as_mut().expect("checked live").map[block] =
-                                BlockAddr::Buffered(idx);
-                            d.lfs_stats.cleaner_rewritten_bytes += FS_BLOCK_SIZE as u64;
-                        }
-                        d.pending -= 1;
+        let io_done = sim.completion(move |sim: &mut Simulator, del: Delivered<IoDone>| {
+            let Ok(res) = del else {
+                // Device teardown mid-clean: release the pending slot and
+                // cancel the pass's token.
+                fs.inner.borrow_mut().pending -= 1;
+                done.cancel(sim);
+                return;
+            };
+            let data = res.data.expect("segment read");
+            {
+                let mut d = fs.inner.borrow_mut();
+                for &(off, (file, block)) in &live {
+                    // Only re-append if the block still points here
+                    // (it may have been overwritten meanwhile).
+                    let still = d.files[file as usize]
+                        .as_ref()
+                        .map(|f| f.map.get(block) == Some(&BlockAddr::OnDisk { seg, off }))
+                        .unwrap_or(false);
+                    if !still {
+                        continue;
                     }
-                    fs.clean_next(sim, victims, next + 1, cb);
-                }),
-            )
-            .expect("segment read within device");
+                    let from = off as usize * FS_BLOCK_SIZE;
+                    let bytes = data[from..from + FS_BLOCK_SIZE].to_vec();
+                    let idx = d.buffer.len() as u32;
+                    d.buffer.push((file, block, bytes));
+                    d.files[file as usize].as_mut().expect("checked live").map[block] =
+                        BlockAddr::Buffered(idx);
+                    d.lfs_stats.cleaner_rewritten_bytes += FS_BLOCK_SIZE as u64;
+                }
+                d.pending -= 1;
+            }
+            fs.clean_next(sim, victims, next + 1, done);
+        });
+        let _ = stack.read(sim, dev, lba, nblocks * SECTORS_PER_BLOCK as u32, io_done);
     }
 }
 
@@ -414,7 +433,7 @@ impl FileSystem for Lfs {
         offset: u64,
         data: Vec<u8>,
         sync: bool,
-        cb: FsCallback,
+        done: Completion<Result<(), FsError>>,
     ) -> Result<(), FsError> {
         let buffer_full = {
             let mut d = self.inner.borrow_mut();
@@ -468,12 +487,13 @@ impl FileSystem for Lfs {
         };
         if sync {
             // A synchronous write cannot batch: force the partial segment.
-            self.flush_segment(sim, true, cb);
+            self.flush_segment(sim, true, done);
         } else if buffer_full {
-            self.flush_segment(sim, false, Box::new(|_, _| {}));
-            cb(sim, Ok(()));
+            let flush_done = sim.completion(|_, _: Delivered<Result<(), FsError>>| {});
+            self.flush_segment(sim, false, flush_done);
+            done.complete(sim, Ok(()));
         } else {
-            cb(sim, Ok(()));
+            done.complete(sim, Ok(()));
         }
         Ok(())
     }
@@ -484,7 +504,7 @@ impl FileSystem for Lfs {
         file: FileHandle,
         offset: u64,
         len: usize,
-        cb: FsReadCallback,
+        done: Completion<Result<Vec<u8>, FsError>>,
     ) -> Result<(), FsError> {
         let (plan, take) = {
             let mut d = self.inner.borrow_mut();
@@ -511,7 +531,7 @@ impl FileSystem for Lfs {
             d.pending += 1;
             (plan, take)
         };
-        self.gather(sim, plan, Vec::new(), take, cb);
+        self.gather(sim, plan, Vec::new(), take, done);
         Ok(())
     }
 
@@ -532,24 +552,24 @@ impl Lfs {
         plan: Vec<BlockAddr>,
         mut acc: Vec<u8>,
         take: usize,
-        cb: FsReadCallback,
+        done: Completion<Result<Vec<u8>, FsError>>,
     ) {
         if acc.len() >= take || acc.len() / FS_BLOCK_SIZE >= plan.len() {
             acc.truncate(take);
             self.inner.borrow_mut().pending -= 1;
-            cb(sim, Ok(acc));
+            done.complete(sim, Ok(acc));
             return;
         }
         let addr = plan[acc.len() / FS_BLOCK_SIZE];
         match addr {
             BlockAddr::Hole => {
                 acc.extend_from_slice(&[0u8; FS_BLOCK_SIZE]);
-                self.gather(sim, plan, acc, take, cb);
+                self.gather(sim, plan, acc, take, done);
             }
             BlockAddr::Buffered(idx) => {
                 let bytes = self.inner.borrow().buffer[idx as usize].2.clone();
                 acc.extend_from_slice(&bytes);
-                self.gather(sim, plan, acc, take, cb);
+                self.gather(sim, plan, acc, take, done);
             }
             BlockAddr::OnDisk { seg, off } => {
                 let (stack, dev, lba) = {
@@ -560,19 +580,17 @@ impl Lfs {
                     (Rc::clone(&d.stack), d.dev, lba)
                 };
                 let fs = self.clone();
-                stack
-                    .read(
-                        sim,
-                        dev,
-                        lba,
-                        SECTORS_PER_BLOCK as u32,
-                        Box::new(move |sim, done| {
-                            let mut acc = acc;
-                            acc.extend_from_slice(&done.data.expect("read data"));
-                            fs.gather(sim, plan, acc, take, cb);
-                        }),
-                    )
-                    .expect("block read within device");
+                let io_done = sim.completion(move |sim: &mut Simulator, del: Delivered<IoDone>| {
+                    let Ok(res) = del else {
+                        fs.inner.borrow_mut().pending -= 1;
+                        done.cancel(sim);
+                        return;
+                    };
+                    let mut acc = acc;
+                    acc.extend_from_slice(&res.data.expect("read data"));
+                    fs.gather(sim, plan, acc, take, done);
+                });
+                let _ = stack.read(sim, dev, lba, SECTORS_PER_BLOCK as u32, io_done);
             }
         }
     }

@@ -4,7 +4,7 @@
 use std::fmt;
 
 use trail_core::TrailError;
-use trail_sim::Simulator;
+use trail_sim::{Completion, Simulator};
 
 /// File-system block size: 4 KiB, the common ext2 configuration of the
 /// paper's era (eight 512-byte sectors).
@@ -62,12 +62,6 @@ impl From<TrailError> for FsError {
     }
 }
 
-/// Callback for operations that complete without data.
-pub type FsCallback = Box<dyn FnOnce(&mut Simulator, Result<(), FsError>)>;
-
-/// Callback for reads.
-pub type FsReadCallback = Box<dyn FnOnce(&mut Simulator, Result<Vec<u8>, FsError>)>;
-
 /// Aggregate file-system counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FsStats {
@@ -118,10 +112,12 @@ pub trait FileSystem {
     /// [`FsError::BadHandle`].
     fn file_size(&self, file: FileHandle) -> Result<u64, FsError>;
 
-    /// Writes `data` at `offset`. With `sync`, `cb` fires when the data
-    /// (and the metadata the file system deems part of the synchronous
-    /// contract) is durable; without, the file system may buffer and `cb`
-    /// fires when the write is accepted.
+    /// Writes `data` at `offset`. With `sync`, `done` is delivered when
+    /// the data (and the metadata the file system deems part of the
+    /// synchronous contract) is durable; without, the file system may
+    /// buffer and `done` is delivered when the write is accepted. If the
+    /// device dies mid-operation the token is cancelled rather than
+    /// leaked, so the submitter always hears back.
     ///
     /// # Errors
     ///
@@ -134,11 +130,12 @@ pub trait FileSystem {
         offset: u64,
         data: Vec<u8>,
         sync: bool,
-        cb: FsCallback,
+        done: Completion<Result<(), FsError>>,
     ) -> Result<(), FsError>;
 
     /// Reads `len` bytes at `offset` (zero-filled beyond end of file for
-    /// allocated blocks; reading entirely past the end errors).
+    /// allocated blocks; reading entirely past the end errors). `done` is
+    /// delivered with the bytes, or cancelled on device teardown.
     ///
     /// # Errors
     ///
@@ -149,7 +146,7 @@ pub trait FileSystem {
         file: FileHandle,
         offset: u64,
         len: usize,
-        cb: FsReadCallback,
+        done: Completion<Result<Vec<u8>, FsError>>,
     ) -> Result<(), FsError>;
 
     /// Outstanding I/O inside the file system and the stack below.

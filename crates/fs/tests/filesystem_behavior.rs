@@ -6,7 +6,7 @@ use std::rc::Rc;
 use trail_db::StandardStack;
 use trail_disk::{profiles, Disk};
 use trail_fs::{ExtFs, FileSystem, FsError, Lfs, LfsConfig};
-use trail_sim::Simulator;
+use trail_sim::{Delivered, Simulator};
 
 const BLK: usize = 4096;
 
@@ -28,18 +28,12 @@ fn write_all(
 ) {
     let done = Rc::new(Cell::new(false));
     let d = Rc::clone(&done);
-    fs.write(
-        sim,
-        file,
-        offset,
-        data,
-        sync,
-        Box::new(move |_, r| {
-            r.expect("write succeeds");
-            d.set(true);
-        }),
-    )
-    .expect("accepted");
+    let token = sim.completion(move |_, del: Delivered<Result<(), FsError>>| {
+        del.expect("delivered").expect("write succeeds");
+        d.set(true);
+    });
+    fs.write(sim, file, offset, data, sync, token)
+        .expect("accepted");
     sim.run();
     assert!(done.get(), "write completed");
 }
@@ -53,16 +47,10 @@ fn read_all(
 ) -> Vec<u8> {
     let out = Rc::new(RefCell::new(None));
     let o = Rc::clone(&out);
-    fs.read(
-        sim,
-        file,
-        offset,
-        len,
-        Box::new(move |_, r| {
-            *o.borrow_mut() = Some(r.expect("read succeeds"));
-        }),
-    )
-    .expect("accepted");
+    let token = sim.completion(move |_, del: Delivered<Result<Vec<u8>, FsError>>| {
+        *o.borrow_mut() = Some(del.expect("delivered").expect("read succeeds"));
+    });
+    fs.read(sim, file, offset, len, token).expect("accepted");
     sim.run();
     let data = out.borrow_mut().take();
     data.expect("read completed")
@@ -151,20 +139,20 @@ fn extfs_rejects_unaligned_io() {
     let (mut sim, stack, _) = stack();
     let fs = ExtFs::format(&mut sim, stack, 0, 10_000).unwrap();
     let f = fs.create("x").unwrap();
+    let t = sim.completion(|_, _: Delivered<Result<(), FsError>>| {});
     assert_eq!(
-        fs.write(&mut sim, f, 17, vec![1], true, Box::new(|_, _| {}))
-            .unwrap_err(),
+        fs.write(&mut sim, f, 17, vec![1], true, t).unwrap_err(),
         FsError::InvalidArgument
     );
     write_all(&mut sim, &fs, f, 0, vec![1u8; BLK], true);
+    let t = sim.completion(|_, _: Delivered<Result<Vec<u8>, FsError>>| {});
     assert_eq!(
-        fs.read(&mut sim, f, 17, 10, Box::new(|_, _| {}))
-            .unwrap_err(),
+        fs.read(&mut sim, f, 17, 10, t).unwrap_err(),
         FsError::InvalidArgument
     );
+    let t = sim.completion(|_, _: Delivered<Result<Vec<u8>, FsError>>| {});
     assert_eq!(
-        fs.read(&mut sim, f, BLK as u64 * 10, 10, Box::new(|_, _| {}))
-            .unwrap_err(),
+        fs.read(&mut sim, f, BLK as u64 * 10, 10, t).unwrap_err(),
         FsError::InvalidArgument,
         "reading past EOF errors"
     );
@@ -188,6 +176,36 @@ fn extfs_in_place_overwrite_skips_indirect_rewrite() {
         "overwrite must write only the inode, not the indirect block"
     );
     assert_eq!(disk.with_stats(|s| s.writes), 2, "data + inode only");
+}
+
+#[test]
+fn extfs_device_loss_cancels_pending_write_completions() {
+    // Regression: a device teardown mid-chain used to leak the submitter's
+    // callback (it never fired and the pending count never drained). With
+    // completion tokens the chain cancels the token instead, so the
+    // submitter always hears back.
+    let (mut sim, stack, disk) = stack();
+    let fs = ExtFs::format(&mut sim, Rc::clone(&stack) as _, 0, 10_000).unwrap();
+    let f = fs.create("doomed").unwrap();
+    let outcome = Rc::new(RefCell::new(None));
+    let o = Rc::clone(&outcome);
+    let token = sim.completion(move |_, del: Delivered<Result<(), FsError>>| {
+        *o.borrow_mut() = Some(del.is_err());
+    });
+    fs.write(&mut sim, f, 0, vec![3u8; 4 * BLK], true, token)
+        .expect("accepted");
+    // Let the first piece land, then cut power before the chain finishes.
+    while disk.with_stats(|s| s.writes) == 0 {
+        assert!(sim.step(), "chain must make progress");
+    }
+    disk.power_cut(sim.now());
+    sim.run();
+    assert_eq!(
+        *outcome.borrow(),
+        Some(true),
+        "host token must be delivered as cancelled, not leaked"
+    );
+    assert_eq!(sim.completions().orphan_count(), 0, "orphans drained");
 }
 
 // ------------------------------------------------------------------ Lfs
@@ -267,14 +285,11 @@ fn lfs_overwrites_leave_dead_blocks_and_cleaner_reclaims() {
     let occupied_before = fs.segment_occupancy();
     let done = Rc::new(Cell::new(false));
     let d = Rc::clone(&done);
-    fs.clean(
-        &mut sim,
-        4,
-        Box::new(move |_, r| {
-            r.expect("clean succeeds");
-            d.set(true);
-        }),
-    );
+    let token = sim.completion(move |_, del: Delivered<Result<(), FsError>>| {
+        del.expect("delivered").expect("clean succeeds");
+        d.set(true);
+    });
+    fs.clean(&mut sim, 4, token);
     sim.run();
     assert!(done.get());
     let stats = fs.lfs_stats();
@@ -326,14 +341,11 @@ fn lfs_cleaner_costs_io_that_trail_does_not_pay() {
     disk.reset_stats();
     let done = Rc::new(Cell::new(false));
     let d = Rc::clone(&done);
-    fs.clean(
-        &mut sim,
-        2,
-        Box::new(move |_, r| {
-            r.expect("clean succeeds");
-            d.set(true);
-        }),
-    );
+    let token = sim.completion(move |_, del: Delivered<Result<(), FsError>>| {
+        del.expect("delivered").expect("clean succeeds");
+        d.set(true);
+    });
+    fs.clean(&mut sim, 2, token);
     sim.run();
     assert!(done.get());
     let stats = fs.lfs_stats();
@@ -365,7 +377,8 @@ fn lfs_delete_frees_segments_without_io() {
     disk.reset_stats();
     let done = Rc::new(Cell::new(false));
     let d = Rc::clone(&done);
-    fs.clean(&mut sim, 4, Box::new(move |_, _| d.set(true)));
+    let token = sim.completion(move |_, _: Delivered<Result<(), FsError>>| d.set(true));
+    fs.clean(&mut sim, 4, token);
     sim.run();
     assert!(done.get());
     assert_eq!(

@@ -26,7 +26,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use trail_disk::{Disk, DiskCommand, DiskError, DiskResult, SECTOR_SIZE};
-use trail_sim::{SimDuration, Simulator};
+use trail_sim::{Delivered, SimDuration, Simulator};
 
 /// Runs one disk command to completion, returning its result.
 ///
@@ -48,13 +48,12 @@ pub fn run_blocking(
 ) -> Result<DiskResult, DiskError> {
     let slot: Rc<RefCell<Option<DiskResult>>> = Rc::new(RefCell::new(None));
     let out = Rc::clone(&slot);
-    disk.submit(
-        sim,
-        cmd,
-        Box::new(move |_, res| {
+    let done = sim.completion(move |_, res: Delivered<DiskResult>| {
+        if let Ok(res) = res {
             *out.borrow_mut() = Some(res);
-        }),
-    )?;
+        }
+    });
+    disk.submit(sim, cmd, done)?;
     sim.run();
     let res = slot.borrow_mut().take();
     Ok(res.expect("calibration command did not complete"))

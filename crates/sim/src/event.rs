@@ -11,6 +11,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
+use crate::completion::{Completion, CompletionSink, Delivered};
 use crate::time::{SimDuration, SimTime};
 
 /// A boxed event callback, run exactly once when its time arrives.
@@ -85,6 +86,7 @@ pub struct Simulator {
     cancelled: HashSet<u64>,
     next_seq: u64,
     executed: u64,
+    sink: CompletionSink,
 }
 
 impl Simulator {
@@ -96,7 +98,37 @@ impl Simulator {
             cancelled: HashSet::new(),
             next_seq: 0,
             executed: 0,
+            sink: CompletionSink::new(),
         }
+    }
+
+    /// Mints a [`Completion`] token from the simulator's master sink.
+    ///
+    /// The `handler` fires exactly once — with `Ok(value)` after
+    /// [`Completion::complete`], or `Err(Cancelled)` after
+    /// [`Completion::cancel`] or a drop while armed.
+    pub fn completion<T: 'static>(
+        &self,
+        handler: impl FnOnce(&mut Simulator, Delivered<T>) + 'static,
+    ) -> Completion<T> {
+        self.sink.completion(handler)
+    }
+
+    /// The simulator's master [`CompletionSink`] (cheap clone; components
+    /// may hold one to mint internal completions without a `&Simulator`).
+    pub fn completions(&self) -> CompletionSink {
+        self.sink.clone()
+    }
+
+    /// Converts completions dropped-while-armed into scheduled
+    /// `Err(Cancelled)` deliveries. Returns `true` if any were parked.
+    fn flush_orphans(&mut self) -> bool {
+        let orphans = self.sink.take_orphans();
+        let any = !orphans.is_empty();
+        for f in orphans {
+            self.schedule_now(f);
+        }
+        any
     }
 
     /// Returns the current virtual time.
@@ -166,6 +198,7 @@ impl Simulator {
     ///
     /// Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
+        self.flush_orphans();
         while let Some(ev) = self.queue.pop() {
             if self.cancelled.remove(&ev.seq) {
                 continue;
@@ -188,6 +221,7 @@ impl Simulator {
     /// `until` (even if the queue drained earlier or later events remain).
     pub fn run_until(&mut self, until: SimTime) {
         loop {
+            self.flush_orphans();
             let next_time = loop {
                 match self.queue.peek() {
                     Some(ev) if self.cancelled.contains(&ev.seq) => {

@@ -51,10 +51,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod completion;
 mod event;
 mod stats;
 mod time;
 
+pub use completion::{Cancelled, Completion, CompletionId, CompletionSink, Delivered};
 pub use event::{EventFn, EventId, Simulator};
 pub use stats::{BusyMeter, Counter, LatencySummary};
 pub use time::{SimDuration, SimTime};

@@ -48,10 +48,12 @@ use std::rc::Rc;
 use trail_sim::{SimDuration, SimTime};
 
 pub mod json;
+mod lifecycle;
 mod metrics;
 mod trace;
 
 pub use json::{JsonError, JsonValue};
+pub use lifecycle::LifecycleEmitter;
 pub use metrics::{metrics_json, metrics_json_string, DurationHistogram};
 pub use trace::{chrome_trace, chrome_trace_string};
 

@@ -1,0 +1,162 @@
+//! Shared emission of the request-lifecycle events.
+//!
+//! Every queueing component in the stack traces the same three-phase
+//! request lifecycle — `Enqueue` when a request joins its queue, `Dispatch`
+//! when it is sent onward, `Complete` with the latency decomposition when
+//! it finishes. Before this module each layer hand-built those [`Event`]s
+//! at every call site; [`LifecycleEmitter`] centralizes the construction
+//! (and the enabled-guard) so layers state only *what* happened.
+
+use trail_sim::{SimDuration, SimTime};
+
+use crate::{null_recorder, Event, EventKind, Layer, RecorderHandle, RequestBreakdown};
+
+/// Emits request-lifecycle telemetry for one component.
+///
+/// Holds the component's [`Layer`], trace source name, and recorder handle;
+/// all methods are no-ops (no formatting, no allocation) while the recorder
+/// is disabled.
+///
+/// # Examples
+///
+/// ```
+/// use trail_sim::SimTime;
+/// use trail_telemetry::{Layer, LifecycleEmitter, MemoryRecorder};
+///
+/// let rec = MemoryRecorder::shared();
+/// let mut lc = LifecycleEmitter::new(Layer::BlockIo, "d0");
+/// lc.set_recorder(rec.clone());
+/// lc.enqueue(SimTime::ZERO, 1, 1);
+/// assert_eq!(rec.count_kind("Enqueue"), 1);
+/// ```
+pub struct LifecycleEmitter {
+    recorder: RecorderHandle,
+    layer: Layer,
+    source: String,
+}
+
+impl LifecycleEmitter {
+    /// Creates an emitter for `source` (a disk or driver name) that starts
+    /// out disabled (null recorder).
+    pub fn new(layer: Layer, source: impl Into<String>) -> Self {
+        LifecycleEmitter {
+            recorder: null_recorder(),
+            layer,
+            source: source.into(),
+        }
+    }
+
+    /// Attaches (or replaces) the recorder.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
+    }
+
+    /// A clone of the current recorder handle, for wiring sub-components.
+    pub fn recorder(&self) -> RecorderHandle {
+        std::rc::Rc::clone(&self.recorder)
+    }
+
+    /// Whether events are currently being captured.
+    pub fn enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Records that request `req` entered the queue (`depth` including it).
+    pub fn enqueue(&self, at: SimTime, req: u64, depth: u32) {
+        self.emit(
+            at,
+            SimDuration::ZERO,
+            Some(req),
+            EventKind::Enqueue { depth },
+        );
+    }
+
+    /// Records that request `req` was sent onward (`depth` before removal).
+    pub fn dispatch(&self, at: SimTime, req: u64, depth: u32) {
+        self.emit(
+            at,
+            SimDuration::ZERO,
+            Some(req),
+            EventKind::Dispatch { depth },
+        );
+    }
+
+    /// Records that request `req` completed: a span from `issued` over the
+    /// full end-to-end latency, carrying the exact decomposition.
+    pub fn complete(&self, issued: SimTime, req: u64, breakdown: RequestBreakdown) {
+        self.emit(
+            issued,
+            breakdown.total,
+            Some(req),
+            EventKind::Complete { breakdown },
+        );
+    }
+
+    /// Records any other event kind under this emitter's layer and source
+    /// (for the layer-specific kinds that ride alongside the lifecycle).
+    pub fn event(&self, at: SimTime, dur: SimDuration, req: Option<u64>, kind: EventKind) {
+        self.emit(at, dur, req, kind);
+    }
+
+    fn emit(&self, at: SimTime, dur: SimDuration, req: Option<u64>, kind: EventKind) {
+        if self.recorder.enabled() {
+            self.recorder.record(Event {
+                at,
+                dur,
+                layer: self.layer,
+                source: self.source.clone(),
+                req,
+                kind,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for LifecycleEmitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LifecycleEmitter")
+            .field("layer", &self.layer)
+            .field("source", &self.source)
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryRecorder;
+
+    #[test]
+    fn lifecycle_events_carry_layer_source_and_req() {
+        let rec = MemoryRecorder::shared();
+        let mut lc = LifecycleEmitter::new(Layer::Core, "log0");
+        assert!(!lc.enabled());
+        lc.enqueue(SimTime::from_nanos(1), 7, 3); // disabled: dropped
+        lc.set_recorder(rec.clone());
+        assert!(lc.enabled());
+        lc.enqueue(SimTime::from_nanos(2), 7, 3);
+        lc.dispatch(SimTime::from_nanos(3), 7, 3);
+        let b = RequestBreakdown {
+            total: SimDuration::from_nanos(9),
+            ..RequestBreakdown::default()
+        };
+        lc.complete(SimTime::from_nanos(2), 7, b);
+        lc.event(
+            SimTime::from_nanos(5),
+            SimDuration::ZERO,
+            None,
+            EventKind::PredictHit,
+        );
+        let evs = rec.snapshot();
+        assert_eq!(evs.len(), 4);
+        assert!(evs
+            .iter()
+            .all(|e| e.layer == Layer::Core && e.source == "log0"));
+        assert_eq!(evs[0].kind.name(), "Enqueue");
+        assert_eq!(evs[1].kind.name(), "Dispatch");
+        assert_eq!(evs[2].kind.name(), "Complete");
+        assert_eq!(evs[2].dur, SimDuration::from_nanos(9));
+        assert_eq!(evs[3].req, None);
+    }
+}

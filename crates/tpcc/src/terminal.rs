@@ -9,8 +9,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use trail_db::Database;
-use trail_sim::{LatencySummary, SimDuration, SimTime, Simulator};
+use trail_db::{Database, TxnResult};
+use trail_sim::{Delivered, LatencySummary, SimDuration, SimTime, Simulator};
 
 use crate::gen::TxnType;
 use crate::workload::Workload;
@@ -138,13 +138,15 @@ fn issue_next(sim: &mut Simulator, db: Database, state: Rc<RefCell<RunState>>, c
     };
     let db2 = db.clone();
     let state_c = Rc::clone(&state);
-    let on_control: Box<dyn FnOnce(&mut Simulator)> = match chain {
-        ChainOn::Control => Box::new(move |sim| issue_next(sim, db2, state_c, chain)),
-        ChainOn::Durable => Box::new(|_| {}),
-    };
+    let on_control = sim.completion(move |sim: &mut Simulator, del: Delivered<()>| {
+        if del.is_ok() && chain == ChainOn::Control {
+            issue_next(sim, db2, state_c, chain);
+        }
+    });
     let db3 = db.clone();
     let state_d = Rc::clone(&state);
-    let on_durable = Box::new(move |sim: &mut Simulator, res: trail_db::TxnResult| {
+    let on_durable = sim.completion(move |sim: &mut Simulator, del: Delivered<TxnResult>| {
+        let Ok(res) = del else { return };
         {
             let mut s = state_d.borrow_mut();
             s.completed += 1;

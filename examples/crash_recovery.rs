@@ -36,16 +36,13 @@ fn main() -> Result<(), TrailError> {
         sim.schedule_at(
             start + SimDuration::from_micros(i * 500),
             Box::new(move |sim| {
+                let done = sim.completion(move |_, del: Delivered<IoDone>| {
+                    if del.is_ok() {
+                        acked.borrow_mut().insert((dev, lba), tag);
+                    }
+                });
                 trail2
-                    .write(
-                        sim,
-                        dev,
-                        lba,
-                        vec![tag; SECTOR_SIZE],
-                        Box::new(move |_, _| {
-                            acked.borrow_mut().insert((dev, lba), tag);
-                        }),
-                    )
+                    .write(sim, dev, lba, vec![tag; SECTOR_SIZE], done)
                     .expect("write accepted");
             }),
         );

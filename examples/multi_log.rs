@@ -46,17 +46,12 @@ fn clustered_run(n_logs: usize, writes: u32) -> Result<f64, TrailError> {
         let nseed = rng.gen();
         let m2 = multi.clone();
         let d2 = Rc::clone(&done);
+        let token = sim.completion(move |sim: &mut Simulator, _: Delivered<IoDone>| {
+            d2.set(d2.get() + 1);
+            next(sim, m2, d2, nseed, remaining - 1);
+        });
         multi
-            .write(
-                sim,
-                0,
-                lba,
-                vec![7u8; SECTOR_SIZE],
-                Box::new(move |sim, _| {
-                    d2.set(d2.get() + 1);
-                    next(sim, m2, d2, nseed, remaining - 1);
-                }),
-            )
+            .write(sim, 0, lba, vec![7u8; SECTOR_SIZE], token)
             .expect("write accepted");
     }
     next(&mut sim, multi.clone(), Rc::clone(&done), 42, writes);

@@ -30,15 +30,11 @@ fn main() -> Result<(), TrailError> {
     println!("\nissuing 10 random synchronous writes through Trail...");
     for i in 0..10u64 {
         let lba = 1000 + i * 997 % 100_000;
-        trail.write(
-            &mut sim,
-            0,
-            lba,
-            vec![i as u8; 2 * SECTOR_SIZE],
-            Box::new(move |_, done| {
-                println!("  write {i} at lba {lba}: durable in {}", done.latency());
-            }),
-        )?;
+        let done = sim.completion(move |_, done: Delivered<IoDone>| {
+            let done = done.expect("delivered");
+            println!("  write {i} at lba {lba}: durable in {}", done.latency());
+        });
+        trail.write(&mut sim, 0, lba, vec![i as u8; 2 * SECTOR_SIZE], done)?;
         trail.run_until_quiescent(&mut sim);
     }
 
@@ -48,6 +44,10 @@ fn main() -> Result<(), TrailError> {
     let baseline = StandardDriver::new(baseline_disk);
     for i in 0..10u64 {
         let lba = 1000 + i * 997 % 100_000;
+        let done = sim.completion(move |_, done: Delivered<IoDone>| {
+            let done = done.expect("delivered");
+            println!("  write {i} at lba {lba}: durable in {}", done.latency());
+        });
         baseline
             .submit(
                 &mut sim,
@@ -57,9 +57,7 @@ fn main() -> Result<(), TrailError> {
                         data: vec![i as u8; 2 * SECTOR_SIZE],
                     },
                 },
-                Box::new(move |_, done| {
-                    println!("  write {i} at lba {lba}: durable in {}", done.latency());
-                }),
+                done,
             )
             .map_err(TrailError::Disk)?;
         sim.run();
@@ -67,15 +65,11 @@ fn main() -> Result<(), TrailError> {
 
     // Reads are served from pinned memory or the data disk; the log disk
     // never services reads.
-    trail.read(
-        &mut sim,
-        0,
-        1000,
-        2,
-        Box::new(|_, done| {
-            println!("\nread back lba 1000: first byte {}", done.data.unwrap()[0]);
-        }),
-    )?;
+    let done = sim.completion(|_, done: Delivered<IoDone>| {
+        let done = done.expect("delivered");
+        println!("\nread back lba 1000: first byte {}", done.data.unwrap()[0]);
+    });
+    trail.read(&mut sim, 0, 1000, 2, done)?;
     sim.run();
 
     trail.with_stats(|s| {

@@ -34,19 +34,32 @@
 //! format_log_disk(&mut sim, &log, FormatOptions::default())?;
 //! let (trail, _) = TrailDriver::start(&mut sim, log, vec![data], TrailConfig::default())?;
 //!
-//! // Synchronous writes are durable in ~1.5 ms instead of ~16 ms.
-//! trail.write(&mut sim, 0, 4096, vec![42; 1024], Box::new(|_, done| {
-//!     println!("durable after {}", done.latency());
-//! }))?;
+//! // Synchronous writes are durable in ~1.5 ms instead of ~16 ms. The
+//! // completion token is delivered once (or cancelled on teardown).
+//! let done = sim.completion(|_, done: Delivered<IoDone>| {
+//!     println!("durable after {}", done.expect("delivered").latency());
+//! });
+//! trail.write(&mut sim, 0, 4096, vec![42; 1024], done)?;
 //! trail.run_until_quiescent(&mut sim);
 //! trail.shutdown(&mut sim)?;
 //! # Ok::<(), trail::core::TrailError>(())
 //! ```
 //!
+//! Or let a [`Scenario`] build the whole testbed in one line:
+//!
+//! ```
+//! use trail::StackBuilder;
+//! let built = StackBuilder::new().data_disks(3).trail_default().build()?;
+//! assert!(built.trail.is_some());
+//! # Ok::<(), trail::core::TrailError>(())
+//! ```
+//!
 //! # Reproducing the paper
 //!
-//! Every table and figure has a harness binary in `trail-bench`
-//! (`cargo run --release -p trail-bench --bin table2`, etc.); see
+//! Every table and figure has a harness binary in `trail-bench`; run the
+//! whole suite in parallel with
+//! `cargo run --release -p trail-bench --bin run_all`, or one experiment
+//! with `cargo run --release -p trail-bench --bin table2`. See
 //! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
 
@@ -57,17 +70,22 @@ pub use trail_blockio as blockio;
 pub use trail_core as core;
 pub use trail_db as db;
 pub use trail_disk as disk;
+pub use trail_fs as fs;
 pub use trail_probe as probe;
 pub use trail_sim as sim;
 pub use trail_tpcc as tpcc;
 
+mod scenario;
+pub use scenario::{BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder};
+
 /// The names most programs need, in one import.
 pub mod prelude {
+    pub use crate::scenario::{BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder};
     pub use trail_blockio::{IoDone, IoKind, IoRequest, StandardDriver};
     pub use trail_core::{
         format_log_disk, read_header, recover, FormatOptions, RecoveryOptions, TrailConfig,
         TrailDriver, TrailError,
     };
     pub use trail_disk::{profiles, Disk, DiskCommand, SECTOR_SIZE};
-    pub use trail_sim::{SimDuration, SimTime, Simulator};
+    pub use trail_sim::{Completion, Delivered, SimDuration, SimTime, Simulator};
 }

@@ -1,0 +1,330 @@
+//! One construction path for every experiment stack.
+//!
+//! Every harness used to assemble its simulator, disks, drivers, file
+//! system, and database by hand, each with slightly different boilerplate.
+//! A [`Scenario`] is the declarative description of a stack — disk
+//! profiles, scheduler policy, Trail-vs-standard log device, seed — and
+//! [`StackBuilder`] is the fluent way to put one together. [`build`]
+//! yields a [`BuiltStack`] whose disks have clean statistics (format and
+//! boot noise is reset), ready for measurement; file systems and a
+//! database engine mount on top with one call each.
+//!
+//! [`build`]: StackBuilder::build
+//!
+//! ```
+//! use trail::{Scenario, StackBuilder};
+//!
+//! // The paper's testbed: one SCSI log disk over three IDE data disks.
+//! let mut built = StackBuilder::new().data_disks(3).trail_default().build()?;
+//! assert!(built.trail.is_some());
+//!
+//! // The baseline for the same experiment: no log disk, C-LOOK driver.
+//! let base = StackBuilder::new().data_disks(3).standard().build()?;
+//! assert!(base.trail.is_none());
+//! # Ok::<(), trail::core::TrailError>(())
+//! ```
+
+use std::rc::Rc;
+
+use trail_blockio::{Clook, Fifo, Priority, Scheduler};
+use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver, TrailError};
+use trail_db::{BlockStack, Database, DbConfig, StandardStack, TrailStack};
+use trail_disk::profiles::{self, DriveProfile};
+use trail_disk::Disk;
+use trail_fs::{ExtFs, FsError, Lfs, LfsConfig};
+use trail_sim::Simulator;
+
+/// Which log device fronts the data disks.
+#[derive(Clone, Debug)]
+pub enum LogDevice {
+    /// Trail: a dedicated log disk absorbs synchronous writes (the
+    /// paper's subsystem).
+    Trail {
+        /// Driver configuration (threshold, batching, δ policy…).
+        config: TrailConfig,
+    },
+    /// The standard disk subsystem: writes pay full seek + rotation at
+    /// their target addresses.
+    Standard,
+}
+
+/// Which request scheduler the per-disk drivers run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedulerKind {
+    /// First-in, first-out.
+    Fifo,
+    /// C-LOOK elevator (Linux-of-the-era default).
+    Clook,
+}
+
+impl SchedulerKind {
+    fn instantiate(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fifo => Box::new(Fifo),
+            SchedulerKind::Clook => Box::new(Clook::default()),
+        }
+    }
+}
+
+/// A declarative description of an experiment stack.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Base RNG seed for whatever workload runs on the stack. The stack
+    /// itself is deterministic; this is carried along so a scenario fully
+    /// names an experiment.
+    pub seed: u64,
+    /// Number of data disks.
+    pub data_disks: usize,
+    /// The data-disk model.
+    pub data_profile: DriveProfile,
+    /// The log-disk model (used only with [`LogDevice::Trail`]).
+    pub log_profile: DriveProfile,
+    /// Request scheduling on the standard per-disk drivers.
+    pub scheduler: SchedulerKind,
+    /// Read-vs-write priority on the standard per-disk drivers.
+    pub priority: Priority,
+    /// Trail or the baseline.
+    pub log_device: LogDevice,
+}
+
+impl Default for Scenario {
+    /// The paper's testbed: three WD-Caviar-class IDE data disks behind a
+    /// Trail driver on an ST41601N-class SCSI log disk.
+    fn default() -> Self {
+        Scenario {
+            seed: 0,
+            data_disks: 3,
+            data_profile: profiles::wd_caviar_10gb(),
+            log_profile: profiles::seagate_st41601n(),
+            scheduler: SchedulerKind::Clook,
+            priority: Priority::None,
+            log_device: LogDevice::Trail {
+                config: TrailConfig::default(),
+            },
+        }
+    }
+}
+
+impl Scenario {
+    /// Builds the stack this scenario describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-disk format or Trail boot failures.
+    pub fn build(&self) -> Result<BuiltStack, TrailError> {
+        let mut sim = Simulator::new();
+        let data_disks: Vec<Disk> = (0..self.data_disks)
+            .map(|i| Disk::new(format!("data{i}"), self.data_profile.clone()))
+            .collect();
+        let (stack, trail, log_disk): (Rc<dyn BlockStack>, _, _) = match &self.log_device {
+            LogDevice::Trail { config } => {
+                let log = Disk::new("trail-log", self.log_profile.clone());
+                format_log_disk(&mut sim, &log, FormatOptions::default())?;
+                let (drv, _) =
+                    TrailDriver::start(&mut sim, log.clone(), data_disks.clone(), *config)?;
+                (
+                    Rc::new(TrailStack::new(drv.clone(), self.data_disks)),
+                    Some(drv),
+                    Some(log),
+                )
+            }
+            LogDevice::Standard => (
+                Rc::new(StandardStack::with_policy(
+                    data_disks.clone(),
+                    || self.scheduler.instantiate(),
+                    self.priority,
+                )),
+                None,
+                None,
+            ),
+        };
+        // Formatting runs the δ-calibration sweep, whose under-compensated
+        // probes pay full rotations by design; start measurements clean.
+        if let Some(log) = &log_disk {
+            log.reset_stats();
+        }
+        for d in &data_disks {
+            d.reset_stats();
+        }
+        Ok(BuiltStack {
+            seed: self.seed,
+            sim,
+            data_disks,
+            log_disk,
+            trail,
+            stack,
+        })
+    }
+}
+
+/// Fluent construction of a [`Scenario`].
+#[derive(Clone, Debug, Default)]
+pub struct StackBuilder {
+    scenario: Scenario,
+}
+
+impl StackBuilder {
+    /// Starts from the paper's default testbed (see [`Scenario::default`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the workload seed carried by the scenario.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Sets the number of data disks.
+    #[must_use]
+    pub fn data_disks(mut self, n: usize) -> Self {
+        self.scenario.data_disks = n;
+        self
+    }
+
+    /// Sets the data-disk model.
+    #[must_use]
+    pub fn data_profile(mut self, profile: DriveProfile) -> Self {
+        self.scenario.data_profile = profile;
+        self
+    }
+
+    /// Sets the log-disk model.
+    #[must_use]
+    pub fn log_profile(mut self, profile: DriveProfile) -> Self {
+        self.scenario.log_profile = profile;
+        self
+    }
+
+    /// Sets the per-disk scheduler for the standard stack.
+    #[must_use]
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scenario.scheduler = kind;
+        self
+    }
+
+    /// Sets read-vs-write priority for the standard stack.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.scenario.priority = priority;
+        self
+    }
+
+    /// Fronts the data disks with a Trail log device.
+    #[must_use]
+    pub fn trail(mut self, config: TrailConfig) -> Self {
+        self.scenario.log_device = LogDevice::Trail { config };
+        self
+    }
+
+    /// Fronts the data disks with a default-configured Trail log device.
+    #[must_use]
+    pub fn trail_default(self) -> Self {
+        self.trail(TrailConfig::default())
+    }
+
+    /// Uses the standard disk subsystem (no log device).
+    #[must_use]
+    pub fn standard(mut self) -> Self {
+        self.scenario.log_device = LogDevice::Standard;
+        self
+    }
+
+    /// The scenario described so far.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Builds the stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-disk format or Trail boot failures.
+    pub fn build(self) -> Result<BuiltStack, TrailError> {
+        self.scenario.build()
+    }
+}
+
+/// A running stack produced by [`StackBuilder::build`].
+pub struct BuiltStack {
+    /// The scenario's workload seed, carried through for the harness.
+    pub seed: u64,
+    /// The simulator (virtual time).
+    pub sim: Simulator,
+    /// The data disks, in device order.
+    pub data_disks: Vec<Disk>,
+    /// The Trail log disk, when the scenario runs on Trail.
+    pub log_disk: Option<Disk>,
+    /// The Trail driver, when the scenario runs on Trail.
+    pub trail: Option<TrailDriver>,
+    /// The block stack (Trail or standard) the upper layers submit to.
+    pub stack: Rc<dyn BlockStack>,
+}
+
+impl BuiltStack {
+    /// Formats an ext2-like file system on device `dev` and mounts it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates format failures ([`FsError`]).
+    pub fn extfs(&mut self, dev: usize, capacity_blocks: u32) -> Result<ExtFs, FsError> {
+        ExtFs::format(&mut self.sim, Rc::clone(&self.stack), dev, capacity_blocks)
+    }
+
+    /// Mounts a log-structured file system on device `dev`.
+    #[must_use]
+    pub fn lfs(&self, dev: usize, config: LfsConfig) -> Lfs {
+        Lfs::new(Rc::clone(&self.stack), dev, config)
+    }
+
+    /// Opens a transactional engine over the stack.
+    #[must_use]
+    pub fn database(&self, config: DbConfig) -> Database {
+        Database::new(Rc::clone(&self.stack), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trail_fs::FileSystem;
+
+    #[test]
+    fn default_scenario_builds_trail() {
+        let built = StackBuilder::new().build().expect("build");
+        assert!(built.trail.is_some());
+        assert!(built.log_disk.is_some());
+        assert_eq!(built.data_disks.len(), 3);
+        // Boot noise is reset: measurements start clean.
+        assert_eq!(built.log_disk.unwrap().with_stats(|s| s.writes), 0);
+    }
+
+    #[test]
+    fn standard_scenario_has_no_log_device() {
+        let built = StackBuilder::new()
+            .standard()
+            .scheduler(SchedulerKind::Fifo)
+            .data_disks(1)
+            .seed(7)
+            .build()
+            .expect("build");
+        assert!(built.trail.is_none());
+        assert_eq!(built.seed, 7);
+    }
+
+    #[test]
+    fn filesystems_and_database_mount_on_a_built_stack() {
+        let mut built = StackBuilder::new()
+            .standard()
+            .data_disks(1)
+            .build()
+            .unwrap();
+        let fs = built.extfs(0, 10_000).expect("format extfs");
+        let _ = fs.create("x").expect("create");
+        let lfs = built.lfs(0, LfsConfig::default());
+        let _ = lfs.create("y").expect("create");
+    }
+}

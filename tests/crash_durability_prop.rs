@@ -43,16 +43,13 @@ fn crash_round_trip(seed: u64, crash_ms: u64, n_writes: usize) -> Result<(), Str
             Box::new(move |sim| {
                 let mut buf = vec![tag; SECTOR_SIZE];
                 buf[0] = tag ^ 0xA5;
+                let done = sim.completion(move |_, del: Delivered<IoDone>| {
+                    if del.is_ok() {
+                        acked.borrow_mut().insert((dev, lba), tag);
+                    }
+                });
                 trail2
-                    .write(
-                        sim,
-                        dev,
-                        lba,
-                        buf,
-                        Box::new(move |_, _| {
-                            acked.borrow_mut().insert((dev, lba), tag);
-                        }),
-                    )
+                    .write(sim, dev, lba, buf, done)
                     .expect("write accepted");
             }),
         );

@@ -26,14 +26,11 @@ fn sparse_writes(n: usize, bytes: usize) -> (f64, f64) {
     for _ in 0..n {
         let l = Rc::clone(&lat);
         let lba = rng.gen_range(0..18_000_000u64);
+        let done = sim.completion(move |_, done: Delivered<IoDone>| {
+            l.borrow_mut().record(done.expect("delivered").latency());
+        });
         trail
-            .write(
-                &mut sim,
-                0,
-                lba,
-                vec![1u8; bytes],
-                Box::new(move |_, done| l.borrow_mut().record(done.latency())),
-            )
+            .write(&mut sim, 0, lba, vec![1u8; bytes], done)
             .expect("write");
         trail.run_until_quiescent(&mut sim);
         sim.run_for(SimDuration::from_millis(5));
@@ -91,6 +88,9 @@ fn trail_beats_standard_by_5x_or_more_on_small_writes() {
     for _ in 0..100 {
         let l = Rc::clone(&lat);
         let lba = rng.gen_range(0..18_000_000u64);
+        let done = sim.completion(move |_, done: Delivered<IoDone>| {
+            l.borrow_mut().record(done.expect("delivered").latency());
+        });
         drv.submit(
             &mut sim,
             IoRequest {
@@ -99,7 +99,7 @@ fn trail_beats_standard_by_5x_or_more_on_small_writes() {
                     data: vec![1u8; 1024],
                 },
             },
-            Box::new(move |_, done| l.borrow_mut().record(done.latency())),
+            done,
         )
         .expect("write");
         sim.run();
@@ -138,17 +138,12 @@ fn reposition_cost_is_about_1_5_ms() {
         }
         let t2 = trail.clone();
         let d2 = Rc::clone(&done);
+        let token = sim.completion(move |sim: &mut Simulator, _: Delivered<IoDone>| {
+            d2.set(d2.get() + 1);
+            chain(sim, t2, d2, i + 1);
+        });
         trail
-            .write(
-                sim,
-                0,
-                i * 4,
-                vec![2u8; SECTOR_SIZE],
-                Box::new(move |sim, _| {
-                    d2.set(d2.get() + 1);
-                    chain(sim, t2, d2, i + 1);
-                }),
-            )
+            .write(sim, 0, i * 4, vec![2u8; SECTOR_SIZE], token)
             .expect("write");
     }
     chain(&mut sim, trail.clone(), Rc::clone(&done), 0);
