@@ -28,9 +28,26 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release --offline -p trail-bench --bin run_all -- \
   --quick --out-dir "$smoke_dir" >/dev/null
-for name in micro table1 fig3 fig4 ablation fs_compare table2 table3 track_util; do
+for name in micro table1 fig3 fig4 ablation fs_compare table2 table3 track_util \
+             replay_synthetic replay_tpcc; do
   test -s "$smoke_dir/BENCH_$name.json" \
     || { echo "run_all --quick did not produce BENCH_$name.json" >&2; exit 1; }
 done
+
+echo "== trace_tool smoke (generate -> replay, codec round-trip) =="
+trace_tool() {
+  cargo run --release --offline -p trail-bench --bin trace_tool -- "$@"
+}
+trace_tool generate --out "$smoke_dir/smoke.trace" --quick \
+  --requests 120 --streams 2 --spatial zipf >/dev/null
+trace_tool inspect "$smoke_dir/smoke.trace" >/dev/null
+trace_tool replay "$smoke_dir/smoke.trace" --quick --target trail \
+  --out-dir "$smoke_dir" >/dev/null
+test -s "$smoke_dir/BENCH_replay_trail.json" \
+  || { echo "trace_tool replay did not produce BENCH_replay_trail.json" >&2; exit 1; }
+trace_tool convert "$smoke_dir/smoke.trace" "$smoke_dir/smoke.jsonl" >/dev/null
+trace_tool convert "$smoke_dir/smoke.jsonl" "$smoke_dir/smoke2.trace" >/dev/null
+cmp -s "$smoke_dir/smoke.trace" "$smoke_dir/smoke2.trace" \
+  || { echo "trace codec binary->jsonl->binary round trip is not byte-identical" >&2; exit 1; }
 
 echo "CI gate passed."

@@ -1,0 +1,273 @@
+//! `trace_tool` — capture, generate, inspect, convert, and replay
+//! workload traces (see `trail-trace` and the DESIGN.md trace-format
+//! section).
+//!
+//! ```text
+//! trace_tool generate --out t.trace [--requests N] [--seed S] [--streams K]
+//!                     [--devices D] [--read-frac F] [--arrival poisson|bursty]
+//!                     [--spatial uniform|zipf|seq]
+//! trace_tool capture  --out t.trace [--txns N] [--standard] [--seed S]
+//! trace_tool inspect  t.trace
+//! trace_tool convert  in.trace out.jsonl      (direction by extension)
+//! trace_tool replay   t.trace [--target all|standard|trail|trail_multi2|ext2|lfs]
+//!                     [--speed X] [--quick] [--out-dir DIR]
+//! ```
+//!
+//! `replay` writes one `BENCH_replay_<target>.json` per target with
+//! p50/p99/p99.9 latency and the queue-depth trajectory.
+
+use std::process::ExitCode;
+
+use trail_bench::{write_bench_json, write_bench_json_in, TpccRig};
+use trail_sim::SimDuration;
+use trail_tpcc::{run, ChainOn, RunConfig};
+use trail_trace::{
+    from_binary, from_jsonl, generate, replay, to_binary, to_jsonl, ArrivalModel, ReplayOptions,
+    SpatialModel, SyntheticSpec, TargetKind, Trace, TraceCapture, TraceMeta, TraceOp,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("capture") => cmd_capture(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => Err("usage: trace_tool <generate|capture|inspect|convert|replay> …".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_tool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag value` out of `args`, returning the value.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+    }
+}
+
+fn positional(args: &[String], index: usize, what: &str) -> Result<String, String> {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(index)
+        .cloned()
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+/// Reads a trace, sniffing JSONL (`.jsonl`) vs. binary by extension.
+fn load(path: &str) -> Result<Trace, String> {
+    if path.ends_with(".jsonl") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        from_binary(&bytes).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn store(path: &str, trace: &Trace) -> Result<(), String> {
+    if path.ends_with(".jsonl") {
+        let text = to_jsonl(trace).map_err(|e| e.to_string())?;
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        std::fs::write(path, to_binary(trace)).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("generate needs --out FILE")?;
+    let quick = has(args, "--quick");
+    let arrivals = match flag(args, "--arrival").as_deref() {
+        None | Some("poisson") => ArrivalModel::Poisson {
+            mean_iat: SimDuration::from_micros(parse(args, "--mean-iat-us", 2000u64)?),
+        },
+        Some("bursty") => ArrivalModel::Bursty {
+            burst: parse(args, "--burst", 16u32)?,
+            iat_in_burst: SimDuration::from_micros(parse(args, "--mean-iat-us", 100u64)?),
+            gap: SimDuration::from_millis(parse(args, "--gap-ms", 20u64)?),
+        },
+        Some(other) => return Err(format!("unknown --arrival {other}")),
+    };
+    let spatial = match flag(args, "--spatial").as_deref() {
+        None | Some("uniform") => SpatialModel::Uniform,
+        Some("zipf") => SpatialModel::Zipf {
+            skew: parse(args, "--skew", 2.0f64)?,
+        },
+        Some("seq") => SpatialModel::SequentialRuns {
+            run_len: parse(args, "--run-len", 16u32)?,
+        },
+        Some(other) => return Err(format!("unknown --spatial {other}")),
+    };
+    let spec = SyntheticSpec {
+        seed: parse(args, "--seed", 1u64)?,
+        requests: parse(args, "--requests", if quick { 200 } else { 2000 })?,
+        devices: parse(args, "--devices", 1u16)?,
+        streams: parse(args, "--streams", 1u32)?,
+        read_fraction: parse(args, "--read-frac", 0.3f64)?,
+        request_sectors: parse(args, "--sectors", 8u32)?,
+        arrivals,
+        spatial,
+        ..SyntheticSpec::default()
+    };
+    let trace = generate(&spec);
+    store(&out, &trace)?;
+    println!(
+        "generated {} requests over {:.3} s -> {out}",
+        trace.len(),
+        trace.duration().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_capture(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("capture needs --out FILE")?;
+    let txns = parse(args, "--txns", if has(args, "--quick") { 100 } else { 500 })?;
+    let on_trail = !has(args, "--standard");
+    let rig = TpccRig {
+        seed: parse(args, "--seed", TpccRig::default().seed)?,
+        ..TpccRig::default()
+    };
+    let mut setup = trail_bench::tpcc_setup(on_trail, &rig);
+    let capture = TraceCapture::new();
+    setup.stack.set_tap(capture.handle());
+    let report = run(
+        &mut setup.sim,
+        &setup.db,
+        setup.workload,
+        RunConfig {
+            transactions: txns,
+            concurrency: 4,
+            chain_on: ChainOn::Durable,
+        },
+    );
+    let mut trace = capture.take(TraceMeta {
+        source: format!(
+            "capture:tpcc:{}",
+            if on_trail { "trail" } else { "standard" }
+        ),
+        seed: rig.seed,
+        devices: 0,
+        note: format!("{txns} transactions, concurrency 4"),
+    });
+    trace.rebase_to_first();
+    store(&out, &trace)?;
+    println!(
+        "captured {} requests over {:.3} s ({:.0} tpmC) -> {out}",
+        trace.len(),
+        trace.duration().as_secs_f64(),
+        report.tpmc
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0, "trace file")?;
+    let trace = load(&path)?;
+    let reads = trace
+        .records
+        .iter()
+        .filter(|r| r.op == TraceOp::Read)
+        .count();
+    let sectors: u64 = trace.records.iter().map(|r| u64::from(r.sectors)).sum();
+    println!("{path}:");
+    println!("  source:   {}", trace.meta.source);
+    println!("  seed:     {}", trace.meta.seed);
+    println!("  devices:  {}", trace.meta.devices);
+    println!("  note:     {}", trace.meta.note);
+    println!("  records:  {} ({reads} reads)", trace.len());
+    println!("  volume:   {} sectors", sectors);
+    println!("  duration: {:.3} s", trace.duration().as_secs_f64());
+    trace.validate()?;
+    println!("  validity: ok");
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0, "input file")?;
+    let output = positional(args, 1, "output file")?;
+    let trace = load(&input)?;
+    store(&output, &trace)?;
+    println!("{input} -> {output} ({} records)", trace.len());
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0, "trace file")?;
+    let trace = load(&path)?;
+    let speed = parse(args, "--speed", 1.0f64)?;
+    let quick = has(args, "--quick");
+    let out_dir = flag(args, "--out-dir");
+    let which = flag(args, "--target").unwrap_or_else(|| "all".to_string());
+    let targets: Vec<TargetKind> = match which.as_str() {
+        "all" => vec![
+            TargetKind::Standard,
+            TargetKind::Trail,
+            TargetKind::TrailMulti { logs: 2 },
+            TargetKind::Ext2 { trail: false },
+            TargetKind::Lfs { trail: false },
+        ],
+        "standard" => vec![TargetKind::Standard],
+        "trail" => vec![TargetKind::Trail],
+        "trail_multi2" => vec![TargetKind::TrailMulti { logs: 2 }],
+        "ext2" => vec![TargetKind::Ext2 { trail: false }],
+        "ext2_trail" => vec![TargetKind::Ext2 { trail: true }],
+        "lfs" => vec![TargetKind::Lfs { trail: false }],
+        "lfs_trail" => vec![TargetKind::Lfs { trail: true }],
+        other => return Err(format!("unknown --target {other}")),
+    };
+    println!(
+        "replaying {} requests ({:.3} s at 1x) at {speed}x:",
+        trace.len(),
+        trace.duration().as_secs_f64()
+    );
+    for target in targets {
+        let rep = replay(
+            &trace,
+            &ReplayOptions {
+                target,
+                speed,
+                fs_file_blocks: if quick { 128 } else { 1024 },
+                ..ReplayOptions::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "  {:<14} p50 {:>8.3} ms  p99 {:>8.3} ms  p99.9 {:>8.3} ms  maxQD {:>4}  errors {}",
+            rep.target,
+            rep.latency.percentile(50.0).as_millis_f64(),
+            rep.latency.percentile(99.0).as_millis_f64(),
+            rep.latency.percentile(99.9).as_millis_f64(),
+            rep.max_queue_depth,
+            rep.errors,
+        );
+        let name = format!("replay_{}", rep.target);
+        match &out_dir {
+            Some(dir) => {
+                let path = write_bench_json_in(std::path::Path::new(dir), &name, &rep.to_json())
+                    .map_err(|e| e.to_string())?;
+                eprintln!("wrote {}", path.display());
+            }
+            None => {
+                write_bench_json(&name, &rep.to_json()).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    Ok(())
+}

@@ -15,7 +15,7 @@ use std::rc::Rc;
 
 use trail_blockio::{IoDone, IoKind, IoRequest, StandardDriver};
 use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
-use trail_db::{Database, DbConfig, FlushPolicy, TrailStack};
+use trail_db::{BlockStack, Database, DbConfig, FlushPolicy, TrailStack};
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
 use trail_sim::{Completion, Delivered, LatencySummary, SimDuration, SimTime, Simulator};
 use trail_telemetry::RecorderHandle;
@@ -325,6 +325,9 @@ pub struct TpccSetup {
     pub workload: Workload,
     /// The Trail driver, when the rig runs on Trail.
     pub trail: Option<TrailDriver>,
+    /// The block stack under the engine — for installing a workload
+    /// capture tap ([`trail_blockio::SubmitTap`]) before a run.
+    pub stack: Rc<dyn BlockStack>,
 }
 
 /// Builds a TPC-C database over Trail (`trail = true`) or the standard
@@ -366,24 +369,16 @@ pub fn tpcc_setup_recorded(
     let disks: Vec<Disk> = (0..3)
         .map(|i| Disk::new(format!("data{i}"), profiles::wd_caviar_10gb()))
         .collect();
-    let (db, trail_drv) = if trail {
+    let (stack, trail_drv): (Rc<dyn BlockStack>, Option<TrailDriver>) = if trail {
         let log = Disk::new("trail-log", profiles::seagate_st41601n());
         format_log_disk(&mut sim, &log, FormatOptions::default()).expect("format");
         let (drv, _) = TrailDriver::start(&mut sim, log, disks.clone(), TrailConfig::default())
             .expect("boot Trail");
-        (
-            Database::new(Rc::new(TrailStack::new(drv.clone(), 3)), db_config),
-            Some(drv),
-        )
+        (Rc::new(TrailStack::new(drv.clone(), 3)), Some(drv))
     } else {
-        (
-            Database::new(
-                Rc::new(trail_db::StandardStack::new(disks.clone())),
-                db_config,
-            ),
-            None,
-        )
+        (Rc::new(trail_db::StandardStack::new(disks.clone())), None)
     };
+    let db = Database::new(Rc::clone(&stack), db_config);
     let images = populate(&db, &rig.scale);
     for (pid, bytes) in &images {
         let disk = &disks[pid.dev as usize];
@@ -410,6 +405,7 @@ pub fn tpcc_setup_recorded(
         db,
         workload,
         trail: trail_drv,
+        stack,
     }
 }
 

@@ -29,6 +29,10 @@ use trail_probe::{calibrate_delta, estimate_write_overhead, measure_rotation_per
 use trail_sim::{Delivered, LatencySummary, SimDuration, Simulator};
 use trail_telemetry::{JsonValue, RecorderHandle};
 use trail_tpcc::{run, ChainOn, RunConfig, TpccReport};
+use trail_trace::{
+    generate, replay as trace_replay, ArrivalModel, ReplayOptions, SpatialModel, SyntheticSpec,
+    TargetKind, Trace, TraceCapture, TraceMeta,
+};
 
 use crate::{
     sync_writes_standard_recorded, sync_writes_trail, sync_writes_trail_recorded, testbed,
@@ -146,6 +150,16 @@ pub fn all_scenarios() -> Vec<ScenarioSpec> {
             name: "track_util",
             title: "§5.2: log-track utilization vs. concurrency",
             run: track_util,
+        },
+        ScenarioSpec {
+            name: "replay_synthetic",
+            title: "Trace replay: synthetic open-loop workload vs. every stack",
+            run: replay_synthetic,
+        },
+        ScenarioSpec {
+            name: "replay_tpcc",
+            title: "Trace replay: captured TPC-C workload vs. every stack",
+            run: replay_tpcc,
         },
     ]
 }
@@ -1510,6 +1524,176 @@ fn track_util(cfg: &ScenarioConfig) -> ScenarioOutput {
         json: JsonValue::obj(vec![
             ("bench", JsonValue::str("track_util")),
             ("transactions", JsonValue::Num(txns as f64)),
+            ("rows", JsonValue::Arr(rows)),
+        ]),
+    }
+}
+
+// ------------------------------------------------------- trace replay
+
+/// Replays `trace` against one target and renders a report row plus the
+/// JSON payload (the full `ReplayReport::to_json` document).
+fn replay_target_row(
+    trace: &Trace,
+    target: TargetKind,
+    speed: f64,
+    recorder: Option<RecorderHandle>,
+    report: &mut String,
+) -> JsonValue {
+    let rep = trace_replay(
+        trace,
+        &ReplayOptions {
+            target,
+            speed,
+            fs_file_blocks: 256,
+            recorder,
+            ..ReplayOptions::default()
+        },
+    )
+    .expect("replay target");
+    let label = if speed == 1.0 {
+        rep.target.clone()
+    } else {
+        format!("{}@{speed}x", rep.target)
+    };
+    let _ = writeln!(
+        report,
+        "| {label} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} |",
+        rep.latency.percentile(50.0).as_millis_f64(),
+        rep.latency.percentile(99.0).as_millis_f64(),
+        rep.latency.percentile(99.9).as_millis_f64(),
+        rep.latency.max().as_millis_f64(),
+        rep.max_queue_depth,
+        rep.errors,
+    );
+    rep.to_json()
+}
+
+fn replay_table_header(report: &mut String) {
+    let _ = writeln!(
+        report,
+        "| target | p50 (ms) | p99 (ms) | p99.9 (ms) | max (ms) | max QD | errors |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|---|");
+}
+
+fn replay_synthetic(cfg: &ScenarioConfig) -> ScenarioOutput {
+    let requests = cfg.scale.unwrap_or(if cfg.quick { 240 } else { 3000 });
+    let spec = SyntheticSpec {
+        seed: cfg.mix(0x0054_5241_4345), // "TRACE"
+        requests,
+        devices: 3,
+        streams: 3,
+        capacity_sectors: 2 * 1024 * 1024,
+        read_fraction: 0.3,
+        request_sectors: 8,
+        arrivals: ArrivalModel::Poisson {
+            mean_iat: SimDuration::from_millis(20),
+        },
+        spatial: SpatialModel::Zipf { skew: 2.0 },
+    };
+    let trace = generate(&spec);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "== Trace replay — {requests} synthetic requests (3 Poisson streams, \
+         Zipf skew 2, 30% reads) against every stack =="
+    );
+    replay_table_header(&mut report);
+    let targets: &[(TargetKind, f64)] = &[
+        (TargetKind::Standard, 1.0),
+        (TargetKind::Trail, 1.0),
+        (TargetKind::TrailMulti { logs: 2 }, 1.0),
+        (TargetKind::Ext2 { trail: false }, 1.0),
+        (TargetKind::Lfs { trail: false }, 1.0),
+        // The time-scale knob: the same trace offered 4x faster shows
+        // how Trail absorbs overload the standard stack queues on.
+        (TargetKind::Trail, 4.0),
+        (TargetKind::Standard, 4.0),
+    ];
+    let rows: Vec<JsonValue> = targets
+        .iter()
+        .map(|&(t, speed)| replay_target_row(&trace, t, speed, cfg.handle(), &mut report))
+        .collect();
+    ScenarioOutput {
+        report,
+        json: JsonValue::obj(vec![
+            ("bench", JsonValue::str("replay_synthetic")),
+            ("requests", JsonValue::Num(requests as f64)),
+            (
+                "trace_duration_ms",
+                JsonValue::Num(trace.duration().as_millis_f64()),
+            ),
+            ("rows", JsonValue::Arr(rows)),
+        ]),
+    }
+}
+
+fn replay_tpcc(cfg: &ScenarioConfig) -> ScenarioOutput {
+    let txns = cfg.scale.unwrap_or(if cfg.quick { 100 } else { 800 });
+    let rig = TpccRig {
+        seed: cfg.mix(TpccRig::default().seed),
+        ..TpccRig::default()
+    };
+    // Capture the offered block-level workload of a TPC-C run over
+    // Trail: the tap sees the logical request stream (WAL forces, page
+    // evictions, reads), not the log-disk records, so the capture
+    // replays against any stack.
+    let mut setup = tpcc_setup_recorded(true, &rig, None);
+    let capture = TraceCapture::new();
+    setup.stack.set_tap(capture.handle());
+    let tpcc = run(
+        &mut setup.sim,
+        &setup.db,
+        setup.workload,
+        RunConfig {
+            transactions: txns,
+            concurrency: 4,
+            chain_on: ChainOn::Durable,
+        },
+    );
+    let mut trace = capture.take(TraceMeta {
+        source: "capture:tpcc".to_string(),
+        seed: rig.seed,
+        devices: 0,
+        note: format!("{txns} transactions, concurrency 4, over Trail"),
+    });
+    trace.rebase_to_first();
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "== Trace replay — TPC-C capture ({txns} txns, {} requests, {:.1} s) \
+         against every stack ==",
+        trace.len(),
+        trace.duration().as_secs_f64(),
+    );
+    let _ = writeln!(
+        report,
+        "capture source: {} ({:.0} tpmC while recording)",
+        trace.meta.source, tpcc.tpmc
+    );
+    replay_table_header(&mut report);
+    let targets: &[(TargetKind, f64)] = &[
+        (TargetKind::Standard, 1.0),
+        (TargetKind::Trail, 1.0),
+        (TargetKind::TrailMulti { logs: 2 }, 1.0),
+    ];
+    let rows: Vec<JsonValue> = targets
+        .iter()
+        .map(|&(t, speed)| replay_target_row(&trace, t, speed, cfg.handle(), &mut report))
+        .collect();
+    ScenarioOutput {
+        report,
+        json: JsonValue::obj(vec![
+            ("bench", JsonValue::str("replay_tpcc")),
+            ("transactions", JsonValue::Num(txns as f64)),
+            ("captured_requests", JsonValue::Num(trace.len() as f64)),
+            (
+                "capture_duration_ms",
+                JsonValue::Num(trace.duration().as_millis_f64()),
+            ),
+            ("tpmc_while_recording", JsonValue::Num(tpcc.tpmc)),
             ("rows", JsonValue::Arr(rows)),
         ]),
     }

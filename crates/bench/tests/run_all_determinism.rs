@@ -33,6 +33,19 @@ fn run_into(dir: &Path, threads: usize, seed: u64) -> Vec<PathBuf> {
 }
 
 #[test]
+fn replay_scenarios_are_registered() {
+    // The trace-replay experiments ride the same registry (and therefore
+    // the same determinism guarantee) as the paper scenarios.
+    let names: Vec<&str> = trail_bench::all_scenarios()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    for required in ["replay_synthetic", "replay_tpcc"] {
+        assert!(names.contains(&required), "{required} not registered");
+    }
+}
+
+#[test]
 fn fixed_seed_is_byte_identical_across_thread_counts() {
     let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_all_det");
     let serial = run_into(&base.join("t1"), 1, 0);

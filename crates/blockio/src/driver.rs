@@ -18,6 +18,7 @@ use trail_telemetry::{Layer, LifecycleEmitter, RecorderHandle, RequestBreakdown}
 
 use crate::request::{IoDone, IoKind, IoRequest, RequestId};
 use crate::sched::{apply_priority, Clook, Priority, QueuedIo, Scheduler};
+use crate::tap::TapHandle;
 
 /// Aggregate driver measurements.
 #[derive(Clone, Debug, Default)]
@@ -53,6 +54,8 @@ struct Inner {
     stats: DriverStats,
     // The driver's name for trace purposes is its disk's name.
     lifecycle: LifecycleEmitter,
+    // Workload-capture tap plus the stack-level device index it reports.
+    tap: Option<(TapHandle, u32)>,
 }
 
 /// A queueing block driver over one [`Disk`]. Clones share the driver.
@@ -105,6 +108,7 @@ impl StandardDriver {
                 next_seq: 0,
                 stats: DriverStats::default(),
                 lifecycle,
+                tap: None,
             })),
         }
     }
@@ -116,6 +120,12 @@ impl StandardDriver {
         let mut d = self.inner.borrow_mut();
         d.disk.set_recorder(Rc::clone(&recorder));
         d.lifecycle.set_recorder(recorder);
+    }
+
+    /// Installs a workload-capture tap reporting this driver's requests
+    /// under stack-level device index `dev`. See [`crate::SubmitTap`].
+    pub fn set_tap(&self, tap: TapHandle, dev: u32) {
+        self.inner.borrow_mut().tap = Some((tap, dev));
     }
 
     /// The underlying disk.
@@ -166,6 +176,9 @@ impl StandardDriver {
             }
             if req.lba + u64::from(sectors) > total {
                 return Err(DiskError::OutOfRange);
+            }
+            if let Some((tap, dev)) = &d.tap {
+                tap.on_submit(sim.now(), *dev, req.lba, sectors, req.kind.is_read());
             }
             let id = RequestId(d.next_id);
             d.next_id += 1;

@@ -42,7 +42,9 @@
 mod driver;
 mod request;
 mod sched;
+mod tap;
 
 pub use driver::{DriverStats, StandardDriver};
 pub use request::{IoDone, IoKind, IoRequest, RequestId};
 pub use sched::{apply_priority, Clook, Fifo, Priority, QueuedIo, Scheduler};
+pub use tap::{SubmitTap, TapHandle};

@@ -1,0 +1,91 @@
+//! Submission taps: observation hooks on the request submission path.
+//!
+//! A [`SubmitTap`] sees every request the moment a driver accepts it —
+//! arrival instant, device, address, length, direction — which is exactly
+//! the information a workload trace needs. The tap sits on the *submission*
+//! side (not completion), so what it records is the offered load, not the
+//! serviced load: replaying a captured stream open-loop reproduces the
+//! original arrival process even on a slower stack.
+//!
+//! Like telemetry recorders, taps default to absent and cost nothing when
+//! uninstalled. Unlike recorders, a tap carries the full request address
+//! vocabulary, so it lives here in `trail-blockio` where that vocabulary
+//! is defined, and every driver above (the baseline driver here, the Trail
+//! driver in `trail-core`, the stacks in `trail-db`) forwards to it.
+
+use std::rc::Rc;
+
+use trail_disk::Lba;
+use trail_sim::SimTime;
+
+/// Observes accepted request submissions.
+///
+/// Implementors must not submit I/O from inside the hook: it is called
+/// with the driver's internals borrowed. Recording into owned state (a
+/// `RefCell<Vec<_>>`) is the intended use.
+pub trait SubmitTap {
+    /// Called once per accepted request, at submission time.
+    ///
+    /// `dev` is the stack-level device index the submitter addressed (a
+    /// single-disk driver reports the index it was installed with),
+    /// `sectors` the request length, and `is_read` the direction.
+    fn on_submit(&self, at: SimTime, dev: u32, lba: Lba, sectors: u32, is_read: bool);
+}
+
+/// Shared handle to a tap, as stored by instrumented drivers.
+pub type TapHandle = Rc<dyn SubmitTap>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[derive(Default)]
+    struct CountingTap {
+        seen: RefCell<Vec<(u64, u32, bool)>>,
+    }
+
+    impl SubmitTap for CountingTap {
+        fn on_submit(&self, _at: SimTime, _dev: u32, lba: Lba, sectors: u32, is_read: bool) {
+            self.seen.borrow_mut().push((lba, sectors, is_read));
+        }
+    }
+
+    #[test]
+    fn standard_driver_reports_accepted_submissions_only() {
+        use crate::{IoKind, IoRequest, StandardDriver};
+        use trail_disk::{profiles, Disk, SECTOR_SIZE};
+        use trail_sim::Simulator;
+
+        let mut sim = Simulator::new();
+        let drv = StandardDriver::new(Disk::new("t", profiles::tiny_test_disk()));
+        let tap = Rc::new(CountingTap::default());
+        drv.set_tap(Rc::clone(&tap) as TapHandle, 3);
+        let c = sim.completion(|_, _| {});
+        drv.submit(
+            &mut sim,
+            IoRequest {
+                lba: 5,
+                kind: IoKind::Write {
+                    data: vec![1; 2 * SECTOR_SIZE],
+                },
+            },
+            c,
+        )
+        .unwrap();
+        let c = sim.completion(|_, d| assert!(d.is_err()));
+        // Rejected requests must not reach the tap.
+        assert!(drv
+            .submit(
+                &mut sim,
+                IoRequest {
+                    lba: 0,
+                    kind: IoKind::Read { count: 0 },
+                },
+                c,
+            )
+            .is_err());
+        sim.run();
+        assert_eq!(&*tap.seen.borrow(), &[(5, 2, false)]);
+    }
+}

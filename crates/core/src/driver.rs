@@ -28,7 +28,7 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use trail_blockio::{Clook, IoDone, IoKind, IoRequest, Priority, StandardDriver};
+use trail_blockio::{Clook, IoDone, IoKind, IoRequest, Priority, StandardDriver, TapHandle};
 use trail_disk::{
     CommandKind, Disk, DiskCommand, DiskGeometry, DiskResult, Lba, SectorBuf, ServiceBreakdown,
     SECTOR_SIZE,
@@ -190,6 +190,8 @@ struct Inner {
     // Sourced from the log disk's name, so MultiTrail instances stay
     // distinguishable in traces.
     lifecycle: LifecycleEmitter,
+    // Workload-capture tap; sees every accepted write/read at submission.
+    tap: Option<TapHandle>,
 }
 
 /// What `start` found and did while bringing the driver up.
@@ -384,6 +386,7 @@ impl TrailDriver {
                 idle_refresh_count: 0,
                 stalled: false,
                 lifecycle,
+                tap: None,
             })),
         };
         driver.initial_position(sim)?;
@@ -441,6 +444,9 @@ impl TrailDriver {
             let sectors = (data.len() / SECTOR_SIZE) as u64;
             if lba + sectors > d.data_capacity[dev] {
                 return Err(TrailError::OutOfRange);
+            }
+            if let Some(tap) = &d.tap {
+                tap.on_submit(sim.now(), dev as u32, lba, sectors as u32, false);
             }
             let req = done.id().raw();
             let chunk_sectors = d.effective_max_batch as usize;
@@ -501,6 +507,9 @@ impl TrailDriver {
             }
             if count == 0 || lba + u64::from(count) > d.data_capacity[dev] {
                 return Err(TrailError::OutOfRange);
+            }
+            if let Some(tap) = &d.tap {
+                tap.on_submit(sim.now(), dev as u32, lba, count, true);
             }
             let key = BlockKey {
                 dev: dev as u8,
@@ -650,6 +659,15 @@ impl TrailDriver {
             drv.set_recorder(Rc::clone(&recorder));
         }
         d.lifecycle.set_recorder(recorder);
+    }
+
+    /// Installs a workload-capture tap observing every accepted write and
+    /// read at submission time (see [`trail_blockio::SubmitTap`]). The tap
+    /// sees the *logical* request stream addressed at the data devices —
+    /// not the log-disk records the driver forms from it — so a captured
+    /// trace replays against any stack.
+    pub fn set_tap(&self, tap: TapHandle) {
+        self.inner.borrow_mut().tap = Some(tap);
     }
 
     /// Records a core-layer event through the shared lifecycle emitter.

@@ -128,6 +128,15 @@ impl MultiTrail {
         }
     }
 
+    /// Installs a workload-capture tap on every Trail instance. Each
+    /// logical request routes to exactly one instance, so the tap sees the
+    /// merged stream once, in submission order.
+    pub fn set_tap(&self, tap: trail_blockio::TapHandle) {
+        for d in &self.drivers {
+            d.set_tap(std::rc::Rc::clone(&tap));
+        }
+    }
+
     /// Deterministic block-to-log routing (FNV-1a over the address).
     fn route(&self, dev: usize, lba: Lba) -> usize {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;

@@ -4,7 +4,9 @@
 
 use std::rc::Rc;
 
-use trail_blockio::{Clook, IoDone, IoKind, IoRequest, Priority, Scheduler, StandardDriver};
+use trail_blockio::{
+    Clook, IoDone, IoKind, IoRequest, Priority, Scheduler, StandardDriver, TapHandle,
+};
 use trail_core::{TrailDriver, TrailError};
 use trail_disk::{Disk, Lba};
 use trail_sim::{Completion, Simulator};
@@ -54,6 +56,12 @@ pub trait BlockStack {
     /// Attaches a telemetry recorder to every layer below this stack.
     /// The default implementation drops the recorder (no instrumentation).
     fn set_recorder(&self, _recorder: RecorderHandle) {}
+
+    /// Installs a workload-capture tap ([`trail_blockio::SubmitTap`]) that
+    /// observes every request submitted through this stack, tagged with
+    /// the stack-level device index. The default implementation drops the
+    /// tap (no capture).
+    fn set_tap(&self, _tap: TapHandle) {}
 }
 
 /// The Trail stack: every device sits behind one [`TrailDriver`].
@@ -108,6 +116,10 @@ impl BlockStack for TrailStack {
 
     fn set_recorder(&self, recorder: RecorderHandle) {
         self.driver.set_recorder(recorder);
+    }
+
+    fn set_tap(&self, tap: TapHandle) {
+        self.driver.set_tap(tap);
     }
 }
 
@@ -207,6 +219,12 @@ impl BlockStack for StandardStack {
     fn set_recorder(&self, recorder: RecorderHandle) {
         for d in &self.drivers {
             d.set_recorder(Rc::clone(&recorder));
+        }
+    }
+
+    fn set_tap(&self, tap: TapHandle) {
+        for (dev, d) in self.drivers.iter().enumerate() {
+            d.set_tap(Rc::clone(&tap), dev as u32);
         }
     }
 }

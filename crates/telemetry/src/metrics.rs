@@ -145,7 +145,10 @@ impl DurationHistogram {
             .collect()
     }
 
-    fn to_json(&self) -> JsonValue {
+    /// The histogram as a JSON object: `count`, `mean_ms`, `min_ms`,
+    /// `p50_ms`, `p95_ms`, `p99_ms`, `p999_ms`, `max_ms`, and the
+    /// non-empty `buckets` as `[upper_bound_ns, count]` pairs.
+    pub fn to_json(&self) -> JsonValue {
         JsonValue::obj(vec![
             ("count", JsonValue::Num(self.count as f64)),
             ("mean_ms", JsonValue::Num(self.mean().as_millis_f64())),
@@ -161,6 +164,10 @@ impl DurationHistogram {
             (
                 "p99_ms",
                 JsonValue::Num(self.percentile(99.0).as_millis_f64()),
+            ),
+            (
+                "p999_ms",
+                JsonValue::Num(self.percentile(99.9).as_millis_f64()),
             ),
             ("max_ms", JsonValue::Num(self.max().as_millis_f64())),
             (
@@ -284,6 +291,31 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn histogram_percentile_rejects_out_of_range() {
         DurationHistogram::new().percentile(-1.0);
+    }
+
+    #[test]
+    fn histogram_p999_is_bounded_and_exported() {
+        // 999 fast samples and one slow outlier: p99.9 must land on the
+        // outlier's bucket (the 1000th rank), bounded by bucket semantics —
+        // at least the sample, at most the exact maximum.
+        let mut h = DurationHistogram::new();
+        for _ in 0..999 {
+            h.record(SimDuration::from_micros(100));
+        }
+        h.record(SimDuration::from_millis(50));
+        let p999 = h.percentile(99.9);
+        assert!(p999 >= SimDuration::from_millis(50));
+        assert!(p999 <= h.max());
+        // p99 stays in the fast cluster: within a factor of two above it.
+        let p99 = h.percentile(99.0);
+        assert!(p99 >= SimDuration::from_micros(100));
+        assert!(p99 < SimDuration::from_micros(200));
+        // The JSON export carries the new field, ordered p99 ≤ p99.9 ≤ max.
+        let j = h.to_json();
+        let get = |k: &str| j.get(k).unwrap().as_f64().unwrap();
+        assert!(get("p99_ms") <= get("p999_ms"));
+        assert!(get("p999_ms") <= get("max_ms"));
+        assert_eq!(get("count"), 1000.0);
     }
 
     #[test]

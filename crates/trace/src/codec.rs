@@ -1,0 +1,420 @@
+//! Binary and JSONL codecs for [`Trace`].
+//!
+//! Two encodings of the same model, both self-describing and versioned:
+//!
+//! - **Binary** (`.trace`): an 8-byte magic, a little-endian header, a
+//!   JSON metadata blob, then fixed 28-byte little-endian records. This
+//!   is the compact interchange format; encoding is canonical, so
+//!   decode → re-encode reproduces the input byte for byte.
+//! - **JSONL** (`.jsonl`): the first line is the metadata object, each
+//!   following line one record. This is the greppable/diffable export;
+//!   it is exact for values below 2⁵³ (encoding larger timestamps or
+//!   LBAs is rejected rather than silently rounded).
+//!
+//! Layout of one binary record (offsets in bytes):
+//!
+//! | 0..8 | 8..16 | 16..20 | 20..24 | 24..26 | 26 | 27 |
+//! |---|---|---|---|---|---|---|
+//! | `at_ns` u64 | `lba` u64 | `sectors` u32 | `stream` u32 | `dev` u16 | `op` u8 | reserved (0) |
+
+use std::fmt;
+
+use trail_sim::SimTime;
+use trail_telemetry::JsonValue;
+
+use crate::format::{Trace, TraceMeta, TraceOp, TraceRecord, TRACE_VERSION};
+
+/// The binary magic: `b"TRAILTRC"`.
+pub const TRACE_MAGIC: [u8; 8] = *b"TRAILTRC";
+
+/// Size of one binary record in bytes.
+pub const RECORD_BYTES: usize = 28;
+
+/// Largest integer JSONL can carry exactly (2⁵³).
+const JSON_EXACT_MAX: u64 = 1 << 53;
+
+/// Why a trace failed to decode (or encode to JSONL).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceError {
+    /// The input does not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The input's version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The input ended before the declared content did.
+    Truncated(String),
+    /// The metadata header is malformed.
+    BadMeta(String),
+    /// A record is malformed.
+    BadRecord {
+        /// Zero-based record index.
+        index: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a trail trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "trace version {v} unsupported (max {TRACE_VERSION})")
+            }
+            TraceError::Truncated(what) => write!(f, "truncated trace: {what}"),
+            TraceError::BadMeta(why) => write!(f, "bad trace metadata: {why}"),
+            TraceError::BadRecord { index, reason } => {
+                write!(f, "bad trace record {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The canonical metadata object both codecs embed. `seed` is carried as
+/// a decimal string so 64-bit seeds survive the f64 JSON number space.
+fn meta_json(meta: &TraceMeta, records: usize) -> JsonValue {
+    JsonValue::obj(vec![
+        ("format", JsonValue::str("trail-trace")),
+        ("version", JsonValue::Num(f64::from(TRACE_VERSION))),
+        ("source", JsonValue::str(meta.source.clone())),
+        ("seed", JsonValue::str(meta.seed.to_string())),
+        ("devices", JsonValue::Num(f64::from(meta.devices))),
+        ("note", JsonValue::str(meta.note.clone())),
+        ("records", JsonValue::Num(records as f64)),
+    ])
+}
+
+fn parse_meta(v: &JsonValue) -> Result<(TraceMeta, Option<usize>), TraceError> {
+    let bad = |why: &str| TraceError::BadMeta(why.to_string());
+    let format = v
+        .get("format")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("missing format"))?;
+    if format != "trail-trace" {
+        return Err(bad(&format!("format is {format:?}, not \"trail-trace\"")));
+    }
+    let version = v
+        .get("version")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| bad("missing version"))? as u16;
+    if version == 0 || version > TRACE_VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let seed = match v.get("seed") {
+        Some(JsonValue::Str(s)) => s
+            .parse::<u64>()
+            .map_err(|_| bad(&format!("seed {s:?} is not a u64")))?,
+        Some(JsonValue::Num(n)) => *n as u64,
+        _ => 0,
+    };
+    let devices = v.get("devices").and_then(JsonValue::as_f64).unwrap_or(0.0) as u16;
+    let records = v
+        .get("records")
+        .and_then(JsonValue::as_f64)
+        .map(|n| n as usize);
+    Ok((
+        TraceMeta {
+            source: v
+                .get("source")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
+            seed,
+            devices,
+            note: v
+                .get("note")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
+        },
+        records,
+    ))
+}
+
+/// Encodes a trace to the canonical binary form.
+#[must_use]
+pub fn to_binary(trace: &Trace) -> Vec<u8> {
+    let meta = meta_json(&trace.meta, trace.records.len()).to_json();
+    let meta = meta.as_bytes();
+    let mut out = Vec::with_capacity(24 + meta.len() + RECORD_BYTES * trace.records.len());
+    out.extend_from_slice(&TRACE_MAGIC);
+    out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
+    out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+    out.extend_from_slice(meta);
+    out.extend_from_slice(&(trace.records.len() as u64).to_le_bytes());
+    for r in &trace.records {
+        out.extend_from_slice(&r.at.as_nanos().to_le_bytes());
+        out.extend_from_slice(&r.lba.to_le_bytes());
+        out.extend_from_slice(&r.sectors.to_le_bytes());
+        out.extend_from_slice(&r.stream.to_le_bytes());
+        out.extend_from_slice(&r.dev.to_le_bytes());
+        out.push(r.op.code());
+        out.push(0); // reserved
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| TraceError::Truncated(what.to_string()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Decodes a binary trace.
+///
+/// # Errors
+///
+/// Any [`TraceError`]: bad magic, unsupported version, truncation, or a
+/// malformed metadata blob or record.
+pub fn from_binary(bytes: &[u8]) -> Result<Trace, TraceError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(8, "magic")? != TRACE_MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = r.u16("version")?;
+    if version == 0 || version > TRACE_VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let _flags = r.u16("flags")?;
+    let meta_len = r.u32("meta length")? as usize;
+    let meta_bytes = r.take(meta_len, "metadata blob")?;
+    let meta_text = std::str::from_utf8(meta_bytes)
+        .map_err(|_| TraceError::BadMeta("metadata is not UTF-8".to_string()))?;
+    let meta_value = JsonValue::parse(meta_text).map_err(|e| TraceError::BadMeta(e.to_string()))?;
+    let (meta, _) = parse_meta(&meta_value)?;
+    let count = r.u64("record count")? as usize;
+    let mut records = Vec::with_capacity(count.min(1 << 20));
+    for index in 0..count {
+        let at_ns = r.u64("record arrival")?;
+        let lba = r.u64("record lba")?;
+        let sectors = r.u32("record sectors")?;
+        let stream = r.u32("record stream")?;
+        let dev = r.u16("record device")?;
+        let op_code = r.take(2, "record op")?[0];
+        let op = TraceOp::from_code(op_code).ok_or_else(|| TraceError::BadRecord {
+            index,
+            reason: format!("unknown op code {op_code}"),
+        })?;
+        records.push(TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            op,
+            dev,
+            lba,
+            sectors,
+            stream,
+        });
+    }
+    Ok(Trace { meta, records })
+}
+
+/// Encodes a trace to JSONL (metadata line, then one record per line).
+///
+/// # Errors
+///
+/// [`TraceError::BadRecord`] if an arrival or LBA exceeds 2⁵³ and would
+/// lose precision as a JSON number.
+pub fn to_jsonl(trace: &Trace) -> Result<String, TraceError> {
+    let mut out = meta_json(&trace.meta, trace.records.len()).to_json();
+    out.push('\n');
+    for (index, r) in trace.records.iter().enumerate() {
+        for (what, v) in [("arrival", r.at.as_nanos()), ("lba", r.lba)] {
+            if v >= JSON_EXACT_MAX {
+                return Err(TraceError::BadRecord {
+                    index,
+                    reason: format!("{what} {v} exceeds the exact JSON number range"),
+                });
+            }
+        }
+        out.push_str(
+            &JsonValue::obj(vec![
+                ("at_ns", JsonValue::Num(r.at.as_nanos() as f64)),
+                ("op", JsonValue::str(r.op.letter())),
+                ("dev", JsonValue::Num(f64::from(r.dev))),
+                ("lba", JsonValue::Num(r.lba as f64)),
+                ("sectors", JsonValue::Num(f64::from(r.sectors))),
+                ("stream", JsonValue::Num(f64::from(r.stream))),
+            ])
+            .to_json(),
+        );
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Decodes a JSONL trace.
+///
+/// # Errors
+///
+/// [`TraceError::BadMeta`] or [`TraceError::BadRecord`] describing the
+/// first malformed line.
+pub fn from_jsonl(text: &str) -> Result<Trace, TraceError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let meta_line = lines
+        .next()
+        .ok_or_else(|| TraceError::Truncated("empty input".to_string()))?;
+    let meta_value = JsonValue::parse(meta_line).map_err(|e| TraceError::BadMeta(e.to_string()))?;
+    let (meta, declared) = parse_meta(&meta_value)?;
+    let mut records = Vec::new();
+    for (index, line) in lines.enumerate() {
+        let bad = |reason: String| TraceError::BadRecord { index, reason };
+        let v = JsonValue::parse(line).map_err(|e| bad(e.to_string()))?;
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| bad(format!("missing {key}")))
+        };
+        let op_letter = v
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("missing op".to_string()))?;
+        let op =
+            TraceOp::from_letter(op_letter).ok_or_else(|| bad(format!("bad op {op_letter:?}")))?;
+        records.push(TraceRecord {
+            at: SimTime::from_nanos(num("at_ns")? as u64),
+            op,
+            dev: num("dev")? as u16,
+            lba: num("lba")? as u64,
+            sectors: num("sectors")? as u32,
+            stream: num("stream")? as u32,
+        });
+    }
+    if let Some(declared) = declared {
+        if declared != records.len() {
+            return Err(TraceError::Truncated(format!(
+                "metadata declares {declared} records, found {}",
+                records.len()
+            )));
+        }
+    }
+    Ok(Trace { meta, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                source: "test".to_string(),
+                seed: u64::MAX - 1,
+                devices: 3,
+                note: "with \"quotes\"".to_string(),
+            },
+            records: vec![
+                TraceRecord {
+                    at: SimTime::from_nanos(0),
+                    op: TraceOp::Write,
+                    dev: 0,
+                    lba: 8,
+                    sectors: 8,
+                    stream: 0,
+                },
+                TraceRecord {
+                    at: SimTime::from_nanos(1_500_000),
+                    op: TraceOp::Read,
+                    dev: 2,
+                    lba: 123_456_789,
+                    sectors: 16,
+                    stream: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn binary_round_trips_byte_identically() {
+        let t = sample();
+        let bytes = to_binary(&t);
+        let back = from_binary(&bytes).expect("decode");
+        assert_eq!(back, t);
+        // Canonical encoding: decode → re-encode is the identity.
+        assert_eq!(to_binary(&back), bytes);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_binary() {
+        let t = sample();
+        let text = to_jsonl(&t).expect("encode");
+        let back = from_jsonl(&text).expect("decode");
+        assert_eq!(back, t);
+        // The cross-codec loop is also the identity on bytes.
+        assert_eq!(to_binary(&back), to_binary(&t));
+    }
+
+    #[test]
+    fn seed_survives_the_f64_number_space() {
+        let t = sample();
+        let back = from_jsonl(&to_jsonl(&t).unwrap()).unwrap();
+        assert_eq!(back.meta.seed, u64::MAX - 1);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(from_binary(b"not a trace..."), Err(TraceError::BadMagic));
+        let mut bytes = to_binary(&sample());
+        bytes[8] = 0xFF; // version
+        assert!(matches!(
+            from_binary(&bytes),
+            Err(TraceError::UnsupportedVersion(_))
+        ));
+        let bytes = to_binary(&sample());
+        assert!(matches!(
+            from_binary(&bytes[..bytes.len() - 3]),
+            Err(TraceError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn jsonl_rejects_imprecise_values() {
+        let mut t = sample();
+        t.records[0].lba = 1 << 60;
+        assert!(matches!(
+            to_jsonl(&t),
+            Err(TraceError::BadRecord { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn jsonl_rejects_count_mismatch() {
+        let t = sample();
+        let text = to_jsonl(&t).unwrap();
+        let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(matches!(
+            from_jsonl(&truncated),
+            Err(TraceError::Truncated(_))
+        ));
+    }
+}

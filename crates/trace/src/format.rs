@@ -1,0 +1,259 @@
+//! The trace format: a versioned, self-describing stream of timestamped
+//! block requests.
+//!
+//! A [`Trace`] is what every other piece of this crate produces or
+//! consumes: the capture tap fills one from a live stack, the synthetic
+//! generators fabricate one from a spec, the codecs serialize one to
+//! bytes or JSONL, and the replay engine drives a stack from one. The
+//! unit of the format is the [`TraceRecord`] — *when* a request arrived,
+//! *what* it was (read or write), and *where* it landed (device, LBA,
+//! length), plus a stream tag so multi-source workloads stay separable.
+
+use trail_disk::Lba;
+use trail_sim::{SimDuration, SimTime};
+
+/// The current trace format version, written by both codecs.
+///
+/// Version history:
+/// - **1** — initial format: 28-byte little-endian records, JSON meta
+///   header (see `DESIGN.md`, "Workload trace format").
+pub const TRACE_VERSION: u16 = 1;
+
+/// What a traced request did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceOp {
+    /// A (durable) write.
+    Write,
+    /// A read.
+    Read,
+}
+
+impl TraceOp {
+    /// `true` for [`TraceOp::Read`].
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, TraceOp::Read)
+    }
+
+    /// The on-disk opcode (`0` = write, `1` = read).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            TraceOp::Write => 0,
+            TraceOp::Read => 1,
+        }
+    }
+
+    /// Parses an on-disk opcode.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<TraceOp> {
+        match code {
+            0 => Some(TraceOp::Write),
+            1 => Some(TraceOp::Read),
+            _ => None,
+        }
+    }
+
+    /// The JSONL letter (`"W"` / `"R"`).
+    #[must_use]
+    pub fn letter(self) -> &'static str {
+        match self {
+            TraceOp::Write => "W",
+            TraceOp::Read => "R",
+        }
+    }
+
+    /// Parses the JSONL letter.
+    #[must_use]
+    pub fn from_letter(letter: &str) -> Option<TraceOp> {
+        match letter {
+            "W" => Some(TraceOp::Write),
+            "R" => Some(TraceOp::Read),
+            _ => None,
+        }
+    }
+}
+
+/// One timestamped block request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// Arrival instant. In a stored trace this is relative to the trace
+    /// epoch (the first record of a captured trace arrives near zero);
+    /// the capture tap records absolute simulator time until
+    /// [`Trace::rebase`] subtracts the epoch out.
+    pub at: SimTime,
+    /// Read or write.
+    pub op: TraceOp,
+    /// Stack-level device index.
+    pub dev: u16,
+    /// Starting logical block address, in sectors.
+    pub lba: Lba,
+    /// Request length in sectors (non-zero).
+    pub sectors: u32,
+    /// Workload stream tag (terminal, generator stream, …); `0` when the
+    /// source does not distinguish streams.
+    pub stream: u32,
+}
+
+/// Self-description carried by every trace.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TraceMeta {
+    /// Where the trace came from (`"capture:tpcc"`, `"synthetic"`, …).
+    pub source: String,
+    /// The seed that produced it, for provenance (0 when not seeded).
+    pub seed: u64,
+    /// Number of stack-level devices the trace addresses.
+    pub devices: u16,
+    /// Free-form note.
+    pub note: String,
+}
+
+/// A workload trace: metadata plus records ordered by arrival time.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    /// Self-description.
+    pub meta: TraceMeta,
+    /// The requests, sorted by `(at, stream)`.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Span from the first arrival to the last.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        match (self.records.first(), self.records.last()) {
+            (Some(first), Some(last)) => last.at.saturating_duration_since(first.at),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Highest device index addressed, or `None` for an empty trace.
+    #[must_use]
+    pub fn max_dev(&self) -> Option<u16> {
+        self.records.iter().map(|r| r.dev).max()
+    }
+
+    /// Shifts every arrival so that `epoch` becomes time zero (arrivals
+    /// before `epoch` clamp to zero). Captured traces carry absolute
+    /// simulator times; rebasing to the instant replay started makes a
+    /// capture comparable to — and replayable like — a stored trace.
+    pub fn rebase(&mut self, epoch: SimTime) {
+        for r in &mut self.records {
+            r.at = SimTime::ZERO + r.at.saturating_duration_since(epoch);
+        }
+    }
+
+    /// [`Trace::rebase`] to the first record's arrival, so the trace
+    /// starts at time zero.
+    pub fn rebase_to_first(&mut self) {
+        if let Some(first) = self.records.first() {
+            let epoch = first.at;
+            self.rebase(epoch);
+        }
+    }
+
+    /// Stable-sorts records by `(arrival, stream)` — the canonical order
+    /// both codecs and the replay engine expect.
+    pub fn sort(&mut self) {
+        self.records.sort_by_key(|r| (r.at, r.stream));
+    }
+
+    /// Checks the invariants stored traces must satisfy: records sorted
+    /// by `(arrival, stream)` and every record non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, r) in self.records.iter().enumerate() {
+            if r.sectors == 0 {
+                return Err(format!("record {i}: zero-length request"));
+            }
+        }
+        for (i, pair) in self.records.windows(2).enumerate() {
+            if (pair[0].at, pair[0].stream) > (pair[1].at, pair[1].stream) {
+                return Err(format!("records {i} and {} out of order", i + 1));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ns: u64, stream: u32) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            op: TraceOp::Write,
+            dev: 0,
+            lba: 8,
+            sectors: 8,
+            stream,
+        }
+    }
+
+    #[test]
+    fn op_codes_round_trip() {
+        for op in [TraceOp::Write, TraceOp::Read] {
+            assert_eq!(TraceOp::from_code(op.code()), Some(op));
+            assert_eq!(TraceOp::from_letter(op.letter()), Some(op));
+        }
+        assert_eq!(TraceOp::from_code(7), None);
+        assert_eq!(TraceOp::from_letter("x"), None);
+    }
+
+    #[test]
+    fn rebase_shifts_and_clamps() {
+        let mut t = Trace {
+            meta: TraceMeta::default(),
+            records: vec![rec(1000, 0), rec(2500, 0)],
+        };
+        assert_eq!(t.duration(), SimDuration::from_nanos(1500));
+        t.rebase_to_first();
+        assert_eq!(t.records[0].at, SimTime::ZERO);
+        assert_eq!(t.records[1].at, SimTime::from_nanos(1500));
+        // Rebasing past the first arrival clamps instead of wrapping.
+        t.rebase(SimTime::from_nanos(1_000_000));
+        assert_eq!(t.records[0].at, SimTime::ZERO);
+        assert_eq!(t.records[1].at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn validate_catches_disorder_and_empties() {
+        let mut t = Trace {
+            meta: TraceMeta::default(),
+            records: vec![rec(2000, 0), rec(1000, 0)],
+        };
+        assert!(t.validate().is_err());
+        t.sort();
+        assert!(t.validate().is_ok());
+        t.records[0].sectors = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn sort_is_stable_within_equal_arrivals() {
+        let mut t = Trace {
+            meta: TraceMeta::default(),
+            records: vec![rec(5, 2), rec(5, 1), rec(1, 9)],
+        };
+        t.sort();
+        assert_eq!(t.records[0].stream, 9);
+        assert_eq!(t.records[1].stream, 1);
+        assert_eq!(t.records[2].stream, 2);
+    }
+}

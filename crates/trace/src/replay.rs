@@ -1,0 +1,855 @@
+//! Open-loop trace replay against any storage stack.
+//!
+//! The replay engine schedules every trace record at its recorded
+//! arrival instant (optionally time-scaled) and lets completions land
+//! whenever the stack delivers them — **open loop**: a slow stack does
+//! not slow the arrival process down, it just builds queue depth. That
+//! is the property that makes replay an apples-to-apples comparison:
+//! the same offered load hits a raw C-LOOK stack, Trail, a multi-log
+//! Trail array, or a file system, and the latency distributions and
+//! queue-depth trajectories are directly comparable.
+//!
+//! ```
+//! use trail_trace::{generate, replay, ReplayOptions, SyntheticSpec, TargetKind};
+//!
+//! let trace = generate(&SyntheticSpec {
+//!     requests: 50,
+//!     ..SyntheticSpec::default()
+//! });
+//! let report = replay(
+//!     &trace,
+//!     &ReplayOptions {
+//!         target: TargetKind::Trail,
+//!         ..ReplayOptions::default()
+//!     },
+//! )?;
+//! assert_eq!(report.requests, 50);
+//! # Ok::<(), trail_trace::ReplayError>(())
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use trail::{BuiltStack, StackBuilder};
+use trail_blockio::{IoDone, TapHandle};
+use trail_core::{format_log_disk, FormatOptions, MultiTrail, TrailConfig, TrailError};
+use trail_db::BlockStack;
+use trail_disk::{profiles, Disk, Lba, SECTOR_SIZE};
+use trail_fs::{FileHandle, FileSystem, FsError, LfsConfig, FS_BLOCK_SIZE};
+use trail_sim::{Completion, Delivered, SimDuration, SimTime, Simulator};
+use trail_telemetry::{DurationHistogram, JsonValue, RecorderHandle};
+
+use crate::format::Trace;
+
+/// Which stack a trace is replayed against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetKind {
+    /// The standard disk subsystem: per-disk C-LOOK drivers, no log.
+    Standard,
+    /// The Trail driver over one log disk (the paper's subsystem).
+    Trail,
+    /// A Trail array over several log disks (paper §6).
+    TrailMulti {
+        /// Number of log disks (at least 1).
+        logs: usize,
+    },
+    /// An ext2-like file system per device.
+    Ext2 {
+        /// Mount over Trail (`true`) or the standard stack.
+        trail: bool,
+    },
+    /// A log-structured file system per device.
+    Lfs {
+        /// Mount over Trail (`true`) or the standard stack.
+        trail: bool,
+    },
+}
+
+impl TargetKind {
+    /// A short stable label (`"standard"`, `"trail"`, `"trail_multi2"`,
+    /// `"ext2"`, `"ext2_trail"`, …) for reports and file names.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            TargetKind::Standard => "standard".to_string(),
+            TargetKind::Trail => "trail".to_string(),
+            TargetKind::TrailMulti { logs } => format!("trail_multi{logs}"),
+            TargetKind::Ext2 { trail: false } => "ext2".to_string(),
+            TargetKind::Ext2 { trail: true } => "ext2_trail".to_string(),
+            TargetKind::Lfs { trail: false } => "lfs".to_string(),
+            TargetKind::Lfs { trail: true } => "lfs_trail".to_string(),
+        }
+    }
+}
+
+/// How to replay.
+#[derive(Clone)]
+pub struct ReplayOptions {
+    /// The stack to drive.
+    pub target: TargetKind,
+    /// Data disks to build; defaults to (and is raised to) the highest
+    /// device index the trace addresses plus one.
+    pub data_disks: Option<usize>,
+    /// Time-scale knob: arrivals are compressed by this factor (2.0
+    /// offers the load twice as fast). Clamped to `0.5..=8.0`; `1.0`
+    /// replays at recorded speed.
+    pub speed: f64,
+    /// Queue-depth sampling period ([`SimDuration::ZERO`] disables
+    /// sampling).
+    pub sample_every: SimDuration,
+    /// File size, in 4-KB blocks, of the per-device file that file-system
+    /// targets replay into (raised to at least 64).
+    pub fs_file_blocks: u32,
+    /// Telemetry recorder installed on the stack (after setup, so the
+    /// trace starts clean).
+    pub recorder: Option<RecorderHandle>,
+    /// Capture tap installed on the stack (after setup) — for recording
+    /// what the replay itself submits, e.g. a capture→replay round trip.
+    pub tap: Option<TapHandle>,
+}
+
+impl Default for ReplayOptions {
+    /// Standard stack, recorded speed, 10-ms queue sampling, 4-MB files.
+    fn default() -> Self {
+        ReplayOptions {
+            target: TargetKind::Standard,
+            data_disks: None,
+            speed: 1.0,
+            sample_every: SimDuration::from_millis(10),
+            fs_file_blocks: 1024,
+            recorder: None,
+            tap: None,
+        }
+    }
+}
+
+/// Why a replay could not run.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The trace holds no records.
+    EmptyTrace,
+    /// Building the stack failed.
+    Build(TrailError),
+    /// Mounting or preparing a file-system target failed.
+    Fs(FsError),
+    /// Preallocating the replay file did not complete.
+    Prealloc(String),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::EmptyTrace => write!(f, "cannot replay an empty trace"),
+            ReplayError::Build(e) => write!(f, "building the target stack failed: {e:?}"),
+            ReplayError::Fs(e) => write!(f, "preparing the file-system target failed: {e:?}"),
+            ReplayError::Prealloc(why) => write!(f, "preallocating the replay file failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// What a replay measured.
+pub struct ReplayReport {
+    /// The target's [`TargetKind::label`].
+    pub target: String,
+    /// The effective (clamped) time-scale factor.
+    pub speed: f64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Reads among them.
+    pub reads: u64,
+    /// Writes among them.
+    pub writes: u64,
+    /// Requests that errored or were cancelled (these carry
+    /// `u64::MAX` in [`ReplayReport::per_request_ns`] and are excluded
+    /// from the histograms).
+    pub errors: u64,
+    /// Simulator instant the first arrival was anchored to; subtracting
+    /// it from a capture of this replay recovers the input trace's
+    /// timeline.
+    pub started_at: SimTime,
+    /// Virtual time from the anchor to the last completion.
+    pub duration: SimDuration,
+    /// End-to-end latency over all successful requests.
+    pub latency: DurationHistogram,
+    /// Latency over successful reads.
+    pub read_latency: DurationHistogram,
+    /// Latency over successful writes.
+    pub write_latency: DurationHistogram,
+    /// Per-record latency in nanoseconds, indexed like the trace's
+    /// records (`u64::MAX` for errors) — the byte-comparable
+    /// determinism witness.
+    pub per_request_ns: Vec<u64>,
+    /// Highest concurrent in-flight count observed.
+    pub max_queue_depth: u32,
+    /// Sampled `(instant, in-flight)` pairs, every
+    /// [`ReplayOptions::sample_every`].
+    pub queue_depth: Vec<(SimTime, u32)>,
+}
+
+impl ReplayReport {
+    /// The report as a JSON object (histograms include `p50_ms`,
+    /// `p99_ms`, `p999_ms`; queue-depth samples as `[ms, depth]`
+    /// pairs). Everything in it is virtual-time-derived, so a fixed
+    /// trace and options produce identical JSON on every run.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("target", JsonValue::str(self.target.clone())),
+            ("speed", JsonValue::Num(self.speed)),
+            ("requests", JsonValue::Num(self.requests as f64)),
+            ("reads", JsonValue::Num(self.reads as f64)),
+            ("writes", JsonValue::Num(self.writes as f64)),
+            ("errors", JsonValue::Num(self.errors as f64)),
+            ("duration_ms", JsonValue::Num(self.duration.as_millis_f64())),
+            ("latency", self.latency.to_json()),
+            ("read_latency", self.read_latency.to_json()),
+            ("write_latency", self.write_latency.to_json()),
+            (
+                "max_queue_depth",
+                JsonValue::Num(f64::from(self.max_queue_depth)),
+            ),
+            (
+                "queue_depth",
+                JsonValue::Arr(
+                    self.queue_depth
+                        .iter()
+                        .map(|(at, depth)| {
+                            JsonValue::Arr(vec![
+                                JsonValue::Num(
+                                    at.saturating_duration_since(self.started_at)
+                                        .as_millis_f64(),
+                                ),
+                                JsonValue::Num(f64::from(*depth)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Shared mutable replay accounting.
+struct State {
+    total: usize,
+    completed: usize,
+    reads: u64,
+    writes: u64,
+    errors: u64,
+    inflight: u32,
+    max_inflight: u32,
+    latency: DurationHistogram,
+    read_latency: DurationHistogram,
+    write_latency: DurationHistogram,
+    per_request_ns: Vec<u64>,
+    samples: Vec<(SimTime, u32)>,
+    last_done: SimTime,
+}
+
+impl State {
+    fn finish(&mut self, at: SimTime, idx: usize, is_read: bool, outcome: Option<SimDuration>) {
+        self.inflight -= 1;
+        self.completed += 1;
+        self.last_done = self.last_done.max(at);
+        match outcome {
+            Some(lat) => {
+                self.latency.record(lat);
+                if is_read {
+                    self.read_latency.record(lat);
+                } else {
+                    self.write_latency.record(lat);
+                }
+                self.per_request_ns[idx] = lat.as_nanos();
+            }
+            None => {
+                self.errors += 1;
+                self.per_request_ns[idx] = u64::MAX;
+            }
+        }
+    }
+}
+
+/// The two shapes a target can take once built.
+enum Driveable {
+    /// Submit straight to a block stack; `usable[dev]` is the largest
+    /// admissible starting LBA headroom (capacity − request length).
+    Block {
+        stack: Rc<dyn BlockStack>,
+        capacity: Vec<u64>,
+    },
+    /// Submit through one mounted file system (and preallocated file)
+    /// per device.
+    Fs {
+        mounts: Vec<(Rc<dyn FileSystem>, FileHandle)>,
+        file_blocks: u64,
+    },
+}
+
+/// Replays `trace` against the target `opts` describes; see the module
+/// docs for the open-loop semantics.
+///
+/// # Errors
+///
+/// [`ReplayError`] when the trace is empty or the target cannot be
+/// built/prepared. Individual request failures during the replay do
+/// *not* error — they are counted in [`ReplayReport::errors`].
+///
+/// # Panics
+///
+/// Panics if the simulation stalls (event queue drained with requests
+/// outstanding) — a driver bug, not a workload condition.
+pub fn replay(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, ReplayError> {
+    if trace.is_empty() {
+        return Err(ReplayError::EmptyTrace);
+    }
+    let speed = opts.speed.clamp(0.5, 8.0);
+    let trace_devs = usize::from(trace.max_dev().unwrap_or(0)) + 1;
+    let ndisks = opts.data_disks.unwrap_or(0).max(trace_devs);
+    let (mut sim, driveable, stack_for_hooks) = build_target(opts, ndisks)?;
+    if let Some(recorder) = &opts.recorder {
+        stack_for_hooks.set_recorder(Rc::clone(recorder));
+    }
+    if let Some(tap) = &opts.tap {
+        stack_for_hooks.set_tap(Rc::clone(tap));
+    }
+    let driveable = Rc::new(driveable);
+    let start = sim.now();
+    let state = Rc::new(RefCell::new(State {
+        total: trace.len(),
+        completed: 0,
+        reads: 0,
+        writes: 0,
+        errors: 0,
+        inflight: 0,
+        max_inflight: 0,
+        latency: DurationHistogram::new(),
+        read_latency: DurationHistogram::new(),
+        write_latency: DurationHistogram::new(),
+        per_request_ns: vec![0; trace.len()],
+        samples: Vec::new(),
+        last_done: start,
+    }));
+
+    for (idx, r) in trace.records.iter().enumerate() {
+        let arrival = start + SimDuration::from_nanos(scale_ns(r.at.as_nanos(), speed));
+        let (dev, lba, sectors, is_read) = (usize::from(r.dev), r.lba, r.sectors, r.op.is_read());
+        let drv = Rc::clone(&driveable);
+        let st = Rc::clone(&state);
+        sim.schedule_at(
+            arrival,
+            Box::new(move |sim| {
+                {
+                    let mut s = st.borrow_mut();
+                    s.inflight += 1;
+                    s.max_inflight = s.max_inflight.max(s.inflight);
+                    if is_read {
+                        s.reads += 1;
+                    } else {
+                        s.writes += 1;
+                    }
+                }
+                submit(sim, &drv, &st, idx, dev, lba, sectors, is_read);
+            }),
+        );
+    }
+
+    if !opts.sample_every.is_zero() {
+        schedule_sampler(&mut sim, Rc::clone(&state), opts.sample_every);
+    }
+
+    while state.borrow().completed < state.borrow().total {
+        assert!(
+            sim.step(),
+            "replay stalled: event queue drained with {} of {} requests outstanding",
+            state.borrow().total - state.borrow().completed,
+            state.borrow().total
+        );
+    }
+
+    let state = Rc::try_unwrap(state)
+        .unwrap_or_else(|still_shared| {
+            // The sampler may still hold a clone; deep-copy out of it.
+            let s = still_shared.borrow();
+            RefCell::new(State {
+                total: s.total,
+                completed: s.completed,
+                reads: s.reads,
+                writes: s.writes,
+                errors: s.errors,
+                inflight: s.inflight,
+                max_inflight: s.max_inflight,
+                latency: s.latency.clone(),
+                read_latency: s.read_latency.clone(),
+                write_latency: s.write_latency.clone(),
+                per_request_ns: s.per_request_ns.clone(),
+                samples: s.samples.clone(),
+                last_done: s.last_done,
+            })
+        })
+        .into_inner();
+    Ok(ReplayReport {
+        target: opts.target.label(),
+        speed,
+        requests: state.total as u64,
+        reads: state.reads,
+        writes: state.writes,
+        errors: state.errors,
+        started_at: start,
+        duration: state.last_done.saturating_duration_since(start),
+        latency: state.latency,
+        read_latency: state.read_latency,
+        write_latency: state.write_latency,
+        per_request_ns: state.per_request_ns,
+        max_queue_depth: state.max_inflight,
+        queue_depth: state.samples,
+    })
+}
+
+/// Time-scales a relative arrival; exactly the identity at 1×.
+fn scale_ns(ns: u64, speed: f64) -> u64 {
+    if speed == 1.0 {
+        ns
+    } else {
+        (ns as f64 / speed) as u64
+    }
+}
+
+/// Deterministic payload byte for record `idx`.
+fn fill_byte(idx: usize) -> u8 {
+    (idx as u8).wrapping_mul(31) ^ 0xA5
+}
+
+#[allow(clippy::too_many_arguments)]
+fn submit(
+    sim: &mut Simulator,
+    drv: &Rc<Driveable>,
+    st: &Rc<RefCell<State>>,
+    idx: usize,
+    dev: usize,
+    lba: Lba,
+    sectors: u32,
+    is_read: bool,
+) {
+    let issued = sim.now();
+    match &**drv {
+        Driveable::Block { stack, capacity } => {
+            let headroom = capacity[dev].saturating_sub(u64::from(sectors)) + 1;
+            let lba = lba % headroom;
+            let st2 = Rc::clone(st);
+            let done: Completion<IoDone> = sim.completion(move |sim, d: Delivered<IoDone>| {
+                let now = sim.now();
+                let outcome = d.is_ok().then(|| now - issued);
+                st2.borrow_mut().finish(now, idx, is_read, outcome);
+            });
+            // A rejected submission drops the armed token, which cancels
+            // it — the handler above counts that as an error.
+            let _ = if is_read {
+                stack.read(sim, dev, lba, sectors, done)
+            } else {
+                let data = vec![fill_byte(idx); sectors as usize * SECTOR_SIZE];
+                stack.write(sim, dev, lba, data, done)
+            };
+        }
+        Driveable::Fs {
+            mounts,
+            file_blocks,
+        } => {
+            let (fs, file) = &mounts[dev];
+            let bytes = sectors as usize * SECTOR_SIZE;
+            let blocks_needed = (bytes as u64).div_ceil(FS_BLOCK_SIZE as u64).max(1);
+            // Map the sector address into the preallocated file,
+            // block-aligned and clamped so the request always fits.
+            let block = (lba / (FS_BLOCK_SIZE / SECTOR_SIZE) as u64)
+                % (file_blocks.saturating_sub(blocks_needed) + 1);
+            let offset = block * FS_BLOCK_SIZE as u64;
+            if is_read {
+                let st2 = Rc::clone(st);
+                let done = sim.completion(move |sim, d: Delivered<Result<Vec<u8>, FsError>>| {
+                    let now = sim.now();
+                    let outcome = matches!(d, Ok(Ok(_))).then(|| now - issued);
+                    st2.borrow_mut().finish(now, idx, is_read, outcome);
+                });
+                let _ = fs.read(sim, *file, offset, bytes, done);
+            } else {
+                let st2 = Rc::clone(st);
+                let done = sim.completion(move |sim, d: Delivered<Result<(), FsError>>| {
+                    let now = sim.now();
+                    let outcome = matches!(d, Ok(Ok(()))).then(|| now - issued);
+                    st2.borrow_mut().finish(now, idx, is_read, outcome);
+                });
+                let data = vec![fill_byte(idx); bytes];
+                let _ = fs.write(sim, *file, offset, data, true, done);
+            }
+        }
+    }
+}
+
+fn schedule_sampler(sim: &mut Simulator, st: Rc<RefCell<State>>, every: SimDuration) {
+    sim.schedule_in(
+        every,
+        Box::new(move |sim| {
+            let finished = {
+                let mut s = st.borrow_mut();
+                let depth = s.inflight;
+                s.samples.push((sim.now(), depth));
+                s.completed >= s.total
+            };
+            if !finished {
+                schedule_sampler(sim, st, every);
+            }
+        }),
+    );
+}
+
+/// Builds the target stack (and mounts/preallocates for file-system
+/// targets), returning the simulator, the driveable form, and the block
+/// stack underneath (for recorder/tap installation).
+fn build_target(
+    opts: &ReplayOptions,
+    ndisks: usize,
+) -> Result<(Simulator, Driveable, Rc<dyn BlockStack>), ReplayError> {
+    let file_blocks = opts.fs_file_blocks.max(64);
+    match opts.target {
+        TargetKind::Standard | TargetKind::Trail => {
+            let builder = StackBuilder::new().data_disks(ndisks);
+            let builder = if opts.target == TargetKind::Trail {
+                builder.trail_default()
+            } else {
+                builder.standard()
+            };
+            let built = builder.build().map_err(ReplayError::Build)?;
+            let capacity = built
+                .data_disks
+                .iter()
+                .map(|d| d.geometry().total_sectors())
+                .collect();
+            let BuiltStack { sim, stack, .. } = built;
+            Ok((
+                sim,
+                Driveable::Block {
+                    stack: Rc::clone(&stack),
+                    capacity,
+                },
+                stack,
+            ))
+        }
+        TargetKind::TrailMulti { logs } => {
+            let mut sim = Simulator::new();
+            let data: Vec<Disk> = (0..ndisks)
+                .map(|i| Disk::new(format!("data{i}"), profiles::wd_caviar_10gb()))
+                .collect();
+            let log_disks: Vec<Disk> = (0..logs.max(1))
+                .map(|i| Disk::new(format!("log{i}"), profiles::seagate_st41601n()))
+                .collect();
+            for log in &log_disks {
+                format_log_disk(&mut sim, log, FormatOptions::default())
+                    .map_err(ReplayError::Build)?;
+            }
+            let (multi, _) =
+                MultiTrail::start(&mut sim, log_disks, data.clone(), TrailConfig::default())
+                    .map_err(ReplayError::Build)?;
+            for d in &data {
+                d.reset_stats();
+            }
+            let capacity = data.iter().map(|d| d.geometry().total_sectors()).collect();
+            let stack: Rc<dyn BlockStack> = Rc::new(MultiStack {
+                multi,
+                devices: ndisks,
+            });
+            Ok((
+                sim,
+                Driveable::Block {
+                    stack: Rc::clone(&stack),
+                    capacity,
+                },
+                stack,
+            ))
+        }
+        TargetKind::Ext2 { trail } | TargetKind::Lfs { trail } => {
+            let builder = StackBuilder::new().data_disks(ndisks);
+            let builder = if trail {
+                builder.trail_default()
+            } else {
+                builder.standard()
+            };
+            let mut built = builder.build().map_err(ReplayError::Build)?;
+            let mut mounts = Vec::with_capacity(ndisks);
+            for dev in 0..ndisks {
+                let fs: Rc<dyn FileSystem> = match opts.target {
+                    TargetKind::Ext2 { .. } => Rc::new(
+                        built
+                            .extfs(dev, file_blocks + 256)
+                            .map_err(ReplayError::Fs)?,
+                    ),
+                    _ => Rc::new(built.lfs(dev, LfsConfig::default())),
+                };
+                let file = fs.create("replay").map_err(ReplayError::Fs)?;
+                prealloc(&mut built.sim, &fs, file, file_blocks)?;
+                mounts.push((fs, file));
+            }
+            let BuiltStack { sim, stack, .. } = built;
+            Ok((
+                sim,
+                Driveable::Fs {
+                    mounts,
+                    file_blocks: u64::from(file_blocks),
+                },
+                stack,
+            ))
+        }
+    }
+}
+
+/// Synchronously writes the whole replay file once so later reads and
+/// overwrites land on allocated, on-disk blocks.
+fn prealloc(
+    sim: &mut Simulator,
+    fs: &Rc<dyn FileSystem>,
+    file: FileHandle,
+    blocks: u32,
+) -> Result<(), ReplayError> {
+    let outcome: Rc<Cell<Option<bool>>> = Rc::new(Cell::new(None));
+    let seen = Rc::clone(&outcome);
+    let done = sim.completion(move |_, d: Delivered<Result<(), FsError>>| {
+        seen.set(Some(matches!(d, Ok(Ok(())))));
+    });
+    fs.write(
+        sim,
+        file,
+        0,
+        vec![0u8; blocks as usize * FS_BLOCK_SIZE],
+        true,
+        done,
+    )
+    .map_err(ReplayError::Fs)?;
+    while outcome.get().is_none() {
+        if !sim.step() {
+            return Err(ReplayError::Prealloc("simulation stalled".to_string()));
+        }
+    }
+    if outcome.get() != Some(true) {
+        return Err(ReplayError::Prealloc(
+            "preallocation write failed".to_string(),
+        ));
+    }
+    while fs.pending_work() > 0 {
+        if !sim.step() {
+            return Err(ReplayError::Prealloc("drain stalled".to_string()));
+        }
+    }
+    Ok(())
+}
+
+/// [`MultiTrail`] behind the [`BlockStack`] interface so replay treats
+/// the array like any other stack.
+struct MultiStack {
+    multi: MultiTrail,
+    devices: usize,
+}
+
+impl BlockStack for MultiStack {
+    fn write(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.multi.write(sim, dev, lba, data, done)
+    }
+
+    fn read(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.multi.read(sim, dev, lba, count, done)
+    }
+
+    fn pending_work(&self) -> usize {
+        self.multi.pending_work()
+    }
+
+    fn devices(&self) -> usize {
+        self.devices
+    }
+
+    fn set_recorder(&self, recorder: RecorderHandle) {
+        self.multi.set_recorder(recorder);
+    }
+
+    fn set_tap(&self, tap: TapHandle) {
+        self.multi.set_tap(tap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, SyntheticSpec};
+
+    fn small_trace() -> Trace {
+        generate(&SyntheticSpec {
+            requests: 40,
+            read_fraction: 0.25,
+            ..SyntheticSpec::default()
+        })
+    }
+
+    #[test]
+    fn replay_rejects_empty_traces() {
+        assert!(matches!(
+            replay(&Trace::default(), &ReplayOptions::default()),
+            Err(ReplayError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn replay_standard_accounts_for_every_request() {
+        let t = small_trace();
+        let r = replay(&t, &ReplayOptions::default()).expect("replay");
+        assert_eq!(r.requests, 40);
+        assert_eq!(r.reads + r.writes, 40);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.latency.count(), 40);
+        assert_eq!(r.per_request_ns.len(), 40);
+        assert!(r.per_request_ns.iter().all(|&ns| ns != u64::MAX && ns > 0));
+        assert!(r.max_queue_depth >= 1);
+        assert!(!r.duration.is_zero());
+    }
+
+    #[test]
+    fn trail_beats_standard_on_sync_write_latency() {
+        let t = generate(&SyntheticSpec {
+            requests: 60,
+            read_fraction: 0.0,
+            ..SyntheticSpec::default()
+        });
+        let std_rep = replay(&t, &ReplayOptions::default()).expect("standard");
+        let trail_rep = replay(
+            &t,
+            &ReplayOptions {
+                target: TargetKind::Trail,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("trail");
+        // The paper's headline: Trail's log-disk writes complete well
+        // under the standard stack's seek+rotation writes.
+        assert!(
+            trail_rep.latency.mean() < std_rep.latency.mean(),
+            "trail {:?} vs standard {:?}",
+            trail_rep.latency.mean(),
+            std_rep.latency.mean()
+        );
+    }
+
+    #[test]
+    fn speed_knob_compresses_arrivals() {
+        let t = small_trace();
+        let slow = replay(&t, &ReplayOptions::default()).expect("1x");
+        let fast = replay(
+            &t,
+            &ReplayOptions {
+                speed: 8.0,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("8x");
+        assert!(fast.duration < slow.duration);
+        // Out-of-range speeds clamp instead of erroring.
+        let clamped = replay(
+            &t,
+            &ReplayOptions {
+                speed: 1000.0,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("clamped");
+        assert_eq!(clamped.speed, 8.0);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let t = small_trace();
+        let a = replay(&t, &ReplayOptions::default()).expect("a");
+        let b = replay(&t, &ReplayOptions::default()).expect("b");
+        assert_eq!(a.per_request_ns, b.per_request_ns);
+        assert_eq!(a.to_json().to_json(), b.to_json().to_json());
+    }
+
+    #[test]
+    fn multi_log_target_replays() {
+        let t = generate(&SyntheticSpec {
+            requests: 30,
+            read_fraction: 0.0,
+            ..SyntheticSpec::default()
+        });
+        let r = replay(
+            &t,
+            &ReplayOptions {
+                target: TargetKind::TrailMulti { logs: 2 },
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("multi");
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.latency.count(), 30);
+    }
+
+    #[test]
+    fn fs_targets_replay_reads_and_writes() {
+        let t = generate(&SyntheticSpec {
+            requests: 30,
+            read_fraction: 0.4,
+            ..SyntheticSpec::default()
+        });
+        for target in [
+            TargetKind::Ext2 { trail: false },
+            TargetKind::Lfs { trail: true },
+        ] {
+            let r = replay(
+                &t,
+                &ReplayOptions {
+                    target,
+                    fs_file_blocks: 256,
+                    ..ReplayOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{target:?}: {e}"));
+            assert_eq!(r.errors, 0, "{target:?}");
+            assert_eq!(r.latency.count(), 30, "{target:?}");
+        }
+    }
+
+    #[test]
+    fn queue_depth_is_sampled() {
+        let t = generate(&SyntheticSpec {
+            requests: 50,
+            arrivals: crate::gen::ArrivalModel::Bursty {
+                burst: 10,
+                iat_in_burst: SimDuration::from_micros(50),
+                gap: SimDuration::from_millis(20),
+            },
+            read_fraction: 0.0,
+            ..SyntheticSpec::default()
+        });
+        let r = replay(
+            &t,
+            &ReplayOptions {
+                sample_every: SimDuration::from_millis(1),
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("replay");
+        assert!(!r.queue_depth.is_empty());
+        assert!(r.max_queue_depth > 1, "bursts should overlap service");
+    }
+}

@@ -81,7 +81,7 @@ pub use scenario::{BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder}
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use crate::scenario::{BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder};
-    pub use trail_blockio::{IoDone, IoKind, IoRequest, StandardDriver};
+    pub use trail_blockio::{IoDone, IoKind, IoRequest, StandardDriver, SubmitTap, TapHandle};
     pub use trail_core::{
         format_log_disk, read_header, recover, FormatOptions, RecoveryOptions, TrailConfig,
         TrailDriver, TrailError,
