@@ -23,13 +23,24 @@ if grep -rn --include='*.rs' 'Box<dyn FnOnce' crates src \
   exit 1
 fi
 
+echo "== target-factory gate =="
+# StackBuilder::build_target in the umbrella crate is the one way to
+# construct a replay/bench stack; no crate may grow a private factory or
+# boot MultiTrail by hand again.
+if grep -rn --include='*.rs' \
+    'fn build_target\|struct MultiStack\|fn prealloc\|MultiTrail::start' \
+    crates/trace crates/bench; then
+  echo "found a private stack factory outside the umbrella crate" >&2
+  exit 1
+fi
+
 echo "== run_all --quick smoke =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release --offline -p trail-bench --bin run_all -- \
   --quick --out-dir "$smoke_dir" >/dev/null
 for name in micro table1 fig3 fig4 ablation fs_compare table2 table3 track_util \
-             replay_synthetic replay_tpcc; do
+             replay_synthetic overload_sweep replay_tpcc; do
   test -s "$smoke_dir/BENCH_$name.json" \
     || { echo "run_all --quick did not produce BENCH_$name.json" >&2; exit 1; }
 done
@@ -49,5 +60,15 @@ trace_tool convert "$smoke_dir/smoke.trace" "$smoke_dir/smoke.jsonl" >/dev/null
 trace_tool convert "$smoke_dir/smoke.jsonl" "$smoke_dir/smoke2.trace" >/dev/null
 cmp -s "$smoke_dir/smoke.trace" "$smoke_dir/smoke2.trace" \
   || { echo "trace codec binary->jsonl->binary round trip is not byte-identical" >&2; exit 1; }
+
+echo "== trace_tool blkparse import smoke (import -> inspect -> replay) =="
+trace_tool import crates/trace/tests/data/sample.blkparse \
+  --out "$smoke_dir/import.trace" >/dev/null
+trace_tool inspect "$smoke_dir/import.trace" | grep -q 'streams:  4' \
+  || { echo "imported fixture should carry 4 CPU streams" >&2; exit 1; }
+trace_tool replay "$smoke_dir/import.trace" --quick --target trail_multi2 \
+  --out-dir "$smoke_dir" >/dev/null
+grep -q '"streams"' "$smoke_dir/BENCH_replay_trail_multi2.json" \
+  || { echo "replay of imported trace lacks per-stream metrics" >&2; exit 1; }
 
 echo "CI gate passed."

@@ -7,14 +7,18 @@
 //!                     [--devices D] [--read-frac F] [--arrival poisson|bursty]
 //!                     [--spatial uniform|zipf|seq]
 //! trace_tool capture  --out t.trace [--txns N] [--standard] [--seed S]
+//! trace_tool import   blkparse.txt --out t.trace [--action Q]
 //! trace_tool inspect  t.trace
 //! trace_tool convert  in.trace out.jsonl      (direction by extension)
 //! trace_tool replay   t.trace [--target all|standard|trail|trail_multi2|ext2|lfs]
 //!                     [--speed X] [--quick] [--out-dir DIR]
 //! ```
 //!
-//! `replay` writes one `BENCH_replay_<target>.json` per target with
-//! p50/p99/p99.9 latency and the queue-depth trajectory.
+//! `import` parses `blkparse` text output, tagging each request with a
+//! stream derived from the CPU column; `inspect` prints a per-stream
+//! breakdown; `replay` writes one `BENCH_replay_<target>.json` per
+//! target with p50/p99/p99.9 latency (aggregate and per stream) and the
+//! queue-depth trajectory.
 
 use std::process::ExitCode;
 
@@ -22,8 +26,9 @@ use trail_bench::{write_bench_json, write_bench_json_in, TpccRig};
 use trail_sim::SimDuration;
 use trail_tpcc::{run, ChainOn, RunConfig};
 use trail_trace::{
-    from_binary, from_jsonl, generate, replay, to_binary, to_jsonl, ArrivalModel, ReplayOptions,
-    SpatialModel, SyntheticSpec, TargetKind, Trace, TraceCapture, TraceMeta, TraceOp,
+    from_binary, from_jsonl, generate, import_blkparse, replay, to_binary, to_jsonl, ArrivalModel,
+    ImportOptions, ReplayOptions, SpatialModel, SyntheticSpec, TargetKind, Trace, TraceCapture,
+    TraceMeta, TraceOp,
 };
 
 fn main() -> ExitCode {
@@ -31,10 +36,13 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("capture") => cmd_capture(&args[1..]),
+        Some("import") => cmd_import(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
-        _ => Err("usage: trace_tool <generate|capture|inspect|convert|replay> …".to_string()),
+        _ => {
+            Err("usage: trace_tool <generate|capture|import|inspect|convert|replay> …".to_string())
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -177,6 +185,27 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_import(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0, "blkparse text file")?;
+    let out = flag(args, "--out").ok_or("import needs --out FILE")?;
+    let action = match flag(args, "--action") {
+        None => 'Q',
+        Some(v) if v.chars().count() == 1 => v.chars().next().expect("one char"),
+        Some(v) => return Err(format!("--action wants a single letter, got {v:?}")),
+    };
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?;
+    let trace = import_blkparse(&text, &ImportOptions { action }).map_err(|e| e.to_string())?;
+    store(&out, &trace)?;
+    println!(
+        "imported {} '{action}' events over {:.3} s, {} devices, {} streams -> {out}",
+        trace.len(),
+        trace.duration().as_secs_f64(),
+        trace.meta.devices,
+        trace.streams().len()
+    );
+    Ok(())
+}
+
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let path = positional(args, 0, "trace file")?;
     let trace = load(&path)?;
@@ -196,6 +225,24 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     println!("  duration: {:.3} s", trace.duration().as_secs_f64());
     trace.validate()?;
     println!("  validity: ok");
+    let streams = trace.per_stream_summary();
+    if !streams.is_empty() {
+        println!("  streams:  {}", streams.len());
+        println!("    stream  requests  reads  writes    sectors  footprint    span");
+        for s in &streams {
+            let span = s.last_at.saturating_duration_since(s.first_at);
+            println!(
+                "    {:>6}  {:>8}  {:>5}  {:>6}  {:>9}  {:>9}  {:>6.3} s",
+                s.stream.0,
+                s.requests,
+                s.reads,
+                s.writes,
+                s.sectors,
+                s.footprint_sectors,
+                span.as_secs_f64(),
+            );
+        }
+    }
     Ok(())
 }
 
@@ -257,6 +304,18 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             rep.max_queue_depth,
             rep.errors,
         );
+        if rep.streams.streams() > 1 {
+            for (stream, lane) in rep.streams.iter() {
+                println!(
+                    "    stream {:<3}    p50 {:>8.3} ms  p99 {:>8.3} ms  p99.9 {:>8.3} ms  reqs {:>6}",
+                    stream.0,
+                    lane.latency.percentile(50.0).as_millis_f64(),
+                    lane.latency.percentile(99.0).as_millis_f64(),
+                    lane.latency.percentile(99.9).as_millis_f64(),
+                    lane.requests,
+                );
+            }
+        }
         let name = format!("replay_{}", rep.target);
         match &out_dir {
             Some(dir) => {

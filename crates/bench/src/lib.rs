@@ -13,7 +13,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use trail_blockio::{IoDone, IoKind, IoRequest, StandardDriver};
+use trail_blockio::{IoDone, IoRequest, StandardDriver};
 use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
 use trail_db::{BlockStack, Database, DbConfig, FlushPolicy, TrailStack};
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
@@ -274,14 +274,7 @@ fn spawn_standard_writer(
         }
     });
     driver
-        .submit(
-            sim,
-            IoRequest {
-                lba,
-                kind: IoKind::Write { data },
-            },
-            done,
-        )
+        .submit(sim, IoRequest::write(lba, data), done)
         .expect("standard write accepted");
 }
 
@@ -433,13 +426,6 @@ pub fn standard_write(
     done: Completion<IoDone>,
 ) {
     driver
-        .submit(
-            sim,
-            IoRequest {
-                lba,
-                kind: IoKind::Write { data },
-            },
-            done,
-        )
+        .submit(sim, IoRequest::write(lba, data), done)
         .expect("standard write accepted");
 }

@@ -157,6 +157,11 @@ pub fn all_scenarios() -> Vec<ScenarioSpec> {
             run: replay_synthetic,
         },
         ScenarioSpec {
+            name: "overload_sweep",
+            title: "Overload sweep: replay speed 0.5-8x vs. every stack",
+            run: overload_sweep,
+        },
+        ScenarioSpec {
             name: "replay_tpcc",
             title: "Trace replay: captured TPC-C workload vs. every stack",
             run: replay_tpcc,
@@ -943,19 +948,17 @@ fn ablation(cfg: &ScenarioConfig) -> ScenarioOutput {
     let _ = writeln!(report, "|---|---|---|");
     let mut multi_rows = Vec::new();
     for n_logs in [1usize, 2, 3] {
-        let mut sim = Simulator::new();
-        let logs: Vec<Disk> = (0..n_logs)
-            .map(|i| Disk::new(format!("log{i}"), profiles::seagate_st41601n()))
-            .collect();
-        for l in &logs {
-            format_log_disk(&mut sim, l, FormatOptions::default()).expect("format");
-        }
-        let data = vec![Disk::new("d0", profiles::wd_caviar_10gb())];
         let config = TrailConfig {
             reposition_every_write: true,
             ..TrailConfig::default()
         };
-        let (multi, _) = MultiTrail::start(&mut sim, logs, data, config).expect("boot");
+        let built = trail::StackBuilder::new()
+            .data_disks(1)
+            .trail_multi(n_logs, config)
+            .build()
+            .expect("boot");
+        let mut sim = built.sim;
+        let multi = built.multi.expect("multi-log stack");
         let lat = Rc::new(RefCell::new(LatencySummary::new()));
         let start = sim.now();
         let done = Rc::new(Cell::new(0u32));
@@ -1583,7 +1586,7 @@ fn replay_synthetic(cfg: &ScenarioConfig) -> ScenarioOutput {
         seed: cfg.mix(0x0054_5241_4345), // "TRACE"
         requests,
         devices: 3,
-        streams: 3,
+        streams: 4,
         capacity_sectors: 2 * 1024 * 1024,
         read_fraction: 0.3,
         request_sectors: 8,
@@ -1596,7 +1599,7 @@ fn replay_synthetic(cfg: &ScenarioConfig) -> ScenarioOutput {
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "== Trace replay — {requests} synthetic requests (3 Poisson streams, \
+        "== Trace replay — {requests} synthetic requests (4 Poisson streams, \
          Zipf skew 2, 30% reads) against every stack =="
     );
     replay_table_header(&mut report);
@@ -1625,6 +1628,125 @@ fn replay_synthetic(cfg: &ScenarioConfig) -> ScenarioOutput {
                 JsonValue::Num(trace.duration().as_millis_f64()),
             ),
             ("rows", JsonValue::Arr(rows)),
+        ]),
+    }
+}
+
+/// Offers one synthetic trace to every base stack at several
+/// time-compression factors. The replay `speed` knob rescales arrival
+/// instants, so 8x presents the recorded load eight times faster than it
+/// was generated — the open-loop overload regime where queueing, not
+/// service time, dominates the tail.
+fn overload_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
+    let requests = cfg.scale.unwrap_or(if cfg.quick { 120 } else { 2000 });
+    let speeds: &[f64] = if cfg.quick {
+        &[0.5, 2.0, 8.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0, 8.0]
+    };
+    let spec = SyntheticSpec {
+        seed: cfg.mix(0x004F_5645_524C), // "OVERL"
+        requests,
+        devices: 2,
+        streams: 4,
+        capacity_sectors: 2 * 1024 * 1024,
+        read_fraction: 0.3,
+        request_sectors: 8,
+        arrivals: ArrivalModel::Poisson {
+            mean_iat: SimDuration::from_millis(10),
+        },
+        spatial: SpatialModel::Uniform,
+    };
+    let trace = generate(&spec);
+    let targets: &[TargetKind] = &[
+        TargetKind::Standard,
+        TargetKind::Trail,
+        TargetKind::TrailMulti { logs: 2 },
+        TargetKind::Ext2 { trail: false },
+        TargetKind::Lfs { trail: false },
+    ];
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "== Overload sweep — {requests} synthetic requests (4 Poisson streams) \
+         replayed at {speeds:?}x against every stack =="
+    );
+    let _ = writeln!(
+        report,
+        "| target | speed | p50 (ms) | p95 (ms) | p99 (ms) | p99.9 (ms) | mean (ms) | max QD | errors |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|---|---|---|");
+    let mut series = Vec::new();
+    for &target in targets {
+        let mut points = Vec::new();
+        for &speed in speeds {
+            let rep = trace_replay(
+                &trace,
+                &ReplayOptions {
+                    target,
+                    speed,
+                    fs_file_blocks: 256,
+                    recorder: cfg.handle(),
+                    ..ReplayOptions::default()
+                },
+            )
+            .expect("overload replay");
+            let _ = writeln!(
+                report,
+                "| {} | {speed}x | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} |",
+                rep.target,
+                rep.latency.percentile(50.0).as_millis_f64(),
+                rep.latency.percentile(95.0).as_millis_f64(),
+                rep.latency.percentile(99.0).as_millis_f64(),
+                rep.latency.percentile(99.9).as_millis_f64(),
+                rep.latency.mean().as_millis_f64(),
+                rep.max_queue_depth,
+                rep.errors,
+            );
+            points.push(JsonValue::obj(vec![
+                ("speed", JsonValue::Num(speed)),
+                (
+                    "p50_ms",
+                    JsonValue::Num(rep.latency.percentile(50.0).as_millis_f64()),
+                ),
+                (
+                    "p95_ms",
+                    JsonValue::Num(rep.latency.percentile(95.0).as_millis_f64()),
+                ),
+                (
+                    "p99_ms",
+                    JsonValue::Num(rep.latency.percentile(99.0).as_millis_f64()),
+                ),
+                (
+                    "p999_ms",
+                    JsonValue::Num(rep.latency.percentile(99.9).as_millis_f64()),
+                ),
+                (
+                    "mean_ms",
+                    JsonValue::Num(rep.latency.mean().as_millis_f64()),
+                ),
+                (
+                    "max_queue_depth",
+                    JsonValue::Num(f64::from(rep.max_queue_depth)),
+                ),
+                ("errors", JsonValue::Num(rep.errors as f64)),
+            ]));
+        }
+        series.push(JsonValue::obj(vec![
+            ("target", JsonValue::str(target.label())),
+            ("points", JsonValue::Arr(points)),
+        ]));
+    }
+    ScenarioOutput {
+        report,
+        json: JsonValue::obj(vec![
+            ("bench", JsonValue::str("overload_sweep")),
+            ("requests", JsonValue::Num(requests as f64)),
+            (
+                "trace_duration_ms",
+                JsonValue::Num(trace.duration().as_millis_f64()),
+            ),
+            ("targets", JsonValue::Arr(series)),
         ]),
     }
 }

@@ -65,7 +65,7 @@ struct Inner {
 /// ```
 /// use trail_sim::Simulator;
 /// use trail_disk::{profiles, Disk, SECTOR_SIZE};
-/// use trail_blockio::{IoKind, IoRequest, StandardDriver};
+/// use trail_blockio::{IoRequest, StandardDriver};
 ///
 /// let mut sim = Simulator::new();
 /// let disk = Disk::new("data", profiles::wd_caviar_10gb());
@@ -74,11 +74,7 @@ struct Inner {
 ///     let done = d.expect("delivered");
 ///     assert!(done.latency().as_millis_f64() > 0.0);
 /// });
-/// drv.submit(
-///     &mut sim,
-///     IoRequest { lba: 0, kind: IoKind::Write { data: vec![9; SECTOR_SIZE] } },
-///     done,
-/// )?;
+/// drv.submit(&mut sim, IoRequest::write(0, vec![9; SECTOR_SIZE]), done)?;
 /// sim.run();
 /// # Ok::<(), trail_disk::DiskError>(())
 /// ```
@@ -178,7 +174,14 @@ impl StandardDriver {
                 return Err(DiskError::OutOfRange);
             }
             if let Some((tap, dev)) = &d.tap {
-                tap.on_submit(sim.now(), *dev, req.lba, sectors, req.kind.is_read());
+                tap.on_submit(
+                    sim.now(),
+                    *dev,
+                    req.lba,
+                    sectors,
+                    req.kind.is_read(),
+                    req.stream,
+                );
             }
             let id = RequestId(d.next_id);
             d.next_id += 1;
@@ -354,24 +357,11 @@ mod tests {
             let read_done = sim.completion(move |_, d: trail_sim::Delivered<IoDone>| {
                 *seen2.borrow_mut() = d.expect("read delivered").data
             });
-            drv2.submit(
-                sim,
-                IoRequest {
-                    lba: 11,
-                    kind: IoKind::Read { count: 1 },
-                },
-                read_done,
-            )
-            .unwrap();
+            drv2.submit(sim, IoRequest::read(11, 1), read_done).unwrap();
         });
         drv.submit(
             &mut sim,
-            IoRequest {
-                lba: 11,
-                kind: IoKind::Write {
-                    data: vec![0xC3; SECTOR_SIZE],
-                },
-            },
+            IoRequest::write(11, vec![0xC3; SECTOR_SIZE]),
             write_done,
         )
         .unwrap();
@@ -391,12 +381,7 @@ mod tests {
             });
             drv.submit(
                 &mut sim,
-                IoRequest {
-                    lba: i * 97 % 1000,
-                    kind: IoKind::Write {
-                        data: vec![i as u8; SECTOR_SIZE],
-                    },
-                },
+                IoRequest::write(i * 97 % 1000, vec![i as u8; SECTOR_SIZE]),
                 c,
             )
             .unwrap();
@@ -426,17 +411,8 @@ mod tests {
             let c = sim.completion(move |_, d: trail_sim::Delivered<IoDone>| {
                 lats.borrow_mut().push(d.expect("done").latency())
             });
-            drv.submit(
-                &mut sim,
-                IoRequest {
-                    lba: i * 500,
-                    kind: IoKind::Write {
-                        data: vec![0; SECTOR_SIZE],
-                    },
-                },
-                c,
-            )
-            .unwrap();
+            drv.submit(&mut sim, IoRequest::write(i * 500, vec![0; SECTOR_SIZE]), c)
+                .unwrap();
         }
         sim.run();
         let lats = lats.borrow();
@@ -463,32 +439,15 @@ mod tests {
                 d.expect("delivered");
                 order.borrow_mut().push(format!("w{i}"));
             });
-            drv.submit(
-                &mut sim,
-                IoRequest {
-                    lba: 100 + i,
-                    kind: IoKind::Write {
-                        data: vec![0; SECTOR_SIZE],
-                    },
-                },
-                c,
-            )
-            .unwrap();
+            drv.submit(&mut sim, IoRequest::write(100 + i, vec![0; SECTOR_SIZE]), c)
+                .unwrap();
         }
         let order2 = StdRc::clone(&order);
         let c = sim.completion(move |_, d| {
             d.expect("delivered");
             order2.borrow_mut().push("r".into());
         });
-        drv.submit(
-            &mut sim,
-            IoRequest {
-                lba: 2000,
-                kind: IoKind::Read { count: 1 },
-            },
-            c,
-        )
-        .unwrap();
+        drv.submit(&mut sim, IoRequest::read(2000, 1), c).unwrap();
         sim.run();
         // The read arrived last but must complete right after the in-flight
         // write (w0), ahead of the two queued writes.
@@ -510,38 +469,17 @@ mod tests {
         };
         let c = mint(&sim);
         assert!(matches!(
-            drv.submit(
-                &mut sim,
-                IoRequest {
-                    lba: total,
-                    kind: IoKind::Read { count: 1 }
-                },
-                c
-            ),
+            drv.submit(&mut sim, IoRequest::read(total, 1), c),
             Err(DiskError::OutOfRange)
         ));
         let c = mint(&sim);
         assert!(matches!(
-            drv.submit(
-                &mut sim,
-                IoRequest {
-                    lba: 0,
-                    kind: IoKind::Read { count: 0 }
-                },
-                c
-            ),
+            drv.submit(&mut sim, IoRequest::read(0, 0), c),
             Err(DiskError::OutOfRange)
         ));
         let c = mint(&sim);
         assert!(matches!(
-            drv.submit(
-                &mut sim,
-                IoRequest {
-                    lba: 0,
-                    kind: IoKind::Write { data: vec![1] }
-                },
-                c
-            ),
+            drv.submit(&mut sim, IoRequest::write(0, vec![1]), c),
             Err(DiskError::BadDataLength)
         ));
         sim.run();
@@ -558,17 +496,8 @@ mod tests {
         // Queue several writes so later ones see real queueing delay.
         for i in 0..6u64 {
             let c = sim.completion(|_, _| {});
-            drv.submit(
-                &mut sim,
-                IoRequest {
-                    lba: i * 700,
-                    kind: IoKind::Write {
-                        data: vec![0; SECTOR_SIZE],
-                    },
-                },
-                c,
-            )
-            .unwrap();
+            drv.submit(&mut sim, IoRequest::write(i * 700, vec![0; SECTOR_SIZE]), c)
+                .unwrap();
         }
         sim.run();
         assert_eq!(rec.count_kind("Enqueue"), 6);
@@ -602,15 +531,7 @@ mod tests {
             let lbas = [0u64, 4000, 100, 4100, 200, 4200, 300, 4300];
             for &lba in &lbas {
                 let c = sim.completion(|_, _| {});
-                drv.submit(
-                    &mut sim,
-                    IoRequest {
-                        lba,
-                        kind: IoKind::Read { count: 1 },
-                    },
-                    c,
-                )
-                .unwrap();
+                drv.submit(&mut sim, IoRequest::read(lba, 1), c).unwrap();
             }
             sim.run();
             disk.with_stats(|s| s.total_seek.as_millis_f64())

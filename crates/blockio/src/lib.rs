@@ -18,7 +18,7 @@
 //! ```
 //! use trail_sim::Simulator;
 //! use trail_disk::{profiles, Disk, SECTOR_SIZE};
-//! use trail_blockio::{IoKind, IoRequest, StandardDriver};
+//! use trail_blockio::{IoRequest, StandardDriver};
 //!
 //! let mut sim = Simulator::new();
 //! let drv = StandardDriver::new(Disk::new("data", profiles::wd_caviar_10gb()));
@@ -27,11 +27,7 @@
 //!     let done = d.expect("delivered");
 //!     assert!(done.breakdown.rotation.as_millis_f64() >= 0.0);
 //! });
-//! drv.submit(
-//!     &mut sim,
-//!     IoRequest { lba: 4096, kind: IoKind::Write { data: vec![0u8; SECTOR_SIZE] } },
-//!     done,
-//! )?;
+//! drv.submit(&mut sim, IoRequest::write(4096, vec![0u8; SECTOR_SIZE]), done)?;
 //! sim.run();
 //! # Ok::<(), trail_disk::DiskError>(())
 //! ```
@@ -48,3 +44,4 @@ pub use driver::{DriverStats, StandardDriver};
 pub use request::{IoDone, IoKind, IoRequest, RequestId};
 pub use sched::{apply_priority, Clook, Fifo, Priority, QueuedIo, Scheduler};
 pub use tap::{SubmitTap, TapHandle};
+pub use trail_telemetry::StreamId;

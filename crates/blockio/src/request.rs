@@ -2,6 +2,7 @@
 
 use trail_disk::{CommandKind, Lba, ServiceBreakdown, SECTOR_SIZE};
 use trail_sim::SimTime;
+use trail_telemetry::StreamId;
 
 /// Identifies a submitted request within one driver.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -38,15 +39,18 @@ impl IoKind {
     }
 }
 
-/// A block request: an address plus a payload direction.
+/// A block request: an address, a payload direction, and the stream it
+/// belongs to.
 ///
 /// # Examples
 ///
 /// ```
-/// use trail_blockio::{IoKind, IoRequest};
+/// use trail_blockio::{IoRequest, StreamId};
 ///
-/// let r = IoRequest { lba: 9, kind: IoKind::Read { count: 4 } };
+/// let r = IoRequest::read(9, 4);
 /// assert_eq!(r.kind.sectors(), 4);
+/// assert!(r.stream.is_untagged());
+/// assert_eq!(r.tagged(StreamId(3)).stream, StreamId(3));
 /// ```
 #[derive(Clone, Debug)]
 pub struct IoRequest {
@@ -54,6 +58,40 @@ pub struct IoRequest {
     pub lba: Lba,
     /// Direction and payload.
     pub kind: IoKind,
+    /// The request stream this belongs to;
+    /// [`StreamId::UNTAGGED`] when the submitter does not distinguish
+    /// streams. Drivers carry the tag through to submission taps and
+    /// routing decisions but never alter semantics based on it.
+    pub stream: StreamId,
+}
+
+impl IoRequest {
+    /// An untagged read of `count` sectors at `lba`.
+    #[must_use]
+    pub fn read(lba: Lba, count: u32) -> IoRequest {
+        IoRequest {
+            lba,
+            kind: IoKind::Read { count },
+            stream: StreamId::UNTAGGED,
+        }
+    }
+
+    /// An untagged write of `data` at `lba`.
+    #[must_use]
+    pub fn write(lba: Lba, data: Vec<u8>) -> IoRequest {
+        IoRequest {
+            lba,
+            kind: IoKind::Write { data },
+            stream: StreamId::UNTAGGED,
+        }
+    }
+
+    /// The same request tagged with `stream`.
+    #[must_use]
+    pub fn tagged(mut self, stream: StreamId) -> IoRequest {
+        self.stream = stream;
+        self
+    }
 }
 
 /// Completion record delivered to the submitter's callback.

@@ -17,6 +17,7 @@ use std::rc::Rc;
 
 use trail_disk::Lba;
 use trail_sim::SimTime;
+use trail_telemetry::StreamId;
 
 /// Observes accepted request submissions.
 ///
@@ -28,8 +29,19 @@ pub trait SubmitTap {
     ///
     /// `dev` is the stack-level device index the submitter addressed (a
     /// single-disk driver reports the index it was installed with),
-    /// `sectors` the request length, and `is_read` the direction.
-    fn on_submit(&self, at: SimTime, dev: u32, lba: Lba, sectors: u32, is_read: bool);
+    /// `sectors` the request length, `is_read` the direction, and
+    /// `stream` the submitter's stream tag
+    /// ([`StreamId::UNTAGGED`] when the submitter does not distinguish
+    /// streams).
+    fn on_submit(
+        &self,
+        at: SimTime,
+        dev: u32,
+        lba: Lba,
+        sectors: u32,
+        is_read: bool,
+        stream: StreamId,
+    );
 }
 
 /// Shared handle to a tap, as stored by instrumented drivers.
@@ -42,18 +54,26 @@ mod tests {
 
     #[derive(Default)]
     struct CountingTap {
-        seen: RefCell<Vec<(u64, u32, bool)>>,
+        seen: RefCell<Vec<(u64, u32, bool, StreamId)>>,
     }
 
     impl SubmitTap for CountingTap {
-        fn on_submit(&self, _at: SimTime, _dev: u32, lba: Lba, sectors: u32, is_read: bool) {
-            self.seen.borrow_mut().push((lba, sectors, is_read));
+        fn on_submit(
+            &self,
+            _at: SimTime,
+            _dev: u32,
+            lba: Lba,
+            sectors: u32,
+            is_read: bool,
+            stream: StreamId,
+        ) {
+            self.seen.borrow_mut().push((lba, sectors, is_read, stream));
         }
     }
 
     #[test]
     fn standard_driver_reports_accepted_submissions_only() {
-        use crate::{IoKind, IoRequest, StandardDriver};
+        use crate::{IoRequest, StandardDriver};
         use trail_disk::{profiles, Disk, SECTOR_SIZE};
         use trail_sim::Simulator;
 
@@ -64,28 +84,14 @@ mod tests {
         let c = sim.completion(|_, _| {});
         drv.submit(
             &mut sim,
-            IoRequest {
-                lba: 5,
-                kind: IoKind::Write {
-                    data: vec![1; 2 * SECTOR_SIZE],
-                },
-            },
+            IoRequest::write(5, vec![1; 2 * SECTOR_SIZE]).tagged(StreamId(7)),
             c,
         )
         .unwrap();
         let c = sim.completion(|_, d| assert!(d.is_err()));
         // Rejected requests must not reach the tap.
-        assert!(drv
-            .submit(
-                &mut sim,
-                IoRequest {
-                    lba: 0,
-                    kind: IoKind::Read { count: 0 },
-                },
-                c,
-            )
-            .is_err());
+        assert!(drv.submit(&mut sim, IoRequest::read(0, 0), c).is_err());
         sim.run();
-        assert_eq!(&*tap.seen.borrow(), &[(5, 2, false)]);
+        assert_eq!(&*tap.seen.borrow(), &[(5, 2, false, StreamId(7))]);
     }
 }

@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use proptest::prelude::*;
-use trail_blockio::{Clook, Fifo, IoDone, IoKind, IoRequest, Priority, StandardDriver};
+use trail_blockio::{Clook, Fifo, IoDone, IoKind, IoRequest, Priority, StandardDriver, StreamId};
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
 use trail_sim::{SimDuration, Simulator};
 
@@ -83,7 +83,15 @@ fn run_workload(
                     }
                 });
                 driver
-                    .submit(sim, IoRequest { lba, kind }, done)
+                    .submit(
+                        sim,
+                        IoRequest {
+                            lba,
+                            kind,
+                            stream: StreamId::UNTAGGED,
+                        },
+                        done,
+                    )
                     .expect("valid request");
             }),
         );
@@ -160,14 +168,7 @@ proptest! {
                         *hot_done.borrow_mut() += 1;
                     });
                     driver
-                        .submit(
-                            sim,
-                            IoRequest {
-                                lba,
-                                kind: IoKind::Write { data: vec![1; SECTOR_SIZE] },
-                            },
-                            done,
-                        )
+                        .submit(sim, IoRequest::write(lba, vec![1; SECTOR_SIZE]), done)
                         .expect("valid hot write");
                 }),
             );
@@ -187,14 +188,7 @@ proptest! {
                         *far_done_after.borrow_mut() = Some(*hot_done.borrow());
                     });
                     driver
-                        .submit(
-                            sim,
-                            IoRequest {
-                                lba: 3_999,
-                                kind: IoKind::Write { data: vec![2; SECTOR_SIZE] },
-                            },
-                            done,
-                        )
+                        .submit(sim, IoRequest::write(3_999, vec![2; SECTOR_SIZE]), done)
                         .expect("valid far write");
                 }),
             );

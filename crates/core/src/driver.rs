@@ -28,13 +28,15 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use trail_blockio::{Clook, IoDone, IoKind, IoRequest, Priority, StandardDriver, TapHandle};
+use trail_blockio::{Clook, IoDone, IoRequest, Priority, StandardDriver, TapHandle};
 use trail_disk::{
     CommandKind, Disk, DiskCommand, DiskGeometry, DiskResult, Lba, SectorBuf, ServiceBreakdown,
     SECTOR_SIZE,
 };
 use trail_sim::{Completion, Delivered, EventId, LatencySummary, SimDuration, SimTime, Simulator};
-use trail_telemetry::{EventKind, Layer, LifecycleEmitter, RecorderHandle, RequestBreakdown};
+use trail_telemetry::{
+    EventKind, Layer, LifecycleEmitter, RecorderHandle, RequestBreakdown, StreamId,
+};
 
 use crate::buffer::{BlockKey, BufferTable, WritebackOutcome};
 use crate::config::TrailConfig;
@@ -433,6 +435,22 @@ impl TrailDriver {
         data: Vec<u8>,
         done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
+        self.write_tagged(sim, dev, lba, data, StreamId::UNTAGGED, done)
+    }
+
+    /// [`write`](TrailDriver::write) with an explicit stream tag.
+    ///
+    /// The tag is carried through to the submission tap; it never changes
+    /// the durability or batching semantics of the write.
+    pub fn write_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
         {
             let mut d = self.inner.borrow_mut();
             if dev >= d.data.len() {
@@ -446,7 +464,7 @@ impl TrailDriver {
                 return Err(TrailError::OutOfRange);
             }
             if let Some(tap) = &d.tap {
-                tap.on_submit(sim.now(), dev as u32, lba, sectors as u32, false);
+                tap.on_submit(sim.now(), dev as u32, lba, sectors as u32, false, stream);
             }
             let req = done.id().raw();
             let chunk_sectors = d.effective_max_batch as usize;
@@ -500,6 +518,23 @@ impl TrailDriver {
         count: u32,
         done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
+        self.read_tagged(sim, dev, lba, count, StreamId::UNTAGGED, done)
+    }
+
+    /// [`read`](TrailDriver::read) with an explicit stream tag.
+    ///
+    /// The tag is carried through to the submission tap and, on a buffer
+    /// miss, onto the forwarded data-disk request; it never changes which
+    /// copy of the block is served.
+    pub fn read_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
         let hit: Option<Vec<u8>> = {
             let mut d = self.inner.borrow_mut();
             if dev >= d.data.len() {
@@ -509,7 +544,7 @@ impl TrailDriver {
                 return Err(TrailError::OutOfRange);
             }
             if let Some(tap) = &d.tap {
-                tap.on_submit(sim.now(), dev as u32, lba, count, true);
+                tap.on_submit(sim.now(), dev as u32, lba, count, true, stream);
             }
             let key = BlockKey {
                 dev: dev as u8,
@@ -549,15 +584,8 @@ impl TrailDriver {
                 let drv = self.inner.borrow().data[dev].clone();
                 // Uniform completion type: forward the caller's token
                 // straight to the data-disk driver.
-                drv.submit(
-                    sim,
-                    IoRequest {
-                        lba,
-                        kind: IoKind::Read { count },
-                    },
-                    done,
-                )
-                .map_err(TrailError::Disk)?;
+                drv.submit(sim, IoRequest::read(lba, count).tagged(stream), done)
+                    .map_err(TrailError::Disk)?;
                 Ok(())
             }
         }
@@ -1070,15 +1098,8 @@ impl TrailDriver {
             }
         });
         tolerate_power_loss(
-            drv.submit(
-                sim,
-                IoRequest {
-                    lba: key.lba,
-                    kind: IoKind::Write { data },
-                },
-                wb,
-            )
-            .map(|_| ()),
+            drv.submit(sim, IoRequest::write(key.lba, data), wb)
+                .map(|_| ()),
             "data disk rejected a validated write-back",
         );
     }

@@ -65,7 +65,7 @@ pub use buffer::{BlockKey, BufferTable, WritebackOutcome};
 pub use config::TrailConfig;
 pub use driver::{BootReport, TrailDriver, TrailStats};
 pub use error::TrailError;
-pub use multi::MultiTrail;
+pub use multi::{LogRouting, MultiTrail};
 
 pub use formatter::{
     data_track_range, format_log_disk, read_header, replica_lba, write_header, FormatOptions,

@@ -20,9 +20,13 @@
 //! availability-routed "completely hide" variant would need a global
 //! write order across logs, which the paper leaves open).
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use trail_blockio::{Clook, IoDone, Priority, StandardDriver};
 use trail_disk::{Disk, Lba};
 use trail_sim::{Completion, Simulator};
+use trail_telemetry::StreamId;
 
 use crate::config::TrailConfig;
 use crate::driver::{BootReport, TrailDriver, TrailStats};
@@ -56,6 +60,29 @@ use crate::error::TrailError;
 #[derive(Clone)]
 pub struct MultiTrail {
     drivers: Vec<TrailDriver>,
+    routing: Rc<Cell<LogRouting>>,
+}
+
+/// How [`MultiTrail`] assigns requests to log disks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LogRouting {
+    /// Route by a deterministic hash of the target block address (the
+    /// default). Safe for any workload: all versions of a block live in
+    /// one log regardless of who wrote them.
+    #[default]
+    BlockHash,
+    /// Route tagged requests by a hash of their [`StreamId`], so each
+    /// stream's writes land on one log disk and never wait behind another
+    /// stream's repositioning. Untagged requests fall back to the block
+    /// hash.
+    ///
+    /// **Correctness invariant:** under stream affinity a block is pinned
+    /// in the buffer of the instance its *stream* hashes to, so every
+    /// read of that block must carry the same tag as its writes (or the
+    /// streams must write disjoint block sets). A read routed elsewhere
+    /// would miss the pinned copy and could fetch a stale version from
+    /// the data disk while the write-back is still pending.
+    StreamAffinity,
 }
 
 impl MultiTrail {
@@ -101,7 +128,13 @@ impl MultiTrail {
             drivers.push(drv);
             boots.push(boot);
         }
-        Ok((MultiTrail { drivers }, boots))
+        Ok((
+            MultiTrail {
+                drivers,
+                routing: Rc::new(Cell::new(LogRouting::BlockHash)),
+            },
+            boots,
+        ))
     }
 
     /// Number of log disks.
@@ -109,9 +142,26 @@ impl MultiTrail {
         self.drivers.len()
     }
 
-    /// The Trail instance serving block `(dev, lba)`.
+    /// The Trail instance serving block `(dev, lba)` for an untagged
+    /// request.
     pub fn driver_for(&self, dev: usize, lba: Lba) -> &TrailDriver {
-        &self.drivers[self.route(dev, lba)]
+        &self.drivers[self.route_for(dev, lba, StreamId::UNTAGGED)]
+    }
+
+    /// The routing policy currently in effect.
+    pub fn routing(&self) -> LogRouting {
+        self.routing.get()
+    }
+
+    /// Switches the routing policy. Shared by all clones of this array.
+    ///
+    /// Switch only at a quiescent point ([`run_until_quiescent`]
+    /// (MultiTrail::run_until_quiescent)): requests routed under the old
+    /// policy must have drained their write-backs before blocks are
+    /// re-routed, for the reasons documented on
+    /// [`LogRouting::StreamAffinity`].
+    pub fn set_routing(&self, routing: LogRouting) {
+        self.routing.set(routing);
     }
 
     /// All Trail instances (for statistics).
@@ -137,16 +187,26 @@ impl MultiTrail {
         }
     }
 
-    /// Deterministic block-to-log routing (FNV-1a over the address).
-    fn route(&self, dev: usize, lba: Lba) -> usize {
+    /// Deterministic request-to-log routing: FNV-1a over the block
+    /// address, or over the stream id when
+    /// [`LogRouting::StreamAffinity`] is selected and the request is
+    /// tagged.
+    fn route_for(&self, dev: usize, lba: Lba, stream: StreamId) -> usize {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in (dev as u64)
-            .to_le_bytes()
-            .into_iter()
-            .chain(lba.to_le_bytes())
-        {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        match self.routing.get() {
+            LogRouting::StreamAffinity if !stream.is_untagged() => {
+                mix(&stream.0.to_le_bytes());
+            }
+            _ => {
+                mix(&(dev as u64).to_le_bytes());
+                mix(&lba.to_le_bytes());
+            }
         }
         (h % self.drivers.len() as u64) as usize
     }
@@ -165,7 +225,26 @@ impl MultiTrail {
         data: Vec<u8>,
         done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
-        self.drivers[self.route(dev, lba)].write(sim, dev, lba, data, done)
+        self.write_tagged(sim, dev, lba, data, StreamId::UNTAGGED, done)
+    }
+
+    /// [`write`](MultiTrail::write) with an explicit stream tag. Under
+    /// [`LogRouting::StreamAffinity`] the tag selects the log disk.
+    ///
+    /// # Errors
+    ///
+    /// As [`TrailDriver::write`].
+    pub fn write_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.drivers[self.route_for(dev, lba, stream)]
+            .write_tagged(sim, dev, lba, data, stream, done)
     }
 
     /// Submits a read; semantics as [`TrailDriver::read`].
@@ -181,7 +260,27 @@ impl MultiTrail {
         count: u32,
         done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
-        self.drivers[self.route(dev, lba)].read(sim, dev, lba, count, done)
+        self.read_tagged(sim, dev, lba, count, StreamId::UNTAGGED, done)
+    }
+
+    /// [`read`](MultiTrail::read) with an explicit stream tag. Must carry
+    /// the same tag as the block's writes under
+    /// [`LogRouting::StreamAffinity`] (see its invariant).
+    ///
+    /// # Errors
+    ///
+    /// As [`TrailDriver::read`].
+    pub fn read_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.drivers[self.route_for(dev, lba, stream)]
+            .read_tagged(sim, dev, lba, count, stream, done)
     }
 
     /// Outstanding work across all instances.
@@ -228,5 +327,76 @@ impl std::fmt::Debug for MultiTrail {
         f.debug_struct("MultiTrail")
             .field("log_disks", &self.drivers.len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formatter::{format_log_disk, FormatOptions};
+    use trail_disk::profiles;
+
+    fn boot(sim: &mut Simulator, n_logs: usize) -> MultiTrail {
+        let logs: Vec<Disk> = (0..n_logs)
+            .map(|i| Disk::new(format!("log{i}"), profiles::tiny_test_disk()))
+            .collect();
+        for log in &logs {
+            format_log_disk(sim, log, FormatOptions::default()).unwrap();
+        }
+        let data = Disk::new("data0", profiles::tiny_test_disk());
+        let (multi, _) = MultiTrail::start(sim, logs, vec![data], TrailConfig::default()).unwrap();
+        multi
+    }
+
+    #[test]
+    fn block_hash_routing_ignores_the_stream_tag() {
+        let mut sim = Simulator::new();
+        let multi = boot(&mut sim, 3);
+        assert_eq!(multi.routing(), LogRouting::BlockHash);
+        for lba in [0u64, 7, 64, 513] {
+            let by_block = multi.route_for(0, lba, StreamId::UNTAGGED);
+            assert_eq!(multi.route_for(0, lba, StreamId(1)), by_block);
+            assert_eq!(multi.route_for(0, lba, StreamId(9)), by_block);
+        }
+    }
+
+    #[test]
+    fn stream_affinity_pins_each_tagged_stream_to_one_log() {
+        let mut sim = Simulator::new();
+        let multi = boot(&mut sim, 3);
+        multi.set_routing(LogRouting::StreamAffinity);
+        for stream in 1u32..=8 {
+            let home = multi.route_for(0, 0, StreamId(stream));
+            for lba in [1u64, 100, 999] {
+                assert_eq!(multi.route_for(0, lba, StreamId(stream)), home);
+            }
+        }
+        // Untagged requests still route by block address, and the policy
+        // is shared across clones of the array.
+        let clone = multi.clone();
+        assert_eq!(clone.routing(), LogRouting::StreamAffinity);
+        for lba in [0u64, 7, 64, 513] {
+            assert_eq!(
+                clone.route_for(0, lba, StreamId::UNTAGGED),
+                {
+                    clone.set_routing(LogRouting::BlockHash);
+                    let r = multi.route_for(0, lba, StreamId::UNTAGGED);
+                    clone.set_routing(LogRouting::StreamAffinity);
+                    r
+                },
+                "untagged requests fall back to the block hash"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_spread_across_logs_under_affinity() {
+        let mut sim = Simulator::new();
+        let multi = boot(&mut sim, 2);
+        multi.set_routing(LogRouting::StreamAffinity);
+        let homes: std::collections::BTreeSet<usize> = (1u32..=16)
+            .map(|s| multi.route_for(0, 0, StreamId(s)))
+            .collect();
+        assert_eq!(homes.len(), 2, "16 streams should cover both logs");
     }
 }

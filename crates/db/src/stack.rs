@@ -4,13 +4,11 @@
 
 use std::rc::Rc;
 
-use trail_blockio::{
-    Clook, IoDone, IoKind, IoRequest, Priority, Scheduler, StandardDriver, TapHandle,
-};
-use trail_core::{TrailDriver, TrailError};
+use trail_blockio::{Clook, IoDone, IoRequest, Priority, Scheduler, StandardDriver, TapHandle};
+use trail_core::{MultiTrail, TrailDriver, TrailError};
 use trail_disk::{Disk, Lba};
 use trail_sim::{Completion, Simulator};
-use trail_telemetry::RecorderHandle;
+use trail_telemetry::{RecorderHandle, StreamId};
 
 /// A stack of block devices the database reads and writes through.
 ///
@@ -46,6 +44,47 @@ pub trait BlockStack {
         count: u32,
         done: Completion<IoDone>,
     ) -> Result<(), TrailError>;
+
+    /// [`write`](BlockStack::write) with an explicit stream tag.
+    ///
+    /// The default implementation drops the tag and delegates to
+    /// [`write`](BlockStack::write); stacks that can carry streams to
+    /// their taps or routing decisions override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`write`](BlockStack::write).
+    fn write_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        let _ = stream;
+        self.write(sim, dev, lba, data, done)
+    }
+
+    /// [`read`](BlockStack::read) with an explicit stream tag; defaults
+    /// to dropping the tag like [`write_tagged`](BlockStack::write_tagged).
+    ///
+    /// # Errors
+    ///
+    /// As [`read`](BlockStack::read).
+    fn read_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        let _ = stream;
+        self.read(sim, dev, lba, count, done)
+    }
 
     /// Outstanding work inside the stack (used to drain at shutdown).
     fn pending_work(&self) -> usize;
@@ -104,6 +143,30 @@ impl BlockStack for TrailStack {
         done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
         self.driver.read(sim, dev, lba, count, done)
+    }
+
+    fn write_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.driver.write_tagged(sim, dev, lba, data, stream, done)
+    }
+
+    fn read_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.driver.read_tagged(sim, dev, lba, count, stream, done)
     }
 
     fn pending_work(&self) -> usize {
@@ -171,17 +234,7 @@ impl BlockStack for StandardStack {
         data: Vec<u8>,
         done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
-        let drv = self.drivers.get(dev).ok_or(TrailError::BadDevice)?;
-        drv.submit(
-            sim,
-            IoRequest {
-                lba,
-                kind: IoKind::Write { data },
-            },
-            done,
-        )
-        .map(|_| ())
-        .map_err(TrailError::Disk)
+        self.write_tagged(sim, dev, lba, data, StreamId::UNTAGGED, done)
     }
 
     fn read(
@@ -192,17 +245,37 @@ impl BlockStack for StandardStack {
         count: u32,
         done: Completion<IoDone>,
     ) -> Result<(), TrailError> {
+        self.read_tagged(sim, dev, lba, count, StreamId::UNTAGGED, done)
+    }
+
+    fn write_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
         let drv = self.drivers.get(dev).ok_or(TrailError::BadDevice)?;
-        drv.submit(
-            sim,
-            IoRequest {
-                lba,
-                kind: IoKind::Read { count },
-            },
-            done,
-        )
-        .map(|_| ())
-        .map_err(TrailError::Disk)
+        drv.submit(sim, IoRequest::write(lba, data).tagged(stream), done)
+            .map(|_| ())
+            .map_err(TrailError::Disk)
+    }
+
+    fn read_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        let drv = self.drivers.get(dev).ok_or(TrailError::BadDevice)?;
+        drv.submit(sim, IoRequest::read(lba, count).tagged(stream), done)
+            .map(|_| ())
+            .map_err(TrailError::Disk)
     }
 
     fn pending_work(&self) -> usize {
@@ -226,6 +299,92 @@ impl BlockStack for StandardStack {
         for (dev, d) in self.drivers.iter().enumerate() {
             d.set_tap(Rc::clone(&tap), dev as u32);
         }
+    }
+}
+
+/// A Trail-array stack: every device sits behind a [`MultiTrail`] (one
+/// Trail instance per log disk, shared data disks). Stream tags reach the
+/// array's router, so [`trail_core::LogRouting::StreamAffinity`] can pin
+/// each stream to one log disk.
+#[derive(Clone)]
+pub struct MultiTrailStack {
+    multi: MultiTrail,
+    devices: usize,
+}
+
+impl MultiTrailStack {
+    /// Wraps a running Trail array serving `devices` data disks.
+    pub fn new(multi: MultiTrail, devices: usize) -> Self {
+        MultiTrailStack { multi, devices }
+    }
+
+    /// The wrapped array (for statistics and routing control).
+    pub fn multi(&self) -> &MultiTrail {
+        &self.multi
+    }
+}
+
+impl BlockStack for MultiTrailStack {
+    fn write(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.multi.write(sim, dev, lba, data, done)
+    }
+
+    fn read(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.multi.read(sim, dev, lba, count, done)
+    }
+
+    fn write_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.multi.write_tagged(sim, dev, lba, data, stream, done)
+    }
+
+    fn read_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.multi.read_tagged(sim, dev, lba, count, stream, done)
+    }
+
+    fn pending_work(&self) -> usize {
+        self.multi.pending_work()
+    }
+
+    fn devices(&self) -> usize {
+        self.devices
+    }
+
+    fn set_recorder(&self, recorder: RecorderHandle) {
+        self.multi.set_recorder(recorder);
+    }
+
+    fn set_tap(&self, tap: TapHandle) {
+        self.multi.set_tap(tap);
     }
 }
 

@@ -50,11 +50,13 @@ use trail_sim::{SimDuration, SimTime};
 pub mod json;
 mod lifecycle;
 mod metrics;
+mod stream;
 mod trace;
 
 pub use json::{JsonError, JsonValue};
 pub use lifecycle::LifecycleEmitter;
 pub use metrics::{metrics_json, metrics_json_string, DurationHistogram};
+pub use stream::{StreamId, StreamLane, StreamMetrics};
 pub use trace::{chrome_trace, chrome_trace_string};
 
 /// Which layer of the stack emitted an event. Doubles as the Chrome-trace

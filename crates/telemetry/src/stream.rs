@@ -1,0 +1,231 @@
+//! Stream identity and per-stream metrics.
+//!
+//! A [`StreamId`] names an independent request source — a TPC-C
+//! terminal, a synthetic generator stream, a CPU in an imported
+//! blktrace — and survives the whole vertical: trace records carry one,
+//! block requests carry one, submission taps report one, and the replay
+//! engine aggregates latency per stream through [`StreamMetrics`].
+//!
+//! Stream `0` is the *untagged* stream ([`StreamId::UNTAGGED`]): the
+//! value every layer uses when the submitter does not distinguish
+//! sources. Code that branches on stream identity (multi-log routing,
+//! per-stream reports) treats untagged requests as "no stream
+//! information", not as a stream in their own right.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use trail_sim::SimDuration;
+
+use crate::json::JsonValue;
+use crate::metrics::DurationHistogram;
+
+/// Identity of an independent request stream.
+///
+/// A plain newtype over `u32` so it costs nothing to carry and orders,
+/// hashes, and compares like the raw tag the trace format stores.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The stream id used when the submitter does not distinguish
+    /// streams (the trace format's `stream = 0`).
+    pub const UNTAGGED: StreamId = StreamId(0);
+
+    /// `true` for [`StreamId::UNTAGGED`].
+    #[must_use]
+    pub fn is_untagged(self) -> bool {
+        self == StreamId::UNTAGGED
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for StreamId {
+    fn from(raw: u32) -> Self {
+        StreamId(raw)
+    }
+}
+
+/// Per-stream accounting: counts, latency histograms, and concurrency.
+#[derive(Clone, Debug, Default)]
+pub struct StreamLane {
+    /// Requests issued on this stream.
+    pub requests: u64,
+    /// Reads among them.
+    pub reads: u64,
+    /// Writes among them.
+    pub writes: u64,
+    /// Requests that errored or were cancelled.
+    pub errors: u64,
+    /// End-to-end latency over successful requests.
+    pub latency: DurationHistogram,
+    /// Latency over successful reads.
+    pub read_latency: DurationHistogram,
+    /// Latency over successful writes.
+    pub write_latency: DurationHistogram,
+    /// Requests currently in flight.
+    pub inflight: u32,
+    /// Highest concurrent in-flight count observed.
+    pub max_inflight: u32,
+}
+
+impl StreamLane {
+    /// The lane as a JSON object: counts, per-stream queue depth, and
+    /// the full latency histograms (p50/p95/p99/p99.9).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("requests", JsonValue::Num(self.requests as f64)),
+            ("reads", JsonValue::Num(self.reads as f64)),
+            ("writes", JsonValue::Num(self.writes as f64)),
+            ("errors", JsonValue::Num(self.errors as f64)),
+            (
+                "max_queue_depth",
+                JsonValue::Num(f64::from(self.max_inflight)),
+            ),
+            ("latency", self.latency.to_json()),
+            ("read_latency", self.read_latency.to_json()),
+            ("write_latency", self.write_latency.to_json()),
+        ])
+    }
+}
+
+/// Latency and concurrency metrics keyed by [`StreamId`].
+///
+/// Lanes materialize on first use and iterate in ascending stream
+/// order, so exports are deterministic for a deterministic workload.
+#[derive(Clone, Debug, Default)]
+pub struct StreamMetrics {
+    lanes: BTreeMap<StreamId, StreamLane>,
+}
+
+impl StreamMetrics {
+    /// Creates an empty set of lanes.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of streams observed.
+    #[must_use]
+    pub fn streams(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `true` when no stream has issued anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// The lane for `stream`, if it has issued anything.
+    #[must_use]
+    pub fn lane(&self, stream: StreamId) -> Option<&StreamLane> {
+        self.lanes.get(&stream)
+    }
+
+    /// Iterates lanes in ascending stream order.
+    pub fn iter(&self) -> impl Iterator<Item = (StreamId, &StreamLane)> {
+        self.lanes.iter().map(|(id, lane)| (*id, lane))
+    }
+
+    /// Records a request entering flight on `stream`.
+    pub fn on_issue(&mut self, stream: StreamId, is_read: bool) {
+        let lane = self.lanes.entry(stream).or_default();
+        lane.requests += 1;
+        if is_read {
+            lane.reads += 1;
+        } else {
+            lane.writes += 1;
+        }
+        lane.inflight += 1;
+        lane.max_inflight = lane.max_inflight.max(lane.inflight);
+    }
+
+    /// Records a completion on `stream`; `latency` is `None` for an
+    /// errored or cancelled request.
+    pub fn on_complete(&mut self, stream: StreamId, is_read: bool, latency: Option<SimDuration>) {
+        let lane = self.lanes.entry(stream).or_default();
+        lane.inflight = lane.inflight.saturating_sub(1);
+        match latency {
+            Some(lat) => {
+                lane.latency.record(lat);
+                if is_read {
+                    lane.read_latency.record(lat);
+                } else {
+                    lane.write_latency.record(lat);
+                }
+            }
+            None => lane.errors += 1,
+        }
+    }
+
+    /// All lanes as one JSON object keyed by decimal stream id, in
+    /// ascending stream order.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.lanes
+                .iter()
+                .map(|(id, lane)| (id.to_string(), lane.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untagged_is_zero() {
+        assert_eq!(StreamId::UNTAGGED, StreamId(0));
+        assert!(StreamId::default().is_untagged());
+        assert!(!StreamId(3).is_untagged());
+        assert_eq!(StreamId::from(7u32), StreamId(7));
+        assert_eq!(StreamId(12).to_string(), "12");
+    }
+
+    #[test]
+    fn lanes_track_counts_and_concurrency() {
+        let mut m = StreamMetrics::new();
+        m.on_issue(StreamId(1), false);
+        m.on_issue(StreamId(1), true);
+        m.on_issue(StreamId(2), false);
+        m.on_complete(StreamId(1), false, Some(SimDuration::from_micros(100)));
+        m.on_complete(StreamId(1), true, None);
+        m.on_complete(StreamId(2), false, Some(SimDuration::from_micros(300)));
+        assert_eq!(m.streams(), 2);
+        let one = m.lane(StreamId(1)).expect("lane 1");
+        assert_eq!((one.requests, one.reads, one.writes), (2, 1, 1));
+        assert_eq!(one.errors, 1);
+        assert_eq!(one.max_inflight, 2);
+        assert_eq!(one.inflight, 0);
+        assert_eq!(one.latency.count(), 1);
+        assert!(m.lane(StreamId(0)).is_none());
+    }
+
+    #[test]
+    fn json_is_keyed_by_stream_in_order() {
+        let mut m = StreamMetrics::new();
+        m.on_issue(StreamId(9), false);
+        m.on_issue(StreamId(2), true);
+        let json = m.to_json();
+        let fields = json.as_obj().expect("object");
+        assert_eq!(fields[0].0, "2");
+        assert_eq!(fields[1].0, "9");
+        assert!(json.get("9").and_then(|l| l.get("writes")).is_some());
+    }
+
+    #[test]
+    fn completion_on_unissued_stream_does_not_underflow() {
+        let mut m = StreamMetrics::new();
+        m.on_complete(StreamId(4), false, None);
+        assert_eq!(m.lane(StreamId(4)).expect("lane").inflight, 0);
+    }
+}

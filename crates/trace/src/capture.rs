@@ -12,7 +12,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use trail_blockio::{SubmitTap, TapHandle};
+use trail_blockio::{StreamId, SubmitTap, TapHandle};
 use trail_disk::Lba;
 use trail_sim::SimTime;
 
@@ -66,7 +66,15 @@ impl TraceCapture {
 }
 
 impl SubmitTap for TraceCapture {
-    fn on_submit(&self, at: SimTime, dev: u32, lba: Lba, sectors: u32, is_read: bool) {
+    fn on_submit(
+        &self,
+        at: SimTime,
+        dev: u32,
+        lba: Lba,
+        sectors: u32,
+        is_read: bool,
+        stream: StreamId,
+    ) {
         self.records.borrow_mut().push(TraceRecord {
             at,
             op: if is_read {
@@ -77,7 +85,7 @@ impl SubmitTap for TraceCapture {
             dev: dev.min(u32::from(u16::MAX)) as u16,
             lba,
             sectors,
-            stream: 0,
+            stream,
         });
     }
 }
@@ -90,8 +98,8 @@ mod tests {
     fn capture_records_in_submission_order() {
         let cap = TraceCapture::new();
         let tap = cap.handle();
-        tap.on_submit(SimTime::from_nanos(500), 1, 64, 8, false);
-        tap.on_submit(SimTime::from_nanos(900), 0, 32, 8, true);
+        tap.on_submit(SimTime::from_nanos(500), 1, 64, 8, false, StreamId(3));
+        tap.on_submit(SimTime::from_nanos(900), 0, 32, 8, true, StreamId::UNTAGGED);
         assert_eq!(cap.len(), 2);
         let t = cap.take(TraceMeta {
             source: "capture:test".to_string(),
@@ -101,6 +109,8 @@ mod tests {
         assert_eq!(t.records[0].op, TraceOp::Write);
         assert_eq!(t.records[1].op, TraceOp::Read);
         assert_eq!(t.records[1].at, SimTime::from_nanos(900));
+        assert_eq!(t.records[0].stream, StreamId(3));
+        assert!(t.records[1].stream.is_untagged());
         // Taking drains.
         assert!(cap.is_empty());
     }

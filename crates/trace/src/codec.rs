@@ -20,7 +20,7 @@
 use std::fmt;
 
 use trail_sim::SimTime;
-use trail_telemetry::JsonValue;
+use trail_telemetry::{JsonValue, StreamId};
 
 use crate::format::{Trace, TraceMeta, TraceOp, TraceRecord, TRACE_VERSION};
 
@@ -148,7 +148,7 @@ pub fn to_binary(trace: &Trace) -> Vec<u8> {
         out.extend_from_slice(&r.at.as_nanos().to_le_bytes());
         out.extend_from_slice(&r.lba.to_le_bytes());
         out.extend_from_slice(&r.sectors.to_le_bytes());
-        out.extend_from_slice(&r.stream.to_le_bytes());
+        out.extend_from_slice(&r.stream.0.to_le_bytes());
         out.extend_from_slice(&r.dev.to_le_bytes());
         out.push(r.op.code());
         out.push(0); // reserved
@@ -220,7 +220,7 @@ pub fn from_binary(bytes: &[u8]) -> Result<Trace, TraceError> {
         let at_ns = r.u64("record arrival")?;
         let lba = r.u64("record lba")?;
         let sectors = r.u32("record sectors")?;
-        let stream = r.u32("record stream")?;
+        let stream = StreamId(r.u32("record stream")?);
         let dev = r.u16("record device")?;
         let op_code = r.take(2, "record op")?[0];
         let op = TraceOp::from_code(op_code).ok_or_else(|| TraceError::BadRecord {
@@ -264,7 +264,7 @@ pub fn to_jsonl(trace: &Trace) -> Result<String, TraceError> {
                 ("dev", JsonValue::Num(f64::from(r.dev))),
                 ("lba", JsonValue::Num(r.lba as f64)),
                 ("sectors", JsonValue::Num(f64::from(r.sectors))),
-                ("stream", JsonValue::Num(f64::from(r.stream))),
+                ("stream", JsonValue::Num(f64::from(r.stream.0))),
             ])
             .to_json(),
         );
@@ -307,7 +307,7 @@ pub fn from_jsonl(text: &str) -> Result<Trace, TraceError> {
             dev: num("dev")? as u16,
             lba: num("lba")? as u64,
             sectors: num("sectors")? as u32,
-            stream: num("stream")? as u32,
+            stream: StreamId(num("stream")? as u32),
         });
     }
     if let Some(declared) = declared {
@@ -340,7 +340,7 @@ mod tests {
                     dev: 0,
                     lba: 8,
                     sectors: 8,
-                    stream: 0,
+                    stream: StreamId::UNTAGGED,
                 },
                 TraceRecord {
                     at: SimTime::from_nanos(1_500_000),
@@ -348,7 +348,7 @@ mod tests {
                     dev: 2,
                     lba: 123_456_789,
                     sectors: 16,
-                    stream: 7,
+                    stream: StreamId(7),
                 },
             ],
         }

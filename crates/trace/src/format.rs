@@ -11,6 +11,7 @@
 
 use trail_disk::Lba;
 use trail_sim::{SimDuration, SimTime};
+use trail_telemetry::StreamId;
 
 /// The current trace format version, written by both codecs.
 ///
@@ -90,9 +91,10 @@ pub struct TraceRecord {
     pub lba: Lba,
     /// Request length in sectors (non-zero).
     pub sectors: u32,
-    /// Workload stream tag (terminal, generator stream, …); `0` when the
-    /// source does not distinguish streams.
-    pub stream: u32,
+    /// Workload stream tag (terminal, generator stream, imported CPU, …);
+    /// [`StreamId::UNTAGGED`] when the source does not distinguish
+    /// streams.
+    pub stream: StreamId,
 }
 
 /// Self-description carried by every trace.
@@ -170,6 +172,114 @@ impl Trace {
         self.records.sort_by_key(|r| (r.at, r.stream));
     }
 
+    /// [`sort`](Trace::sort) then [`rebase_to_first`](Trace::rebase_to_first):
+    /// the canonical form every producer ends with — records in
+    /// `(arrival, stream)` order, first arrival at time zero.
+    pub fn normalize(&mut self) {
+        self.sort();
+        self.rebase_to_first();
+    }
+
+    /// The distinct stream tags present, ascending.
+    #[must_use]
+    pub fn streams(&self) -> Vec<StreamId> {
+        let set: std::collections::BTreeSet<StreamId> =
+            self.records.iter().map(|r| r.stream).collect();
+        set.into_iter().collect()
+    }
+
+    /// Splits the trace into one sub-trace per stream, ascending by
+    /// stream tag. Each part carries the full metadata and preserves the
+    /// parent's record order, so [`Trace::merge`] over the parts
+    /// reconstructs the original exactly.
+    #[must_use]
+    pub fn split_by_stream(&self) -> Vec<(StreamId, Trace)> {
+        let mut parts: std::collections::BTreeMap<StreamId, Vec<TraceRecord>> =
+            std::collections::BTreeMap::new();
+        for r in &self.records {
+            parts.entry(r.stream).or_default().push(*r);
+        }
+        parts
+            .into_iter()
+            .map(|(stream, records)| {
+                (
+                    stream,
+                    Trace {
+                        meta: self.meta.clone(),
+                        records,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Merges several traces into one, re-sorted to canonical
+    /// `(arrival, stream)` order. Metadata comes from the first part
+    /// (the parts of a [`Trace::split_by_stream`] all share it).
+    #[must_use]
+    pub fn merge(parts: impl IntoIterator<Item = Trace>) -> Trace {
+        let mut parts = parts.into_iter();
+        let mut out = parts.next().unwrap_or_default();
+        for p in parts {
+            out.records.extend(p.records);
+        }
+        out.sort();
+        out
+    }
+
+    /// Per-stream workload breakdown, ascending by stream tag.
+    #[must_use]
+    pub fn per_stream_summary(&self) -> Vec<StreamSummary> {
+        let mut summaries: std::collections::BTreeMap<StreamId, StreamSummary> =
+            std::collections::BTreeMap::new();
+        let mut spans: std::collections::BTreeMap<StreamId, Vec<(u16, Lba, Lba)>> =
+            std::collections::BTreeMap::new();
+        for r in &self.records {
+            let s = summaries
+                .entry(r.stream)
+                .or_insert_with(|| StreamSummary::empty(r.stream));
+            s.requests += 1;
+            if r.op.is_read() {
+                s.reads += 1;
+            } else {
+                s.writes += 1;
+            }
+            s.sectors += u64::from(r.sectors);
+            s.first_at = s.first_at.min(r.at);
+            s.last_at = s.last_at.max(r.at);
+            spans
+                .entry(r.stream)
+                .or_default()
+                .push((r.dev, r.lba, r.lba + u64::from(r.sectors)));
+        }
+        for (stream, mut intervals) in spans {
+            intervals.sort_unstable();
+            let mut footprint = 0u64;
+            let mut current: Option<(u16, Lba, Lba)> = None;
+            for (dev, start, end) in intervals {
+                match &mut current {
+                    Some((cdev, _, cend)) if *cdev == dev && start <= *cend => {
+                        *cend = (*cend).max(end);
+                    }
+                    _ => {
+                        if let Some((_, s, e)) = current {
+                            footprint += e - s;
+                        }
+                        current = Some((dev, start, end));
+                    }
+                }
+            }
+            if let Some((_, s, e)) = current {
+                footprint += e - s;
+            }
+            summaries
+                .get_mut(&stream)
+                .expect("summaries and spans share keys")
+                .footprint_sectors = footprint;
+        }
+        summaries.into_values().collect()
+    }
+
     /// Checks the invariants stored traces must satisfy: records sorted
     /// by `(arrival, stream)` and every record non-empty.
     ///
@@ -191,6 +301,43 @@ impl Trace {
     }
 }
 
+/// What one stream of a trace looks like (see
+/// [`Trace::per_stream_summary`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StreamSummary {
+    /// The stream tag.
+    pub stream: StreamId,
+    /// Requests in this stream.
+    pub requests: u64,
+    /// Reads among them.
+    pub reads: u64,
+    /// Writes among them.
+    pub writes: u64,
+    /// Total sectors transferred.
+    pub sectors: u64,
+    /// Distinct sectors addressed (overlapping requests counted once).
+    pub footprint_sectors: u64,
+    /// First arrival in the stream.
+    pub first_at: SimTime,
+    /// Last arrival in the stream.
+    pub last_at: SimTime,
+}
+
+impl StreamSummary {
+    fn empty(stream: StreamId) -> StreamSummary {
+        StreamSummary {
+            stream,
+            requests: 0,
+            reads: 0,
+            writes: 0,
+            sectors: 0,
+            footprint_sectors: 0,
+            first_at: SimTime::from_nanos(u64::MAX),
+            last_at: SimTime::ZERO,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,7 +349,7 @@ mod tests {
             dev: 0,
             lba: 8,
             sectors: 8,
-            stream,
+            stream: StreamId(stream),
         }
     }
 
@@ -252,8 +399,68 @@ mod tests {
             records: vec![rec(5, 2), rec(5, 1), rec(1, 9)],
         };
         t.sort();
-        assert_eq!(t.records[0].stream, 9);
-        assert_eq!(t.records[1].stream, 1);
-        assert_eq!(t.records[2].stream, 2);
+        assert_eq!(t.records[0].stream, StreamId(9));
+        assert_eq!(t.records[1].stream, StreamId(1));
+        assert_eq!(t.records[2].stream, StreamId(2));
+    }
+
+    #[test]
+    fn split_then_merge_is_the_identity_on_normalized_traces() {
+        let mut t = Trace {
+            meta: TraceMeta::default(),
+            records: vec![rec(5, 2), rec(5, 1), rec(1, 2), rec(9, 0)],
+        };
+        t.normalize();
+        let parts = t.split_by_stream();
+        assert_eq!(parts.len(), 3);
+        assert!(parts.windows(2).all(|w| w[0].0 < w[1].0));
+        let back = Trace::merge(parts.into_iter().map(|(_, p)| p));
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn per_stream_summary_counts_and_merges_footprint() {
+        let mut t = Trace {
+            meta: TraceMeta::default(),
+            records: vec![
+                TraceRecord {
+                    at: SimTime::from_nanos(10),
+                    op: TraceOp::Write,
+                    dev: 0,
+                    lba: 0,
+                    sectors: 8,
+                    stream: StreamId(1),
+                },
+                TraceRecord {
+                    at: SimTime::from_nanos(20),
+                    op: TraceOp::Read,
+                    // Overlaps the first request: footprint counts the
+                    // union, not the sum.
+                    dev: 0,
+                    lba: 4,
+                    sectors: 8,
+                    stream: StreamId(1),
+                },
+                TraceRecord {
+                    at: SimTime::from_nanos(30),
+                    op: TraceOp::Write,
+                    dev: 1,
+                    lba: 100,
+                    sectors: 2,
+                    stream: StreamId(2),
+                },
+            ],
+        };
+        t.normalize();
+        let summary = t.per_stream_summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].stream, StreamId(1));
+        assert_eq!(summary[0].requests, 2);
+        assert_eq!(summary[0].reads, 1);
+        assert_eq!(summary[0].writes, 1);
+        assert_eq!(summary[0].sectors, 16);
+        assert_eq!(summary[0].footprint_sectors, 12);
+        assert_eq!(summary[1].stream, StreamId(2));
+        assert_eq!(summary[1].footprint_sectors, 2);
     }
 }

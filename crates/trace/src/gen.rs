@@ -11,6 +11,7 @@
 use rand::Rng;
 
 use trail_sim::{rng, SimDuration, SimTime};
+use trail_telemetry::StreamId;
 
 use crate::format::{Trace, TraceMeta, TraceOp, TraceRecord};
 
@@ -157,7 +158,7 @@ pub fn generate(spec: &SyntheticSpec) -> Trace {
                 dev,
                 lba,
                 sectors: spec.request_sectors,
-                stream,
+                stream: StreamId(stream),
             });
         }
     }
@@ -266,7 +267,11 @@ mod tests {
             requests: 200,
             ..SyntheticSpec::default()
         });
-        let stream0: Vec<_> = two.records.iter().filter(|r| r.stream == 0).collect();
+        let stream0: Vec<_> = two
+            .records
+            .iter()
+            .filter(|r| r.stream == StreamId(0))
+            .collect();
         assert_eq!(stream0.len(), 100);
         for (a, b) in one.records.iter().zip(stream0) {
             assert_eq!(a, b);

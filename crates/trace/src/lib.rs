@@ -11,6 +11,8 @@
 //! - [`gen`] — synthetic generators: Poisson and bursty arrivals,
 //!   uniform/Zipf-like/sequential-run spatial locality, configurable
 //!   read mix and stream count, all seeded through [`trail_sim::rng`].
+//! - [`import`] — `blkparse` text import, so real Linux block traces
+//!   replay against the simulated stacks (CPU column → stream tag).
 //! - [`capture`] / [`replay`] — record the offered load of any running
 //!   scenario through the stack's `set_tap` hook, then replay it **open
 //!   loop** at recorded arrival times (with a 0.5×–8× time-scale knob)
@@ -37,12 +39,15 @@ pub mod capture;
 pub mod codec;
 pub mod format;
 pub mod gen;
+pub mod import;
 pub mod replay;
 
 pub use capture::TraceCapture;
 pub use codec::{
     from_binary, from_jsonl, to_binary, to_jsonl, TraceError, RECORD_BYTES, TRACE_MAGIC,
 };
-pub use format::{Trace, TraceMeta, TraceOp, TraceRecord, TRACE_VERSION};
+pub use format::{StreamSummary, Trace, TraceMeta, TraceOp, TraceRecord, TRACE_VERSION};
 pub use gen::{generate, ArrivalModel, SpatialModel, SyntheticSpec};
+pub use import::{import_blkparse, ImportError, ImportOptions};
 pub use replay::{replay, ReplayError, ReplayOptions, ReplayReport, TargetKind};
+pub use trail_telemetry::StreamId;

@@ -9,11 +9,30 @@
 //! Trail array, or a file system, and the latency distributions and
 //! queue-depth trajectories are directly comparable.
 //!
+//! Targets are built by the umbrella crate's one factory
+//! ([`trail::StackBuilder::build_target`]), so a replay and a
+//! `trail-bench` scenario naming the same [`TargetKind`] drive exactly
+//! the same stack.
+//!
+//! # Stream sharding
+//!
+//! Replay is organized as one **issuer shard per stream**: the trace is
+//! split by stream tag, each shard pre-schedules its own arrival
+//! sequence, and the shards merge deterministically on the single
+//! simulator clock (shards are laid down in ascending stream order, and
+//! the simulator breaks equal-instant ties by scheduling order — the
+//! same order a single issuer walking the `(arrival, stream)`-sorted
+//! trace would produce, so sharding is observationally identical to a
+//! single issuer; `cargo test -p trail-trace` holds this as a property).
+//! Each request carries its stream tag into the stack, and the report
+//! breaks latency and queue depth out per stream.
+//!
 //! ```
 //! use trail_trace::{generate, replay, ReplayOptions, SyntheticSpec, TargetKind};
 //!
 //! let trace = generate(&SyntheticSpec {
 //!     requests: 50,
+//!     streams: 2,
 //!     ..SyntheticSpec::default()
 //! });
 //! let report = replay(
@@ -24,64 +43,27 @@
 //!     },
 //! )?;
 //! assert_eq!(report.requests, 50);
+//! assert_eq!(report.streams.streams(), 2);
 //! # Ok::<(), trail_trace::ReplayError>(())
 //! ```
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
-use trail::{BuiltStack, StackBuilder};
-use trail_blockio::{IoDone, TapHandle};
-use trail_core::{format_log_disk, FormatOptions, MultiTrail, TrailConfig, TrailError};
+use trail::{BuiltTarget, StackBuilder, TargetDrive, TargetError};
+use trail_blockio::TapHandle;
 use trail_db::BlockStack;
-use trail_disk::{profiles, Disk, Lba, SECTOR_SIZE};
-use trail_fs::{FileHandle, FileSystem, FsError, LfsConfig, FS_BLOCK_SIZE};
+use trail_disk::{Lba, SECTOR_SIZE};
+use trail_fs::{FsError, FS_BLOCK_SIZE};
 use trail_sim::{Completion, Delivered, SimDuration, SimTime, Simulator};
-use trail_telemetry::{DurationHistogram, JsonValue, RecorderHandle};
+use trail_telemetry::{DurationHistogram, JsonValue, RecorderHandle, StreamId, StreamMetrics};
+
+pub use trail::TargetKind;
+use trail_blockio::IoDone;
 
 use crate::format::Trace;
-
-/// Which stack a trace is replayed against.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TargetKind {
-    /// The standard disk subsystem: per-disk C-LOOK drivers, no log.
-    Standard,
-    /// The Trail driver over one log disk (the paper's subsystem).
-    Trail,
-    /// A Trail array over several log disks (paper §6).
-    TrailMulti {
-        /// Number of log disks (at least 1).
-        logs: usize,
-    },
-    /// An ext2-like file system per device.
-    Ext2 {
-        /// Mount over Trail (`true`) or the standard stack.
-        trail: bool,
-    },
-    /// A log-structured file system per device.
-    Lfs {
-        /// Mount over Trail (`true`) or the standard stack.
-        trail: bool,
-    },
-}
-
-impl TargetKind {
-    /// A short stable label (`"standard"`, `"trail"`, `"trail_multi2"`,
-    /// `"ext2"`, `"ext2_trail"`, …) for reports and file names.
-    #[must_use]
-    pub fn label(&self) -> String {
-        match self {
-            TargetKind::Standard => "standard".to_string(),
-            TargetKind::Trail => "trail".to_string(),
-            TargetKind::TrailMulti { logs } => format!("trail_multi{logs}"),
-            TargetKind::Ext2 { trail: false } => "ext2".to_string(),
-            TargetKind::Ext2 { trail: true } => "ext2_trail".to_string(),
-            TargetKind::Lfs { trail: false } => "lfs".to_string(),
-            TargetKind::Lfs { trail: true } => "lfs_trail".to_string(),
-        }
-    }
-}
 
 /// How to replay.
 #[derive(Clone)]
@@ -129,26 +111,26 @@ impl Default for ReplayOptions {
 pub enum ReplayError {
     /// The trace holds no records.
     EmptyTrace,
-    /// Building the stack failed.
-    Build(TrailError),
-    /// Mounting or preparing a file-system target failed.
-    Fs(FsError),
-    /// Preallocating the replay file did not complete.
-    Prealloc(String),
+    /// Building or preparing the target failed.
+    Target(TargetError),
 }
 
 impl fmt::Display for ReplayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReplayError::EmptyTrace => write!(f, "cannot replay an empty trace"),
-            ReplayError::Build(e) => write!(f, "building the target stack failed: {e:?}"),
-            ReplayError::Fs(e) => write!(f, "preparing the file-system target failed: {e:?}"),
-            ReplayError::Prealloc(why) => write!(f, "preallocating the replay file failed: {why}"),
+            ReplayError::Target(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for ReplayError {}
+
+impl From<TargetError> for ReplayError {
+    fn from(e: TargetError) -> ReplayError {
+        ReplayError::Target(e)
+    }
+}
 
 /// What a replay measured.
 pub struct ReplayReport {
@@ -178,6 +160,9 @@ pub struct ReplayReport {
     pub read_latency: DurationHistogram,
     /// Latency over successful writes.
     pub write_latency: DurationHistogram,
+    /// Per-stream latency and concurrency, keyed by the trace's stream
+    /// tags.
+    pub streams: StreamMetrics,
     /// Per-record latency in nanoseconds, indexed like the trace's
     /// records (`u64::MAX` for errors) — the byte-comparable
     /// determinism witness.
@@ -191,9 +176,10 @@ pub struct ReplayReport {
 
 impl ReplayReport {
     /// The report as a JSON object (histograms include `p50_ms`,
-    /// `p99_ms`, `p999_ms`; queue-depth samples as `[ms, depth]`
-    /// pairs). Everything in it is virtual-time-derived, so a fixed
-    /// trace and options produce identical JSON on every run.
+    /// `p99_ms`, `p999_ms`; a `streams` object keyed by stream tag;
+    /// queue-depth samples as `[ms, depth]` pairs). Everything in it is
+    /// virtual-time-derived, so a fixed trace and options produce
+    /// identical JSON on every run.
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
         JsonValue::obj(vec![
@@ -207,6 +193,7 @@ impl ReplayReport {
             ("latency", self.latency.to_json()),
             ("read_latency", self.read_latency.to_json()),
             ("write_latency", self.write_latency.to_json()),
+            ("streams", self.streams.to_json()),
             (
                 "max_queue_depth",
                 JsonValue::Num(f64::from(self.max_queue_depth)),
@@ -244,16 +231,36 @@ struct State {
     latency: DurationHistogram,
     read_latency: DurationHistogram,
     write_latency: DurationHistogram,
+    streams: StreamMetrics,
     per_request_ns: Vec<u64>,
     samples: Vec<(SimTime, u32)>,
     last_done: SimTime,
 }
 
 impl State {
-    fn finish(&mut self, at: SimTime, idx: usize, is_read: bool, outcome: Option<SimDuration>) {
+    fn issue(&mut self, stream: StreamId, is_read: bool) {
+        self.inflight += 1;
+        self.max_inflight = self.max_inflight.max(self.inflight);
+        if is_read {
+            self.reads += 1;
+        } else {
+            self.writes += 1;
+        }
+        self.streams.on_issue(stream, is_read);
+    }
+
+    fn finish(
+        &mut self,
+        at: SimTime,
+        idx: usize,
+        stream: StreamId,
+        is_read: bool,
+        outcome: Option<SimDuration>,
+    ) {
         self.inflight -= 1;
         self.completed += 1;
         self.last_done = self.last_done.max(at);
+        self.streams.on_complete(stream, is_read, outcome);
         match outcome {
             Some(lat) => {
                 self.latency.record(lat);
@@ -272,24 +279,9 @@ impl State {
     }
 }
 
-/// The two shapes a target can take once built.
-enum Driveable {
-    /// Submit straight to a block stack; `usable[dev]` is the largest
-    /// admissible starting LBA headroom (capacity − request length).
-    Block {
-        stack: Rc<dyn BlockStack>,
-        capacity: Vec<u64>,
-    },
-    /// Submit through one mounted file system (and preallocated file)
-    /// per device.
-    Fs {
-        mounts: Vec<(Rc<dyn FileSystem>, FileHandle)>,
-        file_blocks: u64,
-    },
-}
-
-/// Replays `trace` against the target `opts` describes; see the module
-/// docs for the open-loop semantics.
+/// Replays `trace` against the target `opts` describes, sharded by
+/// stream; see the module docs for the open-loop and sharding
+/// semantics.
 ///
 /// # Errors
 ///
@@ -302,20 +294,50 @@ enum Driveable {
 /// Panics if the simulation stalls (event queue drained with requests
 /// outstanding) — a driver bug, not a workload condition.
 pub fn replay(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, ReplayError> {
+    replay_impl(trace, opts, true)
+}
+
+/// The pre-sharding issue path: one issuer walking the trace in record
+/// order. Kept (hidden) as the oracle the sharded path is
+/// property-tested against; behavior and output are identical.
+///
+/// # Errors
+///
+/// As [`replay`].
+#[doc(hidden)]
+pub fn replay_single_issuer(
+    trace: &Trace,
+    opts: &ReplayOptions,
+) -> Result<ReplayReport, ReplayError> {
+    replay_impl(trace, opts, false)
+}
+
+fn replay_impl(
+    trace: &Trace,
+    opts: &ReplayOptions,
+    sharded: bool,
+) -> Result<ReplayReport, ReplayError> {
     if trace.is_empty() {
         return Err(ReplayError::EmptyTrace);
     }
     let speed = opts.speed.clamp(0.5, 8.0);
     let trace_devs = usize::from(trace.max_dev().unwrap_or(0)) + 1;
     let ndisks = opts.data_disks.unwrap_or(0).max(trace_devs);
-    let (mut sim, driveable, stack_for_hooks) = build_target(opts, ndisks)?;
+    let BuiltTarget {
+        mut sim,
+        stack,
+        drive,
+    } = StackBuilder::new()
+        .data_disks(ndisks)
+        .fs_file_blocks(opts.fs_file_blocks)
+        .build_target(opts.target)?;
     if let Some(recorder) = &opts.recorder {
-        stack_for_hooks.set_recorder(Rc::clone(recorder));
+        stack.set_recorder(Rc::clone(recorder));
     }
     if let Some(tap) = &opts.tap {
-        stack_for_hooks.set_tap(Rc::clone(tap));
+        stack.set_tap(Rc::clone(tap));
     }
-    let driveable = Rc::new(driveable);
+    let drive = Rc::new(drive);
     let start = sim.now();
     let state = Rc::new(RefCell::new(State {
         total: trace.len(),
@@ -328,32 +350,46 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, Repla
         latency: DurationHistogram::new(),
         read_latency: DurationHistogram::new(),
         write_latency: DurationHistogram::new(),
+        streams: StreamMetrics::new(),
         per_request_ns: vec![0; trace.len()],
         samples: Vec::new(),
         last_done: start,
     }));
 
-    for (idx, r) in trace.records.iter().enumerate() {
-        let arrival = start + SimDuration::from_nanos(scale_ns(r.at.as_nanos(), speed));
-        let (dev, lba, sectors, is_read) = (usize::from(r.dev), r.lba, r.sectors, r.op.is_read());
-        let drv = Rc::clone(&driveable);
-        let st = Rc::clone(&state);
-        sim.schedule_at(
-            arrival,
-            Box::new(move |sim| {
-                {
-                    let mut s = st.borrow_mut();
-                    s.inflight += 1;
-                    s.max_inflight = s.max_inflight.max(s.inflight);
-                    if is_read {
-                        s.reads += 1;
-                    } else {
-                        s.writes += 1;
-                    }
-                }
-                submit(sim, &drv, &st, idx, dev, lba, sectors, is_read);
-            }),
-        );
+    // Issuer shards: each stream's arrival sequence is scheduled as a
+    // unit, shards in ascending stream order. Because the trace is
+    // sorted by `(arrival, stream)` and the simulator breaks
+    // equal-instant ties by scheduling order, this lays down exactly
+    // the tie-break order a single issuer would — which is why the two
+    // paths below are byte-identical.
+    let shards: Vec<(StreamId, Vec<usize>)> = if sharded {
+        let mut by_stream: BTreeMap<StreamId, Vec<usize>> = BTreeMap::new();
+        for (idx, r) in trace.records.iter().enumerate() {
+            by_stream.entry(r.stream).or_default().push(idx);
+        }
+        by_stream.into_iter().collect()
+    } else {
+        vec![(StreamId::UNTAGGED, (0..trace.len()).collect())]
+    };
+    for (_, shard) in shards {
+        for idx in shard {
+            let r = &trace.records[idx];
+            let arrival = start + SimDuration::from_nanos(scale_ns(r.at.as_nanos(), speed));
+            let (dev, lba, sectors) = (usize::from(r.dev), r.lba, r.sectors);
+            let (is_read, stream) = (r.op.is_read(), r.stream);
+            let stack = Rc::clone(&stack);
+            let drv = Rc::clone(&drive);
+            let st = Rc::clone(&state);
+            sim.schedule_at(
+                arrival,
+                Box::new(move |sim| {
+                    st.borrow_mut().issue(stream, is_read);
+                    submit(
+                        sim, &stack, &drv, &st, idx, dev, lba, sectors, is_read, stream,
+                    );
+                }),
+            );
+        }
     }
 
     if !opts.sample_every.is_zero() {
@@ -384,6 +420,7 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, Repla
                 latency: s.latency.clone(),
                 read_latency: s.read_latency.clone(),
                 write_latency: s.write_latency.clone(),
+                streams: s.streams.clone(),
                 per_request_ns: s.per_request_ns.clone(),
                 samples: s.samples.clone(),
                 last_done: s.last_done,
@@ -402,6 +439,7 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, Repla
         latency: state.latency,
         read_latency: state.read_latency,
         write_latency: state.write_latency,
+        streams: state.streams,
         per_request_ns: state.per_request_ns,
         max_queue_depth: state.max_inflight,
         queue_depth: state.samples,
@@ -425,35 +463,37 @@ fn fill_byte(idx: usize) -> u8 {
 #[allow(clippy::too_many_arguments)]
 fn submit(
     sim: &mut Simulator,
-    drv: &Rc<Driveable>,
+    stack: &Rc<dyn BlockStack>,
+    drv: &Rc<TargetDrive>,
     st: &Rc<RefCell<State>>,
     idx: usize,
     dev: usize,
     lba: Lba,
     sectors: u32,
     is_read: bool,
+    stream: StreamId,
 ) {
     let issued = sim.now();
     match &**drv {
-        Driveable::Block { stack, capacity } => {
+        TargetDrive::Block { capacity } => {
             let headroom = capacity[dev].saturating_sub(u64::from(sectors)) + 1;
             let lba = lba % headroom;
             let st2 = Rc::clone(st);
             let done: Completion<IoDone> = sim.completion(move |sim, d: Delivered<IoDone>| {
                 let now = sim.now();
                 let outcome = d.is_ok().then(|| now - issued);
-                st2.borrow_mut().finish(now, idx, is_read, outcome);
+                st2.borrow_mut().finish(now, idx, stream, is_read, outcome);
             });
             // A rejected submission drops the armed token, which cancels
             // it — the handler above counts that as an error.
             let _ = if is_read {
-                stack.read(sim, dev, lba, sectors, done)
+                stack.read_tagged(sim, dev, lba, sectors, stream, done)
             } else {
                 let data = vec![fill_byte(idx); sectors as usize * SECTOR_SIZE];
-                stack.write(sim, dev, lba, data, done)
+                stack.write_tagged(sim, dev, lba, data, stream, done)
             };
         }
-        Driveable::Fs {
+        TargetDrive::Fs {
             mounts,
             file_blocks,
         } => {
@@ -461,7 +501,9 @@ fn submit(
             let bytes = sectors as usize * SECTOR_SIZE;
             let blocks_needed = (bytes as u64).div_ceil(FS_BLOCK_SIZE as u64).max(1);
             // Map the sector address into the preallocated file,
-            // block-aligned and clamped so the request always fits.
+            // block-aligned and clamped so the request always fits. The
+            // file-system API carries no stream tag; per-stream lanes
+            // are still tracked here at the replay layer.
             let block = (lba / (FS_BLOCK_SIZE / SECTOR_SIZE) as u64)
                 % (file_blocks.saturating_sub(blocks_needed) + 1);
             let offset = block * FS_BLOCK_SIZE as u64;
@@ -470,7 +512,7 @@ fn submit(
                 let done = sim.completion(move |sim, d: Delivered<Result<Vec<u8>, FsError>>| {
                     let now = sim.now();
                     let outcome = matches!(d, Ok(Ok(_))).then(|| now - issued);
-                    st2.borrow_mut().finish(now, idx, is_read, outcome);
+                    st2.borrow_mut().finish(now, idx, stream, is_read, outcome);
                 });
                 let _ = fs.read(sim, *file, offset, bytes, done);
             } else {
@@ -478,7 +520,7 @@ fn submit(
                 let done = sim.completion(move |sim, d: Delivered<Result<(), FsError>>| {
                     let now = sim.now();
                     let outcome = matches!(d, Ok(Ok(()))).then(|| now - issued);
-                    st2.borrow_mut().finish(now, idx, is_read, outcome);
+                    st2.borrow_mut().finish(now, idx, stream, is_read, outcome);
                 });
                 let data = vec![fill_byte(idx); bytes];
                 let _ = fs.write(sim, *file, offset, data, true, done);
@@ -502,192 +544,6 @@ fn schedule_sampler(sim: &mut Simulator, st: Rc<RefCell<State>>, every: SimDurat
             }
         }),
     );
-}
-
-/// Builds the target stack (and mounts/preallocates for file-system
-/// targets), returning the simulator, the driveable form, and the block
-/// stack underneath (for recorder/tap installation).
-fn build_target(
-    opts: &ReplayOptions,
-    ndisks: usize,
-) -> Result<(Simulator, Driveable, Rc<dyn BlockStack>), ReplayError> {
-    let file_blocks = opts.fs_file_blocks.max(64);
-    match opts.target {
-        TargetKind::Standard | TargetKind::Trail => {
-            let builder = StackBuilder::new().data_disks(ndisks);
-            let builder = if opts.target == TargetKind::Trail {
-                builder.trail_default()
-            } else {
-                builder.standard()
-            };
-            let built = builder.build().map_err(ReplayError::Build)?;
-            let capacity = built
-                .data_disks
-                .iter()
-                .map(|d| d.geometry().total_sectors())
-                .collect();
-            let BuiltStack { sim, stack, .. } = built;
-            Ok((
-                sim,
-                Driveable::Block {
-                    stack: Rc::clone(&stack),
-                    capacity,
-                },
-                stack,
-            ))
-        }
-        TargetKind::TrailMulti { logs } => {
-            let mut sim = Simulator::new();
-            let data: Vec<Disk> = (0..ndisks)
-                .map(|i| Disk::new(format!("data{i}"), profiles::wd_caviar_10gb()))
-                .collect();
-            let log_disks: Vec<Disk> = (0..logs.max(1))
-                .map(|i| Disk::new(format!("log{i}"), profiles::seagate_st41601n()))
-                .collect();
-            for log in &log_disks {
-                format_log_disk(&mut sim, log, FormatOptions::default())
-                    .map_err(ReplayError::Build)?;
-            }
-            let (multi, _) =
-                MultiTrail::start(&mut sim, log_disks, data.clone(), TrailConfig::default())
-                    .map_err(ReplayError::Build)?;
-            for d in &data {
-                d.reset_stats();
-            }
-            let capacity = data.iter().map(|d| d.geometry().total_sectors()).collect();
-            let stack: Rc<dyn BlockStack> = Rc::new(MultiStack {
-                multi,
-                devices: ndisks,
-            });
-            Ok((
-                sim,
-                Driveable::Block {
-                    stack: Rc::clone(&stack),
-                    capacity,
-                },
-                stack,
-            ))
-        }
-        TargetKind::Ext2 { trail } | TargetKind::Lfs { trail } => {
-            let builder = StackBuilder::new().data_disks(ndisks);
-            let builder = if trail {
-                builder.trail_default()
-            } else {
-                builder.standard()
-            };
-            let mut built = builder.build().map_err(ReplayError::Build)?;
-            let mut mounts = Vec::with_capacity(ndisks);
-            for dev in 0..ndisks {
-                let fs: Rc<dyn FileSystem> = match opts.target {
-                    TargetKind::Ext2 { .. } => Rc::new(
-                        built
-                            .extfs(dev, file_blocks + 256)
-                            .map_err(ReplayError::Fs)?,
-                    ),
-                    _ => Rc::new(built.lfs(dev, LfsConfig::default())),
-                };
-                let file = fs.create("replay").map_err(ReplayError::Fs)?;
-                prealloc(&mut built.sim, &fs, file, file_blocks)?;
-                mounts.push((fs, file));
-            }
-            let BuiltStack { sim, stack, .. } = built;
-            Ok((
-                sim,
-                Driveable::Fs {
-                    mounts,
-                    file_blocks: u64::from(file_blocks),
-                },
-                stack,
-            ))
-        }
-    }
-}
-
-/// Synchronously writes the whole replay file once so later reads and
-/// overwrites land on allocated, on-disk blocks.
-fn prealloc(
-    sim: &mut Simulator,
-    fs: &Rc<dyn FileSystem>,
-    file: FileHandle,
-    blocks: u32,
-) -> Result<(), ReplayError> {
-    let outcome: Rc<Cell<Option<bool>>> = Rc::new(Cell::new(None));
-    let seen = Rc::clone(&outcome);
-    let done = sim.completion(move |_, d: Delivered<Result<(), FsError>>| {
-        seen.set(Some(matches!(d, Ok(Ok(())))));
-    });
-    fs.write(
-        sim,
-        file,
-        0,
-        vec![0u8; blocks as usize * FS_BLOCK_SIZE],
-        true,
-        done,
-    )
-    .map_err(ReplayError::Fs)?;
-    while outcome.get().is_none() {
-        if !sim.step() {
-            return Err(ReplayError::Prealloc("simulation stalled".to_string()));
-        }
-    }
-    if outcome.get() != Some(true) {
-        return Err(ReplayError::Prealloc(
-            "preallocation write failed".to_string(),
-        ));
-    }
-    while fs.pending_work() > 0 {
-        if !sim.step() {
-            return Err(ReplayError::Prealloc("drain stalled".to_string()));
-        }
-    }
-    Ok(())
-}
-
-/// [`MultiTrail`] behind the [`BlockStack`] interface so replay treats
-/// the array like any other stack.
-struct MultiStack {
-    multi: MultiTrail,
-    devices: usize,
-}
-
-impl BlockStack for MultiStack {
-    fn write(
-        &self,
-        sim: &mut Simulator,
-        dev: usize,
-        lba: Lba,
-        data: Vec<u8>,
-        done: Completion<IoDone>,
-    ) -> Result<(), TrailError> {
-        self.multi.write(sim, dev, lba, data, done)
-    }
-
-    fn read(
-        &self,
-        sim: &mut Simulator,
-        dev: usize,
-        lba: Lba,
-        count: u32,
-        done: Completion<IoDone>,
-    ) -> Result<(), TrailError> {
-        self.multi.read(sim, dev, lba, count, done)
-    }
-
-    fn pending_work(&self) -> usize {
-        self.multi.pending_work()
-    }
-
-    fn devices(&self) -> usize {
-        self.devices
-    }
-
-    fn set_recorder(&self, recorder: RecorderHandle) {
-        self.multi.set_recorder(recorder);
-    }
-
-    fn set_tap(&self, tap: TapHandle) {
-        self.multi.set_tap(tap);
-    }
 }
 
 #[cfg(test)]
@@ -851,5 +707,27 @@ mod tests {
         .expect("replay");
         assert!(!r.queue_depth.is_empty());
         assert!(r.max_queue_depth > 1, "bursts should overlap service");
+    }
+
+    #[test]
+    fn per_stream_lanes_partition_the_aggregate() {
+        let t = generate(&SyntheticSpec {
+            requests: 60,
+            streams: 3,
+            read_fraction: 0.3,
+            ..SyntheticSpec::default()
+        });
+        let r = replay(&t, &ReplayOptions::default()).expect("replay");
+        assert_eq!(r.streams.streams(), 3);
+        let mut requests = 0;
+        let mut lat_count = 0;
+        for (_, lane) in r.streams.iter() {
+            requests += lane.requests;
+            lat_count += lane.latency.count();
+        }
+        assert_eq!(requests, r.requests);
+        assert_eq!(lat_count, r.latency.count());
+        let json = r.to_json().to_json();
+        assert!(json.contains("\"streams\""), "streams section in JSON");
     }
 }

@@ -1,0 +1,182 @@
+//! Properties of the stream-sharded replay path and the stream
+//! utilities on `Trace`.
+//!
+//! The load-bearing claim: splitting replay into per-stream issuer
+//! shards changes *nothing observable* — the sharded engine produces a
+//! byte-identical report to a single issuer walking the sorted trace,
+//! because shards are laid down in ascending stream order and the
+//! simulator breaks equal-instant ties by scheduling order.
+
+use proptest::prelude::*;
+
+use trail_sim::SimTime;
+use trail_trace::replay::replay_single_issuer;
+use trail_trace::{
+    generate, import_blkparse, replay, ArrivalModel, ImportOptions, ReplayOptions, StreamId,
+    SyntheticSpec, TargetKind, Trace, TraceMeta, TraceOp, TraceRecord,
+};
+
+fn four_stream_trace(requests: usize) -> Trace {
+    generate(&SyntheticSpec {
+        requests,
+        streams: 4,
+        devices: 2,
+        read_fraction: 0.3,
+        ..SyntheticSpec::default()
+    })
+}
+
+#[test]
+fn sharded_replay_is_byte_identical_to_single_issuer() {
+    let trace = four_stream_trace(80);
+    for target in [TargetKind::Standard, TargetKind::TrailMulti { logs: 2 }] {
+        let opts = ReplayOptions {
+            target,
+            ..ReplayOptions::default()
+        };
+        let sharded = replay(&trace, &opts).expect("sharded");
+        let single = replay_single_issuer(&trace, &opts).expect("single issuer");
+        assert_eq!(
+            sharded.per_request_ns, single.per_request_ns,
+            "{target:?}: per-request latencies diverge"
+        );
+        assert_eq!(
+            sharded.to_json().to_json(),
+            single.to_json().to_json(),
+            "{target:?}: reports diverge"
+        );
+    }
+}
+
+#[test]
+fn sharded_replay_is_byte_identical_at_colliding_arrival_instants() {
+    // Equal-timestamp arrivals across streams are exactly where a
+    // sharding bug would reorder tie-breaks; burst arrivals with a
+    // fixed in-burst spacing manufacture collisions on purpose.
+    let mut trace = generate(&SyntheticSpec {
+        requests: 60,
+        streams: 3,
+        arrivals: ArrivalModel::Bursty {
+            burst: 5,
+            iat_in_burst: trail_sim::SimDuration::ZERO,
+            gap: trail_sim::SimDuration::from_millis(4),
+        },
+        read_fraction: 0.2,
+        ..SyntheticSpec::default()
+    });
+    trace.normalize();
+    let opts = ReplayOptions {
+        target: TargetKind::Trail,
+        ..ReplayOptions::default()
+    };
+    let sharded = replay(&trace, &opts).expect("sharded");
+    let single = replay_single_issuer(&trace, &opts).expect("single issuer");
+    assert_eq!(sharded.to_json().to_json(), single.to_json().to_json());
+}
+
+#[test]
+fn replay_reports_per_stream_percentiles_for_a_four_stream_trace() {
+    // The acceptance shape: a 4-stream synthetic trace against
+    // trail_multi2 reports per-stream latency percentiles.
+    let trace = four_stream_trace(60);
+    let report = replay(
+        &trace,
+        &ReplayOptions {
+            target: TargetKind::TrailMulti { logs: 2 },
+            ..ReplayOptions::default()
+        },
+    )
+    .expect("replay");
+    assert_eq!(report.streams.streams(), 4);
+    let json = report.to_json();
+    let streams = json.get("streams").expect("streams section");
+    for stream in ["0", "1", "2", "3"] {
+        let lane = streams
+            .get(stream)
+            .unwrap_or_else(|| panic!("lane {stream}"));
+        for key in ["p50_ms", "p95_ms", "p99_ms", "p999_ms"] {
+            assert!(
+                lane.get("latency").and_then(|l| l.get(key)).is_some(),
+                "stream {stream} missing {key}"
+            );
+        }
+    }
+}
+
+#[test]
+fn imported_fixture_replays_with_cpu_streams() {
+    let trace = import_blkparse(
+        include_str!("data/sample.blkparse"),
+        &ImportOptions::default(),
+    )
+    .expect("import fixture");
+    assert_eq!(trace.meta.devices, 2);
+    let summary = trace.per_stream_summary();
+    assert_eq!(summary.len(), 4, "four CPUs in the fixture");
+    assert!(summary.iter().all(|s| !s.stream.is_untagged()));
+    let report = replay(&trace, &ReplayOptions::default()).expect("replay import");
+    assert_eq!(report.requests, trace.len() as u64);
+    assert_eq!(report.streams.streams(), 4);
+}
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u64..5_000_000,
+        any::<bool>(),
+        0u16..3,
+        0u64..100_000,
+        1u32..64,
+        0u32..5,
+    )
+        .prop_map(|(at_ns, is_read, dev, lba, sectors, stream)| TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            op: if is_read {
+                TraceOp::Read
+            } else {
+                TraceOp::Write
+            },
+            dev,
+            lba,
+            sectors,
+            stream: StreamId(stream),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `normalize` puts any record soup into canonical `(at, stream)`
+    /// order, and that order survives a split-by-stream / merge round
+    /// trip exactly.
+    #[test]
+    fn normalize_order_survives_split_merge_round_trips(
+        records in proptest::collection::vec(arb_record(), 1..80)
+    ) {
+        let mut trace = Trace { meta: TraceMeta::default(), records };
+        trace.normalize();
+        prop_assert!(trace.validate().is_ok());
+        let parts = trace.split_by_stream();
+        // Parts are keyed ascending and preserve within-stream order.
+        for (stream, part) in &parts {
+            prop_assert!(part.records.iter().all(|r| r.stream == *stream));
+            prop_assert!(part
+                .records
+                .windows(2)
+                .all(|w| w[0].at <= w[1].at));
+        }
+        let merged = Trace::merge(parts.into_iter().map(|(_, p)| p));
+        prop_assert_eq!(merged, trace);
+    }
+
+    /// Splitting never loses or invents records.
+    #[test]
+    fn split_partitions_the_records(
+        records in proptest::collection::vec(arb_record(), 0..60)
+    ) {
+        let trace = Trace { meta: TraceMeta::default(), records };
+        let parts = trace.split_by_stream();
+        let total: usize = parts.iter().map(|(_, p)| p.len()).sum();
+        prop_assert_eq!(total, trace.len());
+        prop_assert_eq!(parts.len(), trace.streams().len());
+    }
+}

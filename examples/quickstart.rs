@@ -51,12 +51,7 @@ fn main() -> Result<(), TrailError> {
         baseline
             .submit(
                 &mut sim,
-                IoRequest {
-                    lba,
-                    kind: IoKind::Write {
-                        data: vec![i as u8; 2 * SECTOR_SIZE],
-                    },
-                },
+                IoRequest::write(lba, vec![i as u8; 2 * SECTOR_SIZE]),
                 done,
             )
             .map_err(TrailError::Disk)?;

@@ -76,12 +76,17 @@ pub use trail_sim as sim;
 pub use trail_tpcc as tpcc;
 
 mod scenario;
+mod target;
 pub use scenario::{BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder};
+pub use target::{BuiltTarget, TargetDrive, TargetError, TargetKind};
 
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use crate::scenario::{BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder};
-    pub use trail_blockio::{IoDone, IoKind, IoRequest, StandardDriver, SubmitTap, TapHandle};
+    pub use crate::target::{BuiltTarget, TargetDrive, TargetError, TargetKind};
+    pub use trail_blockio::{
+        IoDone, IoKind, IoRequest, StandardDriver, StreamId, SubmitTap, TapHandle,
+    };
     pub use trail_core::{
         format_log_disk, read_header, recover, FormatOptions, RecoveryOptions, TrailConfig,
         TrailDriver, TrailError,

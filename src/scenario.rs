@@ -27,8 +27,10 @@
 use std::rc::Rc;
 
 use trail_blockio::{Clook, Fifo, Priority, Scheduler};
-use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver, TrailError};
-use trail_db::{BlockStack, Database, DbConfig, StandardStack, TrailStack};
+use trail_core::{
+    format_log_disk, FormatOptions, MultiTrail, TrailConfig, TrailDriver, TrailError,
+};
+use trail_db::{BlockStack, Database, DbConfig, MultiTrailStack, StandardStack, TrailStack};
 use trail_disk::profiles::{self, DriveProfile};
 use trail_disk::Disk;
 use trail_fs::{ExtFs, FsError, Lfs, LfsConfig};
@@ -41,6 +43,14 @@ pub enum LogDevice {
     /// paper's subsystem).
     Trail {
         /// Driver configuration (threshold, batching, δ policy…).
+        config: TrailConfig,
+    },
+    /// A Trail array (paper §6): one Trail instance per log disk, routed
+    /// by [`trail_core::LogRouting`], sharing the data disks.
+    TrailMulti {
+        /// Number of log disks (raised to at least 1).
+        logs: usize,
+        /// Driver configuration shared by every instance.
         config: TrailConfig,
     },
     /// The standard disk subsystem: writes pay full seek + rotation at
@@ -116,7 +126,9 @@ impl Scenario {
         let data_disks: Vec<Disk> = (0..self.data_disks)
             .map(|i| Disk::new(format!("data{i}"), self.data_profile.clone()))
             .collect();
-        let (stack, trail, log_disk): (Rc<dyn BlockStack>, _, _) = match &self.log_device {
+        let (stack, trail, multi, log_disks): (Rc<dyn BlockStack>, _, _, Vec<Disk>) = match &self
+            .log_device
+        {
             LogDevice::Trail { config } => {
                 let log = Disk::new("trail-log", self.log_profile.clone());
                 format_log_disk(&mut sim, &log, FormatOptions::default())?;
@@ -125,7 +137,24 @@ impl Scenario {
                 (
                     Rc::new(TrailStack::new(drv.clone(), self.data_disks)),
                     Some(drv),
-                    Some(log),
+                    None,
+                    vec![log],
+                )
+            }
+            LogDevice::TrailMulti { logs, config } => {
+                let logs_disks: Vec<Disk> = (0..(*logs).max(1))
+                    .map(|i| Disk::new(format!("log{i}"), self.log_profile.clone()))
+                    .collect();
+                for log in &logs_disks {
+                    format_log_disk(&mut sim, log, FormatOptions::default())?;
+                }
+                let (array, _) =
+                    MultiTrail::start(&mut sim, logs_disks.clone(), data_disks.clone(), *config)?;
+                (
+                    Rc::new(MultiTrailStack::new(array.clone(), self.data_disks)),
+                    None,
+                    Some(array),
+                    logs_disks,
                 )
             }
             LogDevice::Standard => (
@@ -136,22 +165,29 @@ impl Scenario {
                 )),
                 None,
                 None,
+                Vec::new(),
             ),
         };
         // Formatting runs the δ-calibration sweep, whose under-compensated
         // probes pay full rotations by design; start measurements clean.
-        if let Some(log) = &log_disk {
+        for log in &log_disks {
             log.reset_stats();
         }
         for d in &data_disks {
             d.reset_stats();
         }
+        let log_disk = match &self.log_device {
+            LogDevice::Trail { .. } => log_disks.first().cloned(),
+            _ => None,
+        };
         Ok(BuiltStack {
             seed: self.seed,
             sim,
             data_disks,
             log_disk,
+            log_disks,
             trail,
+            multi,
             stack,
         })
     }
@@ -161,6 +197,9 @@ impl Scenario {
 #[derive(Clone, Debug, Default)]
 pub struct StackBuilder {
     scenario: Scenario,
+    /// File size for file-system targets; see
+    /// [`fs_file_blocks`](StackBuilder::fs_file_blocks) in `target.rs`.
+    pub(crate) fs_file_blocks: Option<u32>,
 }
 
 impl StackBuilder {
@@ -225,6 +264,14 @@ impl StackBuilder {
         self.trail(TrailConfig::default())
     }
 
+    /// Fronts the data disks with a Trail array of `logs` log disks
+    /// (raised to at least 1).
+    #[must_use]
+    pub fn trail_multi(mut self, logs: usize, config: TrailConfig) -> Self {
+        self.scenario.log_device = LogDevice::TrailMulti { logs, config };
+        self
+    }
+
     /// Uses the standard disk subsystem (no log device).
     #[must_use]
     pub fn standard(mut self) -> Self {
@@ -256,11 +303,19 @@ pub struct BuiltStack {
     pub sim: Simulator,
     /// The data disks, in device order.
     pub data_disks: Vec<Disk>,
-    /// The Trail log disk, when the scenario runs on Trail.
+    /// The Trail log disk, when the scenario runs on a single-log Trail.
     pub log_disk: Option<Disk>,
-    /// The Trail driver, when the scenario runs on Trail.
+    /// All log disks, in instance order (one for [`LogDevice::Trail`],
+    /// several for [`LogDevice::TrailMulti`], none for
+    /// [`LogDevice::Standard`]).
+    pub log_disks: Vec<Disk>,
+    /// The Trail driver, when the scenario runs on a single-log Trail.
     pub trail: Option<TrailDriver>,
-    /// The block stack (Trail or standard) the upper layers submit to.
+    /// The Trail array, when the scenario runs on
+    /// [`LogDevice::TrailMulti`].
+    pub multi: Option<MultiTrail>,
+    /// The block stack (Trail, Trail array, or standard) the upper layers
+    /// submit to.
     pub stack: Rc<dyn BlockStack>,
 }
 

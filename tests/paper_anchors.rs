@@ -91,17 +91,8 @@ fn trail_beats_standard_by_5x_or_more_on_small_writes() {
         let done = sim.completion(move |_, done: Delivered<IoDone>| {
             l.borrow_mut().record(done.expect("delivered").latency());
         });
-        drv.submit(
-            &mut sim,
-            IoRequest {
-                lba,
-                kind: IoKind::Write {
-                    data: vec![1u8; 1024],
-                },
-            },
-            done,
-        )
-        .expect("write");
+        drv.submit(&mut sim, IoRequest::write(lba, vec![1u8; 1024]), done)
+            .expect("write");
         sim.run();
     }
     let std_mean = lat.borrow().mean().as_millis_f64();
