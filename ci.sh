@@ -45,6 +45,24 @@ for name in micro table1 fig3 fig4 ablation fs_compare table2 table3 track_util 
     || { echo "run_all --quick did not produce BENCH_$name.json" >&2; exit 1; }
 done
 
+echo "== perf_suite --quick gate (fields present, event counts deterministic) =="
+perf_a="$smoke_dir/perf_a"; perf_b="$smoke_dir/perf_b"
+mkdir -p "$perf_a" "$perf_b"
+cargo run --release --offline -p trail-bench --bin perf_suite -- \
+  --quick --out-dir "$perf_a" >/dev/null
+cargo run --release --offline -p trail-bench --bin perf_suite -- \
+  --quick --out-dir "$perf_b" >/dev/null
+for field in wall_ms events_per_sec events_executed; do
+  grep -q "\"$field\"" "$perf_a/BENCH_simperf.json" \
+    || { echo "BENCH_simperf.json lacks $field" >&2; exit 1; }
+done
+# events_executed is virtual-time: two runs must agree exactly, even
+# though the wall-clock fields differ run to run.
+counts_a="$(grep -o '"events_executed":[0-9]*' "$perf_a/BENCH_simperf.json")"
+counts_b="$(grep -o '"events_executed":[0-9]*' "$perf_b/BENCH_simperf.json")"
+[ -n "$counts_a" ] && [ "$counts_a" = "$counts_b" ] \
+  || { echo "perf_suite event counts drifted between runs" >&2; exit 1; }
+
 echo "== trace_tool smoke (generate -> replay, codec round-trip) =="
 trace_tool() {
   cargo run --release --offline -p trail-bench --bin trace_tool -- "$@"

@@ -1,0 +1,68 @@
+//! Times the simulator hot path in wall-clock terms and writes
+//! `BENCH_simperf.json`.
+//!
+//! ```text
+//! perf_suite [--quick] [--seed S] [--out-dir DIR]
+//! ```
+//!
+//! - `--quick` runs the shrunk workloads (the CI smoke gate).
+//! - `--seed S` mixes `S` into every workload RNG (default 0 keeps the
+//!   historical per-experiment seeds).
+//! - `--out-dir DIR` receives `BENCH_simperf.json` (default: current
+//!   directory).
+//!
+//! Unlike every other bench binary, the headline numbers here are
+//! *wall-clock* — they measure the executor, not the simulated hardware.
+//! The `events_executed` column is virtual-time-derived and therefore
+//! deterministic; CI compares it across two runs to prove the perf suite
+//! times a stable workload.
+
+use std::path::PathBuf;
+
+use trail_bench::perf::{run_perf_suite, simperf_json, PerfOptions};
+use trail_bench::write_bench_json_in;
+
+fn main() {
+    let mut opts = PerfOptions::default();
+    let mut out_dir = PathBuf::from(".");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed needs a number");
+            }
+            "--out-dir" => {
+                out_dir = PathBuf::from(it.next().expect("--out-dir needs a path"));
+            }
+            other => panic!("unknown argument {other:?} (see perf_suite --help in the source)"),
+        }
+    }
+
+    let results = run_perf_suite(&opts);
+
+    println!(
+        "== perf_suite ({} mode) — executor wall-clock throughput ==",
+        if opts.quick { "quick" } else { "full" }
+    );
+    println!("| scenario | events | wall (ms) | events/sec |");
+    println!("|---|---|---|---|");
+    for r in &results {
+        println!(
+            "| {} | {} | {:.1} | {:.0} |",
+            r.name,
+            r.events_executed,
+            r.wall.as_secs_f64() * 1e3,
+            r.events_per_sec()
+        );
+    }
+
+    let doc = simperf_json(&opts, &results);
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path = write_bench_json_in(&out_dir, "simperf", &doc).expect("write BENCH_simperf.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -21,6 +21,7 @@ use trail_sim::{Completion, Delivered, LatencySummary, SimDuration, SimTime, Sim
 use trail_telemetry::RecorderHandle;
 use trail_tpcc::{populate, CpuModel, Scale, Workload};
 
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
@@ -179,10 +180,7 @@ fn spawn_trail_writer(
         match next.mode {
             ArrivalMode::Clustered => spawn_trail_writer(sim, respawn, lat, next),
             ArrivalMode::Sparse { gap } => {
-                sim.schedule_in(
-                    gap,
-                    Box::new(move |sim| spawn_trail_writer(sim, respawn, lat, next)),
-                );
+                sim.schedule_in(gap, move |sim| spawn_trail_writer(sim, respawn, lat, next));
             }
         }
     });
@@ -266,10 +264,9 @@ fn spawn_standard_writer(
         match next.mode {
             ArrivalMode::Clustered => spawn_standard_writer(sim, respawn_driver, lat, next),
             ArrivalMode::Sparse { gap } => {
-                sim.schedule_in(
-                    gap,
-                    Box::new(move |sim| spawn_standard_writer(sim, respawn_driver, lat, next)),
-                );
+                sim.schedule_in(gap, move |sim| {
+                    spawn_standard_writer(sim, respawn_driver, lat, next)
+                });
             }
         }
     });

@@ -54,6 +54,10 @@ pub struct ScenarioResult {
     pub json_path: PathBuf,
     /// Wall-clock time this scenario took on its worker thread.
     pub wall: Duration,
+    /// Simulator events the scenario executed — a *virtual-time* quantity,
+    /// deterministic for a fixed seed regardless of thread count or host
+    /// speed (unlike `wall`).
+    pub events_executed: u64,
 }
 
 /// What a full [`run_all_scenarios`] call produced.
@@ -93,7 +97,7 @@ pub fn run_all_scenarios(opts: &RunAllOptions) -> std::io::Result<RunAllSummary>
     let specs = all_scenarios();
     let threads = opts.threads.clamp(1, specs.len());
     let queue: Mutex<VecDeque<usize>> = Mutex::new((0..specs.len()).collect());
-    let slots: Vec<Mutex<Option<(ScenarioOutput, Duration)>>> =
+    let slots: Vec<Mutex<Option<(ScenarioOutput, Duration, u64)>>> =
         specs.iter().map(|_| Mutex::new(None)).collect();
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -110,9 +114,13 @@ pub fn run_all_scenarios(opts: &RunAllOptions) -> std::io::Result<RunAllSummary>
                     scale: None,
                     recorder: None,
                 };
+                // Each scenario runs start-to-finish on one thread, so the
+                // thread-local event counter's delta is exactly its count.
+                let events_before = trail_sim::thread_events_executed();
                 let t0 = Instant::now();
                 let out = (specs[idx].run)(&cfg);
-                *slots[idx].lock().expect("slot poisoned") = Some((out, t0.elapsed()));
+                let events = trail_sim::thread_events_executed() - events_before;
+                *slots[idx].lock().expect("slot poisoned") = Some((out, t0.elapsed(), events));
             });
         }
     });
@@ -122,7 +130,7 @@ pub fn run_all_scenarios(opts: &RunAllOptions) -> std::io::Result<RunAllSummary>
     let mut results = Vec::with_capacity(specs.len());
     let mut serial_estimate = Duration::ZERO;
     for (spec, slot) in specs.iter().zip(slots) {
-        let (out, wall) = slot
+        let (out, wall, events_executed) = slot
             .into_inner()
             .expect("slot poisoned")
             .expect("every queued scenario ran");
@@ -134,6 +142,7 @@ pub fn run_all_scenarios(opts: &RunAllOptions) -> std::io::Result<RunAllSummary>
             report: out.report,
             json_path,
             wall,
+            events_executed,
         });
     }
     Ok(RunAllSummary {

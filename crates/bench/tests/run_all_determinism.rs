@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 
 use trail_bench::{run_all_scenarios, RunAllOptions};
 
-fn run_into(dir: &Path, threads: usize, seed: u64) -> Vec<PathBuf> {
+fn run_into(dir: &Path, threads: usize, seed: u64) -> (Vec<PathBuf>, Vec<(&'static str, u64)>) {
     let summary = run_all_scenarios(&RunAllOptions {
         quick: true,
         seed,
@@ -24,12 +24,20 @@ fn run_into(dir: &Path, threads: usize, seed: u64) -> Vec<PathBuf> {
     for r in &summary.results {
         assert!(r.json_path.exists(), "{} missing", r.json_path.display());
         assert!(!r.report.is_empty(), "{} produced no report", r.name);
+        assert!(r.events_executed > 0, "{} executed no events", r.name);
     }
-    summary
-        .results
-        .iter()
-        .map(|r| r.json_path.clone())
-        .collect()
+    (
+        summary
+            .results
+            .iter()
+            .map(|r| r.json_path.clone())
+            .collect(),
+        summary
+            .results
+            .iter()
+            .map(|r| (r.name, r.events_executed))
+            .collect(),
+    )
 }
 
 #[test]
@@ -48,10 +56,16 @@ fn replay_scenarios_are_registered() {
 #[test]
 fn fixed_seed_is_byte_identical_across_thread_counts() {
     let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_all_det");
-    let serial = run_into(&base.join("t1"), 1, 0);
-    let parallel = run_into(&base.join("t4"), 4, 0);
-    let reseeded = run_into(&base.join("t1s9"), 1, 9);
+    let (serial, serial_events) = run_into(&base.join("t1"), 1, 0);
+    let (parallel, parallel_events) = run_into(&base.join("t4"), 4, 0);
+    let (reseeded, _) = run_into(&base.join("t1s9"), 1, 9);
     assert_eq!(serial.len(), parallel.len());
+    // The executed-event counts are virtual-time quantities: like the JSON
+    // artifacts, they must not move with the worker-thread count.
+    assert_eq!(
+        serial_events, parallel_events,
+        "events_executed drifted between 1 and 4 threads"
+    );
     let mut any_seed_sensitive = false;
     for (a, b) in serial.iter().zip(&parallel) {
         let left = std::fs::read(a).expect("read serial artifact");

@@ -237,15 +237,18 @@ impl StandardDriver {
                 d.scheduler.pick(&cand_views, head, &geometry)
             };
             let idx = candidates[picked];
-            let queued = d.queue.remove(idx);
-            let cmd = match &queued.req.kind {
+            let mut queued = d.queue.remove(idx);
+            // Move the write payload into the command instead of cloning:
+            // nothing reads it from the queue entry after dispatch, and a
+            // power-cut cancellation only needs `queued.done`'s drop.
+            let cmd = match &mut queued.req.kind {
                 IoKind::Read { count } => DiskCommand::Read {
                     lba: queued.req.lba,
                     count: *count,
                 },
                 IoKind::Write { data } => DiskCommand::Write {
                     lba: queued.req.lba,
-                    data: data.clone(),
+                    data: std::mem::take(data),
                 },
             };
             d.in_flight = true;

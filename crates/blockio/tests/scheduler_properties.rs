@@ -51,50 +51,47 @@ fn run_workload(
         let driver = driver.clone();
         let completions = Rc::clone(&completions);
         let final_writes = Rc::clone(&final_writes);
-        sim.schedule_in(
-            SimDuration::from_micros(r.at_us),
-            Box::new(move |sim| {
-                let kind = if r.is_read {
-                    IoKind::Read { count: 1 }
+        sim.schedule_in(SimDuration::from_micros(r.at_us), move |sim| {
+            let kind = if r.is_read {
+                IoKind::Read { count: 1 }
+            } else {
+                IoKind::Write {
+                    data: vec![r.tag; SECTOR_SIZE],
+                }
+            };
+            let c2 = Rc::clone(&completions);
+            let fw = Rc::clone(&final_writes);
+            let lba = r.lba;
+            let tag = r.tag;
+            let is_read = r.is_read;
+            let done = sim.completion(move |_, d| {
+                let done: IoDone = d.expect("delivered");
+                *c2.borrow_mut() += 1;
+                if is_read {
+                    // A read must observe the tag of the last
+                    // *completed* write to this lba (or zero).
+                    let expect = fw.borrow().get(&lba).copied().unwrap_or(0);
+                    assert_eq!(
+                        done.data.expect("read data")[0],
+                        expect,
+                        "read at lba {lba} saw stale data"
+                    );
                 } else {
-                    IoKind::Write {
-                        data: vec![r.tag; SECTOR_SIZE],
-                    }
-                };
-                let c2 = Rc::clone(&completions);
-                let fw = Rc::clone(&final_writes);
-                let lba = r.lba;
-                let tag = r.tag;
-                let is_read = r.is_read;
-                let done = sim.completion(move |_, d| {
-                    let done: IoDone = d.expect("delivered");
-                    *c2.borrow_mut() += 1;
-                    if is_read {
-                        // A read must observe the tag of the last
-                        // *completed* write to this lba (or zero).
-                        let expect = fw.borrow().get(&lba).copied().unwrap_or(0);
-                        assert_eq!(
-                            done.data.expect("read data")[0],
-                            expect,
-                            "read at lba {lba} saw stale data"
-                        );
-                    } else {
-                        fw.borrow_mut().insert(lba, tag);
-                    }
-                });
-                driver
-                    .submit(
-                        sim,
-                        IoRequest {
-                            lba,
-                            kind,
-                            stream: StreamId::UNTAGGED,
-                        },
-                        done,
-                    )
-                    .expect("valid request");
-            }),
-        );
+                    fw.borrow_mut().insert(lba, tag);
+                }
+            });
+            driver
+                .submit(
+                    sim,
+                    IoRequest {
+                        lba,
+                        kind,
+                        stream: StreamId::UNTAGGED,
+                    },
+                    done,
+                )
+                .expect("valid request");
+        });
     }
     sim.run();
     let total_seek = disk.with_stats(|s| s.total_seek.as_millis_f64());
@@ -161,7 +158,7 @@ proptest! {
             let hot_done = Rc::clone(&hot_done);
             sim.schedule_in(
                 SimDuration::from_micros(i as u64 * gap_us),
-                Box::new(move |sim| {
+                move |sim| {
                     let hot_done = Rc::clone(&hot_done);
                     let done = sim.completion(move |_, d| {
                         d.expect("delivered");
@@ -170,7 +167,7 @@ proptest! {
                     driver
                         .submit(sim, IoRequest::write(lba, vec![1; SECTOR_SIZE]), done)
                         .expect("valid hot write");
-                }),
+                },
             );
         }
         {
@@ -180,7 +177,7 @@ proptest! {
             let far_done_after = Rc::clone(&far_done_after);
             sim.schedule_in(
                 SimDuration::from_micros(far_after as u64 * gap_us + 1),
-                Box::new(move |sim| {
+                move |sim| {
                     let hot_done = Rc::clone(&hot_done);
                     let far_done_after = Rc::clone(&far_done_after);
                     let done = sim.completion(move |_, d| {
@@ -190,7 +187,7 @@ proptest! {
                     driver
                         .submit(sim, IoRequest::write(3_999, vec![2; SECTOR_SIZE]), done)
                         .expect("valid far write");
-                }),
+                },
             );
         }
         sim.run();

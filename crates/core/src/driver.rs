@@ -498,7 +498,7 @@ impl TrailDriver {
         // the next record is formed — "the Trail driver batches all the
         // requests currently in the log disk queue" (§4.2).
         let driver = self.clone();
-        sim.schedule_now(Box::new(move |sim| driver.service_log(sim)));
+        sim.schedule_now(move |sim| driver.service_log(sim));
         Ok(())
     }
 
@@ -1014,12 +1014,9 @@ impl TrailDriver {
     fn arm_idle_timer(&self, sim: &mut Simulator) {
         let delay = self.inner.borrow().config.idle_reposition_after;
         let driver = self.clone();
-        let id = sim.schedule_in(
-            delay,
-            Box::new(move |sim| {
-                driver.on_idle_timer(sim);
-            }),
-        );
+        let id = sim.schedule_in(delay, move |sim| {
+            driver.on_idle_timer(sim);
+        });
         self.inner.borrow_mut().idle_timer = Some(id);
     }
 

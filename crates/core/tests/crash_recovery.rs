@@ -62,19 +62,16 @@ fn run_workload_and_crash(
         let delay = SimDuration::from_micros(rng.gen_range(0..2_000));
         let when = t0 + SimDuration::from_millis(i as u64 / 3) + delay;
         let drv2 = drv.clone();
-        sim.schedule_at(
-            when.max(sim.now()),
-            Box::new(move |sim| {
-                // A crash can cancel in-flight tokens; only a real delivery
-                // counts as an acknowledgement.
-                let done = sim.completion(move |_, d: trail_sim::Delivered<_>| {
-                    if d.is_ok() {
-                        l2.borrow_mut().acked.insert((dev, lba), tag);
-                    }
-                });
-                drv2.write(sim, dev, lba, tagged_sector(tag), done).unwrap();
-            }),
-        );
+        sim.schedule_at(when.max(sim.now()), move |sim| {
+            // A crash can cancel in-flight tokens; only a real delivery
+            // counts as an acknowledgement.
+            let done = sim.completion(move |_, d: trail_sim::Delivered<_>| {
+                if d.is_ok() {
+                    l2.borrow_mut().acked.insert((dev, lba), tag);
+                }
+            });
+            drv2.write(sim, dev, lba, tagged_sector(tag), done).unwrap();
+        });
     }
     sim.run_until(t0 + crash_delay);
     // Lights out: every device loses power at the same instant.

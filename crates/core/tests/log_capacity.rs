@@ -106,18 +106,15 @@ fn crash_on_a_wrapped_log_recovers() {
         let drv2 = drv.clone();
         let tag = (i % 200 + 30) as u8;
         let lba = 100 + (i % 40);
-        sim.schedule_at(
-            t0 + SimDuration::from_micros(i * 350),
-            Box::new(move |sim| {
-                let done = sim.completion(move |_, d: trail_sim::Delivered<_>| {
-                    if d.is_ok() {
-                        acked.borrow_mut().insert(lba, tag);
-                    }
-                });
-                drv2.write(sim, 0, lba, vec![tag; SECTOR_SIZE], done)
-                    .unwrap();
-            }),
-        );
+        sim.schedule_at(t0 + SimDuration::from_micros(i * 350), move |sim| {
+            let done = sim.completion(move |_, d: trail_sim::Delivered<_>| {
+                if d.is_ok() {
+                    acked.borrow_mut().insert(lba, tag);
+                }
+            });
+            drv2.write(sim, 0, lba, vec![tag; SECTOR_SIZE], done)
+                .unwrap();
+        });
     }
     sim.run_until(t0 + SimDuration::from_millis(25));
     log.power_cut(sim.now());

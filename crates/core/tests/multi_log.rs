@@ -132,19 +132,16 @@ fn crash_recovery_covers_every_log_disk() {
         let tag = (i % 250 + 1) as u8;
         let acked = Rc::clone(&acked);
         let multi2 = multi.clone();
-        sim.schedule_at(
-            t0 + SimDuration::from_micros(i * 300),
-            Box::new(move |sim| {
-                let done = sim.completion(move |_, d: trail_sim::Delivered<_>| {
-                    if d.is_ok() {
-                        acked.borrow_mut().insert(lba, tag);
-                    }
-                });
-                multi2
-                    .write(sim, 0, lba, vec![tag; SECTOR_SIZE], done)
-                    .unwrap();
-            }),
-        );
+        sim.schedule_at(t0 + SimDuration::from_micros(i * 300), move |sim| {
+            let done = sim.completion(move |_, d: trail_sim::Delivered<_>| {
+                if d.is_ok() {
+                    acked.borrow_mut().insert(lba, tag);
+                }
+            });
+            multi2
+                .write(sim, 0, lba, vec![tag; SECTOR_SIZE], done)
+                .unwrap();
+        });
     }
     sim.run_until(t0 + SimDuration::from_millis(23));
     for d in logs.iter().chain(&data) {

@@ -380,12 +380,9 @@ impl Database {
         };
         let db = self.clone();
         let mut on_control = Some(on_control);
-        sim.schedule_at(
-            cpu_done_at,
-            Box::new(move |sim| {
-                db.advance(sim, ctx, on_control.take().expect("fires once"));
-            }),
-        );
+        sim.schedule_at(cpu_done_at, move |sim| {
+            db.advance(sim, ctx, on_control.take().expect("fires once"));
+        });
         Ok(txn)
     }
 

@@ -299,20 +299,17 @@ fn full_stack_crash_recovers_committed_transactions() {
     for i in 0..60u64 {
         let durable = Rc::clone(&durable);
         let db2 = db.clone();
-        sim.schedule_at(
-            t0 + SimDuration::from_millis(i),
-            Box::new(move |sim| {
-                let durable = Rc::clone(&durable);
-                let ctrl = sim.completion(|_, _| {});
-                let dur = sim.completion(move |_, del: Delivered<TxnResult>| {
-                    if del.is_ok() {
-                        durable.borrow_mut().insert(i, (i % 250) as u8 + 1);
-                    }
-                });
-                db2.execute(sim, put_txn(0, i, (i % 250) as u8 + 1, 120), ctrl, dur)
-                    .unwrap();
-            }),
-        );
+        sim.schedule_at(t0 + SimDuration::from_millis(i), move |sim| {
+            let durable = Rc::clone(&durable);
+            let ctrl = sim.completion(|_, _| {});
+            let dur = sim.completion(move |_, del: Delivered<TxnResult>| {
+                if del.is_ok() {
+                    durable.borrow_mut().insert(i, (i % 250) as u8 + 1);
+                }
+            });
+            db2.execute(sim, put_txn(0, i, (i % 250) as u8 + 1, 120), ctrl, dur)
+                .unwrap();
+        });
     }
     sim.run_until(t0 + SimDuration::from_millis(31));
     for d in &disks {

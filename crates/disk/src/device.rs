@@ -137,10 +137,13 @@ pub struct DiskStats {
     pub total_transfer: SimDuration,
 }
 
-struct PendingSector {
+/// The in-flight write's payload, staged whole (moved from the command,
+/// never copied) with per-sector media-completion instants so a power cut
+/// can persist exactly the sectors already on the medium.
+struct StagedWrite {
     lba: Lba,
-    data: Box<SectorBuf>,
-    done_at: SimTime,
+    data: Vec<u8>,
+    sector_done: Vec<SimTime>,
 }
 
 struct DiskInner {
@@ -153,7 +156,7 @@ struct DiskInner {
     prev_was_write: bool,
     powered: bool,
     power_epoch: u64,
-    in_flight: Vec<PendingSector>,
+    in_flight: Option<StagedWrite>,
     stats: DiskStats,
     recorder: RecorderHandle,
 }
@@ -207,7 +210,7 @@ impl Disk {
                 prev_was_write: false,
                 powered: true,
                 power_epoch: 0,
-                in_flight: Vec::new(),
+                in_flight: None,
                 stats: DiskStats::default(),
                 recorder: null_recorder(),
             })),
@@ -333,18 +336,15 @@ impl Disk {
                 DiskCommand::Write { data, .. } => (data.len() / SECTOR_SIZE) as u32,
                 DiskCommand::Seek { .. } => 0,
             };
-            // Stage write data with per-sector media-completion instants so
-            // a power cut can persist exactly the sectors already written.
-            if let DiskCommand::Write { lba, data } = &cmd {
-                for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
-                    let mut buf = Box::new([0u8; SECTOR_SIZE]);
-                    buf.copy_from_slice(chunk);
-                    d.in_flight.push(PendingSector {
-                        lba: lba + i as u64,
-                        data: buf,
-                        done_at: plan.sector_done[i],
-                    });
-                }
+            // Stage the write payload by moving it out of the command —
+            // no per-sector copies on the happy path.
+            if let DiskCommand::Write { lba, data } = cmd {
+                debug_assert!(d.in_flight.is_none(), "one command in flight at a time");
+                d.in_flight = Some(StagedWrite {
+                    lba,
+                    data,
+                    sector_done: plan.sector_done.clone(),
+                });
             }
             d.busy = true;
             d.stats.busy.start(now);
@@ -352,82 +352,78 @@ impl Disk {
         };
 
         let disk = self.clone();
-        sim.schedule_at(
-            plan.completion,
-            Box::new(move |sim| {
-                let (result, telemetry) = {
-                    let mut d = disk.inner.borrow_mut();
-                    if !d.powered || d.power_epoch != epoch {
-                        // Power was cut while this command was in flight;
-                        // dropping `done` delivers Err(Cancelled) to the
-                        // host on the next simulator step.
-                        return;
-                    }
-                    // Persist staged write sectors (all transferred by now).
-                    let staged = std::mem::take(&mut d.in_flight);
-                    for s in staged {
-                        d.store.write_sector(s.lba, &s.data);
-                    }
-                    let data = if kind == CommandKind::Read {
-                        Some(d.store.read_range(lba, count))
-                    } else {
-                        None
-                    };
-                    d.head = plan.end_head;
-                    d.busy = false;
-                    d.prev_was_write = kind == CommandKind::Write;
-                    let now = sim.now();
-                    d.stats.busy.stop(now);
-                    match kind {
-                        CommandKind::Read => {
-                            d.stats.reads += 1;
-                            d.stats.sectors_read += u64::from(count);
-                        }
-                        CommandKind::Write => {
-                            d.stats.writes += 1;
-                            d.stats.sectors_written += u64::from(count);
-                        }
-                        CommandKind::Seek => d.stats.seeks += 1,
-                    }
-                    if kind != CommandKind::Seek {
-                        d.stats.rotation_waits.record(plan.breakdown.rotation);
-                    }
-                    d.stats.total_overhead += plan.breakdown.overhead;
-                    d.stats.total_seek += plan.breakdown.seek;
-                    d.stats.total_rotation += plan.breakdown.rotation;
-                    d.stats.total_transfer += plan.breakdown.transfer;
-                    let telemetry = d.recorder.enabled().then(|| {
-                        (
-                            Rc::clone(&d.recorder),
-                            d.name.clone(),
-                            d.mech.rotation_period,
-                            d.head.cylinder,
-                        )
-                    });
-                    let result = DiskResult {
-                        kind,
-                        lba,
-                        data,
-                        issued: now - plan.breakdown.total,
-                        completed: now,
-                        breakdown: plan.breakdown,
-                    };
-                    (result, telemetry)
-                };
-                if let Some((recorder, name, rotation_period, to_cyl)) = telemetry {
-                    emit_phase_events(
-                        &*recorder,
-                        &name,
-                        &result,
-                        &plan,
-                        rotation_period,
-                        from_cyl,
-                        to_cyl,
-                    );
+        sim.schedule_at(plan.completion, move |sim| {
+            let (result, telemetry) = {
+                let mut d = disk.inner.borrow_mut();
+                if !d.powered || d.power_epoch != epoch {
+                    // Power was cut while this command was in flight;
+                    // dropping `done` delivers Err(Cancelled) to the
+                    // host on the next simulator step.
+                    return;
                 }
-                done.complete(sim, result);
-            }),
-        );
+                // Persist the staged write (all sectors transferred by now).
+                if let Some(w) = d.in_flight.take() {
+                    d.store.write_range(w.lba, &w.data);
+                }
+                let data = if kind == CommandKind::Read {
+                    Some(d.store.read_range(lba, count))
+                } else {
+                    None
+                };
+                d.head = plan.end_head;
+                d.busy = false;
+                d.prev_was_write = kind == CommandKind::Write;
+                let now = sim.now();
+                d.stats.busy.stop(now);
+                match kind {
+                    CommandKind::Read => {
+                        d.stats.reads += 1;
+                        d.stats.sectors_read += u64::from(count);
+                    }
+                    CommandKind::Write => {
+                        d.stats.writes += 1;
+                        d.stats.sectors_written += u64::from(count);
+                    }
+                    CommandKind::Seek => d.stats.seeks += 1,
+                }
+                if kind != CommandKind::Seek {
+                    d.stats.rotation_waits.record(plan.breakdown.rotation);
+                }
+                d.stats.total_overhead += plan.breakdown.overhead;
+                d.stats.total_seek += plan.breakdown.seek;
+                d.stats.total_rotation += plan.breakdown.rotation;
+                d.stats.total_transfer += plan.breakdown.transfer;
+                let telemetry = d.recorder.enabled().then(|| {
+                    (
+                        Rc::clone(&d.recorder),
+                        d.name.clone(),
+                        d.mech.rotation_period,
+                        d.head.cylinder,
+                    )
+                });
+                let result = DiskResult {
+                    kind,
+                    lba,
+                    data,
+                    issued: now - plan.breakdown.total,
+                    completed: now,
+                    breakdown: plan.breakdown,
+                };
+                (result, telemetry)
+            };
+            if let Some((recorder, name, rotation_period, to_cyl)) = telemetry {
+                emit_phase_events(
+                    &*recorder,
+                    &name,
+                    &result,
+                    &plan,
+                    rotation_period,
+                    from_cyl,
+                    to_cyl,
+                );
+            }
+            done.complete(sim, result);
+        });
         Ok(())
     }
 
@@ -442,10 +438,13 @@ impl Disk {
         }
         d.powered = false;
         d.power_epoch += 1;
-        let staged = std::mem::take(&mut d.in_flight);
-        for s in staged {
-            if s.done_at <= now {
-                d.store.write_sector(s.lba, &s.data);
+        if let Some(w) = d.in_flight.take() {
+            for (i, done_at) in w.sector_done.iter().enumerate() {
+                if *done_at <= now {
+                    let chunk = &w.data[i * SECTOR_SIZE..(i + 1) * SECTOR_SIZE];
+                    let buf: &SectorBuf = chunk.try_into().expect("chunk is exactly one sector");
+                    d.store.write_sector(w.lba + i as u64, buf);
+                }
             }
         }
         if d.busy {

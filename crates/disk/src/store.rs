@@ -78,16 +78,46 @@ impl SectorStore {
         }
     }
 
+    /// Reads consecutive sectors directly into `out` (one whole number of
+    /// sectors), without intermediate per-sector copies. Unwritten sectors
+    /// read as zeros.
+    ///
+    /// This is the borrowed-read primitive the data path is built on:
+    /// callers that already own a destination buffer (device DMA targets,
+    /// file-system block caches) fill it in place instead of paying
+    /// [`read_range`](Self::read_range)'s allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not a whole number of sectors or the range
+    /// exceeds the capacity.
+    pub fn read_into(&self, lba: Lba, out: &mut [u8]) {
+        assert!(
+            out.len().is_multiple_of(SECTOR_SIZE),
+            "buffer must be sector-aligned, got {} bytes",
+            out.len()
+        );
+        let count = (out.len() / SECTOR_SIZE) as u64;
+        assert!(
+            lba + count <= self.capacity,
+            "read beyond capacity: lba {lba} count {count}"
+        );
+        for (i, chunk) in out.chunks_exact_mut(SECTOR_SIZE).enumerate() {
+            match self.sectors.get(&(lba + i as u64)) {
+                Some(b) => chunk.copy_from_slice(&**b),
+                None => chunk.fill(0),
+            }
+        }
+    }
+
     /// Reads `count` consecutive sectors into one contiguous buffer.
     ///
     /// # Panics
     ///
     /// Panics if the range exceeds the capacity.
     pub fn read_range(&self, lba: Lba, count: u32) -> Vec<u8> {
-        let mut out = Vec::with_capacity(count as usize * SECTOR_SIZE);
-        for i in 0..u64::from(count) {
-            out.extend_from_slice(&self.read_sector(lba + i));
-        }
+        let mut out = vec![0u8; count as usize * SECTOR_SIZE];
+        self.read_into(lba, &mut out);
         out
     }
 
@@ -104,9 +134,8 @@ impl SectorStore {
             data.len()
         );
         for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
-            let mut buf = [0u8; SECTOR_SIZE];
-            buf.copy_from_slice(chunk);
-            self.write_sector(lba + i as u64, &buf);
+            let buf: &SectorBuf = chunk.try_into().expect("chunk is exactly one sector");
+            self.write_sector(lba + i as u64, buf);
         }
     }
 }

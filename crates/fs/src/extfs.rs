@@ -623,8 +623,14 @@ impl ExtFs {
         let stack2 = Rc::clone(&stack);
         let io_done = sim.completion(move |sim: &mut Simulator, d: Delivered<IoDone>| {
             if let Ok(res) = d {
+                let data = res.data.expect("read data");
                 let mut acc = acc;
-                acc.extend_from_slice(&res.data.expect("read data"));
+                if acc.is_empty() {
+                    // First block: adopt the device's buffer outright.
+                    acc = data;
+                } else {
+                    acc.extend_from_slice(&data);
+                }
                 fs.gather_reads(sim, stack2, dev, blocks, acc, take, done);
             } else {
                 fs.inner.borrow_mut().pending -= 1;

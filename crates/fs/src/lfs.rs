@@ -586,8 +586,14 @@ impl Lfs {
                         done.cancel(sim);
                         return;
                     };
+                    let data = res.data.expect("read data");
                     let mut acc = acc;
-                    acc.extend_from_slice(&res.data.expect("read data"));
+                    if acc.is_empty() {
+                        // First block: adopt the device's buffer outright.
+                        acc = data;
+                    } else {
+                        acc.extend_from_slice(&data);
+                    }
                     fs.gather(sim, plan, acc, take, done);
                 });
                 let _ = stack.read(sim, dev, lba, SECTORS_PER_BLOCK as u32, io_done);

@@ -193,7 +193,7 @@ impl<T: 'static> Completion<T> {
     /// event at the current simulated time, after already-queued events.
     pub fn complete(mut self, sim: &mut Simulator, value: T) {
         if let Some(h) = self.handler.take() {
-            sim.schedule_now(Box::new(move |sim| h(sim, Ok(value))));
+            sim.schedule_now(move |sim: &mut Simulator| h(sim, Ok(value)));
         }
     }
 
@@ -201,7 +201,7 @@ impl<T: 'static> Completion<T> {
     /// semantics as [`complete`](Completion::complete).
     pub fn cancel(mut self, sim: &mut Simulator) {
         if let Some(h) = self.handler.take() {
-            sim.schedule_now(Box::new(move |sim| h(sim, Err(Cancelled))));
+            sim.schedule_now(move |sim: &mut Simulator| h(sim, Err(Cancelled)));
         }
     }
 }
@@ -263,7 +263,7 @@ mod tests {
         let mut sim = Simulator::new();
         let order = Rc::new(RefCell::new(Vec::new()));
         let o = Rc::clone(&order);
-        sim.schedule_now(Box::new(move |_| o.borrow_mut().push("queued")));
+        sim.schedule_now(move |_| o.borrow_mut().push("queued"));
         let o = Rc::clone(&order);
         let done = sim.completion(move |_, _: Delivered<()>| o.borrow_mut().push("completion"));
         done.complete(&mut sim, ());
@@ -304,7 +304,7 @@ mod tests {
     #[test]
     fn orphans_flush_even_when_queue_had_drained() {
         let mut sim = Simulator::new();
-        sim.schedule_in(SimDuration::from_millis(1), Box::new(|_| {}));
+        sim.schedule_in(SimDuration::from_millis(1), |_| {});
         sim.run();
         let seen = Rc::new(Cell::new(false));
         let s = Rc::clone(&seen);

@@ -1,23 +1,54 @@
 //! The discrete-event executor.
 //!
-//! [`Simulator`] owns a virtual clock and a priority queue of scheduled
-//! events. Components of the storage stack (disks, drivers, workload
-//! generators) are shared via `Rc<RefCell<_>>`; events are boxed closures
-//! that receive `&mut Simulator` so they can read the clock and schedule
-//! further events. Execution is single-threaded and fully deterministic:
-//! events at equal timestamps run in scheduling order.
+//! [`Simulator`] owns a virtual clock and an indexed priority queue of
+//! scheduled events. Components of the storage stack (disks, drivers,
+//! workload generators) are shared via `Rc<RefCell<_>>`; events are
+//! closures that receive `&mut Simulator` so they can read the clock and
+//! schedule further events. Execution is single-threaded and fully
+//! deterministic: events at equal timestamps run in scheduling order.
+//!
+//! The hot path is allocation-light: closures at or below
+//! [`INLINE_EVENT_BYTES`](crate::INLINE_EVENT_BYTES) bytes live inline in
+//! the queue's slab (no box per event), and slab slots are recycled so a
+//! steady-state schedule→fire loop touches no allocator at all. See
+//! DESIGN.md §"Executor performance".
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::cell::Cell;
 use std::fmt;
 
 use crate::completion::{Completion, CompletionSink, Delivered};
+use crate::payload::EventPayload;
+use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
-/// A boxed event callback, run exactly once when its time arrives.
+thread_local! {
+    static THREAD_EXECUTED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total events executed by every [`Simulator`] on the current thread.
+///
+/// The counter is monotonic and never resets; measure a workload by taking
+/// the difference around it. Because a `Simulator` is single-threaded, the
+/// delta observed by the thread that ran a simulation is exact, which lets
+/// harnesses attribute event counts to scenarios without plumbing the
+/// simulator out of every helper.
+pub fn thread_events_executed() -> u64 {
+    THREAD_EXECUTED.with(Cell::get)
+}
+
+/// A boxed event callback.
+///
+/// Scheduling no longer requires boxing — [`Simulator::schedule_at`] takes
+/// any `FnOnce(&mut Simulator)` and stores small closures inline — but the
+/// alias remains for code that must name a concrete event type (e.g. to
+/// store heterogeneous callbacks in a collection).
 pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
 
 /// Identifies a scheduled event so that it can be cancelled.
+///
+/// Ids are generation-tagged: once the event fires or is cancelled, the id
+/// goes stale and [`Simulator::cancel`] returns `false` for it forever,
+/// even after its internal storage is recycled for a new event.
 ///
 /// # Examples
 ///
@@ -25,36 +56,21 @@ pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
 /// use trail_sim::{SimDuration, Simulator};
 ///
 /// let mut sim = Simulator::new();
-/// let id = sim.schedule_in(SimDuration::from_millis(1), Box::new(|_| {}));
+/// let id = sim.schedule_in(SimDuration::from_millis(1), |_| {});
 /// assert!(sim.cancel(id));
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    f: EventFn,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl EventId {
+    /// Builds an id from a slab slot index and its generation.
+    pub(crate) fn pack(generation: u32, slot: u32) -> EventId {
+        EventId(u64::from(generation) << 32 | u64::from(slot))
     }
-}
-impl Eq for Scheduled {}
 
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. Ties on time break by scheduling order for determinism.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+    /// Splits the id back into `(generation, slot)`.
+    pub(crate) fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
     }
 }
 
@@ -70,20 +86,16 @@ impl Ord for Scheduled {
 /// let mut sim = Simulator::new();
 /// let fired = Rc::new(Cell::new(false));
 /// let flag = Rc::clone(&fired);
-/// sim.schedule_in(
-///     SimDuration::from_micros(250),
-///     Box::new(move |sim| {
-///         assert_eq!(sim.now().as_nanos(), 250_000);
-///         flag.set(true);
-///     }),
-/// );
+/// sim.schedule_in(SimDuration::from_micros(250), move |sim| {
+///     assert_eq!(sim.now().as_nanos(), 250_000);
+///     flag.set(true);
+/// });
 /// sim.run();
 /// assert!(fired.get());
 /// ```
 pub struct Simulator {
     now: SimTime,
-    queue: BinaryHeap<Scheduled>,
-    cancelled: HashSet<u64>,
+    queue: EventQueue,
     next_seq: u64,
     executed: u64,
     sink: CompletionSink,
@@ -94,8 +106,7 @@ impl Simulator {
     pub fn new() -> Self {
         Simulator {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            queue: EventQueue::new(),
             next_seq: 0,
             executed: 0,
             sink: CompletionSink::new(),
@@ -141,18 +152,26 @@ impl Simulator {
         self.executed
     }
 
-    /// Returns the number of events currently scheduled (including any that
-    /// have been cancelled but not yet popped).
+    /// Returns the number of events currently scheduled. Exact: cancelled
+    /// events are removed from the queue immediately and never counted.
     pub fn events_pending(&self) -> usize {
         self.queue.len()
     }
 
     /// Schedules `f` to run at absolute time `at`.
     ///
+    /// Small closures (≤ [`INLINE_EVENT_BYTES`](crate::INLINE_EVENT_BYTES)
+    /// bytes) are stored inline without allocating; boxing at the call
+    /// site is never required.
+    ///
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current time.
-    pub fn schedule_at(&mut self, at: SimTime, f: EventFn) -> EventId {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut Simulator) + 'static,
+    ) -> EventId {
         assert!(
             at >= self.now,
             "cannot schedule event in the past: at={at}, now={}",
@@ -160,38 +179,33 @@ impl Simulator {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled { time: at, seq, f });
-        EventId(seq)
+        self.queue.push(at, seq, EventPayload::new(f))
     }
 
     /// Schedules `f` to run `delay` after the current time.
-    pub fn schedule_in(&mut self, delay: SimDuration, f: EventFn) -> EventId {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Simulator) + 'static,
+    ) -> EventId {
         let at = self.now + delay;
         self.schedule_at(at, f)
     }
 
     /// Schedules `f` to run at the current time, after already-queued events
     /// with the same timestamp.
-    pub fn schedule_now(&mut self, f: EventFn) -> EventId {
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut Simulator) + 'static) -> EventId {
         self.schedule_at(self.now, f)
     }
 
-    /// Cancels a scheduled event.
+    /// Cancels a scheduled event, removing it from the queue in O(log n).
     ///
     /// Returns `true` if the event had not yet run (or been cancelled).
     /// Cancelling an already-executed event returns `false` and has no
-    /// other effect.
+    /// other effect. The cancelled closure (and anything it captured) is
+    /// dropped before this returns.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
-        }
-        // We cannot cheaply tell "already run" from "still queued", so track
-        // both via the cancellation set: entries are removed when popped.
-        if self.queue.iter().any(|s| s.seq == id.0) {
-            self.cancelled.insert(id.0)
-        } else {
-            false
-        }
+        self.queue.cancel(id).is_some()
     }
 
     /// Executes the next pending event, advancing the clock to its time.
@@ -199,17 +213,17 @@ impl Simulator {
     /// Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.flush_orphans();
-        while let Some(ev) = self.queue.pop() {
-            if self.cancelled.remove(&ev.seq) {
-                continue;
+        match self.queue.pop_min() {
+            Some((time, payload)) => {
+                debug_assert!(time >= self.now, "event queue went backwards");
+                self.now = time;
+                self.executed += 1;
+                THREAD_EXECUTED.with(|c| c.set(c.get() + 1));
+                payload.invoke(self);
+                true
             }
-            debug_assert!(ev.time >= self.now, "event queue went backwards");
-            self.now = ev.time;
-            self.executed += 1;
-            (ev.f)(self);
-            return true;
+            None => false,
         }
-        false
     }
 
     /// Runs until the event queue is empty.
@@ -222,17 +236,7 @@ impl Simulator {
     pub fn run_until(&mut self, until: SimTime) {
         loop {
             self.flush_orphans();
-            let next_time = loop {
-                match self.queue.peek() {
-                    Some(ev) if self.cancelled.contains(&ev.seq) => {
-                        let ev = self.queue.pop().expect("peeked event vanished");
-                        self.cancelled.remove(&ev.seq);
-                    }
-                    Some(ev) => break Some(ev.time),
-                    None => break None,
-                }
-            };
-            match next_time {
+            match self.queue.peek_min_time() {
                 Some(t) if t <= until => {
                     self.step();
                 }
@@ -279,10 +283,9 @@ mod tests {
         let order = Rc::new(RefCell::new(Vec::new()));
         for (delay, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
             let order = Rc::clone(&order);
-            sim.schedule_in(
-                SimDuration::from_nanos(delay),
-                Box::new(move |_| order.borrow_mut().push(tag)),
-            );
+            sim.schedule_in(SimDuration::from_nanos(delay), move |_| {
+                order.borrow_mut().push(tag)
+            });
         }
         sim.run();
         assert_eq!(*order.borrow(), vec!['a', 'b', 'c']);
@@ -294,22 +297,34 @@ mod tests {
         let order = Rc::new(RefCell::new(Vec::new()));
         for tag in 0..5 {
             let order = Rc::clone(&order);
-            sim.schedule_at(
-                SimTime::from_nanos(100),
-                Box::new(move |_| order.borrow_mut().push(tag)),
-            );
+            sim.schedule_at(SimTime::from_nanos(100), move |_| {
+                order.borrow_mut().push(tag)
+            });
         }
         sim.run();
         assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
+    fn boxed_eventfn_call_sites_still_compile() {
+        // Pre-existing call sites pass `Box::new(...)`; `Box<dyn FnOnce>`
+        // is itself `FnOnce`, so the generic API accepts it unchanged.
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = Rc::clone(&hits);
+        sim.schedule_now(Box::new(move |_sim: &mut Simulator| {
+            *h.borrow_mut() += 1;
+        }) as EventFn);
+        sim.run();
+        assert_eq!(*hits.borrow(), 1);
+    }
+
+    #[test]
     fn clock_advances_to_event_time() {
         let mut sim = Simulator::new();
-        sim.schedule_in(
-            SimDuration::from_millis(5),
-            Box::new(|sim| assert_eq!(sim.now(), SimTime::from_nanos(5_000_000))),
-        );
+        sim.schedule_in(SimDuration::from_millis(5), |sim| {
+            assert_eq!(sim.now(), SimTime::from_nanos(5_000_000))
+        });
         sim.run();
         assert_eq!(sim.now(), SimTime::from_nanos(5_000_000));
         assert_eq!(sim.events_executed(), 1);
@@ -324,13 +339,12 @@ mod tests {
                 return;
             }
             *hits.borrow_mut() += 1;
-            sim.schedule_in(
-                SimDuration::from_nanos(1),
-                Box::new(move |sim| chain(sim, hits, remaining - 1)),
-            );
+            sim.schedule_in(SimDuration::from_nanos(1), move |sim| {
+                chain(sim, hits, remaining - 1)
+            });
         }
         let h = Rc::clone(&hits);
-        sim.schedule_now(Box::new(move |sim| chain(sim, h, 10)));
+        sim.schedule_now(move |sim| chain(sim, h, 10));
         sim.run();
         assert_eq!(*hits.borrow(), 10);
         // The 10th increment (at t=9) schedules a final no-op event at t=10.
@@ -342,10 +356,7 @@ mod tests {
         let mut sim = Simulator::new();
         let fired = Rc::new(RefCell::new(false));
         let f = Rc::clone(&fired);
-        let id = sim.schedule_in(
-            SimDuration::from_millis(1),
-            Box::new(move |_| *f.borrow_mut() = true),
-        );
+        let id = sim.schedule_in(SimDuration::from_millis(1), move |_| *f.borrow_mut() = true);
         assert!(sim.cancel(id));
         assert!(!sim.cancel(id), "double-cancel must report false");
         sim.run();
@@ -356,9 +367,57 @@ mod tests {
     #[test]
     fn cancel_of_executed_event_is_false() {
         let mut sim = Simulator::new();
-        let id = sim.schedule_now(Box::new(|_| {}));
+        let id = sim.schedule_now(|_| {});
         sim.run();
         assert!(!sim.cancel(id));
+    }
+
+    #[test]
+    fn cancel_of_executed_event_is_false_even_after_slot_reuse() {
+        // Regression: the executed event's storage slot is recycled by the
+        // next schedule; the stale id must not cancel the new tenant.
+        let mut sim = Simulator::new();
+        let stale = sim.schedule_now(|_| {});
+        sim.run();
+        let fired = Rc::new(RefCell::new(false));
+        let f = Rc::clone(&fired);
+        let fresh = sim.schedule_in(SimDuration::from_millis(1), move |_| *f.borrow_mut() = true);
+        assert!(!sim.cancel(stale), "stale id must miss the recycled slot");
+        sim.run();
+        assert!(*fired.borrow(), "new tenant must be unaffected");
+        assert!(!sim.cancel(fresh), "fresh id is stale after firing");
+    }
+
+    #[test]
+    fn events_pending_excludes_cancelled() {
+        // Regression: the BinaryHeap-era queue counted cancelled-but-
+        // unpopped entries; the indexed queue removes them eagerly.
+        let mut sim = Simulator::new();
+        let keep = sim.schedule_in(SimDuration::from_millis(1), |_| {});
+        let drop_me = sim.schedule_in(SimDuration::from_millis(2), |_| {});
+        assert_eq!(sim.events_pending(), 2);
+        assert!(sim.cancel(drop_me));
+        assert_eq!(sim.events_pending(), 1, "cancelled event still counted");
+        assert!(sim.cancel(keep));
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn cancel_drops_captures_immediately() {
+        // The cancelled closure's captures must be released at cancel time
+        // (not parked until the event's timestamp would have arrived).
+        let mut sim = Simulator::new();
+        let payload = Rc::new(());
+        let probe = Rc::downgrade(&payload);
+        let id = sim.schedule_in(SimDuration::from_secs(3600), move |_| {
+            let _keep = &payload;
+        });
+        assert!(probe.upgrade().is_some());
+        assert!(sim.cancel(id));
+        assert!(
+            probe.upgrade().is_none(),
+            "captures must drop at cancel time"
+        );
     }
 
     #[test]
@@ -367,10 +426,9 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         for ms in [1u64, 2, 3, 4] {
             let log = Rc::clone(&log);
-            sim.schedule_in(
-                SimDuration::from_millis(ms),
-                Box::new(move |_| log.borrow_mut().push(ms)),
-            );
+            sim.schedule_in(SimDuration::from_millis(ms), move |_| {
+                log.borrow_mut().push(ms)
+            });
         }
         sim.run_until(SimTime::ZERO + SimDuration::from_millis(2));
         assert_eq!(*log.borrow(), vec![1, 2]);
@@ -399,8 +457,8 @@ mod tests {
     #[should_panic(expected = "cannot schedule event in the past")]
     fn scheduling_in_the_past_panics() {
         let mut sim = Simulator::new();
-        sim.schedule_in(SimDuration::from_millis(1), Box::new(|_| {}));
+        sim.schedule_in(SimDuration::from_millis(1), |_| {});
         sim.run();
-        sim.schedule_at(SimTime::ZERO, Box::new(|_| {}));
+        sim.schedule_at(SimTime::ZERO, |_| {});
     }
 }

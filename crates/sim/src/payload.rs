@@ -1,0 +1,180 @@
+//! Event payload storage with a small-closure fast path.
+//!
+//! The executor fires millions of short-lived closures; boxing each one
+//! costs an allocator round-trip on the hottest path in the repository.
+//! [`EventPayload`] stores closures up to [`INLINE_EVENT_BYTES`] bytes
+//! (and alignment ≤ 16) inline in the queue's slab slot instead. Larger
+//! closures fall back to one `Box`, whose thin-enough handle is then
+//! itself stored inline — so the queue sees a single fixed-size payload
+//! type either way.
+//!
+//! This is the crate's only unsafe module. The invariants are local:
+//!
+//! - `buf` holds a valid, initialized value of the closure type `F` that
+//!   `call`/`drop_fn` were monomorphized for, from construction until
+//!   exactly one of [`EventPayload::invoke`] (which moves `F` out) or
+//!   `Drop` (which drops it in place) runs.
+//! - `F: 'static`, so erasing its type cannot outlive captured borrows.
+//! - Fit is checked before every write: `size_of::<F>()` ≤ the buffer,
+//!   `align_of::<F>()` ≤ the buffer's alignment.
+
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
+
+use crate::event::Simulator;
+
+/// Closures up to this many bytes are stored inline in the event slab;
+/// larger ones pay one heap allocation.
+pub const INLINE_EVENT_BYTES: usize = 80;
+
+#[repr(C, align(16))]
+struct Buf {
+    bytes: MaybeUninit<[u8; INLINE_EVENT_BYTES]>,
+}
+
+/// A type-erased `FnOnce(&mut Simulator)`, stored inline when small.
+pub(crate) struct EventPayload {
+    buf: Buf,
+    /// Moves the closure out of `buf` and calls it. `unsafe`: requires
+    /// `buf` to hold the initialized `F` this was monomorphized for, and
+    /// must be called at most once.
+    call: unsafe fn(*mut u8, &mut Simulator),
+    /// Drops the closure in place (the cancel path). Same requirement.
+    drop_fn: unsafe fn(*mut u8),
+}
+
+const fn fits<F>() -> bool {
+    size_of::<F>() <= INLINE_EVENT_BYTES && align_of::<F>() <= align_of::<Buf>()
+}
+
+unsafe fn call_impl<F: FnOnce(&mut Simulator)>(p: *mut u8, sim: &mut Simulator) {
+    // SAFETY: caller guarantees `p` holds an initialized `F` and never
+    // touches it again; `read` moves it out so it is consumed exactly once.
+    let f = unsafe { p.cast::<F>().read() };
+    f(sim);
+}
+
+unsafe fn drop_impl<F>(p: *mut u8) {
+    // SAFETY: caller guarantees `p` holds an initialized `F` and never
+    // touches it again.
+    unsafe { p.cast::<F>().drop_in_place() }
+}
+
+impl EventPayload {
+    /// Wraps a closure, inline when it fits and boxed otherwise.
+    pub(crate) fn new<F: FnOnce(&mut Simulator) + 'static>(f: F) -> Self {
+        if fits::<F>() {
+            Self::store(f)
+        } else {
+            // A boxed trait object is two words — always fits inline, and
+            // `Box<dyn FnOnce>` is itself `FnOnce`.
+            Self::store(Box::new(f) as Box<dyn FnOnce(&mut Simulator)>)
+        }
+    }
+
+    fn store<F: FnOnce(&mut Simulator) + 'static>(f: F) -> Self {
+        // `new` dispatches here only when `F` fits (directly, or as the
+        // two-word boxed fallback). A const assert would be stronger but
+        // trips monomorphization of the dead branch in `new`.
+        debug_assert!(fits::<F>(), "closure must fit the inline buffer");
+        let mut buf = Buf {
+            bytes: MaybeUninit::uninit(),
+        };
+        // SAFETY: the const assertion above proves `F` fits the buffer in
+        // both size and alignment.
+        unsafe { buf.bytes.as_mut_ptr().cast::<F>().write(f) };
+        EventPayload {
+            buf,
+            call: call_impl::<F>,
+            drop_fn: drop_impl::<F>,
+        }
+    }
+
+    /// Runs the stored closure, consuming the payload.
+    pub(crate) fn invoke(self, sim: &mut Simulator) {
+        let call = self.call;
+        // Suppress Drop: `call` moves the closure out of the buffer, so
+        // running `drop_fn` afterwards would double-drop it.
+        let mut this = ManuallyDrop::new(self);
+        // SAFETY: the buffer was initialized in `store` for exactly this
+        // monomorphization of `call`, and `Drop` is suppressed above so
+        // the closure is consumed exactly once.
+        unsafe { (call)(this.buf.bytes.as_mut_ptr().cast(), sim) }
+    }
+}
+
+impl Drop for EventPayload {
+    fn drop(&mut self) {
+        // SAFETY: reaching Drop means `invoke` never ran (it suppresses
+        // Drop), so the buffer still holds the initialized closure.
+        unsafe { (self.drop_fn)(self.buf.bytes.as_mut_ptr().cast()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn small_closure_invokes() {
+        let hit = Rc::new(Cell::new(0u32));
+        let h = Rc::clone(&hit);
+        let p = EventPayload::new(move |_sim: &mut Simulator| h.set(h.get() + 1));
+        let mut sim = Simulator::new();
+        p.invoke(&mut sim);
+        assert_eq!(hit.get(), 1);
+    }
+
+    #[test]
+    fn large_closure_falls_back_to_box_and_invokes() {
+        let big = [7u8; 4 * INLINE_EVENT_BYTES];
+        let sum = Rc::new(Cell::new(0u64));
+        let s = Rc::clone(&sum);
+        let p = EventPayload::new(move |_sim: &mut Simulator| {
+            s.set(big.iter().map(|&b| u64::from(b)).sum());
+        });
+        let mut sim = Simulator::new();
+        p.invoke(&mut sim);
+        assert_eq!(sum.get(), 7 * 4 * INLINE_EVENT_BYTES as u64);
+    }
+
+    #[test]
+    fn dropping_without_invoke_drops_captures_once() {
+        struct CountsDrops(Rc<Cell<u32>>);
+        impl Drop for CountsDrops {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let drops = Rc::new(Cell::new(0u32));
+        let guard = CountsDrops(Rc::clone(&drops));
+        let p = EventPayload::new(move |_sim: &mut Simulator| {
+            let _keep = &guard;
+            unreachable!("never invoked");
+        });
+        drop(p);
+        assert_eq!(drops.get(), 1);
+
+        // And the boxed fallback path.
+        let guard = CountsDrops(Rc::clone(&drops));
+        let big = [0u8; 4 * INLINE_EVENT_BYTES];
+        let p = EventPayload::new(move |_sim: &mut Simulator| {
+            let _keep = (&guard, &big);
+            unreachable!("never invoked");
+        });
+        drop(p);
+        assert_eq!(drops.get(), 2);
+    }
+
+    #[test]
+    fn already_boxed_eventfn_is_accepted() {
+        let hit = Rc::new(Cell::new(false));
+        let h = Rc::clone(&hit);
+        let boxed: crate::EventFn = Box::new(move |_sim| h.set(true));
+        let p = EventPayload::new(boxed);
+        let mut sim = Simulator::new();
+        p.invoke(&mut sim);
+        assert!(hit.get());
+    }
+}

@@ -1,0 +1,180 @@
+//! Lock-step equivalence of the indexed event queue against a reference
+//! model.
+//!
+//! The executor's semantics are pinned by the old `BinaryHeap` + cancelled
+//! set design: events fire in `(time, scheduling-sequence)` order, `cancel`
+//! returns `true` exactly once for a still-pending event and `false` for
+//! anything stale (fired, cancelled, or a reused slot), and
+//! `events_pending` counts live events only. This test drives the real
+//! [`Simulator`] and a transparent [`BTreeMap`] model through the same
+//! random interleavings of schedule / cancel / run_until — including
+//! equal-timestamp ties and cancels aimed at already-executed ids — and
+//! demands identical observable behaviour at every step.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use trail_sim::{EventId, SimDuration, SimTime, Simulator};
+
+/// One generated operation on the queue.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule a token `delay_ns` after the current virtual time. Small
+    /// deltas (including zero) make equal-timestamp ties common.
+    Schedule { delay_ns: u64 },
+    /// Cancel the `idx % scheduled`-th id handed out so far — which may
+    /// already have fired, already be cancelled, or still be pending.
+    Cancel { idx: usize },
+    /// Advance virtual time, firing everything due.
+    RunFor { ns: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0u64..50).prop_map(|delay_ns| Op::Schedule { delay_ns }),
+        any::<usize>().prop_map(|idx| Op::Cancel { idx }),
+        (0u64..80).prop_map(|ns| Op::RunFor { ns }),
+    ];
+    proptest::collection::vec(op, 1..200)
+}
+
+/// Reference model: an ordered map over `(time, seq)` with tombstones.
+struct Model {
+    now: SimTime,
+    next_seq: u64,
+    /// `(fire_time, seq) -> (token, cancelled)`.
+    pending: BTreeMap<(SimTime, u64), (u32, bool)>,
+    /// Tokens in expected execution order.
+    executed: Vec<u32>,
+}
+
+impl Model {
+    fn schedule(&mut self, delay: SimDuration, token: u32) -> (SimTime, u64) {
+        let key = (self.now + delay, self.next_seq);
+        self.next_seq += 1;
+        self.pending.insert(key, (token, false));
+        key
+    }
+
+    /// Mirrors `Simulator::cancel`: true iff the event is still pending.
+    fn cancel(&mut self, key: (SimTime, u64)) -> bool {
+        match self.pending.get_mut(&key) {
+            Some((_, cancelled @ false)) => {
+                *cancelled = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn run_until(&mut self, until: SimTime) {
+        while let Some((&key, &(token, cancelled))) = self.pending.first_key_value() {
+            if key.0 > until {
+                break;
+            }
+            self.pending.remove(&key);
+            if !cancelled {
+                self.executed.push(token);
+            }
+        }
+        self.now = until;
+    }
+
+    fn live_pending(&self) -> usize {
+        self.pending.values().filter(|(_, c)| !c).count()
+    }
+}
+
+fn lockstep(ops: &[Op]) {
+    let mut sim = Simulator::new();
+    let mut model = Model {
+        now: SimTime::ZERO,
+        next_seq: 0,
+        pending: BTreeMap::new(),
+        executed: Vec::new(),
+    };
+    let fired: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    // Parallel arrays: the real id and the model key for every schedule.
+    let mut ids: Vec<EventId> = Vec::new();
+    let mut keys: Vec<(SimTime, u64)> = Vec::new();
+
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Schedule { delay_ns } => {
+                let token = ids.len() as u32;
+                let delay = SimDuration::from_nanos(delay_ns);
+                let log = Rc::clone(&fired);
+                ids.push(sim.schedule_in(delay, move |_| log.borrow_mut().push(token)));
+                keys.push(model.schedule(delay, token));
+            }
+            Op::Cancel { idx } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let i = idx % ids.len();
+                assert_eq!(
+                    sim.cancel(ids[i]),
+                    model.cancel(keys[i]),
+                    "cancel verdict diverged at op {step} for schedule #{i}"
+                );
+            }
+            Op::RunFor { ns } => {
+                let until = sim.now() + SimDuration::from_nanos(ns);
+                sim.run_until(until);
+                model.run_until(until);
+            }
+        }
+        assert_eq!(sim.now(), model.now, "clock diverged at op {step}");
+        assert_eq!(
+            sim.events_pending(),
+            model.live_pending(),
+            "pending count diverged at op {step}"
+        );
+        assert_eq!(
+            *fired.borrow(),
+            model.executed,
+            "execution order diverged at op {step}"
+        );
+    }
+
+    // Drain both queues completely; order must still agree.
+    sim.run();
+    if let Some((&(last, _), _)) = model.pending.last_key_value() {
+        model.run_until(last);
+    }
+    assert_eq!(*fired.borrow(), model.executed, "final drain diverged");
+    assert_eq!(sim.events_pending(), 0);
+    assert_eq!(model.live_pending(), 0);
+}
+
+proptest! {
+    #[test]
+    fn simulator_matches_reference_model(ops in arb_ops()) {
+        lockstep(&ops);
+    }
+}
+
+/// A handwritten interleaving that exercises the nastiest transitions in
+/// one deterministic pass: ties, interior cancels, cancel-of-executed, and
+/// slot reuse between them.
+#[test]
+fn lockstep_regression_dense_ties_and_stale_cancels() {
+    let ops = vec![
+        Op::Schedule { delay_ns: 10 },
+        Op::Schedule { delay_ns: 10 },
+        Op::Schedule { delay_ns: 10 },
+        Op::Cancel { idx: 1 },
+        Op::RunFor { ns: 10 },
+        Op::Cancel { idx: 0 },        // already executed
+        Op::Cancel { idx: 1 },        // already cancelled
+        Op::Schedule { delay_ns: 0 }, // reuses a vacated slot
+        Op::Schedule { delay_ns: 0 },
+        Op::Cancel { idx: 3 },
+        Op::Cancel { idx: 3 }, // double cancel on the reused slot
+        Op::RunFor { ns: 0 },
+        Op::RunFor { ns: 100 },
+    ];
+    lockstep(&ops);
+}

@@ -380,15 +380,12 @@ fn replay_impl(
             let stack = Rc::clone(&stack);
             let drv = Rc::clone(&drive);
             let st = Rc::clone(&state);
-            sim.schedule_at(
-                arrival,
-                Box::new(move |sim| {
-                    st.borrow_mut().issue(stream, is_read);
-                    submit(
-                        sim, &stack, &drv, &st, idx, dev, lba, sectors, is_read, stream,
-                    );
-                }),
-            );
+            sim.schedule_at(arrival, move |sim| {
+                st.borrow_mut().issue(stream, is_read);
+                submit(
+                    sim, &stack, &drv, &st, idx, dev, lba, sectors, is_read, stream,
+                );
+            });
         }
     }
 
@@ -530,20 +527,17 @@ fn submit(
 }
 
 fn schedule_sampler(sim: &mut Simulator, st: Rc<RefCell<State>>, every: SimDuration) {
-    sim.schedule_in(
-        every,
-        Box::new(move |sim| {
-            let finished = {
-                let mut s = st.borrow_mut();
-                let depth = s.inflight;
-                s.samples.push((sim.now(), depth));
-                s.completed >= s.total
-            };
-            if !finished {
-                schedule_sampler(sim, st, every);
-            }
-        }),
-    );
+    sim.schedule_in(every, move |sim| {
+        let finished = {
+            let mut s = st.borrow_mut();
+            let depth = s.inflight;
+            s.samples.push((sim.now(), depth));
+            s.completed >= s.total
+        };
+        if !finished {
+            schedule_sampler(sim, st, every);
+        }
+    });
 }
 
 #[cfg(test)]

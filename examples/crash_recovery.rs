@@ -33,19 +33,16 @@ fn main() -> Result<(), TrailError> {
         let tag = (i % 251 + 1) as u8;
         let acked = Rc::clone(&acked);
         let trail2 = trail.clone();
-        sim.schedule_at(
-            start + SimDuration::from_micros(i * 500),
-            Box::new(move |sim| {
-                let done = sim.completion(move |_, del: Delivered<IoDone>| {
-                    if del.is_ok() {
-                        acked.borrow_mut().insert((dev, lba), tag);
-                    }
-                });
-                trail2
-                    .write(sim, dev, lba, vec![tag; SECTOR_SIZE], done)
-                    .expect("write accepted");
-            }),
-        );
+        sim.schedule_at(start + SimDuration::from_micros(i * 500), move |sim| {
+            let done = sim.completion(move |_, del: Delivered<IoDone>| {
+                if del.is_ok() {
+                    acked.borrow_mut().insert((dev, lba), tag);
+                }
+            });
+            trail2
+                .write(sim, dev, lba, vec![tag; SECTOR_SIZE], done)
+                .expect("write accepted");
+        });
     }
 
     // Lights out mid-workload.

@@ -38,21 +38,18 @@ fn crash_round_trip(seed: u64, crash_ms: u64, n_writes: usize) -> Result<(), Str
         let acked = Rc::clone(&acked);
         let trail2 = trail.clone();
         let when = t0 + SimDuration::from_micros(rng.gen_range(0..(n_writes as u64 * 400)));
-        sim.schedule_at(
-            when.max(sim.now()),
-            Box::new(move |sim| {
-                let mut buf = vec![tag; SECTOR_SIZE];
-                buf[0] = tag ^ 0xA5;
-                let done = sim.completion(move |_, del: Delivered<IoDone>| {
-                    if del.is_ok() {
-                        acked.borrow_mut().insert((dev, lba), tag);
-                    }
-                });
-                trail2
-                    .write(sim, dev, lba, buf, done)
-                    .expect("write accepted");
-            }),
-        );
+        sim.schedule_at(when.max(sim.now()), move |sim| {
+            let mut buf = vec![tag; SECTOR_SIZE];
+            buf[0] = tag ^ 0xA5;
+            let done = sim.completion(move |_, del: Delivered<IoDone>| {
+                if del.is_ok() {
+                    acked.borrow_mut().insert((dev, lba), tag);
+                }
+            });
+            trail2
+                .write(sim, dev, lba, buf, done)
+                .expect("write accepted");
+        });
     }
     sim.run_until(t0 + SimDuration::from_millis(crash_ms));
     log.power_cut(sim.now());
