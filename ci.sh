@@ -40,10 +40,24 @@ trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release --offline -p trail-bench --bin run_all -- \
   --quick --out-dir "$smoke_dir" >/dev/null
 for name in micro table1 fig3 fig4 ablation fs_compare table2 table3 track_util \
-             replay_synthetic overload_sweep replay_tpcc; do
+             replay_synthetic overload_sweep replay_tpcc serve serve_sweep; do
   test -s "$smoke_dir/BENCH_$name.json" \
     || { echo "run_all --quick did not produce BENCH_$name.json" >&2; exit 1; }
 done
+
+echo "== serve_fleet determinism gate (byte-identical across runs) =="
+serve_a="$smoke_dir/serve_a"; serve_b="$smoke_dir/serve_b"
+mkdir -p "$serve_a" "$serve_b"
+cargo run --release --offline -p trail-bench --bin serve_fleet -- \
+  --quick --out-dir "$serve_a" >/dev/null
+cargo run --release --offline -p trail-bench --bin serve_fleet -- \
+  --quick --out-dir "$serve_b" >/dev/null
+cmp -s "$serve_a/BENCH_serve.json" "$serve_b/BENCH_serve.json" \
+  || { echo "BENCH_serve.json is not byte-identical across runs" >&2; exit 1; }
+# The run_all smoke above ran the same scenario through the threaded
+# runner; its artifact must match the standalone binary's byte for byte.
+cmp -s "$serve_a/BENCH_serve.json" "$smoke_dir/BENCH_serve.json" \
+  || { echo "BENCH_serve.json differs between serve_fleet and run_all" >&2; exit 1; }
 
 echo "== perf_suite --quick gate (fields present, event counts deterministic) =="
 perf_a="$smoke_dir/perf_a"; perf_b="$smoke_dir/perf_b"
@@ -82,7 +96,10 @@ cmp -s "$smoke_dir/smoke.trace" "$smoke_dir/smoke2.trace" \
 echo "== trace_tool blkparse import smoke (import -> inspect -> replay) =="
 trace_tool import crates/trace/tests/data/sample.blkparse \
   --out "$smoke_dir/import.trace" >/dev/null
-trace_tool inspect "$smoke_dir/import.trace" | grep -q 'streams:  4' \
+# Capture before grepping: `grep -q` exits at first match, and the
+# resulting EPIPE would fail the gate under pipefail.
+inspect_out="$(trace_tool inspect "$smoke_dir/import.trace")"
+grep -q 'streams:  4' <<<"$inspect_out" \
   || { echo "imported fixture should carry 4 CPU streams" >&2; exit 1; }
 trace_tool replay "$smoke_dir/import.trace" --quick --target trail_multi2 \
   --out-dir "$smoke_dir" >/dev/null

@@ -2,7 +2,7 @@
 //! scenario on its own worker thread.
 //!
 //! ```text
-//! run_all [--quick] [--threads N] [--seed S] [--out-dir DIR]
+//! run_all [--quick] [--threads N] [--seed S] [--out-dir DIR] [--filter SUB]
 //! ```
 //!
 //! - `--quick` runs the shrunk sweeps (seconds, the CI smoke gate);
@@ -12,6 +12,9 @@
 //!   historical per-experiment seeds).
 //! - `--out-dir DIR` receives the `BENCH_<name>.json` files (default:
 //!   current directory).
+//! - `--filter SUB` runs only scenarios whose registry name contains the
+//!   substring `SUB` (e.g. `--filter serve` runs `serve_fleet` and
+//!   `serve_sweep`).
 //!
 //! Reports print and JSON files are written in registry order from the
 //! main thread, so the artifacts are byte-identical at any thread count.
@@ -42,6 +45,9 @@ fn main() {
             }
             "--out-dir" => {
                 opts.out_dir = PathBuf::from(it.next().expect("--out-dir needs a path"));
+            }
+            "--filter" => {
+                opts.filter = Some(it.next().expect("--filter needs a substring"));
             }
             other => panic!("unknown argument {other:?} (see run_all --help in the source)"),
         }

@@ -29,6 +29,9 @@ pub struct RunAllOptions {
     pub threads: usize,
     /// Directory receiving the `BENCH_<name>.json` files.
     pub out_dir: PathBuf,
+    /// Run only scenarios whose registry name contains this substring
+    /// (`None` runs the whole registry).
+    pub filter: Option<String>,
 }
 
 impl Default for RunAllOptions {
@@ -38,6 +41,7 @@ impl Default for RunAllOptions {
             seed: 0,
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             out_dir: PathBuf::from("."),
+            filter: None,
         }
     }
 }
@@ -94,7 +98,18 @@ impl RunAllSummary {
 /// Panics if a scenario panics on its worker thread (the panic is
 /// propagated when the thread scope joins).
 pub fn run_all_scenarios(opts: &RunAllOptions) -> std::io::Result<RunAllSummary> {
-    let specs = all_scenarios();
+    let specs: Vec<_> = all_scenarios()
+        .into_iter()
+        .filter(|s| opts.filter.as_deref().is_none_or(|f| s.name.contains(f)))
+        .collect();
+    if specs.is_empty() {
+        return Ok(RunAllSummary {
+            results: Vec::new(),
+            elapsed: Duration::ZERO,
+            serial_estimate: Duration::ZERO,
+            threads: 0,
+        });
+    }
     let threads = opts.threads.clamp(1, specs.len());
     let queue: Mutex<VecDeque<usize>> = Mutex::new((0..specs.len()).collect());
     let slots: Vec<Mutex<Option<(ScenarioOutput, Duration, u64)>>> =
@@ -135,7 +150,7 @@ pub fn run_all_scenarios(opts: &RunAllOptions) -> std::io::Result<RunAllSummary>
             .expect("slot poisoned")
             .expect("every queued scenario ran");
         serial_estimate += wall;
-        let json_path = write_bench_json_in(&opts.out_dir, spec.name, &out.json)?;
+        let json_path = write_bench_json_in(&opts.out_dir, spec.artifact, &out.json)?;
         results.push(ScenarioResult {
             name: spec.name,
             title: spec.title,

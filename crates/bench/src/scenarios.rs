@@ -19,13 +19,16 @@ use std::rc::Rc;
 
 use rand::Rng;
 use trail_core::{
-    format_log_disk, read_header, recover, FormatOptions, MultiTrail, RecoveryOptions, TrailConfig,
-    TrailDriver,
+    format_log_disk, read_header, recover, FormatOptions, LogRouting, MultiTrail, RecoveryOptions,
+    TrailConfig, TrailDriver,
 };
-use trail_db::{BlockStack, FlushPolicy, StandardStack, TrailStack};
+use trail_db::{BlockStack, FlushPolicy, StandardStack, StorageService, TrailStack};
 use trail_disk::{profiles, Disk, SECTOR_SIZE};
 use trail_fs::{ExtFs, FileSystem, FsError, Lfs, LfsConfig};
 use trail_probe::{calibrate_delta, estimate_write_overhead, measure_rotation_period};
+use trail_serve::{
+    run_fleet, AdmissionPolicy, FleetMode, FleetReport, FleetSpec, Server, ServerConfig,
+};
 use trail_sim::{Delivered, LatencySummary, SimDuration, Simulator};
 use trail_telemetry::{JsonValue, RecorderHandle};
 use trail_tpcc::{run, ChainOn, RunConfig, TpccReport};
@@ -93,8 +96,13 @@ pub struct ScenarioOutput {
 
 /// A named entry in the scenario registry.
 pub struct ScenarioSpec {
-    /// The `BENCH_<name>.json` stem and binary name.
+    /// The registry name (what `run_all --filter` matches and the
+    /// per-scenario binaries are called).
     pub name: &'static str,
+    /// The `BENCH_<artifact>.json` stem — usually the name, but a
+    /// scenario may publish under a shorter artifact stem (`serve_fleet`
+    /// writes `BENCH_serve.json`).
+    pub artifact: &'static str,
     /// One-line description for the runner's progress output.
     pub title: &'static str,
     /// The experiment. A plain function pointer so the registry is
@@ -108,63 +116,88 @@ pub fn all_scenarios() -> Vec<ScenarioSpec> {
     vec![
         ScenarioSpec {
             name: "micro",
+            artifact: "micro",
             title: "§5.1 micro-measurements (latency anchors)",
             run: micro,
         },
         ScenarioSpec {
             name: "table1",
+            artifact: "table1",
             title: "Table 1: elapsed time vs. write batch size",
             run: table1,
         },
         ScenarioSpec {
             name: "fig3",
+            artifact: "fig3",
             title: "Figure 3: sync write latency, Trail vs. standard",
             run: fig3,
         },
         ScenarioSpec {
             name: "fig4",
+            artifact: "fig4",
             title: "Figure 4: recovery overhead vs. pending requests",
             run: fig4,
         },
         ScenarioSpec {
             name: "ablation",
+            artifact: "ablation",
             title: "Design ablations (threshold, reposition, delta, batch, multi-log)",
             run: ablation,
         },
         ScenarioSpec {
             name: "fs_compare",
+            artifact: "fs_compare",
             title: "FS comparison: ext2-like vs. LFS vs. Trail",
             run: fs_compare,
         },
         ScenarioSpec {
             name: "table2",
+            artifact: "table2",
             title: "Table 2: TPC-C response time / logging IO / tpmC",
             run: table2,
         },
         ScenarioSpec {
             name: "table3",
+            artifact: "table3",
             title: "Table 3: group commits vs. log buffer size",
             run: table3,
         },
         ScenarioSpec {
             name: "track_util",
+            artifact: "track_util",
             title: "§5.2: log-track utilization vs. concurrency",
             run: track_util,
         },
         ScenarioSpec {
             name: "replay_synthetic",
+            artifact: "replay_synthetic",
             title: "Trace replay: synthetic open-loop workload vs. every stack",
             run: replay_synthetic,
         },
         ScenarioSpec {
             name: "overload_sweep",
+            artifact: "overload_sweep",
             title: "Overload sweep: replay speed 0.5-8x vs. every stack",
             run: overload_sweep,
         },
         ScenarioSpec {
             name: "replay_tpcc",
+            artifact: "replay_tpcc",
             title: "Trace replay: captured TPC-C workload vs. every stack",
             run: replay_tpcc,
+        },
+        ScenarioSpec {
+            name: "serve_fleet",
+            artifact: "serve",
+            title:
+                "Serving layer: client fleets (open/closed loop) vs. admission policy and overload",
+            run: serve_fleet,
+        },
+        ScenarioSpec {
+            name: "serve_sweep",
+            artifact: "serve_sweep",
+            title: "Serving layer: log routing x admission policy overload sweep on a Trail array",
+            run: serve_sweep,
         },
     ]
 }
@@ -1817,6 +1850,248 @@ fn replay_tpcc(cfg: &ScenarioConfig) -> ScenarioOutput {
             ),
             ("tpmc_while_recording", JsonValue::Num(tpcc.tpmc)),
             ("rows", JsonValue::Arr(rows)),
+        ]),
+    }
+}
+
+// ------------------------------------------------------- serving layer
+
+/// Builds a serving testbed: a [`Server`] over a [`StorageService`] over
+/// a Trail stack — single-log for `logs <= 1`, otherwise a Trail array
+/// with the given stream routing.
+fn serve_testbed(
+    logs: usize,
+    routing: LogRouting,
+    admission: AdmissionPolicy,
+    worker_slots: usize,
+) -> (Simulator, Server) {
+    let builder = trail::StackBuilder::new().data_disks(2);
+    let builder = if logs <= 1 {
+        builder.trail_default()
+    } else {
+        builder.trail_multi(logs, TrailConfig::default())
+    };
+    let built = builder.build().expect("serve stack boots");
+    if let Some(multi) = &built.multi {
+        multi.set_routing(routing);
+    }
+    let capacity = built
+        .data_disks
+        .iter()
+        .map(|d| d.geometry().total_sectors())
+        .collect();
+    let service = StorageService::new(Rc::clone(&built.stack), capacity);
+    (
+        built.sim,
+        Server::new(
+            service,
+            ServerConfig {
+                worker_slots,
+                admission,
+            },
+        ),
+    )
+}
+
+/// Per-session mean inter-arrival time that keeps the *fleet-wide*
+/// offered rate constant as the session count scales: every session
+/// thinks `sessions x 2 ms`, so the fleet offers ~500 requests/s at
+/// `overload = 1.0` — right at the measured capacity of the testbed
+/// (the log disk and two data disks bound throughput, not the worker
+/// pool) — regardless of how many sessions share the load.
+fn serve_mean_iat(sessions: u32) -> SimDuration {
+    SimDuration::from_nanos(u64::from(sessions) * 2_000_000)
+}
+
+const SERVE_ADMISSIONS: [AdmissionPolicy; 3] = [
+    AdmissionPolicy::Unbounded,
+    AdmissionPolicy::BoundedQueue { max_queue: 64 },
+    AdmissionPolicy::DeadlineShed {
+        max_wait: SimDuration::from_millis(25),
+    },
+];
+
+fn serve_row(
+    report: &mut String,
+    label: &str,
+    admission: &AdmissionPolicy,
+    overload: f64,
+    rep: &FleetReport,
+) {
+    let _ = writeln!(
+        report,
+        "| {label} | {} | {overload}x | {} | {} | {} | {} | {} | {:.3} | {:.3} | {:.3} | {} |",
+        admission.label(),
+        rep.issued,
+        rep.served,
+        rep.rejected,
+        rep.shed,
+        rep.cancelled,
+        rep.latency.percentile(50.0).as_millis_f64(),
+        rep.latency.percentile(99.0).as_millis_f64(),
+        rep.latency.percentile(99.9).as_millis_f64(),
+        rep.server.max_queue_depth,
+    );
+}
+
+fn serve_cell_json(
+    mode_label: &str,
+    admission: &AdmissionPolicy,
+    overload: f64,
+    rep: &FleetReport,
+) -> JsonValue {
+    let fields = vec![
+        ("mode", JsonValue::str(mode_label)),
+        ("admission", JsonValue::str(admission.label())),
+        ("overload", JsonValue::Num(overload)),
+    ];
+    let JsonValue::Obj(body) = rep.to_json_with_clients(4) else {
+        unreachable!("fleet reports are objects");
+    };
+    let mut out = JsonValue::obj(fields);
+    if let JsonValue::Obj(dst) = &mut out {
+        dst.extend(body);
+    }
+    out
+}
+
+fn serve_table_header(report: &mut String) {
+    let _ = writeln!(
+        report,
+        "| mode | admission | load | issued | served | rejected | shed | cancelled \
+         | p50 (ms) | p99 (ms) | p99.9 (ms) | max QD |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+}
+
+/// The serving-layer fleet benchmark (`BENCH_serve.json`): open- and
+/// closed-loop client fleets against every admission policy across a
+/// 0.5-8x overload sweep, on a single-log Trail stack. Open-loop cells
+/// churn connections mid-run, so the cancel-cascade shows up in the
+/// `cancelled` columns. Latency percentiles cover *admitted* (served)
+/// requests only — the point of the comparison is that bounded-queue
+/// and deadline-shed admission keep the served tail flat at 8x offered
+/// load while the unbounded queue diverges.
+fn serve_fleet(cfg: &ScenarioConfig) -> ScenarioOutput {
+    let per_cell = cfg.scale.unwrap_or(if cfg.quick { 400 } else { 8000 });
+    let sessions: u32 = if cfg.quick { 64 } else { 2000 };
+    let overloads: &[f64] = if cfg.quick {
+        &[0.5, 8.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0, 8.0]
+    };
+    let modes = [FleetMode::OpenLoop, FleetMode::ClosedLoop];
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "== Serving layer — {sessions} sessions, {per_cell} requests per cell, \
+         worker pool of 8 over a Trail log, overload {overloads:?} =="
+    );
+    serve_table_header(&mut report);
+    let mut cells = Vec::new();
+    for (mode_idx, &mode) in modes.iter().enumerate() {
+        for &overload in overloads {
+            for admission in &SERVE_ADMISSIONS {
+                let (mut sim, server) = serve_testbed(1, LogRouting::BlockHash, *admission, 8);
+                let rep = run_fleet(
+                    &mut sim,
+                    &server,
+                    &FleetSpec {
+                        // One workload per (mode, overload): the three
+                        // admission policies see identical arrivals.
+                        seed: cfg.mix(0x5345_5256_4500 + mode_idx as u64),
+                        sessions,
+                        requests: per_cell,
+                        mode,
+                        overload,
+                        mean_iat: serve_mean_iat(sessions),
+                        read_fraction: 0.3,
+                        payload_sectors: 2,
+                        commit_every: 16,
+                        churn: mode == FleetMode::OpenLoop,
+                        spatial: SpatialModel::Zipf { skew: 2.0 },
+                    },
+                );
+                serve_row(&mut report, mode.label(), admission, overload, &rep);
+                cells.push(serve_cell_json(mode.label(), admission, overload, &rep));
+            }
+        }
+    }
+    ScenarioOutput {
+        report,
+        json: JsonValue::obj(vec![
+            ("bench", JsonValue::str("serve")),
+            ("sessions", JsonValue::Num(f64::from(sessions))),
+            ("requests_per_cell", JsonValue::Num(per_cell as f64)),
+            ("worker_slots", JsonValue::Num(8.0)),
+            ("cells", JsonValue::Arr(cells)),
+        ]),
+    }
+}
+
+/// The serving-layer routing sweep (`BENCH_serve_sweep.json`): an
+/// open-loop fleet against a two-log Trail array, sweeping log routing
+/// (block-hash vs. stream-affinity) x admission policy x overload.
+/// Terminal-as-stream is what makes stream-affinity routing meaningful:
+/// every session's log writes land on "its" log disk.
+fn serve_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
+    let per_cell = cfg.scale.unwrap_or(if cfg.quick { 300 } else { 6000 });
+    let sessions: u32 = if cfg.quick { 48 } else { 1000 };
+    let overloads: &[f64] = if cfg.quick {
+        &[0.5, 8.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0, 8.0]
+    };
+    let routings = [
+        ("block_hash", LogRouting::BlockHash),
+        ("stream_affinity", LogRouting::StreamAffinity),
+    ];
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "== Serving-layer routing sweep — {sessions} open-loop sessions on a \
+         2-log Trail array, {per_cell} requests per cell =="
+    );
+    serve_table_header(&mut report);
+    let mut series = Vec::new();
+    for (routing_label, routing) in routings {
+        let mut cells = Vec::new();
+        for &overload in overloads {
+            for admission in &SERVE_ADMISSIONS {
+                let (mut sim, server) = serve_testbed(2, routing, *admission, 8);
+                let rep = run_fleet(
+                    &mut sim,
+                    &server,
+                    &FleetSpec {
+                        seed: cfg.mix(0x5345_5256_4557), // same workload per cell
+                        sessions,
+                        requests: per_cell,
+                        mode: FleetMode::OpenLoop,
+                        overload,
+                        mean_iat: serve_mean_iat(sessions),
+                        read_fraction: 0.3,
+                        payload_sectors: 2,
+                        commit_every: 0,
+                        churn: false,
+                        spatial: SpatialModel::Zipf { skew: 2.0 },
+                    },
+                );
+                serve_row(&mut report, routing_label, admission, overload, &rep);
+                cells.push(serve_cell_json(routing_label, admission, overload, &rep));
+            }
+        }
+        series.push(JsonValue::obj(vec![
+            ("routing", JsonValue::str(routing_label)),
+            ("cells", JsonValue::Arr(cells)),
+        ]));
+    }
+    ScenarioOutput {
+        report,
+        json: JsonValue::obj(vec![
+            ("bench", JsonValue::str("serve_sweep")),
+            ("sessions", JsonValue::Num(f64::from(sessions))),
+            ("requests_per_cell", JsonValue::Num(per_cell as f64)),
+            ("routings", JsonValue::Arr(series)),
         ]),
     }
 }

@@ -13,6 +13,7 @@ fn run_into(dir: &Path, threads: usize, seed: u64) -> (Vec<PathBuf>, Vec<(&'stat
         seed,
         threads,
         out_dir: dir.to_path_buf(),
+        filter: None,
     })
     .expect("runner writes artifacts");
     assert_eq!(
@@ -51,6 +52,32 @@ fn replay_scenarios_are_registered() {
     for required in ["replay_synthetic", "replay_tpcc"] {
         assert!(names.contains(&required), "{required} not registered");
     }
+}
+
+#[test]
+fn filter_selects_matching_scenarios_and_tolerates_no_match() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_all_filter");
+    let opts = RunAllOptions {
+        quick: true,
+        out_dir: base.clone(),
+        filter: Some("serve".into()),
+        ..RunAllOptions::default()
+    };
+    let summary = run_all_scenarios(&opts).expect("filtered run writes artifacts");
+    let names: Vec<&str> = summary.results.iter().map(|r| r.name).collect();
+    assert_eq!(names, ["serve_fleet", "serve_sweep"]);
+    // The fleet scenario publishes under the shorter `serve` artifact stem.
+    assert!(base.join("BENCH_serve.json").exists());
+    assert!(base.join("BENCH_serve_sweep.json").exists());
+
+    // A filter matching nothing is an empty run, not a panic.
+    let none = run_all_scenarios(&RunAllOptions {
+        filter: Some("no-such-scenario".into()),
+        out_dir: base,
+        ..RunAllOptions::default()
+    })
+    .expect("empty run succeeds");
+    assert!(none.results.is_empty());
 }
 
 #[test]

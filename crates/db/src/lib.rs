@@ -17,6 +17,9 @@
 //!   `O_SYNC`-on-ext2 behavior that makes baseline logging expensive;
 //! - [`Database`] — op-list transactions with response time measured to
 //!   durability;
+//! - [`StorageService`] — the serving layer's adapter over a stack:
+//!   clamped addressing, stream-tagged `get`/`put`, and per-stream
+//!   `commit` durability barriers;
 //! - [`scan_wal`] / [`replay_committed`] — redo recovery, composable with
 //!   Trail's own block-level recovery underneath.
 
@@ -27,6 +30,7 @@ mod cache;
 mod engine;
 mod page;
 mod recovery;
+mod service;
 mod stack;
 mod wal;
 
@@ -34,5 +38,6 @@ pub use cache::{BufferPool, CacheStats};
 pub use engine::{Database, DbConfig, DbStats, Op, TableId, TxnResult, TxnSpec};
 pub use page::{Page, PageId, Rid, PAGE_SIZE, SECTORS_PER_PAGE};
 pub use recovery::{read_blocking, replay_committed, scan_wal};
+pub use service::StorageService;
 pub use stack::{BlockStack, MultiTrailStack, SharedStack, StandardStack, TrailStack};
 pub use wal::{FlushJob, FlushPolicy, PendingCommit, Wal, WalRecord, WalStats, CHUNK_MAGIC};

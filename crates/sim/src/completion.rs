@@ -87,6 +87,7 @@ impl CompletionId {
 struct SinkShared {
     next_id: u64,
     orphans: Vec<EventFn>,
+    cancelled: u64,
 }
 
 /// Mints [`Completion`] tokens and collects cancellations from dropped ones.
@@ -107,6 +108,7 @@ impl CompletionSink {
             shared: Rc::new(RefCell::new(SinkShared {
                 next_id: 0,
                 orphans: Vec::new(),
+                cancelled: 0,
             })),
         }
     }
@@ -134,6 +136,19 @@ impl CompletionSink {
     /// delivered.
     pub fn orphan_count(&self) -> usize {
         self.shared.borrow().orphans.len()
+    }
+
+    /// Total completions from this sink that ended in `Err(`[`Cancelled`]`)`
+    /// — explicitly via [`Completion::cancel`] or implicitly by being
+    /// dropped while armed. Monotonic over the sink's lifetime; harnesses
+    /// read it instead of re-deriving shed/cancelled request counts from
+    /// their own handlers.
+    pub fn cancelled_count(&self) -> u64 {
+        self.shared.borrow().cancelled
+    }
+
+    fn note_cancelled(&self) {
+        self.shared.borrow_mut().cancelled += 1;
     }
 
     /// Takes the parked cancellation deliveries (called by the simulator).
@@ -201,6 +216,7 @@ impl<T: 'static> Completion<T> {
     /// semantics as [`complete`](Completion::complete).
     pub fn cancel(mut self, sim: &mut Simulator) {
         if let Some(h) = self.handler.take() {
+            self.sink.note_cancelled();
             sim.schedule_now(move |sim: &mut Simulator| h(sim, Err(Cancelled)));
         }
     }
@@ -211,6 +227,7 @@ impl<T: 'static> Drop for Completion<T> {
         if let Some(h) = self.handler.take() {
             // No `&mut Simulator` here, so park the cancellation in the
             // sink; the simulator drains it on its next step.
+            self.sink.note_cancelled();
             self.sink.park(Box::new(move |sim| h(sim, Err(Cancelled))));
         }
     }
@@ -332,6 +349,21 @@ mod tests {
         done.complete(&mut sim, ());
         sim.run();
         assert_eq!(count.get(), 1);
+        assert_eq!(sim.completions().orphan_count(), 0);
+    }
+
+    #[test]
+    fn cancelled_count_covers_explicit_and_dropped() {
+        let mut sim = Simulator::new();
+        assert_eq!(sim.completions().cancelled_count(), 0);
+        let a = sim.completion(|_, _: Delivered<()>| {});
+        a.cancel(&mut sim);
+        drop(sim.completion(|_, _: Delivered<()>| {}));
+        let delivered = sim.completion(|_, _: Delivered<()>| {});
+        delivered.complete(&mut sim, ());
+        sim.run();
+        // Explicit cancel + drop count; normal delivery does not.
+        assert_eq!(sim.completions().cancelled_count(), 2);
         assert_eq!(sim.completions().orphan_count(), 0);
     }
 

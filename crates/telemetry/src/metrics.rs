@@ -191,7 +191,19 @@ impl DurationHistogram {
 /// Aggregates an event stream into a compact metrics document:
 /// per-kind event counts, and latency histograms (end-to-end plus each
 /// breakdown component) over the `Complete` events.
+///
+/// Cancelled completions never reach the recorder (the request died
+/// before producing an event), so the count lives on the simulator's
+/// [`trail_sim::CompletionSink`]; harnesses that track it pass it
+/// through [`metrics_json_with_cancelled`]. This form reports zero.
 pub fn metrics_json(events: &[Event]) -> JsonValue {
+    metrics_json_with_cancelled(events, 0)
+}
+
+/// [`metrics_json`] plus the harness's cancelled-completion count
+/// (from [`trail_sim::CompletionSink::cancelled_count`]), exported as
+/// the top-level `cancelled_completions` field.
+pub fn metrics_json_with_cancelled(events: &[Event], cancelled_completions: u64) -> JsonValue {
     let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut total = DurationHistogram::new();
     let mut queue = DurationHistogram::new();
@@ -225,6 +237,10 @@ pub fn metrics_json(events: &[Event]) -> JsonValue {
     );
     JsonValue::obj(vec![
         ("events", JsonValue::Num(events.len() as f64)),
+        (
+            "cancelled_completions",
+            JsonValue::Num(cancelled_completions as f64),
+        ),
         ("counts", counts_json),
         (
             "complete_latency",
@@ -344,6 +360,12 @@ mod tests {
         ];
         let m = metrics_json(&events);
         assert_eq!(m.get("events").unwrap().as_f64(), Some(4.0));
+        assert_eq!(m.get("cancelled_completions").unwrap().as_f64(), Some(0.0));
+        let with = metrics_json_with_cancelled(&events, 9);
+        assert_eq!(
+            with.get("cancelled_completions").unwrap().as_f64(),
+            Some(9.0)
+        );
         let counts = m.get("counts").unwrap();
         assert_eq!(counts.get("Complete").unwrap().as_f64(), Some(2.0));
         assert_eq!(counts.get("BatchFlush").unwrap().as_f64(), Some(1.0));

@@ -60,8 +60,12 @@ pub struct StreamLane {
     pub reads: u64,
     /// Writes among them.
     pub writes: u64,
-    /// Requests that errored or were cancelled.
+    /// Requests that errored (rejected, shed, or failed).
     pub errors: u64,
+    /// Requests whose completion was cancelled (session teardown, power
+    /// loss) — distinct from `errors` so harnesses can separate "the
+    /// server said no" from "the request died with its connection".
+    pub cancelled: u64,
     /// End-to-end latency over successful requests.
     pub latency: DurationHistogram,
     /// Latency over successful reads.
@@ -84,6 +88,7 @@ impl StreamLane {
             ("reads", JsonValue::Num(self.reads as f64)),
             ("writes", JsonValue::Num(self.writes as f64)),
             ("errors", JsonValue::Num(self.errors as f64)),
+            ("cancelled", JsonValue::Num(self.cancelled as f64)),
             (
                 "max_queue_depth",
                 JsonValue::Num(f64::from(self.max_inflight)),
@@ -165,6 +170,14 @@ impl StreamMetrics {
         }
     }
 
+    /// Records a cancelled completion on `stream` (the request left
+    /// flight without an answer: session teardown, power loss).
+    pub fn on_cancelled(&mut self, stream: StreamId) {
+        let lane = self.lanes.entry(stream).or_default();
+        lane.inflight = lane.inflight.saturating_sub(1);
+        lane.cancelled += 1;
+    }
+
     /// All lanes as one JSON object keyed by decimal stream id, in
     /// ascending stream order.
     #[must_use]
@@ -220,6 +233,19 @@ mod tests {
         assert_eq!(fields[0].0, "2");
         assert_eq!(fields[1].0, "9");
         assert!(json.get("9").and_then(|l| l.get("writes")).is_some());
+    }
+
+    #[test]
+    fn cancelled_is_tracked_apart_from_errors() {
+        let mut m = StreamMetrics::new();
+        m.on_issue(StreamId(3), false);
+        m.on_issue(StreamId(3), false);
+        m.on_complete(StreamId(3), false, None);
+        m.on_cancelled(StreamId(3));
+        let lane = m.lane(StreamId(3)).expect("lane");
+        assert_eq!((lane.errors, lane.cancelled, lane.inflight), (1, 1, 0));
+        let j = lane.to_json();
+        assert_eq!(j.get("cancelled").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]
