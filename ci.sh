@@ -40,7 +40,7 @@ trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release --offline -p trail-bench --bin run_all -- \
   --quick --out-dir "$smoke_dir" >/dev/null
 for name in micro table1 fig3 fig4 ablation fs_compare table2 table3 track_util \
-             replay_synthetic overload_sweep replay_tpcc serve serve_sweep; do
+             replay_synthetic overload_sweep replay_tpcc replaystream serve serve_sweep; do
   test -s "$smoke_dir/BENCH_$name.json" \
     || { echo "run_all --quick did not produce BENCH_$name.json" >&2; exit 1; }
 done
@@ -92,6 +92,34 @@ trace_tool convert "$smoke_dir/smoke.trace" "$smoke_dir/smoke.jsonl" >/dev/null
 trace_tool convert "$smoke_dir/smoke.jsonl" "$smoke_dir/smoke2.trace" >/dev/null
 cmp -s "$smoke_dir/smoke.trace" "$smoke_dir/smoke2.trace" \
   || { echo "trace codec binary->jsonl->binary round trip is not byte-identical" >&2; exit 1; }
+
+echo "== streaming replay gate (10^6-record chunked trace, byte-identical) =="
+# Generate a million-record chunked trace and stream it through the
+# bounded-memory replay engine twice. The arrival rate is sustainable
+# (20 ms mean IAT over 2 devices) so the open-loop queue stays bounded;
+# everything in the artifact is virtual-time, so the two runs must agree
+# byte for byte.
+trace_tool generate --out "$smoke_dir/big.trace" \
+  --requests 1000000 --devices 2 --streams 4 --mean-iat-us 20000 \
+  --seed 42 >/dev/null
+stream_a="$smoke_dir/stream_a"; stream_b="$smoke_dir/stream_b"
+mkdir -p "$stream_a" "$stream_b"
+cargo run --release --offline -p trail-bench --bin replay_stream -- \
+  --trace "$smoke_dir/big.trace" --target trail_multi2 \
+  --out-dir "$stream_a" >/dev/null
+# Second run cross-checks the in-memory oracle: the whole trace decoded
+# up front must produce the byte-identical report the streamed run did.
+cargo run --release --offline -p trail-bench --bin replay_stream -- \
+  --trace "$smoke_dir/big.trace" --target trail_multi2 --oracle \
+  --out-dir "$stream_b" >/dev/null
+cmp -s "$stream_a/BENCH_replaystream.json" "$stream_b/BENCH_replaystream.json" \
+  || { echo "BENCH_replaystream.json is not byte-identical across runs" >&2; exit 1; }
+grep -q '"requests":1000000' "$stream_a/BENCH_replaystream.json" \
+  || { echo "streaming replay gate must cover 10^6 records" >&2; exit 1; }
+for field in records_per_sec peak_resident_records latency_fingerprint; do
+  grep -q "\"$field\"" "$stream_a/BENCH_replaystream.json" \
+    || { echo "BENCH_replaystream.json lacks $field" >&2; exit 1; }
+done
 
 echo "== trace_tool blkparse import smoke (import -> inspect -> replay) =="
 trace_tool import crates/trace/tests/data/sample.blkparse \

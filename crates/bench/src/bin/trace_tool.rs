@@ -5,14 +5,22 @@
 //! ```text
 //! trace_tool generate --out t.trace [--requests N] [--seed S] [--streams K]
 //!                     [--devices D] [--read-frac F] [--arrival poisson|bursty]
-//!                     [--spatial uniform|zipf|seq]
+//!                     [--spatial uniform|zipf|seq] [--chunk-records C]
 //! trace_tool capture  --out t.trace [--txns N] [--standard] [--seed S]
-//! trace_tool import   blkparse.txt --out t.trace [--action Q]
+//! trace_tool import   blkparse.txt --out t.trace [--action Q] [--chunk-records C]
 //! trace_tool inspect  t.trace
 //! trace_tool convert  in.trace out.jsonl      (direction by extension)
 //! trace_tool replay   t.trace [--target all|standard|trail|trail_multi2|ext2|lfs]
 //!                     [--speed X] [--quick] [--out-dir DIR]
 //! ```
+//!
+//! Binary traces are processed **chunk at a time**: `generate`,
+//! `import`, and `convert` write through the streaming codec,
+//! `inspect` and `replay` read through it, so none of them ever hold a
+//! whole trace in memory — a multi-gigabyte trace inspects and replays
+//! in bounded space. (The JSONL side of `convert` streams line by
+//! line; loading a whole trace happens only for `.jsonl` inputs to
+//! `inspect`/`replay`, the debugging format.)
 //!
 //! `import` parses `blkparse` text output, tagging each request with a
 //! stream derived from the CPU column; `inspect` prints a per-stream
@@ -20,15 +28,21 @@
 //! target with p50/p99/p99.9 latency (aggregate and per stream) and the
 //! queue-depth trajectory.
 
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use trail_bench::{write_bench_json, write_bench_json_in, TpccRig};
-use trail_sim::SimDuration;
+use trail_sim::{SimDuration, SimTime};
 use trail_tpcc::{run, ChainOn, RunConfig};
+use trail_trace::codec::{
+    jsonl_meta_line, jsonl_record_line, parse_jsonl_meta, parse_jsonl_record,
+};
 use trail_trace::{
-    from_binary, from_jsonl, generate, import_blkparse, replay, to_binary, to_jsonl, ArrivalModel,
-    ImportOptions, ReplayOptions, SpatialModel, SyntheticSpec, TargetKind, Trace, TraceCapture,
-    TraceMeta, TraceOp,
+    from_jsonl, generate, generate_stream, import_blkparse, replay, replay_stream, scan_blkparse,
+    to_jsonl, ArrivalModel, ImportOptions, ReplayOptions, SpatialModel, StreamSummary,
+    StreamSummaryBuilder, SyntheticSpec, TargetKind, Trace, TraceCapture, TraceMeta, TraceReader,
+    TraceRecord, TraceWriter,
 };
 
 fn main() -> ExitCode {
@@ -79,29 +93,49 @@ fn positional(args: &[String], index: usize, what: &str) -> Result<String, Strin
         .ok_or_else(|| format!("missing {what}"))
 }
 
-/// Reads a trace, sniffing JSONL (`.jsonl`) vs. binary by extension.
-fn load(path: &str) -> Result<Trace, String> {
-    if path.ends_with(".jsonl") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
-    } else {
-        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-        from_binary(&bytes).map_err(|e| format!("{path}: {e}"))
-    }
+fn is_jsonl(path: &str) -> bool {
+    path.ends_with(".jsonl")
 }
 
+/// Opens a binary trace for chunk-at-a-time reading.
+fn open_binary(path: &str) -> Result<TraceReader<BufReader<File>>, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    TraceReader::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn create_out(path: &str) -> Result<BufWriter<File>, String> {
+    Ok(BufWriter::new(
+        File::create(path).map_err(|e| format!("{path}: {e}"))?,
+    ))
+}
+
+/// Reads a whole trace into memory — only for `.jsonl` inputs (the
+/// line-oriented debugging format); binary traces stream instead.
+fn load_jsonl(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Stores an in-memory trace (capture and `.jsonl` outputs).
 fn store(path: &str, trace: &Trace) -> Result<(), String> {
-    if path.ends_with(".jsonl") {
+    if is_jsonl(path) {
         let text = to_jsonl(trace).map_err(|e| e.to_string())?;
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))
     } else {
-        std::fs::write(path, to_binary(trace)).map_err(|e| format!("{path}: {e}"))
+        let mut w =
+            TraceWriter::new(create_out(path)?, &trace.meta).map_err(|e| format!("{path}: {e}"))?;
+        for r in &trace.records {
+            w.write_record(r).map_err(|e| format!("{path}: {e}"))?;
+        }
+        w.finish().map_err(|e| format!("{path}: {e}"))?;
+        Ok(())
     }
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let out = flag(args, "--out").ok_or("generate needs --out FILE")?;
     let quick = has(args, "--quick");
+    let chunk = parse(args, "--chunk-records", 0u32)?;
     let arrivals = match flag(args, "--arrival").as_deref() {
         None | Some("poisson") => ArrivalModel::Poisson {
             mean_iat: SimDuration::from_micros(parse(args, "--mean-iat-us", 2000u64)?),
@@ -134,13 +168,22 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         spatial,
         ..SyntheticSpec::default()
     };
-    let trace = generate(&spec);
-    store(&out, &trace)?;
-    println!(
-        "generated {} requests over {:.3} s -> {out}",
-        trace.len(),
-        trace.duration().as_secs_f64()
-    );
+    if is_jsonl(&out) {
+        let trace = generate(&spec);
+        store(&out, &trace)?;
+        println!(
+            "generated {} requests over {:.3} s -> {out}",
+            trace.len(),
+            trace.duration().as_secs_f64()
+        );
+    } else {
+        // Records stream straight into the chunked codec; the whole
+        // trace never exists in memory.
+        let mut w =
+            generate_stream(&spec, chunk, create_out(&out)?).map_err(|e| format!("{out}: {e}"))?;
+        w.flush().map_err(|e| format!("{out}: {e}"))?;
+        println!("generated {} requests -> {out}", spec.requests);
+    }
     Ok(())
 }
 
@@ -173,6 +216,7 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
         seed: rig.seed,
         devices: 0,
         note: format!("{txns} transactions, concurrency 4"),
+        chunk_records: parse(args, "--chunk-records", 0u32)?,
     });
     trace.rebase_to_first();
     store(&out, &trace)?;
@@ -193,43 +237,126 @@ fn cmd_import(args: &[String]) -> Result<(), String> {
         Some(v) if v.chars().count() == 1 => v.chars().next().expect("one char"),
         Some(v) => return Err(format!("--action wants a single letter, got {v:?}")),
     };
-    let text = std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?;
-    let trace = import_blkparse(&text, &ImportOptions { action }).map_err(|e| e.to_string())?;
-    store(&out, &trace)?;
+    let opts = ImportOptions { action };
+    if is_jsonl(&out) {
+        let text = std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?;
+        let trace = import_blkparse(&text, &opts).map_err(|e| e.to_string())?;
+        store(&out, &trace)?;
+        println!(
+            "imported {} '{action}' events over {:.3} s, {} devices, {} streams -> {out}",
+            trace.len(),
+            trace.duration().as_secs_f64(),
+            trace.meta.devices,
+            trace.streams().len()
+        );
+        return Ok(());
+    }
+    // Two streaming passes: scan for the epoch and device table, then
+    // re-read, normalize through the bounded reorder window, and write
+    // chunks as they fill.
+    let open = || -> Result<BufReader<File>, String> {
+        Ok(BufReader::new(
+            File::open(&input).map_err(|e| format!("{input}: {e}"))?,
+        ))
+    };
+    let scan = scan_blkparse(open()?, &opts).map_err(|e| e.to_string())?;
+    let chunk = parse(args, "--chunk-records", 0u32)?;
+    let window = parse(args, "--reorder-window", 0usize)?;
+    let w =
+        trail_trace::import_blkparse_into(open()?, &opts, &scan, chunk, window, create_out(&out)?)
+            .map_err(|e| e.to_string())?;
+    drop(w);
     println!(
-        "imported {} '{action}' events over {:.3} s, {} devices, {} streams -> {out}",
-        trace.len(),
-        trace.duration().as_secs_f64(),
-        trace.meta.devices,
-        trace.streams().len()
+        "imported {} '{action}' events, {} devices -> {out}",
+        scan.records,
+        scan.devices.len()
     );
     Ok(())
 }
 
+/// Everything `inspect` accumulates in one streaming pass.
+struct InspectStats {
+    records: u64,
+    reads: u64,
+    sectors: u64,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+    /// First invariant violation, if any (checked on the fly: sorted by
+    /// `(arrival, stream)`, no zero-length requests).
+    invalid: Option<String>,
+    summaries: Vec<StreamSummary>,
+}
+
+fn inspect_records<I: Iterator<Item = Result<TraceRecord, String>>>(
+    it: I,
+) -> Result<InspectStats, String> {
+    let mut stats = InspectStats {
+        records: 0,
+        reads: 0,
+        sectors: 0,
+        first: None,
+        last: None,
+        invalid: None,
+        summaries: Vec::new(),
+    };
+    let mut builder = StreamSummaryBuilder::new();
+    let mut prev: Option<(SimTime, u32)> = None;
+    for r in it {
+        let r = r?;
+        let i = stats.records;
+        stats.records += 1;
+        if r.op.is_read() {
+            stats.reads += 1;
+        }
+        stats.sectors += u64::from(r.sectors);
+        stats.first.get_or_insert(r.at);
+        stats.last = Some(r.at);
+        if stats.invalid.is_none() {
+            if r.sectors == 0 {
+                stats.invalid = Some(format!("record {i}: zero-length request"));
+            } else if prev.is_some_and(|p| p > (r.at, r.stream.0)) {
+                stats.invalid = Some(format!("records {} and {i} out of order", i - 1));
+            }
+        }
+        prev = Some((r.at, r.stream.0));
+        builder.record(&r);
+    }
+    stats.summaries = builder.finish();
+    Ok(stats)
+}
+
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let path = positional(args, 0, "trace file")?;
-    let trace = load(&path)?;
-    let reads = trace
-        .records
-        .iter()
-        .filter(|r| r.op == TraceOp::Read)
-        .count();
-    let sectors: u64 = trace.records.iter().map(|r| u64::from(r.sectors)).sum();
+    let (meta, stats) = if is_jsonl(&path) {
+        let trace = load_jsonl(&path)?;
+        let stats = inspect_records(trace.records.iter().map(|r| Ok(*r)))?;
+        (trace.meta, stats)
+    } else {
+        let mut reader = open_binary(&path)?;
+        let meta = reader.meta().clone();
+        let stats = inspect_records(reader.records().map(|r| r.map_err(|e| e.to_string())))?;
+        (meta, stats)
+    };
+    let duration = match (stats.first, stats.last) {
+        (Some(first), Some(last)) => last.saturating_duration_since(first),
+        _ => SimDuration::ZERO,
+    };
     println!("{path}:");
-    println!("  source:   {}", trace.meta.source);
-    println!("  seed:     {}", trace.meta.seed);
-    println!("  devices:  {}", trace.meta.devices);
-    println!("  note:     {}", trace.meta.note);
-    println!("  records:  {} ({reads} reads)", trace.len());
-    println!("  volume:   {} sectors", sectors);
-    println!("  duration: {:.3} s", trace.duration().as_secs_f64());
-    trace.validate()?;
+    println!("  source:   {}", meta.source);
+    println!("  seed:     {}", meta.seed);
+    println!("  devices:  {}", meta.devices);
+    println!("  note:     {}", meta.note);
+    println!("  records:  {} ({} reads)", stats.records, stats.reads);
+    println!("  volume:   {} sectors", stats.sectors);
+    println!("  duration: {:.3} s", duration.as_secs_f64());
+    if let Some(why) = stats.invalid {
+        return Err(why);
+    }
     println!("  validity: ok");
-    let streams = trace.per_stream_summary();
-    if !streams.is_empty() {
-        println!("  streams:  {}", streams.len());
+    if !stats.summaries.is_empty() {
+        println!("  streams:  {}", stats.summaries.len());
         println!("    stream  requests  reads  writes    sectors  footprint    span");
-        for s in &streams {
+        for s in &stats.summaries {
             let span = s.last_at.saturating_duration_since(s.first_at);
             println!(
                 "    {:>6}  {:>8}  {:>5}  {:>6}  {:>9}  {:>9}  {:>6.3} s",
@@ -249,15 +376,103 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
 fn cmd_convert(args: &[String]) -> Result<(), String> {
     let input = positional(args, 0, "input file")?;
     let output = positional(args, 1, "output file")?;
-    let trace = load(&input)?;
-    store(&output, &trace)?;
-    println!("{input} -> {output} ({} records)", trace.len());
+    let chunk = flag(args, "--chunk-records")
+        .map(|v| {
+            v.parse::<u32>()
+                .map_err(|_| format!("bad value for --chunk-records: {v}"))
+        })
+        .transpose()?;
+    let count = match (is_jsonl(&input), is_jsonl(&output)) {
+        // Binary -> JSONL: decode chunk by chunk, print line by line.
+        (false, true) => {
+            let mut reader = open_binary(&input)?;
+            let meta = reader.meta().clone();
+            let mut out = create_out(&output)?;
+            let oops = |e: std::io::Error| format!("{output}: {e}");
+            writeln!(out, "{}", jsonl_meta_line(&meta, None)).map_err(oops)?;
+            let mut count: u64 = 0;
+            for r in reader.records() {
+                let r = r.map_err(|e| format!("{input}: {e}"))?;
+                let line = jsonl_record_line(count, &r).map_err(|e| e.to_string())?;
+                writeln!(out, "{line}").map_err(oops)?;
+                count += 1;
+            }
+            out.flush().map_err(oops)?;
+            count
+        }
+        // JSONL -> binary: parse line by line, write chunk by chunk.
+        (true, false) => {
+            let file = File::open(&input).map_err(|e| format!("{input}: {e}"))?;
+            let mut lines = BufReader::new(file)
+                .lines()
+                .map(|l| l.map_err(|e| format!("{input}: {e}")));
+            let first = loop {
+                match lines.next() {
+                    None => return Err(format!("{input}: empty JSONL trace")),
+                    Some(line) => {
+                        let line = line?;
+                        if !line.trim().is_empty() {
+                            break line;
+                        }
+                    }
+                }
+            };
+            let (mut meta, declared) =
+                parse_jsonl_meta(&first).map_err(|e| format!("{input}: {e}"))?;
+            if let Some(c) = chunk {
+                meta.chunk_records = c;
+            }
+            let mut w = TraceWriter::new(create_out(&output)?, &meta)
+                .map_err(|e| format!("{output}: {e}"))?;
+            let mut count: u64 = 0;
+            for line in lines {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let r = parse_jsonl_record(count, &line).map_err(|e| format!("{input}: {e}"))?;
+                w.write_record(&r).map_err(|e| format!("{output}: {e}"))?;
+                count += 1;
+            }
+            w.finish().map_err(|e| format!("{output}: {e}"))?;
+            if declared.is_some_and(|d| d != count) {
+                return Err(format!(
+                    "{input}: header declares {} records but {count} lines follow",
+                    declared.expect("checked")
+                ));
+            }
+            count
+        }
+        // Binary -> binary: stream through, re-chunking if asked.
+        (false, false) => {
+            let mut reader = open_binary(&input)?;
+            let mut meta = reader.meta().clone();
+            if let Some(c) = chunk {
+                meta.chunk_records = c;
+            }
+            let mut w = TraceWriter::new(create_out(&output)?, &meta)
+                .map_err(|e| format!("{output}: {e}"))?;
+            for r in reader.records() {
+                let r = r.map_err(|e| format!("{input}: {e}"))?;
+                w.write_record(&r).map_err(|e| format!("{output}: {e}"))?;
+            }
+            let total = w.records_written();
+            w.finish().map_err(|e| format!("{output}: {e}"))?;
+            total
+        }
+        // JSONL -> JSONL: the debug format, in memory is fine.
+        (true, true) => {
+            let trace = load_jsonl(&input)?;
+            store(&output, &trace)?;
+            trace.len() as u64
+        }
+    };
+    println!("{input} -> {output} ({count} records)");
     Ok(())
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     let path = positional(args, 0, "trace file")?;
-    let trace = load(&path)?;
     let speed = parse(args, "--speed", 1.0f64)?;
     let quick = has(args, "--quick");
     let out_dir = flag(args, "--out-dir");
@@ -279,21 +494,31 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         "lfs_trail" => vec![TargetKind::Lfs { trail: true }],
         other => return Err(format!("unknown --target {other}")),
     };
-    println!(
-        "replaying {} requests ({:.3} s at 1x) at {speed}x:",
-        trace.len(),
-        trace.duration().as_secs_f64()
-    );
+    // JSONL traces (the debug format) load whole; binary traces are
+    // re-opened and streamed chunk-at-a-time once per target.
+    let in_memory: Option<Trace> = if is_jsonl(&path) {
+        let t = load_jsonl(&path)?;
+        println!(
+            "replaying {} requests ({:.3} s at 1x) at {speed}x:",
+            t.len(),
+            t.duration().as_secs_f64()
+        );
+        Some(t)
+    } else {
+        println!("replaying {path} at {speed}x:");
+        None
+    };
     for target in targets {
-        let rep = replay(
-            &trace,
-            &ReplayOptions {
-                target,
-                speed,
-                fs_file_blocks: if quick { 128 } else { 1024 },
-                ..ReplayOptions::default()
-            },
-        )
+        let opts = ReplayOptions {
+            target,
+            speed,
+            fs_file_blocks: if quick { 128 } else { 1024 },
+            ..ReplayOptions::default()
+        };
+        let rep = match &in_memory {
+            Some(t) => replay(t, &opts),
+            None => replay_stream(open_binary(&path)?, &opts),
+        }
         .map_err(|e| e.to_string())?;
         println!(
             "  {:<14} p50 {:>8.3} ms  p99 {:>8.3} ms  p99.9 {:>8.3} ms  maxQD {:>4}  errors {}",

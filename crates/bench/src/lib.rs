@@ -27,7 +27,9 @@ pub mod runner;
 pub mod scenarios;
 pub use report::{write_bench_json, write_bench_json_in, BenchArgs};
 pub use runner::{run_all_scenarios, RunAllOptions, RunAllSummary};
-pub use scenarios::{all_scenarios, run_scenario, ScenarioConfig, ScenarioOutput, ScenarioSpec};
+pub use scenarios::{
+    all_scenarios, replay_stream_json, run_scenario, ScenarioConfig, ScenarioOutput, ScenarioSpec,
+};
 
 /// The paper's testbed: one ST41601N-class SCSI log disk and three
 /// WD-Caviar-class IDE data disks.

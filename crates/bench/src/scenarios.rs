@@ -33,8 +33,9 @@ use trail_sim::{Delivered, LatencySummary, SimDuration, Simulator};
 use trail_telemetry::{JsonValue, RecorderHandle};
 use trail_tpcc::{run, ChainOn, RunConfig, TpccReport};
 use trail_trace::{
-    generate, replay as trace_replay, ArrivalModel, ReplayOptions, SpatialModel, SyntheticSpec,
-    TargetKind, Trace, TraceCapture, TraceMeta,
+    generate, generate_stream, replay as trace_replay, replay_stream as trace_replay_stream,
+    ArrivalModel, ReplayOptions, ReplayReport, SpatialModel, SyntheticSpec, TargetKind, Trace,
+    TraceCapture, TraceMeta, TraceReader, DEFAULT_CHUNK_RECORDS,
 };
 
 use crate::{
@@ -185,6 +186,12 @@ pub fn all_scenarios() -> Vec<ScenarioSpec> {
             artifact: "replay_tpcc",
             title: "Trace replay: captured TPC-C workload vs. every stack",
             run: replay_tpcc,
+        },
+        ScenarioSpec {
+            name: "replay_stream",
+            artifact: "replaystream",
+            title: "Streaming replay: chunked trace pipeline, bounded-memory throughput",
+            run: replay_stream_bench,
         },
         ScenarioSpec {
             name: "serve_fleet",
@@ -1665,6 +1672,154 @@ fn replay_synthetic(cfg: &ScenarioConfig) -> ScenarioOutput {
     }
 }
 
+/// The `BENCH_replaystream.json` payload for one streaming replay —
+/// shared with the standalone `replay_stream` binary so the artifact
+/// schema cannot drift between the registry and the CI gate. Every
+/// field is virtual-time-derived: `records_per_sec` is records over
+/// the replay's *virtual* duration, and `peak_resident_records` is the
+/// engine's bounded-memory proxy (arrival batch + requests in flight),
+/// so a fixed trace produces identical bytes on every run.
+#[must_use]
+pub fn replay_stream_json(rep: &ReplayReport, chunk_records: u32, trace_bytes: u64) -> JsonValue {
+    let chunk = if chunk_records == 0 {
+        DEFAULT_CHUNK_RECORDS
+    } else {
+        chunk_records
+    };
+    let secs = rep.duration.as_secs_f64();
+    let records_per_sec = if secs > 0.0 {
+        rep.requests as f64 / secs
+    } else {
+        0.0
+    };
+    JsonValue::obj(vec![
+        ("bench", JsonValue::str("replay_stream")),
+        ("target", JsonValue::str(rep.target.clone())),
+        ("requests", JsonValue::Num(rep.requests as f64)),
+        ("chunk_records", JsonValue::Num(f64::from(chunk))),
+        ("trace_bytes", JsonValue::Num(trace_bytes as f64)),
+        ("duration_ms", JsonValue::Num(rep.duration.as_millis_f64())),
+        ("records_per_sec", JsonValue::Num(records_per_sec)),
+        (
+            "peak_resident_records",
+            JsonValue::Num(rep.peak_resident_records as f64),
+        ),
+        (
+            "latency_fingerprint",
+            JsonValue::str(format!("{:016x}", rep.latency_fingerprint)),
+        ),
+        ("latency", rep.latency.to_json()),
+        (
+            "max_queue_depth",
+            JsonValue::Num(f64::from(rep.max_queue_depth)),
+        ),
+        ("errors", JsonValue::Num(rep.errors as f64)),
+    ])
+}
+
+/// Renders the one-line summary `replay_stream` prints per replay.
+fn replay_stream_row(report: &mut String, rep: &ReplayReport, trace_bytes: u64) {
+    let secs = rep.duration.as_secs_f64();
+    let _ = writeln!(
+        report,
+        "| {} | {:.0} | {} | {} | {:.3} | {:.3} | {} |",
+        rep.target,
+        if secs > 0.0 {
+            rep.requests as f64 / secs
+        } else {
+            0.0
+        },
+        rep.peak_resident_records,
+        rep.max_queue_depth,
+        rep.latency.percentile(50.0).as_millis_f64(),
+        rep.latency.percentile(99.0).as_millis_f64(),
+        trace_bytes,
+    );
+}
+
+/// Streams a chunked synthetic trace through the bounded-memory replay
+/// engine — a million records in full mode — and reports virtual
+/// throughput plus the peak-residency proxy. In quick mode the
+/// streamed report is additionally checked byte-for-byte against the
+/// in-memory oracle, the acceptance property of the streaming pipeline.
+fn replay_stream_bench(cfg: &ScenarioConfig) -> ScenarioOutput {
+    let requests = cfg
+        .scale
+        .unwrap_or(if cfg.quick { 2_000 } else { 1_000_000 });
+    let spec = SyntheticSpec {
+        seed: cfg.mix(0x0053_5452_4541), // "STREA"
+        requests,
+        devices: 2,
+        streams: 4,
+        capacity_sectors: 2 * 1024 * 1024,
+        read_fraction: 0.3,
+        request_sectors: 8,
+        arrivals: ArrivalModel::Poisson {
+            mean_iat: SimDuration::from_millis(20),
+        },
+        spatial: SpatialModel::Uniform,
+    };
+    // The trace is encoded straight into a chunk-framed buffer and
+    // decoded back one chunk at a time — the full Vec<TraceRecord>
+    // never exists on the streaming side.
+    let bytes = generate_stream(&spec, 0, Vec::new()).expect("encode trace");
+    let trace_bytes = bytes.len() as u64;
+    let opts = ReplayOptions {
+        target: TargetKind::Trail,
+        fs_file_blocks: 256,
+        recorder: cfg.handle(),
+        ..ReplayOptions::default()
+    };
+    let reader = TraceReader::new(std::io::Cursor::new(bytes)).expect("trace header");
+    let rep = trace_replay_stream(reader, &opts).expect("streaming replay");
+    assert_eq!(
+        rep.requests, requests as u64,
+        "stream replayed every record"
+    );
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "== Streaming replay — {requests} records decoded chunk-at-a-time \
+         ({DEFAULT_CHUNK_RECORDS}/chunk) through the bounded-memory engine =="
+    );
+    let _ = writeln!(
+        report,
+        "| target | records/s (virtual) | peak resident | max QD | p50 (ms) | p99 (ms) | trace bytes |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|---|");
+    replay_stream_row(&mut report, &rep, trace_bytes);
+    let oracle_checked = cfg.quick;
+    if oracle_checked {
+        // The acceptance property, exercised at smoke size: the
+        // streaming engine's report is byte-identical to replaying the
+        // fully materialized trace.
+        let oracle = trace_replay(&generate(&spec), &opts).expect("in-memory oracle");
+        assert_eq!(
+            rep.latency_fingerprint, oracle.latency_fingerprint,
+            "streamed replay diverged from the in-memory oracle"
+        );
+        assert_eq!(
+            rep.to_json().to_json(),
+            oracle.to_json().to_json(),
+            "streamed report diverged from the in-memory oracle"
+        );
+        let _ = writeln!(
+            report,
+            "oracle: streamed report byte-identical to the in-memory replay"
+        );
+    }
+
+    let mut json = replay_stream_json(&rep, 0, trace_bytes);
+    if let JsonValue::Obj(fields) = &mut json {
+        fields.push((
+            "oracle_checked".to_string(),
+            JsonValue::Num(f64::from(u8::from(oracle_checked))),
+        ));
+    }
+    ScenarioOutput { report, json }
+}
+
 /// Offers one synthetic trace to every base stack at several
 /// time-compression factors. The replay `speed` knob rescales arrival
 /// instants, so 8x presents the recorded load eight times faster than it
@@ -1812,6 +1967,7 @@ fn replay_tpcc(cfg: &ScenarioConfig) -> ScenarioOutput {
         seed: rig.seed,
         devices: 0,
         note: format!("{txns} transactions, concurrency 4, over Trail"),
+        chunk_records: 0,
     });
     trace.rebase_to_first();
 

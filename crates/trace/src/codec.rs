@@ -1,23 +1,46 @@
-//! Binary and JSONL codecs for [`Trace`].
+//! Binary and JSONL codecs for [`Trace`], streaming and in-memory.
 //!
 //! Two encodings of the same model, both self-describing and versioned:
 //!
 //! - **Binary** (`.trace`): an 8-byte magic, a little-endian header, a
-//!   JSON metadata blob, then fixed 28-byte little-endian records. This
-//!   is the compact interchange format; encoding is canonical, so
-//!   decode → re-encode reproduces the input byte for byte.
+//!   canonical-JSON metadata blob, then the records in **length-prefixed
+//!   chunks** (format v2) — each chunk carries its record count and a
+//!   CRC-32 over its payload, and a footer chunk index closes the file.
+//!   Encoding is canonical, so decode → re-encode reproduces the input
+//!   byte for byte. Version-1 files (a bare `u64` record count followed
+//!   by a flat record array) remain readable.
 //! - **JSONL** (`.jsonl`): the first line is the metadata object, each
 //!   following line one record. This is the greppable/diffable export;
 //!   it is exact for values below 2⁵³ (encoding larger timestamps or
 //!   LBAs is rejected rather than silently rounded).
+//!
+//! The streaming entry points are [`TraceWriter`] and [`TraceReader`]:
+//! a writer accepts records one at a time over any [`io::Write`] and
+//! never buffers more than one chunk; a reader decodes one chunk at a
+//! time over any [`io::Read`] and hands records out through
+//! [`TraceReader::next_record`] / [`TraceReader::records`]. The
+//! in-memory [`to_binary`] / [`from_binary`] pair are thin adapters
+//! over them for small traces and tests.
 //!
 //! Layout of one binary record (offsets in bytes):
 //!
 //! | 0..8 | 8..16 | 16..20 | 20..24 | 24..26 | 26 | 27 |
 //! |---|---|---|---|---|---|---|
 //! | `at_ns` u64 | `lba` u64 | `sectors` u32 | `stream` u32 | `dev` u16 | `op` u8 | reserved (0) |
+//!
+//! Layout of a v2 chunk frame (all little-endian):
+//!
+//! | 0..4 | 4..8 | 8..12 | 12.. |
+//! |---|---|---|---|
+//! | `records` u32 | `payload_len` u32 | `crc32` u32 | payload |
+//!
+//! A data chunk has `records ≥ 1` and `payload_len = records × 28`; the
+//! file ends with one **footer** frame with `records = 0` whose payload
+//! is the chunk index: `total_records` u64, `chunk_count` u32, then one
+//! `(file_offset u64, records u32)` pair per data chunk.
 
 use std::fmt;
+use std::io::{self, Read, Write};
 
 use trail_sim::SimTime;
 use trail_telemetry::{JsonValue, StreamId};
@@ -29,6 +52,16 @@ pub const TRACE_MAGIC: [u8; 8] = *b"TRAILTRC";
 
 /// Size of one binary record in bytes.
 pub const RECORD_BYTES: usize = 28;
+
+/// Records per chunk when [`TraceMeta::chunk_records`] is 0.
+pub const DEFAULT_CHUNK_RECORDS: u32 = 4096;
+
+/// Hard ceiling on records per chunk (bounds a reader's allocation no
+/// matter what the frame header claims).
+pub const MAX_CHUNK_RECORDS: u32 = 1 << 20;
+
+/// Size of a chunk frame header (`records`, `payload_len`, `crc32`).
+const CHUNK_HEADER_BYTES: usize = 12;
 
 /// Largest integer JSONL can carry exactly (2⁵³).
 const JSON_EXACT_MAX: u64 = 1 << 53;
@@ -51,6 +84,17 @@ pub enum TraceError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A v2 chunk is malformed: truncated payload, CRC mismatch, or an
+    /// impossible frame header.
+    BadChunk {
+        /// Zero-based chunk index (the footer counts as the chunk after
+        /// the last data chunk).
+        chunk: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The underlying reader or writer failed.
+    Io(String),
 }
 
 impl fmt::Display for TraceError {
@@ -65,27 +109,90 @@ impl fmt::Display for TraceError {
             TraceError::BadRecord { index, reason } => {
                 write!(f, "bad trace record {index}: {reason}")
             }
+            TraceError::BadChunk { chunk, reason } => {
+                write!(f, "bad trace chunk {chunk}: {reason}")
+            }
+            TraceError::Io(why) => write!(f, "trace io error: {why}"),
         }
     }
 }
 
 impl std::error::Error for TraceError {}
 
+/// Maps an I/O failure while reading `what`: a clean EOF mid-item is a
+/// truncation, anything else is an I/O error.
+fn read_err(what: &str, e: &io::Error) -> TraceError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        TraceError::Truncated(what.to_string())
+    } else {
+        TraceError::Io(format!("reading {what}: {e}"))
+    }
+}
+
+// ----------------------------------------------------------------- crc
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`), table-driven. Kept
+/// local: the workspace vendors no checksum crate, and 20 lines beat a
+/// dependency.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 each chunk frame carries over its payload.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------- meta
+
 /// The canonical metadata object both codecs embed. `seed` is carried as
 /// a decimal string so 64-bit seeds survive the f64 JSON number space.
-fn meta_json(meta: &TraceMeta, records: usize) -> JsonValue {
-    JsonValue::obj(vec![
+/// `records` is present when the producer knows the total up front (the
+/// JSONL codec and the legacy v1 binary); a streaming v2 writer leaves
+/// it out — the total lives in the footer index instead.
+fn meta_json(meta: &TraceMeta, version: u16, records: Option<u64>) -> JsonValue {
+    let mut fields = vec![
         ("format", JsonValue::str("trail-trace")),
-        ("version", JsonValue::Num(f64::from(TRACE_VERSION))),
+        ("version", JsonValue::Num(f64::from(version))),
         ("source", JsonValue::str(meta.source.clone())),
         ("seed", JsonValue::str(meta.seed.to_string())),
         ("devices", JsonValue::Num(f64::from(meta.devices))),
         ("note", JsonValue::str(meta.note.clone())),
-        ("records", JsonValue::Num(records as f64)),
-    ])
+    ];
+    if version >= 2 {
+        fields.push((
+            "chunk_records",
+            JsonValue::Num(f64::from(meta.chunk_records)),
+        ));
+    }
+    if let Some(records) = records {
+        fields.push(("records", JsonValue::Num(records as f64)));
+    }
+    JsonValue::obj(fields)
 }
 
-fn parse_meta(v: &JsonValue) -> Result<(TraceMeta, Option<usize>), TraceError> {
+fn parse_meta(v: &JsonValue) -> Result<(TraceMeta, Option<u64>), TraceError> {
     let bad = |why: &str| TraceError::BadMeta(why.to_string());
     let format = v
         .get("format")
@@ -109,10 +216,14 @@ fn parse_meta(v: &JsonValue) -> Result<(TraceMeta, Option<usize>), TraceError> {
         _ => 0,
     };
     let devices = v.get("devices").and_then(JsonValue::as_f64).unwrap_or(0.0) as u16;
+    let chunk_records = v
+        .get("chunk_records")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0) as u32;
     let records = v
         .get("records")
         .and_then(JsonValue::as_f64)
-        .map(|n| n as usize);
+        .map(|n| n as u64);
     Ok((
         TraceMeta {
             source: v
@@ -127,116 +238,543 @@ fn parse_meta(v: &JsonValue) -> Result<(TraceMeta, Option<usize>), TraceError> {
                 .and_then(JsonValue::as_str)
                 .unwrap_or("")
                 .to_string(),
+            chunk_records,
         },
         records,
     ))
 }
 
-/// Encodes a trace to the canonical binary form.
+// ------------------------------------------------------------- records
+
+fn encode_record(out: &mut Vec<u8>, r: &TraceRecord) {
+    out.extend_from_slice(&r.at.as_nanos().to_le_bytes());
+    out.extend_from_slice(&r.lba.to_le_bytes());
+    out.extend_from_slice(&r.sectors.to_le_bytes());
+    out.extend_from_slice(&r.stream.0.to_le_bytes());
+    out.extend_from_slice(&r.dev.to_le_bytes());
+    out.push(r.op.code());
+    out.push(0); // reserved
+}
+
+/// Decodes one 28-byte record; `index` is the zero-based position in
+/// the whole trace (for error messages).
+fn decode_record(bytes: &[u8], index: u64) -> Result<TraceRecord, TraceError> {
+    debug_assert_eq!(bytes.len(), RECORD_BYTES);
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+    let op_code = bytes[26];
+    let op = TraceOp::from_code(op_code).ok_or_else(|| TraceError::BadRecord {
+        index: index as usize,
+        reason: format!("unknown op code {op_code}"),
+    })?;
+    Ok(TraceRecord {
+        at: SimTime::from_nanos(u64_at(0)),
+        op,
+        dev: u16::from_le_bytes(bytes[24..26].try_into().expect("2 bytes")),
+        lba: u64_at(8),
+        sectors: u32_at(16),
+        stream: StreamId(u32_at(20)),
+    })
+}
+
+// -------------------------------------------------------------- writer
+
+/// Streaming chunked encoder: accepts records one at a time over any
+/// [`io::Write`], buffering at most one chunk
+/// ([`TraceMeta::chunk_records`] records, [`DEFAULT_CHUNK_RECORDS`]
+/// when 0). The header is written on construction; [`finish`] flushes
+/// the trailing partial chunk and the footer index. Dropping a writer
+/// without calling [`finish`] leaves the output without a footer — a
+/// reader will reject it as truncated rather than silently shorten the
+/// trace.
+///
+/// [`finish`]: TraceWriter::finish
+pub struct TraceWriter<W: Write> {
+    w: W,
+    chunk_records: u32,
+    buf: Vec<u8>,
+    buf_records: u32,
+    offset: u64,
+    index: Vec<(u64, u32)>,
+    total: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the v2 header (magic, version, flags, metadata) and
+    /// returns a writer ready for records.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the underlying writer.
+    pub fn new(mut w: W, meta: &TraceMeta) -> io::Result<TraceWriter<W>> {
+        let chunk_records = if meta.chunk_records == 0 {
+            DEFAULT_CHUNK_RECORDS
+        } else {
+            meta.chunk_records.min(MAX_CHUNK_RECORDS)
+        };
+        let meta_text = meta_json(meta, TRACE_VERSION, None).to_json();
+        let meta_bytes = meta_text.as_bytes();
+        w.write_all(&TRACE_MAGIC)?;
+        w.write_all(&TRACE_VERSION.to_le_bytes())?;
+        w.write_all(&0u16.to_le_bytes())?; // flags, reserved
+        w.write_all(&(meta_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(meta_bytes)?;
+        Ok(TraceWriter {
+            w,
+            chunk_records,
+            buf: Vec::with_capacity(chunk_records as usize * RECORD_BYTES),
+            buf_records: 0,
+            offset: 16 + meta_bytes.len() as u64,
+            index: Vec::new(),
+            total: 0,
+        })
+    }
+
+    /// The resolved records-per-chunk this writer flushes at.
+    #[must_use]
+    pub fn chunk_records(&self) -> u32 {
+        self.chunk_records
+    }
+
+    /// Records accepted so far.
+    #[must_use]
+    pub fn records_written(&self) -> u64 {
+        self.total + u64::from(self.buf_records)
+    }
+
+    /// Appends one record, flushing a full chunk to the writer.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the underlying writer.
+    pub fn write_record(&mut self, r: &TraceRecord) -> io::Result<()> {
+        encode_record(&mut self.buf, r);
+        self.buf_records += 1;
+        if self.buf_records >= self.chunk_records {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.buf_records == 0 {
+            return Ok(());
+        }
+        self.w.write_all(&self.buf_records.to_le_bytes())?;
+        self.w.write_all(&(self.buf.len() as u32).to_le_bytes())?;
+        self.w.write_all(&crc32(&self.buf).to_le_bytes())?;
+        self.w.write_all(&self.buf)?;
+        self.index.push((self.offset, self.buf_records));
+        self.offset += (CHUNK_HEADER_BYTES + self.buf.len()) as u64;
+        self.total += u64::from(self.buf_records);
+        self.buf.clear();
+        self.buf_records = 0;
+        Ok(())
+    }
+
+    /// Flushes the trailing partial chunk and the footer chunk index,
+    /// returning the inner writer (flushed).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_chunk()?;
+        let mut footer = Vec::with_capacity(12 + self.index.len() * 12);
+        footer.extend_from_slice(&self.total.to_le_bytes());
+        footer.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        for (offset, records) in &self.index {
+            footer.extend_from_slice(&offset.to_le_bytes());
+            footer.extend_from_slice(&records.to_le_bytes());
+        }
+        self.w.write_all(&0u32.to_le_bytes())?; // records = 0: footer
+        self.w.write_all(&(footer.len() as u32).to_le_bytes())?;
+        self.w.write_all(&crc32(&footer).to_le_bytes())?;
+        self.w.write_all(&footer)?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+// -------------------------------------------------------------- reader
+
+/// Streaming chunked decoder over any [`io::Read`]: the header and
+/// metadata are parsed on construction, records are decoded one chunk
+/// at a time as [`next_record`] / [`records`] demand them, and the
+/// footer index is verified against the records actually read. Reads
+/// both format versions — v1 files are streamed in
+/// [`DEFAULT_CHUNK_RECORDS`]-sized bites, so memory stays bounded by
+/// one chunk either way.
+///
+/// [`next_record`]: TraceReader::next_record
+/// [`records`]: TraceReader::records
+pub struct TraceReader<R: Read> {
+    r: R,
+    meta: TraceMeta,
+    version: u16,
+    /// v1 only: the record count the header declared.
+    declared: Option<u64>,
+    chunk: Vec<u8>,
+    pos: usize,
+    chunks_read: u64,
+    records_read: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header and metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`], [`TraceError::UnsupportedVersion`],
+    /// [`TraceError::BadMeta`], or truncation/IO while reading them.
+    pub fn new(mut r: R) -> Result<TraceReader<R>, TraceError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|e| read_err("magic", &e))?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut halves = [0u8; 4];
+        r.read_exact(&mut halves)
+            .map_err(|e| read_err("version", &e))?;
+        let version = u16::from_le_bytes(halves[0..2].try_into().expect("2 bytes"));
+        if version == 0 || version > TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let mut len = [0u8; 4];
+        r.read_exact(&mut len)
+            .map_err(|e| read_err("meta length", &e))?;
+        let meta_len = u32::from_le_bytes(len) as usize;
+        let mut meta_bytes = vec![0u8; meta_len];
+        r.read_exact(&mut meta_bytes)
+            .map_err(|e| read_err("metadata blob", &e))?;
+        let meta_text = std::str::from_utf8(&meta_bytes)
+            .map_err(|_| TraceError::BadMeta("metadata is not UTF-8".to_string()))?;
+        let meta_value =
+            JsonValue::parse(meta_text).map_err(|e| TraceError::BadMeta(e.to_string()))?;
+        let (meta, _) = parse_meta(&meta_value)?;
+        let declared = if version == 1 {
+            let mut count = [0u8; 8];
+            r.read_exact(&mut count)
+                .map_err(|e| read_err("record count", &e))?;
+            Some(u64::from_le_bytes(count))
+        } else {
+            None
+        };
+        Ok(TraceReader {
+            r,
+            meta,
+            version,
+            declared,
+            chunk: Vec::new(),
+            pos: 0,
+            chunks_read: 0,
+            records_read: 0,
+            done: false,
+        })
+    }
+
+    /// The trace's metadata.
+    #[must_use]
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// The on-disk format version (1 or 2).
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Records decoded so far.
+    #[must_use]
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Upper bound on the records this reader holds decoded at once —
+    /// the chunk it is currently walking.
+    #[must_use]
+    pub fn buffered_records(&self) -> u32 {
+        (self.chunk.len() / RECORD_BYTES) as u32
+    }
+
+    /// Loads the next chunk into `self.chunk`, or marks the stream done
+    /// at a clean footer (v2) / declared count (v1).
+    fn refill(&mut self) -> Result<(), TraceError> {
+        if self.version == 1 {
+            let remaining = self
+                .declared
+                .expect("v1 declares a count")
+                .saturating_sub(self.records_read);
+            if remaining == 0 {
+                self.done = true;
+                return Ok(());
+            }
+            let take = remaining.min(u64::from(DEFAULT_CHUNK_RECORDS)) as usize;
+            self.chunk.resize(take * RECORD_BYTES, 0);
+            self.r
+                .read_exact(&mut self.chunk)
+                .map_err(|e| read_err("record data", &e))?;
+            self.pos = 0;
+            self.chunks_read += 1;
+            return Ok(());
+        }
+        let chunk = self.chunks_read as usize;
+        let mut header = [0u8; CHUNK_HEADER_BYTES];
+        self.r
+            .read_exact(&mut header)
+            .map_err(|e| read_err("chunk header (unfinished trace is missing its footer)", &e))?;
+        let records = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let payload_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let bad = |reason: String| TraceError::BadChunk { chunk, reason };
+        if records == 0 {
+            // Footer: verify the index against what was actually read.
+            if !(12..=12 + (1 << 28)).contains(&payload_len) {
+                return Err(bad(format!("impossible footer length {payload_len}")));
+            }
+            let mut footer = vec![0u8; payload_len];
+            self.r
+                .read_exact(&mut footer)
+                .map_err(|e| read_err("chunk index", &e))?;
+            let computed = crc32(&footer);
+            if computed != stored_crc {
+                return Err(bad(format!(
+                    "footer crc mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"
+                )));
+            }
+            let total = u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes"));
+            let count = u32::from_le_bytes(footer[8..12].try_into().expect("4 bytes"));
+            if u64::from(count) != self.chunks_read || total != self.records_read {
+                return Err(bad(format!(
+                    "footer declares {count} chunks / {total} records, read {} / {}",
+                    self.chunks_read, self.records_read
+                )));
+            }
+            self.done = true;
+            return Ok(());
+        }
+        if records > MAX_CHUNK_RECORDS {
+            return Err(bad(format!(
+                "chunk claims {records} records (max {MAX_CHUNK_RECORDS})"
+            )));
+        }
+        if payload_len != records as usize * RECORD_BYTES {
+            return Err(bad(format!(
+                "payload length {payload_len} does not match {records} records"
+            )));
+        }
+        self.chunk.resize(payload_len, 0);
+        if let Err(e) = self.r.read_exact(&mut self.chunk) {
+            return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+                bad("truncated mid-chunk".to_string())
+            } else {
+                TraceError::Io(format!("reading chunk {chunk}: {e}"))
+            });
+        }
+        let computed = crc32(&self.chunk);
+        if computed != stored_crc {
+            return Err(bad(format!(
+                "crc mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"
+            )));
+        }
+        self.pos = 0;
+        self.chunks_read += 1;
+        Ok(())
+    }
+
+    /// Decodes the next record; `None` at a clean end of trace. After an
+    /// error the reader is fused (returns `None` from then on).
+    pub fn next_record(&mut self) -> Option<Result<TraceRecord, TraceError>> {
+        if self.done {
+            return None;
+        }
+        if self.pos >= self.chunk.len() {
+            if let Err(e) = self.refill() {
+                self.done = true;
+                return Some(Err(e));
+            }
+            if self.done {
+                return None;
+            }
+        }
+        let bytes = &self.chunk[self.pos..self.pos + RECORD_BYTES];
+        match decode_record(bytes, self.records_read) {
+            Ok(r) => {
+                self.pos += RECORD_BYTES;
+                self.records_read += 1;
+                Some(Ok(r))
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    /// The records as an iterator (chunk-at-a-time under the hood).
+    pub fn records(&mut self) -> Records<'_, R> {
+        Records { reader: self }
+    }
+
+    /// Drains the reader into an in-memory [`Trace`].
+    ///
+    /// # Errors
+    ///
+    /// The first decode error, if any.
+    pub fn into_trace(mut self) -> Result<Trace, TraceError> {
+        let mut records = Vec::new();
+        while let Some(r) = self.next_record() {
+            records.push(r?);
+        }
+        Ok(Trace {
+            meta: self.meta,
+            records,
+        })
+    }
+}
+
+/// Iterator over a [`TraceReader`]'s records; see
+/// [`TraceReader::records`].
+pub struct Records<'a, R: Read> {
+    reader: &'a mut TraceReader<R>,
+}
+
+impl<R: Read> Iterator for Records<'_, R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.next_record()
+    }
+}
+
+// -------------------------------------------------- in-memory adapters
+
+/// Encodes a trace to the canonical (v2 chunked) binary form — a thin
+/// adapter over [`TraceWriter`] for small traces and tests.
 #[must_use]
 pub fn to_binary(trace: &Trace) -> Vec<u8> {
-    let meta = meta_json(&trace.meta, trace.records.len()).to_json();
+    let cap = 64 + trace.records.len() * RECORD_BYTES;
+    let mut w =
+        TraceWriter::new(Vec::with_capacity(cap), &trace.meta).expect("Vec writes are infallible");
+    for r in &trace.records {
+        w.write_record(r).expect("Vec writes are infallible");
+    }
+    w.finish().expect("Vec writes are infallible")
+}
+
+/// Encodes a trace in the legacy v1 layout (flat record array, no
+/// chunks). Kept so compatibility with already-stored v1 files stays
+/// testable; new code should write v2 via [`to_binary`] or
+/// [`TraceWriter`].
+#[must_use]
+pub fn to_binary_v1(trace: &Trace) -> Vec<u8> {
+    let meta = meta_json(&trace.meta, 1, Some(trace.records.len() as u64)).to_json();
     let meta = meta.as_bytes();
     let mut out = Vec::with_capacity(24 + meta.len() + RECORD_BYTES * trace.records.len());
     out.extend_from_slice(&TRACE_MAGIC);
-    out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes());
     out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
     out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
     out.extend_from_slice(meta);
     out.extend_from_slice(&(trace.records.len() as u64).to_le_bytes());
     for r in &trace.records {
-        out.extend_from_slice(&r.at.as_nanos().to_le_bytes());
-        out.extend_from_slice(&r.lba.to_le_bytes());
-        out.extend_from_slice(&r.sectors.to_le_bytes());
-        out.extend_from_slice(&r.stream.0.to_le_bytes());
-        out.extend_from_slice(&r.dev.to_le_bytes());
-        out.push(r.op.code());
-        out.push(0); // reserved
+        encode_record(&mut out, r);
     }
     out
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| TraceError::Truncated(what.to_string()))?;
-        let s = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u16(&mut self, what: &str) -> Result<u16, TraceError> {
-        Ok(u16::from_le_bytes(
-            self.take(2, what)?.try_into().expect("2 bytes"),
-        ))
-    }
-
-    fn u32(&mut self, what: &str) -> Result<u32, TraceError> {
-        Ok(u32::from_le_bytes(
-            self.take(4, what)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn u64(&mut self, what: &str) -> Result<u64, TraceError> {
-        Ok(u64::from_le_bytes(
-            self.take(8, what)?.try_into().expect("8 bytes"),
-        ))
-    }
-}
-
-/// Decodes a binary trace.
+/// Decodes a binary trace (either format version) — a thin adapter over
+/// [`TraceReader`].
 ///
 /// # Errors
 ///
 /// Any [`TraceError`]: bad magic, unsupported version, truncation, or a
-/// malformed metadata blob or record.
+/// malformed metadata blob, chunk, or record.
 pub fn from_binary(bytes: &[u8]) -> Result<Trace, TraceError> {
-    let mut r = Reader { bytes, pos: 0 };
-    if r.take(8, "magic")? != TRACE_MAGIC {
-        return Err(TraceError::BadMagic);
+    TraceReader::new(bytes)?.into_trace()
+}
+
+// --------------------------------------------------------------- jsonl
+
+/// The JSONL metadata line. Pass `records` when the total is known up
+/// front (in-memory export); a streaming producer may omit it — readers
+/// only cross-check the count when it is present.
+#[must_use]
+pub fn jsonl_meta_line(meta: &TraceMeta, records: Option<u64>) -> String {
+    meta_json(meta, TRACE_VERSION, records).to_json()
+}
+
+/// One JSONL record line (no trailing newline).
+///
+/// # Errors
+///
+/// [`TraceError::BadRecord`] if the arrival or LBA exceeds 2⁵³ and
+/// would lose precision as a JSON number; `index` names the record in
+/// the error.
+pub fn jsonl_record_line(index: u64, r: &TraceRecord) -> Result<String, TraceError> {
+    for (what, v) in [("arrival", r.at.as_nanos()), ("lba", r.lba)] {
+        if v >= JSON_EXACT_MAX {
+            return Err(TraceError::BadRecord {
+                index: index as usize,
+                reason: format!("{what} {v} exceeds the exact JSON number range"),
+            });
+        }
     }
-    let version = r.u16("version")?;
-    if version == 0 || version > TRACE_VERSION {
-        return Err(TraceError::UnsupportedVersion(version));
-    }
-    let _flags = r.u16("flags")?;
-    let meta_len = r.u32("meta length")? as usize;
-    let meta_bytes = r.take(meta_len, "metadata blob")?;
-    let meta_text = std::str::from_utf8(meta_bytes)
-        .map_err(|_| TraceError::BadMeta("metadata is not UTF-8".to_string()))?;
-    let meta_value = JsonValue::parse(meta_text).map_err(|e| TraceError::BadMeta(e.to_string()))?;
-    let (meta, _) = parse_meta(&meta_value)?;
-    let count = r.u64("record count")? as usize;
-    let mut records = Vec::with_capacity(count.min(1 << 20));
-    for index in 0..count {
-        let at_ns = r.u64("record arrival")?;
-        let lba = r.u64("record lba")?;
-        let sectors = r.u32("record sectors")?;
-        let stream = StreamId(r.u32("record stream")?);
-        let dev = r.u16("record device")?;
-        let op_code = r.take(2, "record op")?[0];
-        let op = TraceOp::from_code(op_code).ok_or_else(|| TraceError::BadRecord {
-            index,
-            reason: format!("unknown op code {op_code}"),
-        })?;
-        records.push(TraceRecord {
-            at: SimTime::from_nanos(at_ns),
-            op,
-            dev,
-            lba,
-            sectors,
-            stream,
-        });
-    }
-    Ok(Trace { meta, records })
+    Ok(JsonValue::obj(vec![
+        ("at_ns", JsonValue::Num(r.at.as_nanos() as f64)),
+        ("op", JsonValue::str(r.op.letter())),
+        ("dev", JsonValue::Num(f64::from(r.dev))),
+        ("lba", JsonValue::Num(r.lba as f64)),
+        ("sectors", JsonValue::Num(f64::from(r.sectors))),
+        ("stream", JsonValue::Num(f64::from(r.stream.0))),
+    ])
+    .to_json())
+}
+
+/// Parses a JSONL metadata line into the metadata plus the declared
+/// record count, when present.
+///
+/// # Errors
+///
+/// [`TraceError::BadMeta`] or [`TraceError::UnsupportedVersion`].
+pub fn parse_jsonl_meta(line: &str) -> Result<(TraceMeta, Option<u64>), TraceError> {
+    let meta_value = JsonValue::parse(line).map_err(|e| TraceError::BadMeta(e.to_string()))?;
+    parse_meta(&meta_value)
+}
+
+/// Parses one JSONL record line; `index` is the zero-based record
+/// position (for error messages).
+///
+/// # Errors
+///
+/// [`TraceError::BadRecord`] naming the malformed field.
+pub fn parse_jsonl_record(index: u64, line: &str) -> Result<TraceRecord, TraceError> {
+    let bad = |reason: String| TraceError::BadRecord {
+        index: index as usize,
+        reason,
+    };
+    let v = JsonValue::parse(line).map_err(|e| bad(e.to_string()))?;
+    let num = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| bad(format!("missing {key}")))
+    };
+    let op_letter = v
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("missing op".to_string()))?;
+    let op = TraceOp::from_letter(op_letter).ok_or_else(|| bad(format!("bad op {op_letter:?}")))?;
+    Ok(TraceRecord {
+        at: SimTime::from_nanos(num("at_ns")? as u64),
+        op,
+        dev: num("dev")? as u16,
+        lba: num("lba")? as u64,
+        sectors: num("sectors")? as u32,
+        stream: StreamId(num("stream")? as u32),
+    })
 }
 
 /// Encodes a trace to JSONL (metadata line, then one record per line).
@@ -246,28 +784,10 @@ pub fn from_binary(bytes: &[u8]) -> Result<Trace, TraceError> {
 /// [`TraceError::BadRecord`] if an arrival or LBA exceeds 2⁵³ and would
 /// lose precision as a JSON number.
 pub fn to_jsonl(trace: &Trace) -> Result<String, TraceError> {
-    let mut out = meta_json(&trace.meta, trace.records.len()).to_json();
+    let mut out = jsonl_meta_line(&trace.meta, Some(trace.records.len() as u64));
     out.push('\n');
     for (index, r) in trace.records.iter().enumerate() {
-        for (what, v) in [("arrival", r.at.as_nanos()), ("lba", r.lba)] {
-            if v >= JSON_EXACT_MAX {
-                return Err(TraceError::BadRecord {
-                    index,
-                    reason: format!("{what} {v} exceeds the exact JSON number range"),
-                });
-            }
-        }
-        out.push_str(
-            &JsonValue::obj(vec![
-                ("at_ns", JsonValue::Num(r.at.as_nanos() as f64)),
-                ("op", JsonValue::str(r.op.letter())),
-                ("dev", JsonValue::Num(f64::from(r.dev))),
-                ("lba", JsonValue::Num(r.lba as f64)),
-                ("sectors", JsonValue::Num(f64::from(r.sectors))),
-                ("stream", JsonValue::Num(f64::from(r.stream.0))),
-            ])
-            .to_json(),
-        );
+        out.push_str(&jsonl_record_line(index as u64, r)?);
         out.push('\n');
     }
     Ok(out)
@@ -284,34 +804,13 @@ pub fn from_jsonl(text: &str) -> Result<Trace, TraceError> {
     let meta_line = lines
         .next()
         .ok_or_else(|| TraceError::Truncated("empty input".to_string()))?;
-    let meta_value = JsonValue::parse(meta_line).map_err(|e| TraceError::BadMeta(e.to_string()))?;
-    let (meta, declared) = parse_meta(&meta_value)?;
+    let (meta, declared) = parse_jsonl_meta(meta_line)?;
     let mut records = Vec::new();
     for (index, line) in lines.enumerate() {
-        let bad = |reason: String| TraceError::BadRecord { index, reason };
-        let v = JsonValue::parse(line).map_err(|e| bad(e.to_string()))?;
-        let num = |key: &str| {
-            v.get(key)
-                .and_then(JsonValue::as_f64)
-                .ok_or_else(|| bad(format!("missing {key}")))
-        };
-        let op_letter = v
-            .get("op")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| bad("missing op".to_string()))?;
-        let op =
-            TraceOp::from_letter(op_letter).ok_or_else(|| bad(format!("bad op {op_letter:?}")))?;
-        records.push(TraceRecord {
-            at: SimTime::from_nanos(num("at_ns")? as u64),
-            op,
-            dev: num("dev")? as u16,
-            lba: num("lba")? as u64,
-            sectors: num("sectors")? as u32,
-            stream: StreamId(num("stream")? as u32),
-        });
+        records.push(parse_jsonl_record(index as u64, line)?);
     }
     if let Some(declared) = declared {
-        if declared != records.len() {
+        if declared != records.len() as u64 {
             return Err(TraceError::Truncated(format!(
                 "metadata declares {declared} records, found {}",
                 records.len()
@@ -332,6 +831,7 @@ mod tests {
                 seed: u64::MAX - 1,
                 devices: 3,
                 note: "with \"quotes\"".to_string(),
+                chunk_records: 0,
             },
             records: vec![
                 TraceRecord {
@@ -365,6 +865,54 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The classic "123456789" check value for reflected 0xEDB88320.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn chunk_records_knob_changes_layout_not_content() {
+        let mut t = sample();
+        t.meta.chunk_records = 1; // one record per chunk
+        let bytes = to_binary(&t);
+        let back = from_binary(&bytes).expect("decode");
+        assert_eq!(back, t);
+        assert_eq!(to_binary(&back), bytes, "canonical at any chunking");
+        let mut one_chunk = t.clone();
+        one_chunk.meta.chunk_records = 0;
+        assert_ne!(
+            to_binary(&one_chunk),
+            bytes,
+            "different chunking, different bytes"
+        );
+    }
+
+    #[test]
+    fn v1_files_remain_readable() {
+        let t = sample();
+        let v1 = to_binary_v1(&t);
+        let back = from_binary(&v1).expect("v1 decode");
+        assert_eq!(back, t);
+        // And re-encoding a v1 decode produces the canonical v2 bytes.
+        assert_eq!(to_binary(&back), to_binary(&t));
+    }
+
+    #[test]
+    fn streaming_reader_decodes_one_chunk_at_a_time() {
+        let mut t = sample();
+        t.meta.chunk_records = 1;
+        let bytes = to_binary(&t);
+        let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+        assert_eq!(reader.meta().devices, 3);
+        assert_eq!(reader.version(), TRACE_VERSION);
+        let records: Vec<TraceRecord> = reader.records().map(|r| r.expect("record")).collect();
+        assert_eq!(records, t.records);
+        assert_eq!(reader.records_read(), 2);
+        assert!(reader.buffered_records() <= 1, "at most one chunk resident");
+    }
+
+    #[test]
     fn jsonl_round_trips_through_binary() {
         let t = sample();
         let text = to_jsonl(&t).expect("encode");
@@ -383,7 +931,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(from_binary(b"not a trace..."), Err(TraceError::BadMagic));
+        assert!(matches!(
+            from_binary(b"not a trace..."),
+            Err(TraceError::BadMagic)
+        ));
         let mut bytes = to_binary(&sample());
         bytes[8] = 0xFF; // version
         assert!(matches!(
@@ -395,6 +946,61 @@ mod tests {
             from_binary(&bytes[..bytes.len() - 3]),
             Err(TraceError::Truncated(_))
         ));
+    }
+
+    #[test]
+    fn corrupt_chunk_payload_is_rejected_with_its_chunk_index() {
+        let mut t = sample();
+        t.meta.chunk_records = 1;
+        let mut bytes = to_binary(&t);
+        // Flip one payload byte of the second chunk: frames start after
+        // the 16-byte header + meta blob; chunk 0 is header + 28 bytes.
+        let meta_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let second_chunk_payload = 16 + meta_len + (CHUNK_HEADER_BYTES + RECORD_BYTES) + 12;
+        bytes[second_chunk_payload] ^= 0x40;
+        match from_binary(&bytes) {
+            Err(TraceError::BadChunk { chunk: 1, reason }) => {
+                assert!(reason.contains("crc mismatch"), "{reason}");
+            }
+            other => panic!("expected a chunk-1 crc error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_chunk_is_rejected_with_its_chunk_index() {
+        let mut t = sample();
+        t.meta.chunk_records = 1;
+        let bytes = to_binary(&t);
+        let meta_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        // Cut the file mid-way through the second chunk's payload.
+        let cut = 16 + meta_len + (CHUNK_HEADER_BYTES + RECORD_BYTES) + CHUNK_HEADER_BYTES + 5;
+        match from_binary(&bytes[..cut]) {
+            Err(TraceError::BadChunk { chunk: 1, reason }) => {
+                assert!(reason.contains("truncated"), "{reason}");
+            }
+            other => panic!("expected a chunk-1 truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_footer_is_a_truncation() {
+        // A writer dropped without finish(): header plus data chunks but
+        // no footer frame.
+        let t = sample();
+        let mut w = TraceWriter::new(Vec::new(), &t.meta).expect("writer");
+        for r in &t.records {
+            w.write_record(r).expect("write");
+        }
+        // Reach inside via finish, then strip the footer frame.
+        let bytes = w.finish().expect("finish");
+        let footer_len = CHUNK_HEADER_BYTES + 12 + 12; // one data chunk in the index
+        let unfinished = &bytes[..bytes.len() - footer_len];
+        match from_binary(unfinished) {
+            Err(TraceError::Truncated(what)) => {
+                assert!(what.contains("footer"), "{what}");
+            }
+            other => panic!("expected a missing-footer truncation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,7 +18,12 @@ use trail_telemetry::StreamId;
 /// Version history:
 /// - **1** — initial format: 28-byte little-endian records, JSON meta
 ///   header (see `DESIGN.md`, "Workload trace format").
-pub const TRACE_VERSION: u16 = 1;
+/// - **2** — chunked records: the flat record array is replaced by
+///   length-prefixed chunks with per-chunk CRC-32 and record count plus
+///   a footer chunk index, so traces stream at bounded memory (see
+///   `DESIGN.md`, "Trace format v2 (chunked)"). v1 files remain
+///   readable.
+pub const TRACE_VERSION: u16 = 2;
 
 /// What a traced request did.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,6 +113,9 @@ pub struct TraceMeta {
     pub devices: u16,
     /// Free-form note.
     pub note: String,
+    /// Records per chunk the binary codec flushes at; 0 means "use the
+    /// codec default" and is preserved as 0 so encodings stay canonical.
+    pub chunk_records: u32,
 }
 
 /// A workload trace: metadata plus records ordered by arrival time.
@@ -188,34 +196,32 @@ impl Trace {
         set.into_iter().collect()
     }
 
-    /// Splits the trace into one sub-trace per stream, ascending by
-    /// stream tag. Each part carries the full metadata and preserves the
-    /// parent's record order, so [`Trace::merge`] over the parts
+    /// Splits the trace into one [`StreamView`] per stream, ascending by
+    /// stream tag. Views borrow the parent — no metadata clone, no record
+    /// copies, just one index per record — and preserve the parent's
+    /// record order, so [`Trace::merge`] over materialized parts
     /// reconstructs the original exactly.
     #[must_use]
-    pub fn split_by_stream(&self) -> Vec<(StreamId, Trace)> {
-        let mut parts: std::collections::BTreeMap<StreamId, Vec<TraceRecord>> =
+    pub fn split_by_stream(&self) -> Vec<StreamView<'_>> {
+        let mut parts: std::collections::BTreeMap<StreamId, Vec<usize>> =
             std::collections::BTreeMap::new();
-        for r in &self.records {
-            parts.entry(r.stream).or_default().push(*r);
+        for (i, r) in self.records.iter().enumerate() {
+            parts.entry(r.stream).or_default().push(i);
         }
         parts
             .into_iter()
-            .map(|(stream, records)| {
-                (
-                    stream,
-                    Trace {
-                        meta: self.meta.clone(),
-                        records,
-                    },
-                )
+            .map(|(stream, indices)| StreamView {
+                stream,
+                trace: self,
+                indices,
             })
             .collect()
     }
 
     /// Merges several traces into one, re-sorted to canonical
     /// `(arrival, stream)` order. Metadata comes from the first part
-    /// (the parts of a [`Trace::split_by_stream`] all share it).
+    /// (materialized parts of a [`Trace::split_by_stream`] all share
+    /// it).
     #[must_use]
     pub fn merge(parts: impl IntoIterator<Item = Trace>) -> Trace {
         let mut parts = parts.into_iter();
@@ -230,54 +236,11 @@ impl Trace {
     /// Per-stream workload breakdown, ascending by stream tag.
     #[must_use]
     pub fn per_stream_summary(&self) -> Vec<StreamSummary> {
-        let mut summaries: std::collections::BTreeMap<StreamId, StreamSummary> =
-            std::collections::BTreeMap::new();
-        let mut spans: std::collections::BTreeMap<StreamId, Vec<(u16, Lba, Lba)>> =
-            std::collections::BTreeMap::new();
+        let mut builder = StreamSummaryBuilder::new();
         for r in &self.records {
-            let s = summaries
-                .entry(r.stream)
-                .or_insert_with(|| StreamSummary::empty(r.stream));
-            s.requests += 1;
-            if r.op.is_read() {
-                s.reads += 1;
-            } else {
-                s.writes += 1;
-            }
-            s.sectors += u64::from(r.sectors);
-            s.first_at = s.first_at.min(r.at);
-            s.last_at = s.last_at.max(r.at);
-            spans
-                .entry(r.stream)
-                .or_default()
-                .push((r.dev, r.lba, r.lba + u64::from(r.sectors)));
+            builder.record(r);
         }
-        for (stream, mut intervals) in spans {
-            intervals.sort_unstable();
-            let mut footprint = 0u64;
-            let mut current: Option<(u16, Lba, Lba)> = None;
-            for (dev, start, end) in intervals {
-                match &mut current {
-                    Some((cdev, _, cend)) if *cdev == dev && start <= *cend => {
-                        *cend = (*cend).max(end);
-                    }
-                    _ => {
-                        if let Some((_, s, e)) = current {
-                            footprint += e - s;
-                        }
-                        current = Some((dev, start, end));
-                    }
-                }
-            }
-            if let Some((_, s, e)) = current {
-                footprint += e - s;
-            }
-            summaries
-                .get_mut(&stream)
-                .expect("summaries and spans share keys")
-                .footprint_sectors = footprint;
-        }
-        summaries.into_values().collect()
+        builder.finish()
     }
 
     /// Checks the invariants stored traces must satisfy: records sorted
@@ -298,6 +261,166 @@ impl Trace {
             }
         }
         Ok(())
+    }
+}
+
+/// A borrowed, index-based view of one stream's records inside a parent
+/// [`Trace`] (see [`Trace::split_by_stream`]). Holds one `usize` per
+/// record instead of copying records and metadata; call
+/// [`StreamView::to_trace`] only when an owned sub-trace is genuinely
+/// needed.
+#[derive(Clone, Debug)]
+pub struct StreamView<'a> {
+    stream: StreamId,
+    trace: &'a Trace,
+    indices: Vec<usize>,
+}
+
+impl<'a> StreamView<'a> {
+    /// The stream tag this view selects.
+    #[must_use]
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// Number of records in the stream.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` when the stream holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The records of this stream, in the parent's order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a TraceRecord> + '_ {
+        self.indices.iter().map(|&i| &self.trace.records[i])
+    }
+
+    /// Materializes the view as an owned [`Trace`] sharing the parent's
+    /// metadata — this is where the clone happens, on demand.
+    #[must_use]
+    pub fn to_trace(&self) -> Trace {
+        Trace {
+            meta: self.trace.meta.clone(),
+            records: self.iter().copied().collect(),
+        }
+    }
+}
+
+/// Fragment budget per stream for [`StreamSummaryBuilder`]'s footprint
+/// interval map. Below it the footprint is exact; past it the builder
+/// coarsens its quantum (doubling it) so memory stays bounded on
+/// arbitrarily long traces.
+pub const FOOTPRINT_FRAGMENT_BUDGET: usize = 65_536;
+
+/// Streaming accumulator behind [`Trace::per_stream_summary`]: feed it
+/// records one at a time (in any order) and [`finish`] into the
+/// per-stream summaries without ever materializing the trace. Footprints
+/// are exact until a stream's interval map exceeds
+/// [`FOOTPRINT_FRAGMENT_BUDGET`] fragments, after which the stream's
+/// addresses are rounded to a power-of-two quantum (doubling on each
+/// overflow) — bounded memory in exchange for a conservative
+/// (over-counted) footprint on pathological address patterns.
+///
+/// [`finish`]: StreamSummaryBuilder::finish
+#[derive(Debug, Default)]
+pub struct StreamSummaryBuilder {
+    streams: std::collections::BTreeMap<StreamId, StreamAccum>,
+}
+
+#[derive(Debug)]
+struct StreamAccum {
+    summary: StreamSummary,
+    /// Power-of-two address rounding; 1 = exact.
+    quantum: u64,
+    /// Coalesced `(dev, start) → end` intervals, ends exclusive.
+    intervals: std::collections::BTreeMap<(u16, Lba), Lba>,
+}
+
+impl StreamSummaryBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> StreamSummaryBuilder {
+        StreamSummaryBuilder::default()
+    }
+
+    /// Folds one record into the accumulator.
+    pub fn record(&mut self, r: &TraceRecord) {
+        let accum = self.streams.entry(r.stream).or_insert_with(|| StreamAccum {
+            summary: StreamSummary::empty(r.stream),
+            quantum: 1,
+            intervals: std::collections::BTreeMap::new(),
+        });
+        let s = &mut accum.summary;
+        s.requests += 1;
+        if r.op.is_read() {
+            s.reads += 1;
+        } else {
+            s.writes += 1;
+        }
+        s.sectors += u64::from(r.sectors);
+        s.first_at = s.first_at.min(r.at);
+        s.last_at = s.last_at.max(r.at);
+        accum.insert(r.dev, r.lba, r.lba.saturating_add(u64::from(r.sectors)));
+        while accum.intervals.len() > FOOTPRINT_FRAGMENT_BUDGET {
+            accum.coarsen();
+        }
+    }
+
+    /// The accumulated summaries, ascending by stream tag.
+    #[must_use]
+    pub fn finish(self) -> Vec<StreamSummary> {
+        self.streams
+            .into_values()
+            .map(|accum| {
+                let mut s = accum.summary;
+                s.footprint_sectors = accum
+                    .intervals
+                    .iter()
+                    .map(|(&(_, start), &end)| end - start)
+                    .sum();
+                s
+            })
+            .collect()
+    }
+}
+
+impl StreamAccum {
+    /// Inserts `[start, end)` on `dev`, coalescing with any touching or
+    /// overlapping neighbours.
+    fn insert(&mut self, dev: u16, start: Lba, end: Lba) {
+        let q = self.quantum;
+        let mut start = start / q * q;
+        let mut end = end.div_ceil(q) * q;
+        if let Some((&(pdev, pstart), &pend)) = self.intervals.range(..=(dev, start)).next_back() {
+            if pdev == dev && pend >= start {
+                start = pstart;
+                end = end.max(pend);
+                self.intervals.remove(&(pdev, pstart));
+            }
+        }
+        while let Some((&(ndev, nstart), &nend)) = self.intervals.range((dev, start)..).next() {
+            if ndev != dev || nstart > end {
+                break;
+            }
+            end = end.max(nend);
+            self.intervals.remove(&(ndev, nstart));
+        }
+        self.intervals.insert((dev, start), end);
+    }
+
+    /// Doubles the quantum and re-buckets every interval; neighbours
+    /// that round into each other coalesce, shrinking the map.
+    fn coarsen(&mut self) {
+        self.quantum = self.quantum.saturating_mul(2);
+        let old = std::mem::take(&mut self.intervals);
+        for ((dev, start), end) in old {
+            self.insert(dev, start, end);
+        }
     }
 }
 
@@ -413,9 +536,48 @@ mod tests {
         t.normalize();
         let parts = t.split_by_stream();
         assert_eq!(parts.len(), 3);
-        assert!(parts.windows(2).all(|w| w[0].0 < w[1].0));
-        let back = Trace::merge(parts.into_iter().map(|(_, p)| p));
+        assert!(parts.windows(2).all(|w| w[0].stream() < w[1].stream()));
+        let total: usize = parts.iter().map(StreamView::len).sum();
+        assert_eq!(total, t.len());
+        let back = Trace::merge(parts.iter().map(StreamView::to_trace));
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn stream_views_borrow_rather_than_copy() {
+        let mut t = Trace {
+            meta: TraceMeta::default(),
+            records: vec![rec(1, 0), rec(2, 1), rec(3, 0)],
+        };
+        t.normalize();
+        let parts = t.split_by_stream();
+        let zero = &parts[0];
+        assert_eq!(zero.stream(), StreamId(0));
+        assert_eq!(zero.len(), 2);
+        assert!(!zero.is_empty());
+        // The view hands out references into the parent's storage.
+        let first = zero.iter().next().expect("two records");
+        assert!(std::ptr::eq(first, &t.records[0]));
+        assert_eq!(zero.to_trace().records, vec![t.records[0], t.records[2]]);
+    }
+
+    #[test]
+    fn summary_builder_coarsens_past_the_fragment_budget() {
+        let mut accum = StreamAccum {
+            summary: StreamSummary::empty(StreamId(1)),
+            quantum: 1,
+            intervals: std::collections::BTreeMap::new(),
+        };
+        // Alternating singleton sectors never coalesce at quantum 1…
+        for i in 0..6u64 {
+            accum.insert(0, i * 2, i * 2 + 1);
+        }
+        assert_eq!(accum.intervals.len(), 6);
+        // …but one doubling rounds them into a single run.
+        accum.coarsen();
+        assert_eq!(accum.quantum, 2);
+        assert_eq!(accum.intervals.len(), 1);
+        assert_eq!(accum.intervals.get(&(0, 0)), Some(&12));
     }
 
     #[test]

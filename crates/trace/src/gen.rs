@@ -8,11 +8,17 @@
 //! [`trail_sim::rng`], so a spec is a complete, replayable name for a
 //! workload: the same spec yields the same trace, bit for bit.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{self, Write};
+
+use rand::rngs::SmallRng;
 use rand::Rng;
 
 use trail_sim::{rng, SimDuration, SimTime};
 use trail_telemetry::StreamId;
 
+use crate::codec::TraceWriter;
 use crate::format::{Trace, TraceMeta, TraceOp, TraceRecord};
 
 /// How request arrival instants are drawn.
@@ -115,6 +121,56 @@ impl Default for SyntheticSpec {
 /// small to hold one request.
 #[must_use]
 pub fn generate(spec: &SyntheticSpec) -> Trace {
+    Trace {
+        meta: spec_meta(spec, 0),
+        records: merged(spec).collect(),
+    }
+}
+
+/// Streams the trace a spec describes straight into a chunked
+/// [`TraceWriter`] over `w`, never materializing more than one record
+/// per stream plus one output chunk. Produces exactly the bytes
+/// `to_binary(&generate(spec))` would (with `chunk_records` in the
+/// metadata), but at bounded memory for any request count.
+///
+/// Returns the inner writer, flushed and finished.
+///
+/// # Errors
+///
+/// Any I/O error from `w`.
+///
+/// # Panics
+///
+/// Panics on a degenerate spec, like [`generate`].
+pub fn generate_stream<W: Write>(spec: &SyntheticSpec, chunk_records: u32, w: W) -> io::Result<W> {
+    let mut writer = TraceWriter::new(w, &spec_meta(spec, chunk_records))?;
+    for record in merged(spec) {
+        writer.write_record(&record)?;
+    }
+    writer.finish()
+}
+
+fn spec_meta(spec: &SyntheticSpec, chunk_records: u32) -> TraceMeta {
+    TraceMeta {
+        source: "synthetic".to_string(),
+        seed: spec.seed,
+        devices: spec.devices,
+        note: format!(
+            "{} requests, {} stream(s), {:?}, {:?}",
+            spec.requests, spec.streams, spec.arrivals, spec.spatial
+        ),
+        chunk_records,
+    }
+}
+
+/// The spec's records in canonical `(arrival, stream)` order, lazily:
+/// one [`StreamGen`] per stream plus a k-way merge heap, so memory is
+/// O(streams) regardless of `spec.requests`. Within a stream arrivals
+/// are non-decreasing and only one record per stream is pending at a
+/// time, so heap keys never tie — the merge reproduces exactly what a
+/// stable `(at, stream)` sort of the concatenated per-stream runs
+/// produced before generation streamed.
+fn merged(spec: &SyntheticSpec) -> Merged<'_> {
     assert!(spec.streams >= 1, "at least one stream");
     assert!(spec.devices >= 1, "at least one device");
     assert!(spec.request_sectors >= 1, "non-empty requests");
@@ -127,55 +183,109 @@ pub fn generate(spec: &SyntheticSpec) -> Trace {
         "capacity must exceed one request"
     );
     let usable = spec.capacity_sectors - u64::from(spec.request_sectors);
-    let mut records: Vec<TraceRecord> = Vec::with_capacity(spec.requests);
-    for stream in 0..spec.streams {
-        let count = per_stream_count(spec.requests, spec.streams, stream);
-        let mut r = rng(spec
-            .seed
-            .wrapping_add(u64::from(stream).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-        let dev = (stream % u32::from(spec.devices)) as u16;
-        let mut now = SimTime::ZERO;
-        let mut cursor: u64 = 0;
-        let mut run_left: u32 = 0;
-        for i in 0..count {
-            now += next_iat(&mut r, &spec.arrivals, i);
-            let lba = next_lba(
-                &mut r,
-                &spec.spatial,
-                usable,
-                spec.request_sectors,
-                &mut cursor,
-                &mut run_left,
-            );
-            let op = if r.gen::<f64>() < spec.read_fraction {
-                TraceOp::Read
-            } else {
-                TraceOp::Write
-            };
-            records.push(TraceRecord {
-                at: now,
-                op,
-                dev,
-                lba,
-                sectors: spec.request_sectors,
-                stream: StreamId(stream),
-            });
+    let mut gens: Vec<StreamGen> = (0..spec.streams)
+        .map(|stream| StreamGen::new(spec, stream))
+        .collect();
+    let mut pending: Vec<Option<TraceRecord>> = Vec::with_capacity(gens.len());
+    let mut heap = BinaryHeap::with_capacity(gens.len());
+    for (slot, g) in gens.iter_mut().enumerate() {
+        let first = g.step(spec, usable);
+        if let Some(r) = &first {
+            heap.push(Reverse((r.at, r.stream, slot)));
+        }
+        pending.push(first);
+    }
+    Merged {
+        spec,
+        usable,
+        gens,
+        pending,
+        heap,
+    }
+}
+
+struct Merged<'a> {
+    spec: &'a SyntheticSpec,
+    usable: u64,
+    gens: Vec<StreamGen>,
+    /// Each stream's next (already drawn) record.
+    pending: Vec<Option<TraceRecord>>,
+    /// Min-heap over the pending records, keyed `(at, stream)`.
+    heap: BinaryHeap<Reverse<(SimTime, StreamId, usize)>>,
+}
+
+impl Iterator for Merged<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let Reverse((_, _, slot)) = self.heap.pop()?;
+        let record = self.pending[slot].take().expect("heap entry has a record");
+        if let Some(next) = self.gens[slot].step(self.spec, self.usable) {
+            self.heap.push(Reverse((next.at, next.stream, slot)));
+            self.pending[slot] = Some(next);
+        }
+        Some(record)
+    }
+}
+
+/// One stream's lazy generator state: its RNG, arrival clock, and
+/// spatial cursor.
+struct StreamGen {
+    rng: SmallRng,
+    stream: u32,
+    dev: u16,
+    remaining: usize,
+    index: usize,
+    now: SimTime,
+    cursor: u64,
+    run_left: u32,
+}
+
+impl StreamGen {
+    fn new(spec: &SyntheticSpec, stream: u32) -> StreamGen {
+        StreamGen {
+            rng: rng(spec
+                .seed
+                .wrapping_add(u64::from(stream).wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+            stream,
+            dev: (stream % u32::from(spec.devices)) as u16,
+            remaining: per_stream_count(spec.requests, spec.streams, stream),
+            index: 0,
+            now: SimTime::ZERO,
+            cursor: 0,
+            run_left: 0,
         }
     }
-    let mut trace = Trace {
-        meta: TraceMeta {
-            source: "synthetic".to_string(),
-            seed: spec.seed,
-            devices: spec.devices,
-            note: format!(
-                "{} requests, {} stream(s), {:?}, {:?}",
-                spec.requests, spec.streams, spec.arrivals, spec.spatial
-            ),
-        },
-        records,
-    };
-    trace.sort();
-    trace
+
+    fn step(&mut self, spec: &SyntheticSpec, usable: u64) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.now += next_iat(&mut self.rng, &spec.arrivals, self.index);
+        self.index += 1;
+        let lba = next_lba(
+            &mut self.rng,
+            &spec.spatial,
+            usable,
+            spec.request_sectors,
+            &mut self.cursor,
+            &mut self.run_left,
+        );
+        let op = if self.rng.gen::<f64>() < spec.read_fraction {
+            TraceOp::Read
+        } else {
+            TraceOp::Write
+        };
+        Some(TraceRecord {
+            at: self.now,
+            op,
+            dev: self.dev,
+            lba,
+            sectors: spec.request_sectors,
+            stream: StreamId(self.stream),
+        })
+    }
 }
 
 /// Splits `total` requests over `streams`, earlier streams taking the
@@ -253,6 +363,24 @@ mod tests {
         assert_eq!(a.len(), 300);
         assert!(a.validate().is_ok());
         assert_eq!(a.max_dev(), Some(1));
+    }
+
+    #[test]
+    fn streamed_generation_matches_the_in_memory_bytes() {
+        let spec = SyntheticSpec {
+            streams: 3,
+            requests: 300,
+            devices: 2,
+            ..SyntheticSpec::default()
+        };
+        let in_memory = generate(&spec);
+        let streamed = generate_stream(&spec, 0, Vec::new()).expect("vec sink");
+        assert_eq!(streamed, crate::codec::to_binary(&in_memory));
+        // A non-default chunk size changes the layout, not the records.
+        let chunked = generate_stream(&spec, 7, Vec::new()).expect("vec sink");
+        let back = crate::codec::from_binary(&chunked).expect("decode");
+        assert_eq!(back.records, in_memory.records);
+        assert_eq!(back.meta.chunk_records, 7);
     }
 
     #[test]

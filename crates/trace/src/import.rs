@@ -32,13 +32,20 @@
 //! with a `major,minor` token. A line that starts like an event but
 //! cannot be parsed is an error naming the line, not a silent skip.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+use std::io::{BufRead, Write};
 
 use trail_sim::SimTime;
 use trail_telemetry::StreamId;
 
+use crate::codec::TraceWriter;
 use crate::format::{Trace, TraceMeta, TraceOp, TraceRecord};
+
+/// Default bounded-reorder window (records held back to re-sort nearly
+/// sorted input) for [`import_blkparse_into`] when the caller passes 0.
+pub const DEFAULT_REORDER_WINDOW: usize = 1 << 16;
 
 /// How to interpret `blkparse` text.
 #[derive(Clone, Copy, Debug)]
@@ -69,6 +76,15 @@ pub enum ImportError {
     /// No event matched the options (wrong action letter, or not
     /// `blkparse` output at all).
     NoRecords,
+    /// The input's timestamp disorder exceeded the bounded reorder
+    /// window, so a streaming import could not reproduce the fully
+    /// sorted trace.
+    OutOfOrder {
+        /// The window that was in effect.
+        window: usize,
+    },
+    /// Reading the input or writing the trace failed.
+    Io(String),
 }
 
 impl fmt::Display for ImportError {
@@ -78,6 +94,12 @@ impl fmt::Display for ImportError {
                 write!(f, "blkparse line {number}: {reason}")
             }
             ImportError::NoRecords => write!(f, "no matching events in blkparse input"),
+            ImportError::OutOfOrder { window } => write!(
+                f,
+                "input disorder exceeds the reorder window of {window} records; \
+                 raise the window"
+            ),
+            ImportError::Io(why) => write!(f, "blkparse import io error: {why}"),
         }
     }
 }
@@ -98,6 +120,82 @@ fn is_dev_token(token: &str) -> bool {
     }
 }
 
+/// One kept `blkparse` event, before device renumbering and rebasing.
+struct Event {
+    dev_key: (u32, u32),
+    cpu: u32,
+    at_ns: u64,
+    op: TraceOp,
+    lba: u64,
+    sectors: u32,
+}
+
+/// Parses one `blkparse` line. `Ok(None)` means the line was skipped
+/// (summary/blank, another lifecycle action, or a data-less event);
+/// both import passes share this so they classify identically.
+fn parse_event(number: usize, line: &str, action: char) -> Result<Option<Event>, ImportError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    match fields.first() {
+        Some(first) if is_dev_token(first) => {}
+        _ => return Ok(None), // summary block, header, or blank line
+    }
+    let bad = |reason: String| ImportError::Line { number, reason };
+    if fields.len() < 9 {
+        return Err(bad(format!(
+            "expected at least 9 columns, found {}",
+            fields.len()
+        )));
+    }
+    let (maj, min) = fields[0].split_once(',').expect("dev token shape");
+    let maj: u32 = maj.parse().map_err(|_| bad("bad major number".into()))?;
+    let min: u32 = min.parse().map_err(|_| bad("bad minor number".into()))?;
+    let cpu: u32 = fields[1]
+        .parse()
+        .map_err(|_| bad(format!("bad CPU column {:?}", fields[1])))?;
+    let seconds: f64 = fields[3]
+        .parse()
+        .map_err(|_| bad(format!("bad timestamp {:?}", fields[3])))?;
+    if !seconds.is_finite() || seconds < 0.0 {
+        return Err(bad(format!("bad timestamp {seconds}")));
+    }
+    let event_action = fields[5];
+    // Multi-character actions (e.g. "UT") and non-matching single
+    // ones are other lifecycle events of the same request; skip.
+    if event_action.len() != 1 || !event_action.starts_with(action) {
+        return Ok(None);
+    }
+    let rwbs = fields[6];
+    let op = if rwbs.contains('W') {
+        TraceOp::Write
+    } else if rwbs.contains('R') || rwbs.contains('A') {
+        TraceOp::Read
+    } else {
+        return Ok(None); // flush/barrier/discard-only event
+    };
+    let lba: u64 = fields[7]
+        .parse()
+        .map_err(|_| bad(format!("bad sector {:?}", fields[7])))?;
+    if fields[8] != "+" {
+        return Err(bad(format!("expected '+', found {:?}", fields[8])));
+    }
+    let sectors: u32 = fields
+        .get(9)
+        .ok_or_else(|| bad("missing sector count".into()))?
+        .parse()
+        .map_err(|_| bad(format!("bad sector count {:?}", fields[9])))?;
+    if sectors == 0 {
+        return Ok(None); // zero-length marker event
+    }
+    Ok(Some(Event {
+        dev_key: (maj, min),
+        cpu,
+        at_ns: (seconds * 1e9).round() as u64,
+        op,
+        lba,
+        sectors,
+    }))
+}
+
 /// Parses `blkparse` one-line-per-event text into a trace; see the
 /// module docs for the column mapping.
 ///
@@ -109,68 +207,18 @@ pub fn import_blkparse(text: &str, opts: &ImportOptions) -> Result<Trace, Import
     let mut dev_index: HashMap<(u32, u32), u16> = HashMap::new();
     let mut records = Vec::new();
     for (number, line) in text.lines().enumerate() {
-        let number = number + 1;
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        match fields.first() {
-            Some(first) if is_dev_token(first) => {}
-            _ => continue, // summary block, header, or blank line
-        }
-        let bad = |reason: String| ImportError::Line { number, reason };
-        if fields.len() < 9 {
-            return Err(bad(format!(
-                "expected at least 9 columns, found {}",
-                fields.len()
-            )));
-        }
-        let (maj, min) = fields[0].split_once(',').expect("dev token shape");
-        let maj: u32 = maj.parse().map_err(|_| bad("bad major number".into()))?;
-        let min: u32 = min.parse().map_err(|_| bad("bad minor number".into()))?;
-        let cpu: u32 = fields[1]
-            .parse()
-            .map_err(|_| bad(format!("bad CPU column {:?}", fields[1])))?;
-        let seconds: f64 = fields[3]
-            .parse()
-            .map_err(|_| bad(format!("bad timestamp {:?}", fields[3])))?;
-        if !seconds.is_finite() || seconds < 0.0 {
-            return Err(bad(format!("bad timestamp {seconds}")));
-        }
-        let action = fields[5];
-        // Multi-character actions (e.g. "UT") and non-matching single
-        // ones are other lifecycle events of the same request; skip.
-        if action.len() != 1 || !action.starts_with(opts.action) {
+        let Some(ev) = parse_event(number + 1, line, opts.action)? else {
             continue;
-        }
-        let rwbs = fields[6];
-        let op = if rwbs.contains('W') {
-            TraceOp::Write
-        } else if rwbs.contains('R') || rwbs.contains('A') {
-            TraceOp::Read
-        } else {
-            continue; // flush/barrier/discard-only event
         };
-        let lba: u64 = fields[7]
-            .parse()
-            .map_err(|_| bad(format!("bad sector {:?}", fields[7])))?;
-        if fields[8] != "+" {
-            return Err(bad(format!("expected '+', found {:?}", fields[8])));
-        }
-        let sectors: u32 = fields
-            .get(9)
-            .ok_or_else(|| bad("missing sector count".into()))?
-            .parse()
-            .map_err(|_| bad(format!("bad sector count {:?}", fields[9])))?;
-        if sectors == 0 {
-            continue; // zero-length marker event
-        }
         let next = dev_index.len() as u16;
-        let dev = *dev_index.entry((maj, min)).or_insert(next);
+        let dev = *dev_index.entry(ev.dev_key).or_insert(next);
         records.push(TraceRecord {
-            at: SimTime::from_nanos((seconds * 1e9).round() as u64),
-            op,
+            at: SimTime::from_nanos(ev.at_ns),
+            op: ev.op,
             dev,
-            lba,
-            sectors,
-            stream: StreamId(cpu + 1),
+            lba: ev.lba,
+            sectors: ev.sectors,
+            stream: StreamId(ev.cpu + 1),
         });
     }
     if records.is_empty() {
@@ -178,16 +226,179 @@ pub fn import_blkparse(text: &str, opts: &ImportOptions) -> Result<Trace, Import
     }
     let devices = dev_index.len() as u16;
     let mut trace = Trace {
-        meta: TraceMeta {
-            source: "import:blkparse".to_string(),
-            seed: 0,
-            devices,
-            note: format!("action '{}'", opts.action),
-        },
+        meta: import_meta(devices, opts.action, 0),
         records,
     };
     trace.normalize();
     Ok(trace)
+}
+
+fn import_meta(devices: u16, action: char, chunk_records: u32) -> TraceMeta {
+    TraceMeta {
+        source: "import:blkparse".to_string(),
+        seed: 0,
+        devices,
+        note: format!("action '{action}'"),
+        chunk_records,
+    }
+}
+
+/// What a first streaming pass over `blkparse` input learned: the
+/// record count, the epoch (earliest kept arrival, which rebases to
+/// time zero), and the distinct `major,minor` devices in first-input
+/// appearance order (which fixes the dense renumbering). Feed it to
+/// [`import_blkparse_into`] for the second, writing pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlkparseScan {
+    /// Kept events.
+    pub records: u64,
+    /// Earliest kept arrival, in nanoseconds.
+    pub epoch_ns: u64,
+    /// Distinct `(major, minor)` pairs, first appearance first; the
+    /// position is the stack-level device index.
+    pub devices: Vec<(u32, u32)>,
+}
+
+/// First pass of a streaming import: scans `blkparse` lines from any
+/// [`BufRead`] and collects the [`BlkparseScan`] the writing pass
+/// needs, holding no records.
+///
+/// # Errors
+///
+/// [`ImportError::Line`] for a malformed event line,
+/// [`ImportError::NoRecords`] when nothing matched,
+/// [`ImportError::Io`] when the reader fails.
+pub fn scan_blkparse<R: BufRead>(
+    input: R,
+    opts: &ImportOptions,
+) -> Result<BlkparseScan, ImportError> {
+    let mut scan = BlkparseScan {
+        records: 0,
+        epoch_ns: u64::MAX,
+        devices: Vec::new(),
+    };
+    for (number, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| ImportError::Io(e.to_string()))?;
+        let Some(ev) = parse_event(number + 1, &line, opts.action)? else {
+            continue;
+        };
+        scan.records += 1;
+        scan.epoch_ns = scan.epoch_ns.min(ev.at_ns);
+        if !scan.devices.contains(&ev.dev_key) {
+            scan.devices.push(ev.dev_key);
+        }
+    }
+    if scan.records == 0 {
+        return Err(ImportError::NoRecords);
+    }
+    Ok(scan)
+}
+
+/// A record waiting in the bounded reorder heap, ordered by
+/// `(arrival, stream, input sequence)` — exactly the key the in-memory
+/// path's stable `(arrival, stream)` sort realizes.
+struct PendingRecord {
+    key: (SimTime, StreamId, u64),
+    record: TraceRecord,
+}
+
+impl PartialEq for PendingRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for PendingRecord {}
+impl PartialOrd for PendingRecord {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingRecord {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest out.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// Second pass of a streaming import: re-reads the `blkparse` input and
+/// writes the normalized trace straight into a chunked [`TraceWriter`]
+/// over `w`, re-sorting nearly sorted input through a bounded reorder
+/// heap of `reorder_window` records (0 = [`DEFAULT_REORDER_WINDOW`]).
+/// Memory is O(window + one chunk) regardless of input size, and the
+/// output is byte-identical to `to_binary` of [`import_blkparse`] at
+/// the same `chunk_records` whenever the input's timestamp disorder
+/// fits the window.
+///
+/// # Errors
+///
+/// Everything [`scan_blkparse`] can return, plus
+/// [`ImportError::OutOfOrder`] when the input is more disordered than
+/// the window and [`ImportError::Io`] for reader/writer failures.
+pub fn import_blkparse_into<R: BufRead, W: Write>(
+    input: R,
+    opts: &ImportOptions,
+    scan: &BlkparseScan,
+    chunk_records: u32,
+    reorder_window: usize,
+    w: W,
+) -> Result<W, ImportError> {
+    let window = if reorder_window == 0 {
+        DEFAULT_REORDER_WINDOW
+    } else {
+        reorder_window
+    };
+    let io = |e: std::io::Error| ImportError::Io(e.to_string());
+    let dev_index: HashMap<(u32, u32), u16> = scan
+        .devices
+        .iter()
+        .enumerate()
+        .map(|(i, &key)| (key, i as u16))
+        .collect();
+    let meta = import_meta(scan.devices.len() as u16, opts.action, chunk_records);
+    let mut writer = TraceWriter::new(w, &meta).map_err(io)?;
+    let mut heap: BinaryHeap<PendingRecord> = BinaryHeap::with_capacity(window + 1);
+    let mut last_key: Option<(SimTime, StreamId, u64)> = None;
+    let mut seq: u64 = 0;
+    let mut emit = |p: PendingRecord, writer: &mut TraceWriter<W>| -> Result<(), ImportError> {
+        if last_key.is_some_and(|last| p.key < last) {
+            return Err(ImportError::OutOfOrder { window });
+        }
+        last_key = Some(p.key);
+        writer.write_record(&p.record).map_err(io)
+    };
+    for (number, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| ImportError::Io(e.to_string()))?;
+        let Some(ev) = parse_event(number + 1, &line, opts.action)? else {
+            continue;
+        };
+        let dev = *dev_index
+            .get(&ev.dev_key)
+            .ok_or_else(|| ImportError::Line {
+                number: number + 1,
+                reason: "device not seen by the scan pass".to_string(),
+            })?;
+        let record = TraceRecord {
+            at: SimTime::from_nanos(ev.at_ns.saturating_sub(scan.epoch_ns)),
+            op: ev.op,
+            dev,
+            lba: ev.lba,
+            sectors: ev.sectors,
+            stream: StreamId(ev.cpu + 1),
+        };
+        heap.push(PendingRecord {
+            key: (record.at, record.stream, seq),
+            record,
+        });
+        seq += 1;
+        if heap.len() > window {
+            let p = heap.pop().expect("heap is non-empty");
+            emit(p, &mut writer)?;
+        }
+    }
+    while let Some(p) = heap.pop() {
+        emit(p, &mut writer)?;
+    }
+    writer.finish().map_err(io)
 }
 
 #[cfg(test)]
@@ -251,6 +462,44 @@ Total (sda):
             }
             other => panic!("expected a line error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn streaming_import_matches_the_in_memory_bytes() {
+        let opts = ImportOptions::default();
+        let in_memory = import_blkparse(SAMPLE, &opts).expect("import");
+        let scan = scan_blkparse(SAMPLE.as_bytes(), &opts).expect("scan");
+        assert_eq!(scan.records, 3);
+        assert_eq!(scan.devices, vec![(8, 0), (8, 16)]);
+        assert_eq!(scan.epoch_ns, 0);
+        let bytes = import_blkparse_into(SAMPLE.as_bytes(), &opts, &scan, 0, 0, Vec::new())
+            .expect("streaming import");
+        assert_eq!(bytes, crate::codec::to_binary(&in_memory));
+    }
+
+    #[test]
+    fn reorder_window_absorbs_bounded_disorder_and_rejects_more() {
+        // Three events in strictly decreasing time order: disorder of
+        // span 3, which a window of 1 cannot re-sort.
+        let text = "\
+8,0 0 1 0.000300000 1 Q W 100 + 8 [x]
+8,0 0 2 0.000200000 1 Q W 200 + 8 [x]
+8,0 0 3 0.000100000 1 Q W 300 + 8 [x]
+";
+        let opts = ImportOptions::default();
+        let scan = scan_blkparse(text.as_bytes(), &opts).expect("scan");
+        assert_eq!(scan.epoch_ns, 100_000);
+        // A big enough window reproduces the in-memory sort exactly.
+        let ok = import_blkparse_into(text.as_bytes(), &opts, &scan, 0, 0, Vec::new())
+            .expect("wide window");
+        let in_memory = import_blkparse(text, &opts).expect("import");
+        assert_eq!(ok, crate::codec::to_binary(&in_memory));
+        // A window of one record cannot, and says so instead of writing
+        // a silently misordered trace.
+        assert_eq!(
+            import_blkparse_into(text.as_bytes(), &opts, &scan, 0, 1, Vec::new()).err(),
+            Some(ImportError::OutOfOrder { window: 1 })
+        );
     }
 
     #[test]

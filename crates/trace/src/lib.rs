@@ -42,12 +42,18 @@ pub mod gen;
 pub mod import;
 pub mod replay;
 
-pub use capture::TraceCapture;
+pub use capture::{StreamingCapture, TraceCapture};
 pub use codec::{
-    from_binary, from_jsonl, to_binary, to_jsonl, TraceError, RECORD_BYTES, TRACE_MAGIC,
+    from_binary, from_jsonl, to_binary, to_binary_v1, to_jsonl, TraceError, TraceReader,
+    TraceWriter, DEFAULT_CHUNK_RECORDS, RECORD_BYTES, TRACE_MAGIC,
 };
-pub use format::{StreamSummary, Trace, TraceMeta, TraceOp, TraceRecord, TRACE_VERSION};
-pub use gen::{generate, ArrivalModel, SpatialModel, SyntheticSpec};
-pub use import::{import_blkparse, ImportError, ImportOptions};
-pub use replay::{replay, ReplayError, ReplayOptions, ReplayReport, TargetKind};
+pub use format::{
+    StreamSummary, StreamSummaryBuilder, StreamView, Trace, TraceMeta, TraceOp, TraceRecord,
+    TRACE_VERSION,
+};
+pub use gen::{generate, generate_stream, ArrivalModel, SpatialModel, SyntheticSpec};
+pub use import::{
+    import_blkparse, import_blkparse_into, scan_blkparse, BlkparseScan, ImportError, ImportOptions,
+};
+pub use replay::{replay, replay_stream, ReplayError, ReplayOptions, ReplayReport, TargetKind};
 pub use trail_telemetry::StreamId;

@@ -1,31 +1,40 @@
 //! Open-loop trace replay against any storage stack.
 //!
-//! The replay engine schedules every trace record at its recorded
-//! arrival instant (optionally time-scaled) and lets completions land
-//! whenever the stack delivers them — **open loop**: a slow stack does
-//! not slow the arrival process down, it just builds queue depth. That
-//! is the property that makes replay an apples-to-apples comparison:
-//! the same offered load hits a raw C-LOOK stack, Trail, a multi-log
-//! Trail array, or a file system, and the latency distributions and
-//! queue-depth trajectories are directly comparable.
+//! The replay engine feeds the simulator from a **record cursor** — an
+//! in-memory trace or a streaming [`TraceReader`] decoding one chunk at
+//! a time — and lets completions land whenever the stack delivers them:
+//! **open loop**, so a slow stack does not slow the arrival process
+//! down, it just builds queue depth. That is the property that makes
+//! replay an apples-to-apples comparison: the same offered load hits a
+//! raw C-LOOK stack, Trail, a multi-log Trail array, or a file system,
+//! and the latency distributions and queue-depth trajectories are
+//! directly comparable.
 //!
 //! Targets are built by the umbrella crate's one factory
 //! ([`trail::StackBuilder::build_target`]), so a replay and a
 //! `trail-bench` scenario naming the same [`TargetKind`] drive exactly
 //! the same stack.
 //!
-//! # Stream sharding
+//! # Bounded memory
 //!
-//! Replay is organized as one **issuer shard per stream**: the trace is
-//! split by stream tag, each shard pre-schedules its own arrival
-//! sequence, and the shards merge deterministically on the single
-//! simulator clock (shards are laid down in ascending stream order, and
-//! the simulator breaks equal-instant ties by scheduling order — the
-//! same order a single issuer walking the `(arrival, stream)`-sorted
-//! trace would produce, so sharding is observationally identical to a
-//! single issuer; `cargo test -p trail-trace` holds this as a property).
-//! Each request carries its stream tag into the stack, and the report
-//! breaks latency and queue depth out per stream.
+//! Replay never materializes the whole trace. A single dispatcher
+//! ("pump") event keeps exactly **one pending record** decoded ahead of
+//! the clock; on firing it drains every arrival that is due, issues the
+//! batch in record order, and re-arms itself at the next pending
+//! arrival. Peak residency is therefore one decoded chunk plus the
+//! requests currently in flight — O(chunk × queue depth), independent
+//! of trace length — and [`ReplayReport::peak_resident_records`]
+//! reports the proxy the bench suite gates on. Latencies are folded
+//! into an order-independent [`ReplayReport::latency_fingerprint`]
+//! instead of a per-record vector, and queue-depth samples are
+//! downsampled to a fixed budget by stride doubling.
+//!
+//! Records issue in file order; a trace in canonical `(arrival,
+//! stream)` order therefore issues same-instant arrivals in ascending
+//! stream order, exactly the per-stream-shard order previous revisions
+//! pre-scheduled. `replay_single_issuer` keeps the pre-scheduled path
+//! as the oracle the streaming dispatcher is property-tested against;
+//! the two produce byte-identical reports.
 //!
 //! ```
 //! use trail_trace::{generate, replay, ReplayOptions, SyntheticSpec, TargetKind};
@@ -48,8 +57,8 @@
 //! ```
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::fmt;
+use std::io::Read;
 use std::rc::Rc;
 
 use trail::{BuiltTarget, StackBuilder, TargetDrive, TargetError};
@@ -63,7 +72,8 @@ use trail_telemetry::{DurationHistogram, JsonValue, RecorderHandle, StreamId, St
 pub use trail::TargetKind;
 use trail_blockio::IoDone;
 
-use crate::format::Trace;
+use crate::codec::{TraceError, TraceReader};
+use crate::format::{Trace, TraceRecord};
 
 /// How to replay.
 #[derive(Clone)]
@@ -71,7 +81,9 @@ pub struct ReplayOptions {
     /// The stack to drive.
     pub target: TargetKind,
     /// Data disks to build; defaults to (and is raised to) the highest
-    /// device index the trace addresses plus one.
+    /// device index the trace addresses plus one (for streaming replay,
+    /// the header's device count — the header cannot know more than it
+    /// declares).
     pub data_disks: Option<usize>,
     /// Time-scale knob: arrivals are compressed by this factor (2.0
     /// offers the load twice as fast). Clamped to `0.5..=8.0`; `1.0`
@@ -113,6 +125,17 @@ pub enum ReplayError {
     EmptyTrace,
     /// Building or preparing the target failed.
     Target(TargetError),
+    /// Decoding the trace stream failed mid-replay.
+    Trace(TraceError),
+    /// A record addressed a device the built target does not have —
+    /// only reachable when streaming, where the header's device count
+    /// sizes the target before the records are seen.
+    BadDevice {
+        /// The offending record's device index.
+        dev: u16,
+        /// Devices the target was built with.
+        ndisks: usize,
+    },
 }
 
 impl fmt::Display for ReplayError {
@@ -120,6 +143,12 @@ impl fmt::Display for ReplayError {
         match self {
             ReplayError::EmptyTrace => write!(f, "cannot replay an empty trace"),
             ReplayError::Target(e) => write!(f, "{e}"),
+            ReplayError::Trace(e) => write!(f, "{e}"),
+            ReplayError::BadDevice { dev, ndisks } => write!(
+                f,
+                "trace record addresses device {dev} but the target has {ndisks} device(s); \
+                 the stream header under-declared its device count"
+            ),
         }
     }
 }
@@ -144,9 +173,9 @@ pub struct ReplayReport {
     pub reads: u64,
     /// Writes among them.
     pub writes: u64,
-    /// Requests that errored or were cancelled (these carry
-    /// `u64::MAX` in [`ReplayReport::per_request_ns`] and are excluded
-    /// from the histograms).
+    /// Requests that errored or were cancelled (folded into
+    /// [`ReplayReport::latency_fingerprint`] with a sentinel latency and
+    /// excluded from the histograms).
     pub errors: u64,
     /// Simulator instant the first arrival was anchored to; subtracting
     /// it from a capture of this replay recovers the input trace's
@@ -163,14 +192,20 @@ pub struct ReplayReport {
     /// Per-stream latency and concurrency, keyed by the trace's stream
     /// tags.
     pub streams: StreamMetrics,
-    /// Per-record latency in nanoseconds, indexed like the trace's
-    /// records (`u64::MAX` for errors) — the byte-comparable
-    /// determinism witness.
-    pub per_request_ns: Vec<u64>,
+    /// Order-independent digest over `(record index, latency)` pairs —
+    /// the byte-comparable determinism witness that replaced the
+    /// unbounded per-record latency vector. Two replays of the same
+    /// trace against the same target match on this field exactly.
+    pub latency_fingerprint: u64,
+    /// Peak number of trace records resident in the engine at once
+    /// (requests in flight plus the arrival batch being issued) — the
+    /// bounded-memory witness. Stays O(queue depth), not O(trace).
+    pub peak_resident_records: u64,
     /// Highest concurrent in-flight count observed.
     pub max_queue_depth: u32,
     /// Sampled `(instant, in-flight)` pairs, every
-    /// [`ReplayOptions::sample_every`].
+    /// [`ReplayOptions::sample_every`] — downsampled by stride doubling
+    /// to a fixed budget on long runs.
     pub queue_depth: Vec<(SimTime, u32)>,
 }
 
@@ -195,8 +230,16 @@ impl ReplayReport {
             ("write_latency", self.write_latency.to_json()),
             ("streams", self.streams.to_json()),
             (
+                "latency_fingerprint",
+                JsonValue::str(format!("{:016x}", self.latency_fingerprint)),
+            ),
+            (
                 "max_queue_depth",
                 JsonValue::Num(f64::from(self.max_queue_depth)),
+            ),
+            (
+                "peak_resident_records",
+                JsonValue::Num(self.peak_resident_records as f64),
             ),
             (
                 "queue_depth",
@@ -219,10 +262,164 @@ impl ReplayReport {
     }
 }
 
+/// One record at a time, in file order — the engine's only view of the
+/// trace, whether it lives in memory or on disk.
+trait RecordCursor {
+    fn next_record(&mut self) -> Option<Result<TraceRecord, TraceError>>;
+}
+
+struct VecCursor(std::vec::IntoIter<TraceRecord>);
+
+impl RecordCursor for VecCursor {
+    fn next_record(&mut self) -> Option<Result<TraceRecord, TraceError>> {
+        self.0.next().map(Ok)
+    }
+}
+
+impl<R: Read> RecordCursor for TraceReader<R> {
+    fn next_record(&mut self) -> Option<Result<TraceRecord, TraceError>> {
+        TraceReader::next_record(self)
+    }
+}
+
+/// The arrival frontier: the cursor plus at most **one** decoded record
+/// waiting for its (time-scaled) arrival instant.
+struct Source {
+    cursor: Box<dyn RecordCursor>,
+    pending: Option<(SimTime, TraceRecord)>,
+    next_idx: u64,
+    done: bool,
+    failure: Option<ReplayError>,
+    speed: f64,
+    start: SimTime,
+}
+
+impl Source {
+    fn new(cursor: Box<dyn RecordCursor>, speed: f64, start: SimTime) -> Source {
+        Source {
+            cursor,
+            pending: None,
+            next_idx: 0,
+            done: false,
+            failure: None,
+            speed,
+            start,
+        }
+    }
+
+    /// Pulls the next record off the cursor if nothing is pending.
+    fn fill(&mut self) {
+        if self.pending.is_some() || self.done {
+            return;
+        }
+        match self.cursor.next_record() {
+            None => self.done = true,
+            Some(Err(e)) => {
+                self.failure = Some(ReplayError::Trace(e));
+                self.done = true;
+            }
+            Some(Ok(r)) => {
+                let at =
+                    self.start + SimDuration::from_nanos(scale_ns(r.at.as_nanos(), self.speed));
+                self.pending = Some((at, r));
+            }
+        }
+    }
+
+    /// Next pending arrival instant, if any.
+    fn peek_at(&mut self) -> Option<SimTime> {
+        self.fill();
+        self.pending.as_ref().map(|(at, _)| *at)
+    }
+
+    /// Drains every record whose scaled arrival is `<= now`, assigning
+    /// file-order indices.
+    fn take_due(&mut self, now: SimTime) -> Vec<(u64, TraceRecord)> {
+        let mut batch = Vec::new();
+        loop {
+            self.fill();
+            match &self.pending {
+                Some((at, _)) if *at <= now => {
+                    let (_, r) = self.pending.take().expect("pending checked");
+                    batch.push((self.next_idx, r));
+                    self.next_idx += 1;
+                }
+                _ => break,
+            }
+        }
+        batch
+    }
+
+    /// All input consumed (no cursor left, nothing pending).
+    fn exhausted(&self) -> bool {
+        self.done && self.pending.is_none()
+    }
+}
+
+/// splitmix64 finalizer — a cheap, well-mixed 64-bit permutation.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Digest of one `(record index, latency)` observation. Accumulated
+/// with wrapping addition so the fingerprint is independent of
+/// completion order while still binding each latency to its record.
+fn fingerprint_one(idx: u64, latency_ns: u64) -> u64 {
+    mix64(
+        idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(mix64(latency_ns)),
+    )
+}
+
+/// Queue-depth samples with a fixed memory budget: when the vector
+/// outgrows the budget, every other sample is dropped and the sampling
+/// stride doubles. Below the budget this is exactly "keep every
+/// sample".
+struct DepthSamples {
+    stride: u64,
+    tick: u64,
+    samples: Vec<(SimTime, u32)>,
+}
+
+/// Retained queue-depth samples per replay (doubling keeps the vector
+/// between half this and this).
+const DEPTH_SAMPLE_BUDGET: usize = 2048;
+
+impl DepthSamples {
+    fn new() -> DepthSamples {
+        DepthSamples {
+            stride: 1,
+            tick: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, depth: u32) {
+        if self.tick.is_multiple_of(self.stride) {
+            self.samples.push((at, depth));
+            if self.samples.len() > DEPTH_SAMPLE_BUDGET {
+                let mut i = 0usize;
+                self.samples.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+        self.tick += 1;
+    }
+}
+
 /// Shared mutable replay accounting.
 struct State {
-    total: usize,
-    completed: usize,
+    issued: u64,
+    completed: u64,
     reads: u64,
     writes: u64,
     errors: u64,
@@ -232,13 +429,54 @@ struct State {
     read_latency: DurationHistogram,
     write_latency: DurationHistogram,
     streams: StreamMetrics,
-    per_request_ns: Vec<u64>,
-    samples: Vec<(SimTime, u32)>,
+    fingerprint: u64,
+    peak_resident: u64,
+    last_issue_at: Option<SimTime>,
+    batch_base: u32,
+    batch_len: u64,
+    samples: DepthSamples,
     last_done: SimTime,
 }
 
 impl State {
-    fn issue(&mut self, stream: StreamId, is_read: bool) {
+    fn new(start: SimTime) -> State {
+        State {
+            issued: 0,
+            completed: 0,
+            reads: 0,
+            writes: 0,
+            errors: 0,
+            inflight: 0,
+            max_inflight: 0,
+            latency: DurationHistogram::new(),
+            read_latency: DurationHistogram::new(),
+            write_latency: DurationHistogram::new(),
+            streams: StreamMetrics::new(),
+            fingerprint: 0,
+            peak_resident: 0,
+            last_issue_at: None,
+            batch_base: 0,
+            batch_len: 0,
+            samples: DepthSamples::new(),
+            last_done: start,
+        }
+    }
+
+    fn issue(&mut self, at: SimTime, stream: StreamId, is_read: bool) {
+        // Group same-instant issues into one arrival batch so the
+        // residency proxy (in-flight before the batch + batch length)
+        // is identical whether the batch was issued by one dispatcher
+        // event or by consecutive pre-scheduled events.
+        if self.last_issue_at != Some(at) {
+            self.last_issue_at = Some(at);
+            self.batch_base = self.inflight;
+            self.batch_len = 0;
+        }
+        self.batch_len += 1;
+        self.peak_resident = self
+            .peak_resident
+            .max(u64::from(self.batch_base) + self.batch_len);
+        self.issued += 1;
         self.inflight += 1;
         self.max_inflight = self.max_inflight.max(self.inflight);
         if is_read {
@@ -252,7 +490,7 @@ impl State {
     fn finish(
         &mut self,
         at: SimTime,
-        idx: usize,
+        idx: u64,
         stream: StreamId,
         is_read: bool,
         outcome: Option<SimDuration>,
@@ -269,19 +507,119 @@ impl State {
                 } else {
                     self.write_latency.record(lat);
                 }
-                self.per_request_ns[idx] = lat.as_nanos();
+                self.fingerprint = self
+                    .fingerprint
+                    .wrapping_add(fingerprint_one(idx, lat.as_nanos()));
             }
             None => {
                 self.errors += 1;
-                self.per_request_ns[idx] = u64::MAX;
+                self.fingerprint = self
+                    .fingerprint
+                    .wrapping_add(fingerprint_one(idx, u64::MAX));
             }
+        }
+    }
+
+    fn report(&self, target: &TargetKind, speed: f64, start: SimTime) -> ReplayReport {
+        ReplayReport {
+            target: target.label(),
+            speed,
+            requests: self.issued,
+            reads: self.reads,
+            writes: self.writes,
+            errors: self.errors,
+            started_at: start,
+            duration: self.last_done.saturating_duration_since(start),
+            latency: self.latency.clone(),
+            read_latency: self.read_latency.clone(),
+            write_latency: self.write_latency.clone(),
+            streams: self.streams.clone(),
+            latency_fingerprint: self.fingerprint,
+            peak_resident_records: self.peak_resident,
+            max_queue_depth: self.max_inflight,
+            queue_depth: self.samples.samples.clone(),
         }
     }
 }
 
-/// Replays `trace` against the target `opts` describes, sharded by
-/// stream; see the module docs for the open-loop and sharding
-/// semantics.
+/// Everything a dispatcher event needs, cheaply cloneable.
+struct EngineCtx {
+    source: Rc<RefCell<Source>>,
+    state: Rc<RefCell<State>>,
+    stack: Rc<dyn BlockStack>,
+    drive: Rc<TargetDrive>,
+    ndisks: usize,
+}
+
+impl Clone for EngineCtx {
+    fn clone(&self) -> EngineCtx {
+        EngineCtx {
+            source: Rc::clone(&self.source),
+            state: Rc::clone(&self.state),
+            stack: Rc::clone(&self.stack),
+            drive: Rc::clone(&self.drive),
+            ndisks: self.ndisks,
+        }
+    }
+}
+
+/// The dispatcher: fires at the next pending arrival, drains everything
+/// due, re-arms at the new frontier, then issues the batch in file
+/// order. Re-arming before issuing keeps the pump's event ahead of this
+/// batch's completions in same-instant tie-break order.
+fn schedule_pump(sim: &mut Simulator, at: SimTime, ctx: EngineCtx) {
+    sim.schedule_at(at, move |sim| {
+        let batch = ctx.source.borrow_mut().take_due(sim.now());
+        let next = ctx.source.borrow_mut().peek_at();
+        if let Some(next_at) = next {
+            schedule_pump(sim, next_at, ctx.clone());
+        }
+        issue_batch(sim, &ctx, batch);
+    });
+}
+
+fn issue_batch(sim: &mut Simulator, ctx: &EngineCtx, batch: Vec<(u64, TraceRecord)>) {
+    for (idx, r) in batch {
+        let dev = usize::from(r.dev);
+        if dev >= ctx.ndisks {
+            let mut src = ctx.source.borrow_mut();
+            src.failure = Some(ReplayError::BadDevice {
+                dev: r.dev,
+                ndisks: ctx.ndisks,
+            });
+            src.done = true;
+            src.pending = None;
+            return;
+        }
+        let (is_read, stream) = (r.op.is_read(), r.stream);
+        ctx.state.borrow_mut().issue(sim.now(), stream, is_read);
+        submit(
+            sim, &ctx.stack, &ctx.drive, &ctx.state, idx, dev, r.lba, r.sectors, is_read, stream,
+        );
+    }
+}
+
+/// Engine-side queue-depth sampler. Arrivals due at the sample instant
+/// are drained first, reproducing the oracle's arrivals-before-sampler
+/// event order at tied instants.
+fn schedule_engine_sampler(sim: &mut Simulator, ctx: EngineCtx, every: SimDuration) {
+    sim.schedule_in(every, move |sim| {
+        let batch = ctx.source.borrow_mut().take_due(sim.now());
+        issue_batch(sim, &ctx, batch);
+        let finished = {
+            let mut s = ctx.state.borrow_mut();
+            let depth = s.inflight;
+            s.samples.push(sim.now(), depth);
+            ctx.source.borrow().exhausted() && s.completed >= s.issued
+        };
+        if !finished {
+            schedule_engine_sampler(sim, ctx.clone(), every);
+        }
+    });
+}
+
+/// Replays `trace` against the target `opts` describes; see the module
+/// docs for the open-loop and bounded-memory semantics.
 ///
 /// # Errors
 ///
@@ -294,12 +632,115 @@ impl State {
 /// Panics if the simulation stalls (event queue drained with requests
 /// outstanding) — a driver bug, not a workload condition.
 pub fn replay(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, ReplayError> {
-    replay_impl(trace, opts, true)
+    if trace.is_empty() {
+        return Err(ReplayError::EmptyTrace);
+    }
+    let devices_hint = usize::from(trace.max_dev().unwrap_or(0)) + 1;
+    run_engine(
+        Box::new(VecCursor(trace.records.clone().into_iter())),
+        devices_hint,
+        opts,
+    )
 }
 
-/// The pre-sharding issue path: one issuer walking the trace in record
-/// order. Kept (hidden) as the oracle the sharded path is
-/// property-tested against; behavior and output are identical.
+/// Replays a binary trace stream chunk-by-chunk without ever holding
+/// the whole trace: the bounded-memory path for traces too big for
+/// [`replay`]. The target is sized from the stream header's device
+/// count (raised by [`ReplayOptions::data_disks`]); a record addressing
+/// a device beyond that fails with [`ReplayError::BadDevice`].
+///
+/// On seed-sized traces the report is byte-identical to [`replay`] of
+/// the decoded trace — `cargo test -p trail-trace` holds this as a
+/// property.
+///
+/// # Errors
+///
+/// As [`replay`], plus [`ReplayError::Trace`] when the stream is
+/// truncated or corrupt mid-replay and [`ReplayError::BadDevice`] for
+/// an under-declared device count.
+///
+/// # Panics
+///
+/// As [`replay`].
+pub fn replay_stream<R: Read + 'static>(
+    reader: TraceReader<R>,
+    opts: &ReplayOptions,
+) -> Result<ReplayReport, ReplayError> {
+    let devices_hint = usize::from(reader.meta().devices).max(1);
+    run_engine(Box::new(reader), devices_hint, opts)
+}
+
+fn run_engine(
+    cursor: Box<dyn RecordCursor>,
+    devices_hint: usize,
+    opts: &ReplayOptions,
+) -> Result<ReplayReport, ReplayError> {
+    let speed = opts.speed.clamp(0.5, 8.0);
+    let ndisks = opts.data_disks.unwrap_or(0).max(devices_hint).max(1);
+    let BuiltTarget {
+        mut sim,
+        stack,
+        drive,
+    } = StackBuilder::new()
+        .data_disks(ndisks)
+        .fs_file_blocks(opts.fs_file_blocks)
+        .build_target(opts.target)?;
+    if let Some(recorder) = &opts.recorder {
+        stack.set_recorder(Rc::clone(recorder));
+    }
+    if let Some(tap) = &opts.tap {
+        stack.set_tap(Rc::clone(tap));
+    }
+    let drive = Rc::new(drive);
+    let start = sim.now();
+
+    let mut source = Source::new(cursor, speed, start);
+    let first_at = match source.peek_at() {
+        Some(at) => at,
+        None => {
+            return Err(source.failure.take().unwrap_or(ReplayError::EmptyTrace));
+        }
+    };
+    let ctx = EngineCtx {
+        source: Rc::new(RefCell::new(source)),
+        state: Rc::new(RefCell::new(State::new(start))),
+        stack,
+        drive,
+        ndisks,
+    };
+    schedule_pump(&mut sim, first_at, ctx.clone());
+    if !opts.sample_every.is_zero() {
+        schedule_engine_sampler(&mut sim, ctx.clone(), opts.sample_every);
+    }
+
+    loop {
+        if let Some(f) = ctx.source.borrow_mut().failure.take() {
+            return Err(f);
+        }
+        let (finished, outstanding) = {
+            let s = ctx.state.borrow();
+            let src = ctx.source.borrow();
+            (
+                src.exhausted() && s.completed >= s.issued,
+                s.issued - s.completed,
+            )
+        };
+        if finished {
+            break;
+        }
+        assert!(
+            sim.step(),
+            "replay stalled: event queue drained with {outstanding} requests outstanding",
+        );
+    }
+    let report = ctx.state.borrow().report(&opts.target, speed, start);
+    Ok(report)
+}
+
+/// The pre-scheduled issue path: every record's arrival laid down as
+/// its own simulator event up front, O(trace) memory. Kept (hidden) as
+/// the oracle the streaming dispatcher is property-tested against;
+/// behavior and output are identical.
 ///
 /// # Errors
 ///
@@ -308,14 +749,6 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, Repla
 pub fn replay_single_issuer(
     trace: &Trace,
     opts: &ReplayOptions,
-) -> Result<ReplayReport, ReplayError> {
-    replay_impl(trace, opts, false)
-}
-
-fn replay_impl(
-    trace: &Trace,
-    opts: &ReplayOptions,
-    sharded: bool,
 ) -> Result<ReplayReport, ReplayError> {
     if trace.is_empty() {
         return Err(ReplayError::EmptyTrace);
@@ -339,108 +772,40 @@ fn replay_impl(
     }
     let drive = Rc::new(drive);
     let start = sim.now();
-    let state = Rc::new(RefCell::new(State {
-        total: trace.len(),
-        completed: 0,
-        reads: 0,
-        writes: 0,
-        errors: 0,
-        inflight: 0,
-        max_inflight: 0,
-        latency: DurationHistogram::new(),
-        read_latency: DurationHistogram::new(),
-        write_latency: DurationHistogram::new(),
-        streams: StreamMetrics::new(),
-        per_request_ns: vec![0; trace.len()],
-        samples: Vec::new(),
-        last_done: start,
-    }));
+    let state = Rc::new(RefCell::new(State::new(start)));
+    let total = trace.len() as u64;
 
-    // Issuer shards: each stream's arrival sequence is scheduled as a
-    // unit, shards in ascending stream order. Because the trace is
-    // sorted by `(arrival, stream)` and the simulator breaks
-    // equal-instant ties by scheduling order, this lays down exactly
-    // the tie-break order a single issuer would — which is why the two
-    // paths below are byte-identical.
-    let shards: Vec<(StreamId, Vec<usize>)> = if sharded {
-        let mut by_stream: BTreeMap<StreamId, Vec<usize>> = BTreeMap::new();
-        for (idx, r) in trace.records.iter().enumerate() {
-            by_stream.entry(r.stream).or_default().push(idx);
-        }
-        by_stream.into_iter().collect()
-    } else {
-        vec![(StreamId::UNTAGGED, (0..trace.len()).collect())]
-    };
-    for (_, shard) in shards {
-        for idx in shard {
-            let r = &trace.records[idx];
-            let arrival = start + SimDuration::from_nanos(scale_ns(r.at.as_nanos(), speed));
-            let (dev, lba, sectors) = (usize::from(r.dev), r.lba, r.sectors);
-            let (is_read, stream) = (r.op.is_read(), r.stream);
-            let stack = Rc::clone(&stack);
-            let drv = Rc::clone(&drive);
-            let st = Rc::clone(&state);
-            sim.schedule_at(arrival, move |sim| {
-                st.borrow_mut().issue(stream, is_read);
-                submit(
-                    sim, &stack, &drv, &st, idx, dev, lba, sectors, is_read, stream,
-                );
-            });
-        }
+    for (idx, r) in trace.records.iter().enumerate() {
+        let arrival = start + SimDuration::from_nanos(scale_ns(r.at.as_nanos(), speed));
+        let (dev, lba, sectors) = (usize::from(r.dev), r.lba, r.sectors);
+        let (is_read, stream) = (r.op.is_read(), r.stream);
+        let idx = idx as u64;
+        let stack = Rc::clone(&stack);
+        let drv = Rc::clone(&drive);
+        let st = Rc::clone(&state);
+        sim.schedule_at(arrival, move |sim| {
+            st.borrow_mut().issue(sim.now(), stream, is_read);
+            submit(
+                sim, &stack, &drv, &st, idx, dev, lba, sectors, is_read, stream,
+            );
+        });
     }
 
     if !opts.sample_every.is_zero() {
-        schedule_sampler(&mut sim, Rc::clone(&state), opts.sample_every);
+        schedule_oracle_sampler(&mut sim, Rc::clone(&state), opts.sample_every, total);
     }
 
-    while state.borrow().completed < state.borrow().total {
+    while state.borrow().completed < total {
         assert!(
             sim.step(),
             "replay stalled: event queue drained with {} of {} requests outstanding",
-            state.borrow().total - state.borrow().completed,
-            state.borrow().total
+            total - state.borrow().completed,
+            total
         );
     }
 
-    let state = Rc::try_unwrap(state)
-        .unwrap_or_else(|still_shared| {
-            // The sampler may still hold a clone; deep-copy out of it.
-            let s = still_shared.borrow();
-            RefCell::new(State {
-                total: s.total,
-                completed: s.completed,
-                reads: s.reads,
-                writes: s.writes,
-                errors: s.errors,
-                inflight: s.inflight,
-                max_inflight: s.max_inflight,
-                latency: s.latency.clone(),
-                read_latency: s.read_latency.clone(),
-                write_latency: s.write_latency.clone(),
-                streams: s.streams.clone(),
-                per_request_ns: s.per_request_ns.clone(),
-                samples: s.samples.clone(),
-                last_done: s.last_done,
-            })
-        })
-        .into_inner();
-    Ok(ReplayReport {
-        target: opts.target.label(),
-        speed,
-        requests: state.total as u64,
-        reads: state.reads,
-        writes: state.writes,
-        errors: state.errors,
-        started_at: start,
-        duration: state.last_done.saturating_duration_since(start),
-        latency: state.latency,
-        read_latency: state.read_latency,
-        write_latency: state.write_latency,
-        streams: state.streams,
-        per_request_ns: state.per_request_ns,
-        max_queue_depth: state.max_inflight,
-        queue_depth: state.samples,
-    })
+    let report = state.borrow().report(&opts.target, speed, start);
+    Ok(report)
 }
 
 /// Time-scales a relative arrival; exactly the identity at 1×.
@@ -453,7 +818,7 @@ fn scale_ns(ns: u64, speed: f64) -> u64 {
 }
 
 /// Deterministic payload byte for record `idx`.
-fn fill_byte(idx: usize) -> u8 {
+fn fill_byte(idx: u64) -> u8 {
     (idx as u8).wrapping_mul(31) ^ 0xA5
 }
 
@@ -463,7 +828,7 @@ fn submit(
     stack: &Rc<dyn BlockStack>,
     drv: &Rc<TargetDrive>,
     st: &Rc<RefCell<State>>,
-    idx: usize,
+    idx: u64,
     dev: usize,
     lba: Lba,
     sectors: u32,
@@ -526,16 +891,21 @@ fn submit(
     }
 }
 
-fn schedule_sampler(sim: &mut Simulator, st: Rc<RefCell<State>>, every: SimDuration) {
+fn schedule_oracle_sampler(
+    sim: &mut Simulator,
+    st: Rc<RefCell<State>>,
+    every: SimDuration,
+    total: u64,
+) {
     sim.schedule_in(every, move |sim| {
         let finished = {
             let mut s = st.borrow_mut();
             let depth = s.inflight;
-            s.samples.push((sim.now(), depth));
-            s.completed >= s.total
+            s.samples.push(sim.now(), depth);
+            s.completed >= total
         };
         if !finished {
-            schedule_sampler(sim, st, every);
+            schedule_oracle_sampler(sim, st, every, total);
         }
     });
 }
@@ -543,7 +913,8 @@ fn schedule_sampler(sim: &mut Simulator, st: Rc<RefCell<State>>, every: SimDurat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{generate, SyntheticSpec};
+    use crate::codec::TraceReader;
+    use crate::gen::{generate, generate_stream, SyntheticSpec};
 
     fn small_trace() -> Trace {
         generate(&SyntheticSpec {
@@ -569,8 +940,9 @@ mod tests {
         assert_eq!(r.reads + r.writes, 40);
         assert_eq!(r.errors, 0);
         assert_eq!(r.latency.count(), 40);
-        assert_eq!(r.per_request_ns.len(), 40);
-        assert!(r.per_request_ns.iter().all(|&ns| ns != u64::MAX && ns > 0));
+        assert_ne!(r.latency_fingerprint, 0);
+        assert!(r.peak_resident_records >= 1);
+        assert!(r.peak_resident_records <= 40);
         assert!(r.max_queue_depth >= 1);
         assert!(!r.duration.is_zero());
     }
@@ -631,8 +1003,50 @@ mod tests {
         let t = small_trace();
         let a = replay(&t, &ReplayOptions::default()).expect("a");
         let b = replay(&t, &ReplayOptions::default()).expect("b");
-        assert_eq!(a.per_request_ns, b.per_request_ns);
+        assert_eq!(a.latency_fingerprint, b.latency_fingerprint);
         assert_eq!(a.to_json().to_json(), b.to_json().to_json());
+    }
+
+    #[test]
+    fn streaming_replay_matches_the_in_memory_report() {
+        let spec = SyntheticSpec {
+            requests: 120,
+            streams: 3,
+            read_fraction: 0.3,
+            ..SyntheticSpec::default()
+        };
+        let trace = generate(&spec);
+        let oracle = replay(&trace, &ReplayOptions::default()).expect("in-memory");
+        // Small chunks force the streaming path through many refills.
+        for chunk in [7u32, 0] {
+            let bytes = generate_stream(&spec, chunk, Vec::new()).expect("encode");
+            let reader = TraceReader::new(std::io::Cursor::new(bytes)).expect("header");
+            let streamed =
+                replay_stream(reader, &ReplayOptions::default()).expect("streaming replay");
+            assert_eq!(streamed.latency_fingerprint, oracle.latency_fingerprint);
+            assert_eq!(streamed.peak_resident_records, oracle.peak_resident_records);
+            assert_eq!(streamed.to_json().to_json(), oracle.to_json().to_json());
+        }
+    }
+
+    #[test]
+    fn streaming_replay_rejects_truncated_streams() {
+        let spec = SyntheticSpec {
+            requests: 50,
+            ..SyntheticSpec::default()
+        };
+        let bytes = generate_stream(&spec, 8, Vec::new()).expect("encode");
+        // Cut mid-way through the record chunks: the replay must surface
+        // the decode failure instead of reporting a short trace.
+        let cut = &bytes[..bytes.len() / 2];
+        let reader = TraceReader::new(std::io::Cursor::new(cut.to_vec())).expect("header");
+        match replay_stream(reader, &ReplayOptions::default()) {
+            Err(ReplayError::Trace(_)) => {}
+            other => panic!(
+                "expected a trace decode error, got {:?}",
+                other.map(|r| r.requests)
+            ),
+        }
     }
 
     #[test]
@@ -704,6 +1118,18 @@ mod tests {
     }
 
     #[test]
+    fn depth_samples_downsample_past_the_budget() {
+        let mut ds = DepthSamples::new();
+        for i in 0..(DEPTH_SAMPLE_BUDGET as u64 * 4) {
+            ds.push(SimTime::from_nanos(i * 1000), (i % 7) as u32);
+        }
+        assert!(ds.samples.len() <= DEPTH_SAMPLE_BUDGET);
+        assert!(ds.stride > 1, "stride doubled under pressure");
+        // Retained samples stay in time order and on the stride grid.
+        assert!(ds.samples.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
     fn per_stream_lanes_partition_the_aggregate() {
         let t = generate(&SyntheticSpec {
             requests: 60,
@@ -723,5 +1149,7 @@ mod tests {
         assert_eq!(lat_count, r.latency.count());
         let json = r.to_json().to_json();
         assert!(json.contains("\"streams\""), "streams section in JSON");
+        assert!(json.contains("\"latency_fingerprint\""));
+        assert!(json.contains("\"peak_resident_records\""));
     }
 }

@@ -4,7 +4,7 @@
 //! capturing the replayed submissions yields the *same trace back*
 //! (open loop — the stack cannot perturb the offered load), and
 //! replaying that capture on a fresh identical stack reproduces the
-//! original per-request latencies byte for byte.
+//! original latency fingerprint and report byte for byte.
 
 use trail_trace::{
     from_binary, generate, replay, to_binary, ReplayOptions, SyntheticSpec, TargetKind,
@@ -79,8 +79,13 @@ fn captured_trace_replays_with_byte_identical_latencies() {
         )
         .expect("second replay");
         assert_eq!(
-            original.per_request_ns, again.per_request_ns,
+            original.latency_fingerprint, again.latency_fingerprint,
             "{target:?}: capture→replay must reproduce latencies exactly"
+        );
+        assert_eq!(
+            original.to_json().to_json(),
+            again.to_json().to_json(),
+            "{target:?}: capture→replay must reproduce the report exactly"
         );
         assert_eq!(original.errors, 0);
         assert_eq!(again.errors, 0);

@@ -1,19 +1,21 @@
-//! Properties of the stream-sharded replay path and the stream
+//! Properties of the streaming replay dispatcher and the stream
 //! utilities on `Trace`.
 //!
-//! The load-bearing claim: splitting replay into per-stream issuer
-//! shards changes *nothing observable* — the sharded engine produces a
-//! byte-identical report to a single issuer walking the sorted trace,
-//! because shards are laid down in ascending stream order and the
-//! simulator breaks equal-instant ties by scheduling order.
+//! The load-bearing claim: replacing the pre-scheduled O(trace) issue
+//! path with the bounded-memory dispatcher changes *nothing
+//! observable* — the dispatcher produces a byte-identical report to a
+//! single issuer pre-scheduling the sorted trace, because batches issue
+//! in file order and the simulator breaks equal-instant ties by
+//! scheduling order.
 
 use proptest::prelude::*;
 
 use trail_sim::SimTime;
 use trail_trace::replay::replay_single_issuer;
 use trail_trace::{
-    generate, import_blkparse, replay, ArrivalModel, ImportOptions, ReplayOptions, StreamId,
-    SyntheticSpec, TargetKind, Trace, TraceMeta, TraceOp, TraceRecord,
+    from_binary, generate, import_blkparse, replay, to_binary, to_binary_v1, ArrivalModel,
+    ImportOptions, ReplayOptions, StreamId, StreamView, SyntheticSpec, TargetKind, Trace,
+    TraceMeta, TraceOp, TraceRecord,
 };
 
 fn four_stream_trace(requests: usize) -> Trace {
@@ -27,21 +29,21 @@ fn four_stream_trace(requests: usize) -> Trace {
 }
 
 #[test]
-fn sharded_replay_is_byte_identical_to_single_issuer() {
+fn streaming_replay_is_byte_identical_to_single_issuer() {
     let trace = four_stream_trace(80);
     for target in [TargetKind::Standard, TargetKind::TrailMulti { logs: 2 }] {
         let opts = ReplayOptions {
             target,
             ..ReplayOptions::default()
         };
-        let sharded = replay(&trace, &opts).expect("sharded");
+        let streamed = replay(&trace, &opts).expect("dispatcher");
         let single = replay_single_issuer(&trace, &opts).expect("single issuer");
         assert_eq!(
-            sharded.per_request_ns, single.per_request_ns,
-            "{target:?}: per-request latencies diverge"
+            streamed.latency_fingerprint, single.latency_fingerprint,
+            "{target:?}: latency fingerprints diverge"
         );
         assert_eq!(
-            sharded.to_json().to_json(),
+            streamed.to_json().to_json(),
             single.to_json().to_json(),
             "{target:?}: reports diverge"
         );
@@ -49,7 +51,7 @@ fn sharded_replay_is_byte_identical_to_single_issuer() {
 }
 
 #[test]
-fn sharded_replay_is_byte_identical_at_colliding_arrival_instants() {
+fn streaming_replay_is_byte_identical_at_colliding_arrival_instants() {
     // Equal-timestamp arrivals across streams are exactly where a
     // sharding bug would reorder tie-breaks; burst arrivals with a
     // fixed in-burst spacing manufacture collisions on purpose.
@@ -69,9 +71,9 @@ fn sharded_replay_is_byte_identical_at_colliding_arrival_instants() {
         target: TargetKind::Trail,
         ..ReplayOptions::default()
     };
-    let sharded = replay(&trace, &opts).expect("sharded");
+    let streamed = replay(&trace, &opts).expect("dispatcher");
     let single = replay_single_issuer(&trace, &opts).expect("single issuer");
-    assert_eq!(sharded.to_json().to_json(), single.to_json().to_json());
+    assert_eq!(streamed.to_json().to_json(), single.to_json().to_json());
 }
 
 #[test]
@@ -156,15 +158,13 @@ proptest! {
         trace.normalize();
         prop_assert!(trace.validate().is_ok());
         let parts = trace.split_by_stream();
-        // Parts are keyed ascending and preserve within-stream order.
-        for (stream, part) in &parts {
-            prop_assert!(part.records.iter().all(|r| r.stream == *stream));
-            prop_assert!(part
-                .records
-                .windows(2)
-                .all(|w| w[0].at <= w[1].at));
+        // Views are keyed ascending and preserve within-stream order.
+        for part in &parts {
+            prop_assert!(part.iter().all(|r| r.stream == part.stream()));
+            let ats: Vec<_> = part.iter().map(|r| r.at).collect();
+            prop_assert!(ats.windows(2).all(|w| w[0] <= w[1]));
         }
-        let merged = Trace::merge(parts.into_iter().map(|(_, p)| p));
+        let merged = Trace::merge(parts.iter().map(StreamView::to_trace));
         prop_assert_eq!(merged, trace);
     }
 
@@ -175,8 +175,42 @@ proptest! {
     ) {
         let trace = Trace { meta: TraceMeta::default(), records };
         let parts = trace.split_by_stream();
-        let total: usize = parts.iter().map(|(_, p)| p.len()).sum();
+        let total: usize = parts.iter().map(StreamView::len).sum();
         prop_assert_eq!(total, trace.len());
         prop_assert_eq!(parts.len(), trace.streams().len());
+    }
+
+    /// Any record soup encodes through the chunked codec and decodes
+    /// back exactly, at every chunk size — and re-encoding the decoded
+    /// trace reproduces the bytes.
+    #[test]
+    fn chunked_codec_round_trips_byte_identically(
+        records in proptest::collection::vec(arb_record(), 1..120),
+        chunk in 1u32..16,
+    ) {
+        let mut trace = Trace {
+            meta: TraceMeta { chunk_records: chunk, ..TraceMeta::default() },
+            records,
+        };
+        trace.normalize();
+        let bytes = to_binary(&trace);
+        let decoded = from_binary(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &trace);
+        prop_assert_eq!(to_binary(&decoded), bytes);
+    }
+
+    /// A v1 (flat) encoding and a v2 (chunked) encoding of the same
+    /// trace decode to the same trace — the convert path cannot lose
+    /// anything either way.
+    #[test]
+    fn v1_and_v2_encodings_decode_identically(
+        records in proptest::collection::vec(arb_record(), 1..80)
+    ) {
+        let mut trace = Trace { meta: TraceMeta::default(), records };
+        trace.normalize();
+        let via_v1 = from_binary(&to_binary_v1(&trace)).unwrap();
+        let via_v2 = from_binary(&to_binary(&trace)).unwrap();
+        prop_assert_eq!(&via_v1, &trace);
+        prop_assert_eq!(via_v1, via_v2);
     }
 }
