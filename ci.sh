@@ -40,7 +40,8 @@ trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release --offline -p trail-bench --bin run_all -- \
   --quick --out-dir "$smoke_dir" >/dev/null
 for name in micro table1 fig3 fig4 ablation fs_compare table2 table3 track_util \
-             replay_synthetic overload_sweep replay_tpcc replaystream serve serve_sweep; do
+             replay_synthetic overload_sweep replay_tpcc replaystream serve serve_sweep \
+             raid; do
   test -s "$smoke_dir/BENCH_$name.json" \
     || { echo "run_all --quick did not produce BENCH_$name.json" >&2; exit 1; }
 done
@@ -58,6 +59,29 @@ cmp -s "$serve_a/BENCH_serve.json" "$serve_b/BENCH_serve.json" \
 # runner; its artifact must match the standalone binary's byte for byte.
 cmp -s "$serve_a/BENCH_serve.json" "$smoke_dir/BENCH_serve.json" \
   || { echo "BENCH_serve.json differs between serve_fleet and run_all" >&2; exit 1; }
+
+echo "== raid_sweep gate (deterministic, degraded mode, per-member stats) =="
+raid_a="$smoke_dir/raid_a"; raid_b="$smoke_dir/raid_b"
+mkdir -p "$raid_a" "$raid_b"
+cargo run --release --offline -p trail-bench --bin raid_sweep -- \
+  --quick --out-dir "$raid_a" >/dev/null
+cargo run --release --offline -p trail-bench --bin raid_sweep -- \
+  --quick --out-dir "$raid_b" >/dev/null
+cmp -s "$raid_a/BENCH_raid.json" "$raid_b/BENCH_raid.json" \
+  || { echo "BENCH_raid.json is not byte-identical across runs" >&2; exit 1; }
+cmp -s "$raid_a/BENCH_raid.json" "$smoke_dir/BENCH_raid.json" \
+  || { echo "BENCH_raid.json differs between raid_sweep and run_all" >&2; exit 1; }
+# Degraded-mode rows and per-member latency breakdowns must be present.
+for field in degraded_reads members small_write_speedup; do
+  grep -q "\"$field\"" "$raid_a/BENCH_raid.json" \
+    || { echo "BENCH_raid.json lacks $field" >&2; exit 1; }
+done
+# The headline claim: Trail-fronted RAID-5 must beat the standard stack
+# by at least 2x on small-write mean latency at recorded load.
+speedup="$(grep -o '"small_write_speedup":[0-9.]*' "$raid_a/BENCH_raid.json" \
+  | cut -d: -f2)"
+awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' \
+  || { echo "RAID-5 small-write speedup $speedup is below 2x" >&2; exit 1; }
 
 echo "== perf_suite --quick gate (fields present, event counts deterministic) =="
 perf_a="$smoke_dir/perf_a"; perf_b="$smoke_dir/perf_b"

@@ -1,0 +1,52 @@
+//! RAID volume layer: geometry x Trail-fronting x load, including
+//! degraded-mode (member failure mid-trace) and per-stream placement.
+//!
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every artifact at once. Publishes `BENCH_raid.json`.
+//!
+//! Usage: `raid_sweep [requests] [--quick] [--out-dir <dir>]
+//!                    [--trace-out <path>] [--metrics-out <path>]`
+
+use std::path::PathBuf;
+
+use trail_bench::{run_scenario, write_bench_json_in, BenchArgs, ScenarioConfig};
+use trail_telemetry::RecorderHandle;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut quick = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut scale = None;
+    let mut it = args.positional.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out-dir" => {
+                out_dir = PathBuf::from(it.next().expect("--out-dir needs a path"));
+            }
+            other => {
+                scale = Some(other.parse().unwrap_or_else(|_| {
+                    panic!("unknown argument {other:?} (expected a request count)")
+                }));
+            }
+        }
+    }
+    let recorder = args.recorder();
+    let cfg = ScenarioConfig {
+        scale,
+        recorder: recorder.clone().map(|r| r as RecorderHandle),
+        ..if quick {
+            ScenarioConfig::quick()
+        } else {
+            ScenarioConfig::full()
+        }
+    };
+    let out = run_scenario("raid_sweep", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path = write_bench_json_in(&out_dir, "raid", &out.json).expect("write BENCH_raid.json");
+    eprintln!("wrote {}", path.display());
+    if let Some(r) = &recorder {
+        args.write_outputs(r).expect("write trace/metrics outputs");
+    }
+}

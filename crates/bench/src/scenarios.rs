@@ -34,8 +34,8 @@ use trail_telemetry::{JsonValue, RecorderHandle};
 use trail_tpcc::{run, ChainOn, RunConfig, TpccReport};
 use trail_trace::{
     generate, generate_stream, replay as trace_replay, replay_stream as trace_replay_stream,
-    ArrivalModel, ReplayOptions, ReplayReport, SpatialModel, SyntheticSpec, TargetKind, Trace,
-    TraceCapture, TraceMeta, TraceReader, DEFAULT_CHUNK_RECORDS,
+    ArrivalModel, FailMember, ReplayOptions, ReplayReport, SpatialModel, SyntheticSpec, TargetKind,
+    Trace, TraceCapture, TraceMeta, TraceReader, DEFAULT_CHUNK_RECORDS,
 };
 
 use crate::{
@@ -205,6 +205,12 @@ pub fn all_scenarios() -> Vec<ScenarioSpec> {
             artifact: "serve_sweep",
             title: "Serving layer: log routing x admission policy overload sweep on a Trail array",
             run: serve_sweep,
+        },
+        ScenarioSpec {
+            name: "raid_sweep",
+            artifact: "raid",
+            title: "RAID volumes: geometry x Trail-fronting x overload, incl. degraded mode",
+            run: raid_sweep,
         },
     ]
 }
@@ -1935,6 +1941,288 @@ fn overload_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
                 JsonValue::Num(trace.duration().as_millis_f64()),
             ),
             ("targets", JsonValue::Arr(series)),
+        ]),
+    }
+}
+
+// ------------------------------------------------------------ raid sweep
+
+/// Reads one numeric field out of a JSON object (0.0 when absent) —
+/// used to lift headline counters back out of volume statistics.
+fn json_field_num(v: &JsonValue, key: &str) -> f64 {
+    if let JsonValue::Obj(fields) = v {
+        for (k, val) in fields {
+            if k == key {
+                if let JsonValue::Num(n) = val {
+                    return *n;
+                }
+            }
+        }
+    }
+    0.0
+}
+
+/// One sweep row: replay the shared small-write trace against `target`
+/// at `speed`, optionally failing volume 0's member 1 mid-trace.
+fn raid_sweep_row(
+    trace: &Trace,
+    target: TargetKind,
+    speed: f64,
+    fail: Option<FailMember>,
+    cfg: &ScenarioConfig,
+    report: &mut String,
+) -> (JsonValue, ReplayReport) {
+    let rep = trace_replay(
+        trace,
+        &ReplayOptions {
+            target,
+            speed,
+            fail_member: fail,
+            recorder: cfg.handle(),
+            ..ReplayOptions::default()
+        },
+    )
+    .expect("raid replay");
+    let degraded_reads: f64 = rep
+        .volume_stats
+        .iter()
+        .map(|v| json_field_num(v, "degraded_reads"))
+        .sum();
+    let reconstruct_writes: f64 = rep
+        .volume_stats
+        .iter()
+        .map(|v| json_field_num(v, "reconstruct_writes") + json_field_num(v, "parityless_writes"))
+        .sum();
+    let _ = writeln!(
+        report,
+        "| {} | {speed}x | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.0} | {:.0} | {} | {} |",
+        rep.target,
+        if fail.is_some() {
+            "degraded"
+        } else {
+            "healthy"
+        },
+        rep.write_latency.mean().as_millis_f64(),
+        rep.write_latency.percentile(50.0).as_millis_f64(),
+        rep.write_latency.percentile(99.0).as_millis_f64(),
+        rep.read_latency.mean().as_millis_f64(),
+        degraded_reads,
+        reconstruct_writes,
+        rep.max_queue_depth,
+        rep.errors,
+    );
+    let row = JsonValue::obj(vec![
+        ("target", JsonValue::str(rep.target.clone())),
+        ("speed", JsonValue::Num(speed)),
+        (
+            "degraded",
+            JsonValue::Num(f64::from(u8::from(fail.is_some()))),
+        ),
+        ("requests", JsonValue::Num(rep.requests as f64)),
+        ("writes", JsonValue::Num(rep.writes as f64)),
+        ("errors", JsonValue::Num(rep.errors as f64)),
+        (
+            "write_mean_ms",
+            JsonValue::Num(rep.write_latency.mean().as_millis_f64()),
+        ),
+        (
+            "write_p50_ms",
+            JsonValue::Num(rep.write_latency.percentile(50.0).as_millis_f64()),
+        ),
+        (
+            "write_p99_ms",
+            JsonValue::Num(rep.write_latency.percentile(99.0).as_millis_f64()),
+        ),
+        (
+            "read_mean_ms",
+            JsonValue::Num(rep.read_latency.mean().as_millis_f64()),
+        ),
+        ("degraded_reads", JsonValue::Num(degraded_reads)),
+        (
+            "max_queue_depth",
+            JsonValue::Num(f64::from(rep.max_queue_depth)),
+        ),
+        ("volumes", JsonValue::Arr(rep.volume_stats.clone())),
+    ]);
+    (row, rep)
+}
+
+/// The volume-layer sweep: one small-write-heavy trace offered to RAID
+/// geometries behind the standard stack and behind Trail, at and above
+/// recorded load, plus degraded-mode (member-failure) and per-stream
+/// (one volume set per Trail instance) rows. The headline is RAID-5's
+/// small-write penalty: the standard stack pays the read-modify-write
+/// cycle on every small write, while Trail acknowledges at log speed
+/// and pays parity maintenance in background write-backs.
+fn raid_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
+    use trail::volume::{ReadPolicy, VolumeLayout};
+    let requests = cfg.scale.unwrap_or(if cfg.quick { 150 } else { 1200 });
+    let chunk = 8u32;
+    let layout5 = VolumeLayout::Raid5 {
+        chunk_sectors: chunk,
+    };
+    // Small writes (1 KB, a quarter of a chunk) against a mostly-write
+    // mix: the workload Trail §5.1 targets, and RAID-5's worst case.
+    let mean_iat = SimDuration::from_millis(20);
+    let spec = SyntheticSpec {
+        seed: cfg.mix(0x0052_4149_4453), // "RAIDS"
+        requests,
+        devices: 1,
+        streams: 4,
+        capacity_sectors: 2 * 1024 * 1024,
+        read_fraction: 0.25,
+        request_sectors: 2,
+        arrivals: ArrivalModel::Poisson { mean_iat },
+        spatial: SpatialModel::Uniform,
+    };
+    let trace = generate(&spec);
+    // Fail data member 1 a third of the way into the trace, so the
+    // remainder exercises degraded reads and reconstruct-mode writes.
+    let fail = FailMember {
+        volume: 0,
+        member: 1,
+        after: SimDuration::from_nanos(trace.duration().as_nanos() / 3),
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "== RAID sweep — {requests} small writes (1 KB, 25% reads) vs. \
+         geometry x Trail-fronting x load =="
+    );
+    let _ = writeln!(
+        report,
+        "| target | speed | mode | write mean (ms) | write p50 | write p99 | read mean | \
+         degraded reads | reconstructed writes | max QD | errors |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|---|---|---|---|---|");
+
+    let mut rows = Vec::new();
+    let mut std5_mean = 0.0f64;
+    let mut trail5_mean = 0.0f64;
+
+    // Geometry sweep at recorded load, standard vs. Trail-fronted.
+    let geoms: &[(VolumeLayout, usize)] = &[
+        (
+            VolumeLayout::Raid0 {
+                chunk_sectors: chunk,
+            },
+            3,
+        ),
+        (
+            VolumeLayout::Raid1 {
+                read_policy: ReadPolicy::NearestHead,
+            },
+            2,
+        ),
+        (layout5, 3),
+    ];
+    for &(layout, members) in geoms {
+        for trail_front in [false, true] {
+            let target = TargetKind::Raid {
+                layout,
+                members,
+                trail: trail_front,
+            };
+            let (row, rep) = raid_sweep_row(&trace, target, 1.0, None, cfg, &mut report);
+            if layout == layout5 {
+                let mean = rep.write_latency.mean().as_millis_f64();
+                if trail_front {
+                    trail5_mean = mean;
+                } else {
+                    std5_mean = mean;
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    // Overload: the RAID-5 pair above recorded speed.
+    let overload: &[f64] = if cfg.quick { &[2.0] } else { &[2.0, 4.0] };
+    for &speed in overload {
+        for trail_front in [false, true] {
+            let target = TargetKind::Raid {
+                layout: layout5,
+                members: 3,
+                trail: trail_front,
+            };
+            let (row, _) = raid_sweep_row(&trace, target, speed, None, cfg, &mut report);
+            rows.push(row);
+        }
+    }
+
+    // Per-stream placement: each Trail instance owns its own RAID-5
+    // set, so every routed stream's data lands on its own members.
+    let (row, _) = raid_sweep_row(
+        &trace,
+        TargetKind::RaidPerStream {
+            layout: layout5,
+            members: 3,
+            logs: 2,
+        },
+        1.0,
+        None,
+        cfg,
+        &mut report,
+    );
+    rows.push(row);
+
+    // Degraded mode: the RAID-5 pair with a member failing mid-trace.
+    for trail_front in [false, true] {
+        let target = TargetKind::Raid {
+            layout: layout5,
+            members: 3,
+            trail: trail_front,
+        };
+        let (row, rep) = raid_sweep_row(&trace, target, 1.0, Some(fail), cfg, &mut report);
+        let survived: f64 = rep
+            .volume_stats
+            .iter()
+            .map(|v| {
+                json_field_num(v, "degraded_reads")
+                    + json_field_num(v, "reconstruct_writes")
+                    + json_field_num(v, "parityless_writes")
+            })
+            .sum();
+        assert!(
+            survived > 0.0,
+            "degraded {} run never exercised a degraded path",
+            rep.target
+        );
+        rows.push(row);
+    }
+
+    let speedup = if trail5_mean > 0.0 {
+        std5_mean / trail5_mean
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        report,
+        "headline: RAID-5 small-write mean {std5_mean:.3} ms standard vs. \
+         {trail5_mean:.3} ms Trail-fronted ({speedup:.1}x)"
+    );
+
+    ScenarioOutput {
+        report,
+        json: JsonValue::obj(vec![
+            ("bench", JsonValue::str("raid_sweep")),
+            ("requests", JsonValue::Num(requests as f64)),
+            ("request_sectors", JsonValue::Num(2.0)),
+            ("chunk_sectors", JsonValue::Num(f64::from(chunk))),
+            (
+                "trace_duration_ms",
+                JsonValue::Num(trace.duration().as_millis_f64()),
+            ),
+            ("rows", JsonValue::Arr(rows)),
+            (
+                "headline",
+                JsonValue::obj(vec![
+                    ("standard_raid5_write_mean_ms", JsonValue::Num(std5_mean)),
+                    ("trail_raid5_write_mean_ms", JsonValue::Num(trail5_mean)),
+                    ("small_write_speedup", JsonValue::Num(speedup)),
+                ]),
+            ),
         ]),
     }
 }

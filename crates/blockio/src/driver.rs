@@ -9,6 +9,7 @@
 //! its data disks (with [`Priority::ReadsFirst`]).
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -17,7 +18,7 @@ use trail_sim::{Completion, Delivered, LatencySummary, SimTime, Simulator};
 use trail_telemetry::{Layer, LifecycleEmitter, RecorderHandle, RequestBreakdown};
 
 use crate::request::{IoDone, IoKind, IoRequest, RequestId};
-use crate::sched::{apply_priority, Clook, Priority, QueuedIo, Scheduler};
+use crate::sched::{Clook, Priority, QueuedIo, Scheduler};
 use crate::tap::TapHandle;
 
 /// Aggregate driver measurements.
@@ -37,7 +38,6 @@ pub struct DriverStats {
 
 struct Queued {
     id: RequestId,
-    seq: u64,
     issued: SimTime,
     req: IoRequest,
     done: Completion<IoDone>,
@@ -47,7 +47,10 @@ struct Inner {
     disk: Disk,
     scheduler: Box<dyn Scheduler>,
     priority: Priority,
-    queue: Vec<Queued>,
+    // Queued requests keyed by arrival seq; the scheduler indexes the
+    // same seqs, so a dispatch is one O(log n) pop + one O(log n)
+    // removal here — no linear scans at any depth.
+    queue: BTreeMap<u64, Queued>,
     in_flight: bool,
     next_id: u64,
     next_seq: u64,
@@ -98,7 +101,7 @@ impl StandardDriver {
                 disk,
                 scheduler,
                 priority,
-                queue: Vec::new(),
+                queue: BTreeMap::new(),
                 in_flight: false,
                 next_id: 0,
                 next_seq: 0,
@@ -161,6 +164,9 @@ impl StandardDriver {
     ) -> Result<RequestId, DiskError> {
         let id = {
             let mut d = self.inner.borrow_mut();
+            if d.disk.is_failed() {
+                return Err(DiskError::Failed);
+            }
             let total = d.disk.geometry().total_sectors();
             let sectors = req.kind.sectors();
             match &req.kind {
@@ -187,13 +193,24 @@ impl StandardDriver {
             d.next_id += 1;
             let seq = d.next_seq;
             d.next_seq += 1;
-            d.queue.push(Queued {
-                id,
+            let geometry = d.disk.geometry();
+            d.scheduler.insert(
+                QueuedIo {
+                    lba: req.lba,
+                    is_read: req.kind.is_read(),
+                    seq,
+                },
+                &geometry,
+            );
+            d.queue.insert(
                 seq,
-                issued: sim.now(),
-                req,
-                done,
-            });
+                Queued {
+                    id,
+                    issued: sim.now(),
+                    req,
+                    done,
+                },
+            );
             d.stats.submitted += 1;
             let depth = d.queue.len();
             if depth > d.stats.max_queue_depth {
@@ -214,30 +231,14 @@ impl StandardDriver {
             if d.in_flight || d.queue.is_empty() {
                 return;
             }
-            let views: Vec<QueuedIo> = d
-                .queue
-                .iter()
-                .map(|q| QueuedIo {
-                    lba: q.req.lba,
-                    is_read: q.req.kind.is_read(),
-                    seq: q.seq,
-                })
-                .collect();
-            let candidates = apply_priority(&views, d.priority);
+            let depth = d.queue.len() as u32;
+            let reads_only = d.priority == Priority::ReadsFirst && d.scheduler.queued_reads() > 0;
             let head = d.disk.head_position();
-            let geometry = d.disk.geometry();
-            let picked = if candidates.len() == views.len() {
-                // No filtering happened; the queue is already in arrival
-                // order, so the candidate list is the identity mapping and
-                // the scheduler can look at the views directly.
-                debug_assert!(candidates.iter().copied().eq(0..views.len()));
-                d.scheduler.pick(&views, head, &geometry)
-            } else {
-                let cand_views: Vec<QueuedIo> = candidates.iter().map(|&i| views[i]).collect();
-                d.scheduler.pick(&cand_views, head, &geometry)
-            };
-            let idx = candidates[picked];
-            let mut queued = d.queue.remove(idx);
+            let seq = d.scheduler.pop(head, reads_only);
+            let mut queued = d
+                .queue
+                .remove(&seq)
+                .expect("scheduler popped a seq the queue does not hold");
             // Move the write payload into the command instead of cloning:
             // nothing reads it from the queue entry after dispatch, and a
             // power-cut cancellation only needs `queued.done`'s drop.
@@ -252,19 +253,25 @@ impl StandardDriver {
                 },
             };
             d.in_flight = true;
-            d.lifecycle
-                .dispatch(sim.now(), queued.id.0, views.len() as u32);
+            d.lifecycle.dispatch(sim.now(), queued.id.0, depth);
             (d.disk.clone(), cmd, queued)
         };
         let driver = self.clone();
         let disk_done = sim.completion(move |sim: &mut Simulator, res: Delivered<DiskResult>| {
             let res = match res {
                 Ok(res) => res,
-                // The disk lost power with this command in flight. Clear
-                // the dispatch slot and drop `queued`, which cascades the
-                // cancellation to the request's own `Completion`.
+                // The disk lost power or failed with this command in
+                // flight. Clear the dispatch slot and drop `queued`, which
+                // cascades the cancellation to the request's own
+                // `Completion`. A failed member also drains the queue —
+                // nothing behind this command can ever be serviced.
                 Err(_) => {
-                    driver.inner.borrow_mut().in_flight = false;
+                    let mut d = driver.inner.borrow_mut();
+                    d.in_flight = false;
+                    if d.disk.is_failed() {
+                        d.queue.clear();
+                        d.scheduler.clear();
+                    }
                     return;
                 }
             };
@@ -317,6 +324,15 @@ impl StandardDriver {
             Ok(()) => {}
             Err(DiskError::PoweredOff) => {
                 self.inner.borrow_mut().in_flight = false;
+            }
+            Err(DiskError::Failed) => {
+                // The member failed between queueing and dispatch. Every
+                // queued request is undeliverable; drop them all so their
+                // completions cancel-cascade instead of hanging.
+                let mut d = self.inner.borrow_mut();
+                d.in_flight = false;
+                d.queue.clear();
+                d.scheduler.clear();
             }
             Err(e) => panic!("validated request rejected by idle disk: {e}"),
         }
@@ -490,6 +506,36 @@ mod tests {
     }
 
     #[test]
+    fn member_failure_cancels_queued_requests() {
+        let (mut sim, drv) = setup();
+        let outcomes = StdRc::new(StdRefCell::new(Vec::new()));
+        for i in 0..6u64 {
+            let outcomes = StdRc::clone(&outcomes);
+            let c = sim.completion(move |_, d: trail_sim::Delivered<IoDone>| {
+                outcomes.borrow_mut().push(d.is_ok());
+            });
+            drv.submit(&mut sim, IoRequest::write(i * 300, vec![0; SECTOR_SIZE]), c)
+                .unwrap();
+        }
+        // Fail the member while the first request is in flight: everything
+        // queued behind it must cancel instead of hanging the simulation.
+        let fail_at = sim.now() + SimDuration::from_nanos(50);
+        drv.disk().schedule_failure(&mut sim, fail_at);
+        sim.run();
+        assert_eq!(outcomes.borrow().len(), 6, "every completion delivered");
+        assert!(outcomes.borrow().iter().all(|ok| !ok), "all cancelled");
+        assert_eq!(drv.queue_depth(), 0);
+        assert!(!drv.is_busy());
+        // New submissions are rejected synchronously.
+        let c = sim.completion(|_, d: trail_sim::Delivered<IoDone>| assert!(d.is_err()));
+        assert!(matches!(
+            drv.submit(&mut sim, IoRequest::read(0, 1), c),
+            Err(DiskError::Failed)
+        ));
+        sim.run();
+    }
+
+    #[test]
     fn telemetry_breakdown_sums_exactly_to_latency() {
         use trail_telemetry::{EventKind, MemoryRecorder};
 
@@ -539,7 +585,7 @@ mod tests {
             sim.run();
             disk.with_stats(|s| s.total_seek.as_millis_f64())
         };
-        let fifo = run(Box::new(crate::sched::Fifo));
+        let fifo = run(Box::<crate::sched::Fifo>::default());
         let clook = run(Box::<Clook>::default());
         assert!(
             clook < fifo,

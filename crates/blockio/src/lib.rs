@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod device;
 mod driver;
 mod request;
 mod sched;
 mod tap;
 
+pub use device::{BlockDevice, SharedBlockDevice};
 pub use driver::{DriverStats, StandardDriver};
 pub use request::{IoDone, IoKind, IoRequest, RequestId};
 pub use sched::{apply_priority, Clook, Fifo, Priority, QueuedIo, Scheduler};

@@ -5,6 +5,20 @@
 //! the era effectively provided; FIFO is available for experiments that
 //! need strict arrival order. A separate [`Priority`] policy lets Trail's
 //! data-disk scheduling give reads precedence over write-backs (paper §4.3).
+//!
+//! # Incremental dispatch
+//!
+//! A [`Scheduler`] is an *index over the queue*, not a function over it:
+//! the driver calls [`Scheduler::insert`] once per arrival and
+//! [`Scheduler::pop`] once per dispatch. Both built-in policies keep their
+//! requests in sorted sets ([`std::collections::BTreeSet`]), so a dispatch
+//! costs `O(log n)` instead of the linear scan the original formulation
+//! paid — under a deep open-loop backlog the old scan made dispatch
+//! quadratic in queue depth (the ROADMAP's C-LOOK note). The dispatch
+//! *order* is unchanged: a property test drives both policies against a
+//! reference linear-scan implementation and asserts seq-for-seq equality.
+
+use std::collections::BTreeSet;
 
 use trail_disk::{DiskGeometry, HeadPosition, Lba};
 
@@ -20,25 +34,93 @@ pub struct QueuedIo {
 }
 
 /// Chooses which queued request a driver dispatches next.
+///
+/// The driver mirrors its queue into the scheduler: every queued request
+/// is [`insert`]ed exactly once and leaves via exactly one [`pop`] (or a
+/// [`clear`] when the device fails). Implementations may keep any internal
+/// index they like; both built-ins use sorted sets for `O(log n)` picks.
+///
+/// [`insert`]: Scheduler::insert
+/// [`pop`]: Scheduler::pop
+/// [`clear`]: Scheduler::clear
 pub trait Scheduler: std::fmt::Debug {
-    /// Returns the index (into `queue`) of the request to dispatch.
+    /// Indexes a newly queued request. `geometry` maps its LBA onto disk
+    /// coordinates for position-aware policies.
+    fn insert(&mut self, q: QueuedIo, geometry: &DiskGeometry);
+
+    /// Removes and returns the `seq` of the request to dispatch next.
+    /// When `reads_only` is set, only reads are candidates (the caller
+    /// guarantees at least one read is queued).
     ///
-    /// `queue` is never empty. Implementations must return a valid index.
-    fn pick(&mut self, queue: &[QueuedIo], head: HeadPosition, geometry: &DiskGeometry) -> usize;
+    /// # Panics
+    ///
+    /// Implementations may panic when invoked with nothing queued (or
+    /// with `reads_only` and no read queued).
+    fn pop(&mut self, head: HeadPosition, reads_only: bool) -> u64;
+
+    /// Number of indexed reads.
+    fn queued_reads(&self) -> usize;
+
+    /// Total indexed requests.
+    fn len(&self) -> usize;
+
+    /// Whether nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every indexed request (device failure drains the queue).
+    fn clear(&mut self);
+}
+
+/// Picks the smaller of two optional candidates.
+fn min_opt<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
 }
 
 /// First-in, first-out dispatch.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Fifo;
+#[derive(Clone, Debug, Default)]
+pub struct Fifo {
+    reads: BTreeSet<u64>,
+    writes: BTreeSet<u64>,
+}
 
 impl Scheduler for Fifo {
-    fn pick(&mut self, queue: &[QueuedIo], _head: HeadPosition, _geometry: &DiskGeometry) -> usize {
-        queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, q)| q.seq)
-            .map(|(i, _)| i)
-            .expect("scheduler invoked with empty queue")
+    fn insert(&mut self, q: QueuedIo, _geometry: &DiskGeometry) {
+        if q.is_read {
+            self.reads.insert(q.seq);
+        } else {
+            self.writes.insert(q.seq);
+        }
+    }
+
+    fn pop(&mut self, _head: HeadPosition, reads_only: bool) -> u64 {
+        let r = self.reads.first().copied();
+        let w = (!reads_only)
+            .then(|| self.writes.first().copied())
+            .flatten();
+        let seq = min_opt(r, w).expect("scheduler invoked with empty queue");
+        if !self.reads.remove(&seq) {
+            self.writes.remove(&seq);
+        }
+        seq
+    }
+
+    fn queued_reads(&self) -> usize {
+        self.reads.len()
+    }
+
+    fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
     }
 }
 
@@ -52,35 +134,66 @@ impl Scheduler for Fifo {
 /// arrival is "at or beyond" a head that never leaves — starving requests
 /// farther out. Advancing the boundary guarantees each pending cylinder is
 /// visited at most one full sweep after its request arrives.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Requests are indexed by `(cylinder, seq)` in sorted sets, so each pick
+/// is two range lookups (`O(log n)`), not a scan of the queue.
+#[derive(Clone, Debug, Default)]
 pub struct Clook {
     /// Lowest cylinder the current sweep may still visit.
     sweep_from: u32,
+    reads: BTreeSet<(u32, u64)>,
+    writes: BTreeSet<(u32, u64)>,
+}
+
+impl Clook {
+    fn first_at_or_beyond(&self, bound: u32, reads_only: bool) -> Option<(u32, u64)> {
+        let r = self.reads.range((bound, 0)..).next().copied();
+        let w = (!reads_only)
+            .then(|| self.writes.range((bound, 0)..).next().copied())
+            .flatten();
+        min_opt(r, w)
+    }
 }
 
 impl Scheduler for Clook {
-    fn pick(&mut self, queue: &[QueuedIo], head: HeadPosition, geometry: &DiskGeometry) -> usize {
-        let key = |q: &QueuedIo| {
-            geometry
-                .lba_to_chs(q.lba)
-                .map(|chs| chs.cylinder)
-                .unwrap_or(u32::MAX)
-        };
+    fn insert(&mut self, q: QueuedIo, geometry: &DiskGeometry) {
+        let cyl = geometry
+            .lba_to_chs(q.lba)
+            .map(|chs| chs.cylinder)
+            .unwrap_or(u32::MAX);
+        if q.is_read {
+            self.reads.insert((cyl, q.seq));
+        } else {
+            self.writes.insert((cyl, q.seq));
+        }
+    }
+
+    fn pop(&mut self, head: HeadPosition, reads_only: bool) -> u64 {
         // The arm may have been moved under us (e.g. by another dispatch
         // path), so the sweep never lags behind the physical head.
         let from = self.sweep_from.max(head.cylinder);
-        let nearest_from = |bound: u32| {
-            queue
-                .iter()
-                .enumerate()
-                .filter(|(_, q)| key(q) >= bound)
-                .min_by_key(|(_, q)| (key(q), q.seq))
-        };
-        let (i, q) = nearest_from(from)
-            .or_else(|| nearest_from(0))
+        let (cyl, seq) = self
+            .first_at_or_beyond(from, reads_only)
+            .or_else(|| self.first_at_or_beyond(0, reads_only))
             .expect("scheduler invoked with empty queue");
-        self.sweep_from = key(q).saturating_add(1);
-        i
+        self.sweep_from = cyl.saturating_add(1);
+        if !self.reads.remove(&(cyl, seq)) {
+            self.writes.remove(&(cyl, seq));
+        }
+        seq
+    }
+
+    fn queued_reads(&self) -> usize {
+        self.reads.len()
+    }
+
+    fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
     }
 }
 
@@ -98,6 +211,10 @@ pub enum Priority {
 /// Applies a priority policy, returning the indices (into `queue`) of the
 /// candidate requests, ordered by arrival. No queue entries are copied;
 /// callers index back into their own slice.
+///
+/// The driver's hot path now filters inside [`Scheduler::pop`]; this
+/// survives as the reference formulation the equivalence property test
+/// (and any linear-scan scheduler) builds on.
 pub fn apply_priority(queue: &[QueuedIo], priority: Priority) -> Vec<usize> {
     let mut candidates: Vec<usize> = match priority {
         Priority::None => (0..queue.len()).collect(),
@@ -128,12 +245,21 @@ mod tests {
         QueuedIo { lba, is_read, seq }
     }
 
+    fn load(s: &mut dyn Scheduler, g: &DiskGeometry, queue: &[QueuedIo]) {
+        for &item in queue {
+            s.insert(item, g);
+        }
+    }
+
     #[test]
     fn fifo_picks_earliest_arrival() {
         let g = profiles::tiny_test_disk().geometry;
         let queue = vec![q(500, false, 2), q(10, true, 0), q(90, false, 1)];
-        let mut s = Fifo;
-        assert_eq!(s.pick(&queue, HeadPosition::default(), &g), 1);
+        let mut s = Fifo::default();
+        load(&mut s, &g, &queue);
+        assert_eq!(s.pop(HeadPosition::default(), false), 0);
+        assert_eq!(s.pop(HeadPosition::default(), false), 1);
+        assert_eq!(s.len(), 1);
     }
 
     #[test]
@@ -147,22 +273,45 @@ mod tests {
             head: 0,
         };
         let mut s = Clook::default();
-        assert_eq!(s.pick(&queue, head, &g), 1, "cylinder 5 is nearest ahead");
+        load(&mut s, &g, &queue);
+        assert_eq!(s.pop(head, false), 1, "cylinder 5 is nearest ahead");
         // Head beyond all requests: wrap to the lowest cylinder.
         let head = HeadPosition {
             cylinder: 20,
             head: 0,
         };
-        assert_eq!(s.pick(&queue, head, &g), 0);
+        assert_eq!(s.pop(head, false), 0);
     }
 
     #[test]
     fn clook_breaks_ties_by_arrival() {
         let g = profiles::tiny_test_disk().geometry;
-        let queue = vec![q(81, false, 5), q(80, false, 3)];
         let mut s = Clook::default();
+        load(&mut s, &g, &[q(81, false, 5), q(80, false, 3)]);
         // Same cylinder (1): earlier arrival wins.
-        assert_eq!(s.pick(&queue, HeadPosition::default(), &g), 1);
+        assert_eq!(s.pop(HeadPosition::default(), false), 3);
+    }
+
+    #[test]
+    fn reads_only_pop_skips_writes() {
+        let g = profiles::tiny_test_disk().geometry;
+        let mut s = Clook::default();
+        load(&mut s, &g, &[q(1, false, 0), q(2000, true, 1)]);
+        assert_eq!(s.queued_reads(), 1);
+        assert_eq!(s.pop(HeadPosition::default(), true), 1);
+        assert_eq!(s.queued_reads(), 0);
+        assert_eq!(s.pop(HeadPosition::default(), false), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_index() {
+        let g = profiles::tiny_test_disk().geometry;
+        let mut s = Fifo::default();
+        load(&mut s, &g, &[q(1, false, 0), q(2, true, 1)]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.queued_reads(), 0);
     }
 
     #[test]

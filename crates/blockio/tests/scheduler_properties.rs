@@ -7,8 +7,11 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use proptest::prelude::*;
-use trail_blockio::{Clook, Fifo, IoDone, IoKind, IoRequest, Priority, StandardDriver, StreamId};
-use trail_disk::{profiles, Disk, SECTOR_SIZE};
+use trail_blockio::{
+    apply_priority, Clook, Fifo, IoDone, IoKind, IoRequest, Priority, QueuedIo, Scheduler,
+    StandardDriver, StreamId,
+};
+use trail_disk::{profiles, Disk, DiskGeometry, HeadPosition, SECTOR_SIZE};
 use trail_sim::{SimDuration, Simulator};
 
 /// One generated request: arrival offset, target, read/write, tag.
@@ -201,8 +204,148 @@ proptest! {
     }
 }
 
+/// The pre-index linear-scan schedulers, kept verbatim as the reference
+/// the sorted-set implementations are proved order-equivalent against.
+mod reference {
+    use super::*;
+
+    pub fn fifo_pick(queue: &[QueuedIo]) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| q.seq)
+            .map(|(i, _)| i)
+            .expect("pick on empty queue")
+    }
+
+    pub fn clook_pick(
+        queue: &[QueuedIo],
+        sweep_from: &mut u32,
+        head: HeadPosition,
+        g: &DiskGeometry,
+    ) -> usize {
+        let key = |q: &QueuedIo| {
+            g.lba_to_chs(q.lba)
+                .map(|chs| chs.cylinder)
+                .unwrap_or(u32::MAX)
+        };
+        let from = (*sweep_from).max(head.cylinder);
+        let nearest_from = |bound: u32| {
+            queue
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| key(q) >= bound)
+                .min_by_key(|(_, q)| (key(q), q.seq))
+        };
+        let (i, q) = nearest_from(from)
+            .or_else(|| nearest_from(0))
+            .expect("pick on empty queue");
+        *sweep_from = key(q).saturating_add(1);
+        i
+    }
+}
+
+/// One step of the equivalence model: enqueue a request or dispatch one.
+#[derive(Clone, Debug)]
+enum SchedOp {
+    Insert { lba: u64, is_read: bool },
+    Pop { head_cyl: u32 },
+}
+
+fn arb_sched_ops() -> impl Strategy<Value = Vec<SchedOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..4_000, any::<bool>())
+                .prop_map(|(lba, is_read)| SchedOp::Insert { lba, is_read }),
+            (0u32..60).prop_map(|head_cyl| SchedOp::Pop { head_cyl }),
+        ],
+        1..120,
+    )
+}
+
+/// Drives a sorted-set scheduler and its linear-scan reference through the
+/// same insert/pop interleaving (shallow depth, ≤ ~60 queued) and asserts
+/// they dispatch the exact same request every time.
+fn assert_order_equivalent(
+    ops: &[SchedOp],
+    mut indexed: Box<dyn Scheduler>,
+    mut ref_pick: impl FnMut(&[QueuedIo], HeadPosition) -> usize,
+    priority: Priority,
+) -> Result<(), TestCaseError> {
+    let g = profiles::tiny_test_disk().geometry;
+    let mut model: Vec<QueuedIo> = Vec::new();
+    let mut next_seq = 0u64;
+    for op in ops {
+        match *op {
+            SchedOp::Insert { lba, is_read } => {
+                let q = QueuedIo {
+                    lba,
+                    is_read,
+                    seq: next_seq,
+                };
+                next_seq += 1;
+                model.push(q);
+                indexed.insert(q, &g);
+            }
+            SchedOp::Pop { head_cyl } => {
+                if model.is_empty() {
+                    continue;
+                }
+                let head = HeadPosition {
+                    cylinder: head_cyl,
+                    head: 0,
+                };
+                // Reference formulation: priority filter, then scan.
+                let candidates = apply_priority(&model, priority);
+                let cand_views: Vec<QueuedIo> = candidates.iter().map(|&i| model[i]).collect();
+                let expected = cand_views[ref_pick(&cand_views, head)].seq;
+                // Indexed formulation: filtered range queries.
+                let reads_only = priority == Priority::ReadsFirst && indexed.queued_reads() > 0;
+                let got = indexed.pop(head, reads_only);
+                prop_assert_eq!(got, expected);
+                model.retain(|q| q.seq != expected);
+            }
+        }
+    }
+    prop_assert_eq!(indexed.len(), model.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sorted-set C-LOOK dispatches seq-for-seq identically to the
+    /// original linear-scan C-LOOK, under both priority policies.
+    #[test]
+    fn indexed_clook_matches_linear_reference(ops in arb_sched_ops()) {
+        for priority in [Priority::None, Priority::ReadsFirst] {
+            let g = profiles::tiny_test_disk().geometry;
+            let mut sweep_from = 0u32;
+            assert_order_equivalent(
+                &ops,
+                Box::new(Clook::default()),
+                |queue, head| reference::clook_pick(queue, &mut sweep_from, head, &g),
+                priority,
+            )?;
+        }
+    }
+
+    /// Same for FIFO.
+    #[test]
+    fn indexed_fifo_matches_linear_reference(ops in arb_sched_ops()) {
+        for priority in [Priority::None, Priority::ReadsFirst] {
+            assert_order_equivalent(
+                &ops,
+                Box::new(Fifo::default()),
+                |queue, _| reference::fifo_pick(queue),
+                priority,
+            )?;
+        }
+    }
+}
+
 fn boxed_fifo() -> Box<dyn trail_blockio::Scheduler> {
-    Box::new(Fifo)
+    Box::new(Fifo::default())
 }
 
 fn boxed_clook() -> Box<dyn trail_blockio::Scheduler> {

@@ -28,7 +28,9 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use trail_blockio::{Clook, IoDone, IoRequest, Priority, StandardDriver, TapHandle};
+use trail_blockio::{
+    Clook, IoDone, IoRequest, Priority, SharedBlockDevice, StandardDriver, TapHandle,
+};
 use trail_disk::{
     CommandKind, Disk, DiskCommand, DiskGeometry, DiskResult, Lba, SectorBuf, ServiceBreakdown,
     SECTOR_SIZE,
@@ -172,7 +174,7 @@ struct Inner {
     effective_max_batch: u32,
     rotation_period: trail_sim::SimDuration,
     log_disk: Disk,
-    data: Vec<StandardDriver>,
+    data: Vec<SharedBlockDevice>,
     data_capacity: Vec<u64>,
     geometry: DiskGeometry,
     predictor: HeadPredictor,
@@ -317,10 +319,6 @@ impl TrailDriver {
             return Err(TrailError::BadDevice);
         }
         let header = read_header(sim, &log_disk)?;
-        assert!(
-            header.geometry.total_sectors() <= u64::from(u32::MAX),
-            "log disk too large for the on-disk u32 LBA format"
-        );
         let mut recovered = None;
         if !header.clean {
             recovered = Some(recover(
@@ -331,6 +329,64 @@ impl TrailDriver {
                 RecoveryOptions::default(),
             )?);
         }
+        let targets: Vec<SharedBlockDevice> = data
+            .into_iter()
+            .map(|d| Rc::new(d) as SharedBlockDevice)
+            .collect();
+        Self::boot_over_targets(sim, log_disk, header, recovered, targets, config)
+    }
+
+    /// Like [`start`](Self::start), but over arbitrary block targets —
+    /// single-disk drivers, `trail-volume` RAID arrays, or a mix. Trail's
+    /// write-back path submits to each target's [`trail_blockio::
+    /// BlockDevice`] face, so a RAID-5 target pays its read-modify-write
+    /// parity cycles in the background while the log front end keeps
+    /// acknowledging at track speed.
+    ///
+    /// Crash recovery replays through the targets' own submission paths
+    /// (see [`crate::recover_with_targets`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`start`](Self::start).
+    pub fn start_with_targets(
+        sim: &mut Simulator,
+        log_disk: Disk,
+        targets: Vec<SharedBlockDevice>,
+        config: TrailConfig,
+    ) -> Result<(TrailDriver, BootReport), TrailError> {
+        config.validate();
+        if targets.is_empty() || targets.len() > u8::MAX as usize {
+            return Err(TrailError::BadDevice);
+        }
+        let header = read_header(sim, &log_disk)?;
+        let mut recovered = None;
+        if !header.clean {
+            recovered = Some(crate::recovery::recover_with_targets(
+                sim,
+                &log_disk,
+                &targets,
+                &header,
+                RecoveryOptions::default(),
+            )?);
+        }
+        Self::boot_over_targets(sim, log_disk, header, recovered, targets, config)
+    }
+
+    /// Shared boot tail: bump the epoch, persist the dirty header, and
+    /// assemble the driver over `targets`.
+    fn boot_over_targets(
+        sim: &mut Simulator,
+        log_disk: Disk,
+        header: LogDiskHeader,
+        recovered: Option<RecoveryReport>,
+        targets: Vec<SharedBlockDevice>,
+        config: TrailConfig,
+    ) -> Result<(TrailDriver, BootReport), TrailError> {
+        assert!(
+            header.geometry.total_sectors() <= u64::from(u32::MAX),
+            "log disk too large for the on-disk u32 LBA format"
+        );
         let epoch = header.epoch + 1;
         let new_header = LogDiskHeader {
             epoch,
@@ -352,14 +408,11 @@ impl TrailDriver {
             assert!(limit >= 2, "the track ring needs at least two tracks");
             last = last.min(first + limit - 1);
         }
-        let data_capacity: Vec<u64> = data_disks
-            .iter()
-            .map(|d| d.geometry().total_sectors())
-            .collect();
+        let data_capacity: Vec<u64> = targets.iter().map(|t| t.capacity_sectors()).collect();
         for &cap in &data_capacity {
             assert!(
                 cap <= u64::from(u32::MAX),
-                "data disk too large for the on-disk u32 LBA format"
+                "data target too large for the on-disk u32 LBA format"
             );
         }
         let predictor = HeadPredictor::new(geometry.clone(), header.rotation_period, header.delta);
@@ -370,7 +423,7 @@ impl TrailDriver {
                 effective_max_batch,
                 rotation_period: header.rotation_period,
                 log_disk,
-                data,
+                data: targets,
                 data_capacity,
                 geometry,
                 predictor,
@@ -648,13 +701,14 @@ impl TrailDriver {
         self.inner.borrow().log_disk.clone()
     }
 
-    /// The block driver in front of data disk `dev`.
+    /// The block target behind data device `dev` — a single-disk driver or
+    /// a volume, depending on how the driver was started.
     ///
     /// # Panics
     ///
     /// Panics if `dev` is out of range.
-    pub fn data_driver(&self, dev: usize) -> StandardDriver {
-        self.inner.borrow().data[dev].clone()
+    pub fn data_target(&self, dev: usize) -> SharedBlockDevice {
+        Rc::clone(&self.inner.borrow().data[dev])
     }
 
     /// The epoch this driver instance writes under.

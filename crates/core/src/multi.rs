@@ -137,6 +137,50 @@ impl MultiTrail {
         ))
     }
 
+    /// Boots one Trail instance per formatted log disk, each over its
+    /// **own** list of block targets (single-disk drivers or
+    /// `trail-volume` arrays): instance `i` gets `targets[i]`.
+    ///
+    /// This is the per-stream-devices composition: under
+    /// [`LogRouting::StreamAffinity`] each stream's writes land on one
+    /// instance, so giving every instance its own target set places each
+    /// stream's data on its own array. The placement is coherent only if
+    /// each stream addresses blocks backed by its own instance's targets
+    /// (or every instance receives clones of one shared target list, as
+    /// [`start`](Self::start) arranges) — targets here are *not* shared
+    /// between instances, so a block written via instance 0 and read via
+    /// instance 1 would touch two different devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrailError::BadDevice`] for an empty log-disk list or a
+    /// `targets` list whose length differs, and propagates each
+    /// instance's boot errors.
+    pub fn start_with_targets(
+        sim: &mut Simulator,
+        log_disks: Vec<Disk>,
+        targets: Vec<Vec<trail_blockio::SharedBlockDevice>>,
+        config: TrailConfig,
+    ) -> Result<(MultiTrail, Vec<BootReport>), TrailError> {
+        if log_disks.is_empty() || targets.len() != log_disks.len() {
+            return Err(TrailError::BadDevice);
+        }
+        let mut drivers = Vec::with_capacity(log_disks.len());
+        let mut boots = Vec::with_capacity(log_disks.len());
+        for (log, tgts) in log_disks.into_iter().zip(targets) {
+            let (drv, boot) = TrailDriver::start_with_targets(sim, log, tgts, config)?;
+            drivers.push(drv);
+            boots.push(boot);
+        }
+        Ok((
+            MultiTrail {
+                drivers,
+                routing: Rc::new(Cell::new(LogRouting::BlockHash)),
+            },
+            boots,
+        ))
+    }
+
     /// Number of log disks.
     pub fn log_disks(&self) -> usize {
         self.drivers.len()

@@ -23,9 +23,13 @@
 //! interface as normal operation, so Figure 4's delays are measured, not
 //! asserted.
 
-use trail_disk::{Disk, DiskCommand, Lba, SectorBuf, SECTOR_SIZE};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use trail_blockio::{IoDone, IoRequest, SharedBlockDevice};
+use trail_disk::{Disk, DiskCommand, DiskError, Lba, SectorBuf, SECTOR_SIZE};
 use trail_probe::run_blocking;
-use trail_sim::{SimDuration, Simulator};
+use trail_sim::{Delivered, SimDuration, Simulator};
 
 use crate::error::TrailError;
 use crate::format::{restore_payload, LogDiskHeader, RecordHeader};
@@ -142,6 +146,83 @@ pub fn recover(
     data_disks: &[Disk],
     header: &LogDiskHeader,
     options: RecoveryOptions,
+) -> Result<RecoveryReport, TrailError> {
+    recover_inner(
+        sim,
+        log_disk,
+        header,
+        options,
+        &mut |sim, dev, lba, data| {
+            let disk = data_disks.get(dev).ok_or(TrailError::BadDevice)?;
+            run_blocking(sim, disk, DiskCommand::Write { lba, data })?;
+            Ok(())
+        },
+    )
+}
+
+/// [`recover`] over arbitrary block targets (e.g. `trail-volume` arrays)
+/// instead of raw disks: stage 3 replays each recovered run through the
+/// target's own submission path, so a RAID-5 target performs its parity
+/// maintenance during recovery exactly as it would in normal operation.
+///
+/// # Errors
+///
+/// As [`recover`]; a target that cancels a write-back (a member failure
+/// the array cannot absorb) surfaces as [`TrailError::Disk`].
+pub fn recover_with_targets(
+    sim: &mut Simulator,
+    log_disk: &Disk,
+    targets: &[SharedBlockDevice],
+    header: &LogDiskHeader,
+    options: RecoveryOptions,
+) -> Result<RecoveryReport, TrailError> {
+    recover_inner(
+        sim,
+        log_disk,
+        header,
+        options,
+        &mut |sim, dev, lba, data| {
+            let target = targets.get(dev).ok_or(TrailError::BadDevice)?;
+            blocking_target_write(sim, target, lba, data)
+        },
+    )
+}
+
+/// Runs one write against a block target to completion (the boot-time
+/// blocking idiom; see [`trail_probe::run_blocking`]).
+fn blocking_target_write(
+    sim: &mut Simulator,
+    target: &SharedBlockDevice,
+    lba: Lba,
+    data: Vec<u8>,
+) -> Result<(), TrailError> {
+    let slot: Rc<RefCell<Option<Delivered<IoDone>>>> = Rc::new(RefCell::new(None));
+    let out = Rc::clone(&slot);
+    let done = sim.completion(move |_, res: Delivered<IoDone>| {
+        *out.borrow_mut() = Some(res);
+    });
+    target
+        .submit(sim, IoRequest::write(lba, data), done)
+        .map_err(TrailError::Disk)?;
+    while slot.borrow().is_none() {
+        assert!(sim.step(), "recovery write-back never completed");
+    }
+    let res = slot.borrow_mut().take().expect("slot just filled");
+    res.map_err(|_| TrailError::Disk(DiskError::Failed))?;
+    Ok(())
+}
+
+/// Write-back sink shared by the disk-backed and target-backed recovery
+/// paths: (sim, device index, lba, payload) → durable or error.
+type WriteSink<'a> =
+    &'a mut dyn FnMut(&mut Simulator, usize, Lba, Vec<u8>) -> Result<(), TrailError>;
+
+fn recover_inner(
+    sim: &mut Simulator,
+    log_disk: &Disk,
+    header: &LogDiskHeader,
+    options: RecoveryOptions,
+    write_sink: WriteSink<'_>,
 ) -> Result<RecoveryReport, TrailError> {
     let g = &header.geometry;
     let (first_track, last_track) = data_track_range(g);
@@ -280,7 +361,6 @@ pub fn recover(
                 {
                     j += 1;
                 }
-                let disk = data_disks.get(dev).ok_or(TrailError::BadDevice)?;
                 let mut data = Vec::with_capacity((j - i + 1) * SECTOR_SIZE);
                 for (k, entry) in rec.entries[i..=j].iter().enumerate() {
                     let off = (i + k) * SECTOR_SIZE;
@@ -290,14 +370,7 @@ pub fn recover(
                     data.extend_from_slice(&sector);
                 }
                 report.sectors_replayed += (j - i + 1) as u64;
-                run_blocking(
-                    sim,
-                    disk,
-                    DiskCommand::Write {
-                        lba: u64::from(start_lba),
-                        data,
-                    },
-                )?;
+                write_sink(sim, dev, u64::from(start_lba), data)?;
                 i = j + 1;
             }
         }

@@ -302,6 +302,105 @@ impl BlockStack for StandardStack {
     }
 }
 
+/// A baseline stack over arbitrary block targets — typically
+/// `trail-volume` RAID arrays. Every write pays the target's full cost
+/// synchronously (for RAID-5, the read-modify-write parity cycle), which
+/// is the standard-stack side of the Trail-vs-RAID comparison.
+#[derive(Clone)]
+pub struct VolumeStack {
+    targets: Vec<trail_blockio::SharedBlockDevice>,
+}
+
+impl VolumeStack {
+    /// Builds a stack where device `dev` is `targets[dev]`.
+    pub fn new(targets: Vec<trail_blockio::SharedBlockDevice>) -> Self {
+        VolumeStack { targets }
+    }
+
+    /// The target behind device `dev` (for statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is out of range.
+    pub fn target(&self, dev: usize) -> &trail_blockio::SharedBlockDevice {
+        &self.targets[dev]
+    }
+}
+
+impl BlockStack for VolumeStack {
+    fn write(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.write_tagged(sim, dev, lba, data, StreamId::UNTAGGED, done)
+    }
+
+    fn read(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        self.read_tagged(sim, dev, lba, count, StreamId::UNTAGGED, done)
+    }
+
+    fn write_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        data: Vec<u8>,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        let tgt = self.targets.get(dev).ok_or(TrailError::BadDevice)?;
+        tgt.submit(sim, IoRequest::write(lba, data).tagged(stream), done)
+            .map(|_| ())
+            .map_err(TrailError::Disk)
+    }
+
+    fn read_tagged(
+        &self,
+        sim: &mut Simulator,
+        dev: usize,
+        lba: Lba,
+        count: u32,
+        stream: StreamId,
+        done: Completion<IoDone>,
+    ) -> Result<(), TrailError> {
+        let tgt = self.targets.get(dev).ok_or(TrailError::BadDevice)?;
+        tgt.submit(sim, IoRequest::read(lba, count).tagged(stream), done)
+            .map(|_| ())
+            .map_err(TrailError::Disk)
+    }
+
+    fn pending_work(&self) -> usize {
+        self.targets.iter().map(|t| t.pending()).sum()
+    }
+
+    fn devices(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn set_recorder(&self, recorder: RecorderHandle) {
+        for t in &self.targets {
+            t.set_recorder(Rc::clone(&recorder));
+        }
+    }
+
+    fn set_tap(&self, tap: TapHandle) {
+        for (dev, t) in self.targets.iter().enumerate() {
+            t.set_tap(Rc::clone(&tap), dev as u32);
+        }
+    }
+}
+
 /// A Trail-array stack: every device sits behind a [`MultiTrail`] (one
 /// Trail instance per log disk, shared data disks). Stream tags reach the
 /// array's router, so [`trail_core::LogRouting::StreamAffinity`] can pin

@@ -85,6 +85,9 @@ pub enum DiskError {
     Busy,
     /// The device has lost power.
     PoweredOff,
+    /// The device has failed (whole-member fault injection) and will
+    /// reject every command until the simulation ends.
+    Failed,
     /// The addressed range falls outside the disk.
     OutOfRange,
     /// A write payload was empty or not sector-aligned.
@@ -96,6 +99,7 @@ impl fmt::Display for DiskError {
         match self {
             DiskError::Busy => write!(f, "disk is busy servicing another command"),
             DiskError::PoweredOff => write!(f, "disk is powered off"),
+            DiskError::Failed => write!(f, "disk has failed"),
             DiskError::OutOfRange => write!(f, "addressed sector range is outside the disk"),
             DiskError::BadDataLength => {
                 write!(
@@ -155,6 +159,7 @@ struct DiskInner {
     busy: bool,
     prev_was_write: bool,
     powered: bool,
+    failed: bool,
     power_epoch: u64,
     in_flight: Option<StagedWrite>,
     stats: DiskStats,
@@ -209,6 +214,7 @@ impl Disk {
                 busy: false,
                 prev_was_write: false,
                 powered: true,
+                failed: false,
                 power_epoch: 0,
                 in_flight: None,
                 stats: DiskStats::default(),
@@ -249,6 +255,11 @@ impl Disk {
         self.inner.borrow().powered
     }
 
+    /// Whether the device has suffered an injected whole-member failure.
+    pub fn is_failed(&self) -> bool {
+        self.inner.borrow().failed
+    }
+
     /// Runs `f` against the accumulated statistics.
     pub fn with_stats<R>(&self, f: impl FnOnce(&DiskStats) -> R) -> R {
         f(&self.inner.borrow().stats)
@@ -284,6 +295,9 @@ impl Disk {
         let now = sim.now();
         let (plan, kind, lba, count, epoch, from_cyl) = {
             let mut d = self.inner.borrow_mut();
+            if d.failed {
+                return Err(DiskError::Failed);
+            }
             if !d.powered {
                 return Err(DiskError::PoweredOff);
             }
@@ -453,6 +467,36 @@ impl Disk {
         }
     }
 
+    /// Fails the whole member at `now`: any in-flight command is lost
+    /// (its token cancel-cascades on the next step) and every subsequent
+    /// [`Disk::submit`] returns [`DiskError::Failed`]. Unlike a power
+    /// cut, nothing of an in-flight write persists and [`Disk::power_on`]
+    /// does not revive the device — a failed member stays failed, which
+    /// is what RAID degraded-mode paths are rebuilt against.
+    pub fn fail(&self, now: SimTime) {
+        let mut d = self.inner.borrow_mut();
+        if d.failed {
+            return;
+        }
+        d.failed = true;
+        // Bumping the epoch makes the pending completion event drop its
+        // token instead of delivering — the same cancel-cascade a power
+        // cut uses.
+        d.power_epoch += 1;
+        d.in_flight = None;
+        if d.busy {
+            d.busy = false;
+            d.stats.busy.stop(now);
+        }
+    }
+
+    /// Schedules a whole-member failure at virtual instant `at` — the
+    /// fault-injection knob degraded-mode experiments arm up front.
+    pub fn schedule_failure(&self, sim: &mut Simulator, at: SimTime) {
+        let disk = self.clone();
+        sim.schedule_at(at, move |sim| disk.fail(sim.now()));
+    }
+
     /// Restores power. The arm recalibrates to cylinder 0, surface 0; the
     /// medium is untouched.
     pub fn power_on(&self) {
@@ -550,6 +594,7 @@ impl fmt::Debug for Disk {
             .field("name", &d.name)
             .field("busy", &d.busy)
             .field("powered", &d.powered)
+            .field("failed", &d.failed)
             .field("head", &d.head)
             .finish()
     }
@@ -776,6 +821,55 @@ mod tests {
                 .unwrap_err(),
             DiskError::PoweredOff
         );
+    }
+
+    #[test]
+    fn failed_disk_rejects_commands_and_stays_failed() {
+        let (mut sim, disk) = setup();
+        disk.fail(sim.now());
+        assert!(disk.is_failed());
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
+        assert_eq!(
+            disk.submit(&mut sim, DiskCommand::Read { lba: 0, count: 1 }, token)
+                .unwrap_err(),
+            DiskError::Failed
+        );
+        // Power cycling does not resurrect a failed member.
+        disk.power_cut(sim.now());
+        disk.power_on();
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
+        assert_eq!(
+            disk.submit(&mut sim, DiskCommand::Read { lba: 0, count: 1 }, token)
+                .unwrap_err(),
+            DiskError::Failed
+        );
+    }
+
+    #[test]
+    fn scheduled_failure_cancels_in_flight_command() {
+        let (mut sim, disk) = setup();
+        let outcome = Rc::new(Cell::new(None));
+        let o2 = Rc::clone(&outcome);
+        let token = sim.completion(move |_, res: Delivered<DiskResult>| {
+            o2.set(Some(res.is_err()));
+        });
+        disk.submit(
+            &mut sim,
+            DiskCommand::Write {
+                lba: 0,
+                data: write_buf(0x44, 8),
+            },
+            token,
+        )
+        .unwrap();
+        // Fail mid-service: the write must cancel, not complete, and
+        // nothing of it lands on the medium.
+        disk.schedule_failure(&mut sim, SimTime::ZERO + SimDuration::from_nanos(100));
+        sim.run();
+        assert_eq!(outcome.get(), Some(true), "in-flight command cancelled");
+        assert!(disk.is_failed());
+        assert!(!disk.is_busy());
+        assert_eq!(disk.peek_sector(0)[0], 0, "failed write left no sectors");
     }
 
     #[test]

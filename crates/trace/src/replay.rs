@@ -101,6 +101,22 @@ pub struct ReplayOptions {
     /// Capture tap installed on the stack (after setup) — for recording
     /// what the replay itself submits, e.g. a capture→replay round trip.
     pub tap: Option<TapHandle>,
+    /// Whole-member failure injection for RAID targets: the named member
+    /// disk fails mid-replay, so the remainder of the trace exercises
+    /// degraded reads and reconstruct-mode writes. Ignored for targets
+    /// without volumes.
+    pub fail_member: Option<FailMember>,
+}
+
+/// One scheduled member failure (see [`ReplayOptions::fail_member`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FailMember {
+    /// Index into the target's volume list.
+    pub volume: usize,
+    /// Member index within that volume.
+    pub member: usize,
+    /// When to fail it, in virtual time from the replay's start.
+    pub after: SimDuration,
 }
 
 impl Default for ReplayOptions {
@@ -114,6 +130,7 @@ impl Default for ReplayOptions {
             fs_file_blocks: 1024,
             recorder: None,
             tap: None,
+            fail_member: None,
         }
     }
 }
@@ -207,6 +224,10 @@ pub struct ReplayReport {
     /// [`ReplayOptions::sample_every`] — downsampled by stride doubling
     /// to a fixed budget on long runs.
     pub queue_depth: Vec<(SimTime, u32)>,
+    /// Per-volume statistics for RAID targets (member latency
+    /// breakdowns, RMW/full-stripe counters, degraded reads), in the
+    /// target's volume order; empty for targets without volumes.
+    pub volume_stats: Vec<JsonValue>,
 }
 
 impl ReplayReport {
@@ -258,6 +279,7 @@ impl ReplayReport {
                         .collect(),
                 ),
             ),
+            ("volumes", JsonValue::Arr(self.volume_stats.clone())),
         ])
     }
 }
@@ -538,6 +560,7 @@ impl State {
             peak_resident_records: self.peak_resident,
             max_queue_depth: self.max_inflight,
             queue_depth: self.samples.samples.clone(),
+            volume_stats: Vec::new(),
         }
     }
 }
@@ -670,6 +693,23 @@ pub fn replay_stream<R: Read + 'static>(
     run_engine(Box::new(reader), devices_hint, opts)
 }
 
+/// Arms the [`ReplayOptions::fail_member`] injection on a freshly built
+/// target. Out-of-range indexes are ignored (a sweep can name member 2
+/// while also replaying against non-RAID targets).
+fn schedule_fail_member(
+    sim: &mut Simulator,
+    volumes: &[trail::volume::RaidVolume],
+    fail: Option<FailMember>,
+) {
+    if let Some(f) = fail {
+        if let Some(vol) = volumes.get(f.volume) {
+            if f.member < vol.member_count() {
+                vol.schedule_member_failure(sim, sim.now() + f.after, f.member);
+            }
+        }
+    }
+}
+
 fn run_engine(
     cursor: Box<dyn RecordCursor>,
     devices_hint: usize,
@@ -681,6 +721,7 @@ fn run_engine(
         mut sim,
         stack,
         drive,
+        volumes,
     } = StackBuilder::new()
         .data_disks(ndisks)
         .fs_file_blocks(opts.fs_file_blocks)
@@ -691,6 +732,7 @@ fn run_engine(
     if let Some(tap) = &opts.tap {
         stack.set_tap(Rc::clone(tap));
     }
+    schedule_fail_member(&mut sim, &volumes, opts.fail_member);
     let drive = Rc::new(drive);
     let start = sim.now();
 
@@ -733,7 +775,8 @@ fn run_engine(
             "replay stalled: event queue drained with {outstanding} requests outstanding",
         );
     }
-    let report = ctx.state.borrow().report(&opts.target, speed, start);
+    let mut report = ctx.state.borrow().report(&opts.target, speed, start);
+    report.volume_stats = volumes.iter().map(|v| v.stats_json()).collect();
     Ok(report)
 }
 
@@ -760,6 +803,7 @@ pub fn replay_single_issuer(
         mut sim,
         stack,
         drive,
+        volumes,
     } = StackBuilder::new()
         .data_disks(ndisks)
         .fs_file_blocks(opts.fs_file_blocks)
@@ -770,6 +814,7 @@ pub fn replay_single_issuer(
     if let Some(tap) = &opts.tap {
         stack.set_tap(Rc::clone(tap));
     }
+    schedule_fail_member(&mut sim, &volumes, opts.fail_member);
     let drive = Rc::new(drive);
     let start = sim.now();
     let state = Rc::new(RefCell::new(State::new(start)));
@@ -804,7 +849,8 @@ pub fn replay_single_issuer(
         );
     }
 
-    let report = state.borrow().report(&opts.target, speed, start);
+    let mut report = state.borrow().report(&opts.target, speed, start);
+    report.volume_stats = volumes.iter().map(|v| v.stats_json()).collect();
     Ok(report)
 }
 

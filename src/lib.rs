@@ -74,15 +74,18 @@ pub use trail_fs as fs;
 pub use trail_probe as probe;
 pub use trail_sim as sim;
 pub use trail_tpcc as tpcc;
+pub use trail_volume as volume;
 
 mod scenario;
 mod target;
-pub use scenario::{BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder};
+pub use scenario::{BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder, VolumeSpec};
 pub use target::{BuiltTarget, TargetDrive, TargetError, TargetKind};
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use crate::scenario::{BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder};
+    pub use crate::scenario::{
+        BuiltStack, LogDevice, Scenario, SchedulerKind, StackBuilder, VolumeSpec,
+    };
     pub use crate::target::{BuiltTarget, TargetDrive, TargetError, TargetKind};
     pub use trail_blockio::{
         IoDone, IoKind, IoRequest, StandardDriver, StreamId, SubmitTap, TapHandle,
@@ -93,4 +96,5 @@ pub mod prelude {
     };
     pub use trail_disk::{profiles, Disk, DiskCommand, SECTOR_SIZE};
     pub use trail_sim::{Completion, Delivered, SimDuration, SimTime, Simulator};
+    pub use trail_volume::{RaidVolume, ReadPolicy, VolumeLayout};
 }

@@ -26,15 +26,18 @@
 
 use std::rc::Rc;
 
-use trail_blockio::{Clook, Fifo, Priority, Scheduler};
+use trail_blockio::{Clook, Fifo, Priority, Scheduler, SharedBlockDevice, StandardDriver};
 use trail_core::{
     format_log_disk, FormatOptions, MultiTrail, TrailConfig, TrailDriver, TrailError,
 };
-use trail_db::{BlockStack, Database, DbConfig, MultiTrailStack, StandardStack, TrailStack};
+use trail_db::{
+    BlockStack, Database, DbConfig, MultiTrailStack, StandardStack, TrailStack, VolumeStack,
+};
 use trail_disk::profiles::{self, DriveProfile};
 use trail_disk::Disk;
 use trail_fs::{ExtFs, FsError, Lfs, LfsConfig};
 use trail_sim::Simulator;
+use trail_volume::{RaidVolume, VolumeLayout};
 
 /// Which log device fronts the data disks.
 #[derive(Clone, Debug)]
@@ -70,10 +73,28 @@ pub enum SchedulerKind {
 impl SchedulerKind {
     fn instantiate(self) -> Box<dyn Scheduler> {
         match self {
-            SchedulerKind::Fifo => Box::new(Fifo),
+            SchedulerKind::Fifo => Box::new(Fifo::default()),
             SchedulerKind::Clook => Box::new(Clook::default()),
         }
     }
+}
+
+/// A RAID volume layer under the stack: each logical device becomes a
+/// `trail-volume` array over its own set of member disks instead of one
+/// raw disk.
+#[derive(Clone, Copy, Debug)]
+pub struct VolumeSpec {
+    /// The array layout (linear, RAID-0/1/5).
+    pub layout: VolumeLayout,
+    /// Member disks per volume (must satisfy the layout's minimum).
+    pub members: usize,
+    /// With [`LogDevice::TrailMulti`]: give every Trail instance its
+    /// **own** volume set instead of sharing one, so each routed stream's
+    /// data lands on its own member disks (per-stream target devices).
+    /// Coherent because routing is deterministic: a block — or, under
+    /// stream affinity, a stream — always reaches the same instance and
+    /// therefore the same array.
+    pub per_instance: bool,
 }
 
 /// A declarative description of an experiment stack.
@@ -95,6 +116,9 @@ pub struct Scenario {
     pub priority: Priority,
     /// Trail or the baseline.
     pub log_device: LogDevice,
+    /// When set, each device is a RAID volume over `members` disks of
+    /// [`data_profile`](Scenario::data_profile) instead of one raw disk.
+    pub volume: Option<VolumeSpec>,
 }
 
 impl Default for Scenario {
@@ -111,6 +135,7 @@ impl Default for Scenario {
             log_device: LogDevice::Trail {
                 config: TrailConfig::default(),
             },
+            volume: None,
         }
     }
 }
@@ -122,6 +147,9 @@ impl Scenario {
     ///
     /// Propagates log-disk format or Trail boot failures.
     pub fn build(&self) -> Result<BuiltStack, TrailError> {
+        if let Some(spec) = self.volume {
+            return self.build_with_volumes(spec);
+        }
         let mut sim = Simulator::new();
         let data_disks: Vec<Disk> = (0..self.data_disks)
             .map(|i| Disk::new(format!("data{i}"), self.data_profile.clone()))
@@ -188,6 +216,132 @@ impl Scenario {
             log_disks,
             trail,
             multi,
+            volumes: Vec::new(),
+            stack,
+        })
+    }
+
+    /// Builds the volume-layer variant: each device is a
+    /// [`RaidVolume`] over `spec.members` fresh member disks.
+    fn build_with_volumes(&self, spec: VolumeSpec) -> Result<BuiltStack, TrailError> {
+        let mut sim = Simulator::new();
+        let mut data_disks: Vec<Disk> = Vec::new();
+        // One volume per logical device; `tag` distinguishes per-instance
+        // sets under a Trail array.
+        let make_set = |tag: &str, data_disks: &mut Vec<Disk>| -> Vec<RaidVolume> {
+            (0..self.data_disks)
+                .map(|dev| {
+                    let members: Vec<StandardDriver> = (0..spec.members)
+                        .map(|m| {
+                            let d =
+                                Disk::new(format!("data{dev}{tag}m{m}"), self.data_profile.clone());
+                            data_disks.push(d.clone());
+                            StandardDriver::with_policy(
+                                d,
+                                self.scheduler.instantiate(),
+                                self.priority,
+                            )
+                        })
+                        .collect();
+                    RaidVolume::new(&format!("vol{dev}{tag}"), spec.layout, members)
+                })
+                .collect()
+        };
+        let shared = |vols: &[RaidVolume]| -> Vec<SharedBlockDevice> {
+            vols.iter()
+                .map(|v| Rc::new(v.clone()) as SharedBlockDevice)
+                .collect()
+        };
+        let (stack, trail, multi, volumes, log_disks): (
+            Rc<dyn BlockStack>,
+            _,
+            _,
+            Vec<RaidVolume>,
+            Vec<Disk>,
+        ) = match &self.log_device {
+            LogDevice::Trail { config } => {
+                let volumes = make_set("", &mut data_disks);
+                let log = Disk::new("trail-log", self.log_profile.clone());
+                format_log_disk(&mut sim, &log, FormatOptions::default())?;
+                let (drv, _) = TrailDriver::start_with_targets(
+                    &mut sim,
+                    log.clone(),
+                    shared(&volumes),
+                    *config,
+                )?;
+                (
+                    Rc::new(TrailStack::new(drv.clone(), self.data_disks)),
+                    Some(drv),
+                    None,
+                    volumes,
+                    vec![log],
+                )
+            }
+            LogDevice::TrailMulti { logs, config } => {
+                let logs = (*logs).max(1);
+                let logs_disks: Vec<Disk> = (0..logs)
+                    .map(|i| Disk::new(format!("log{i}"), self.log_profile.clone()))
+                    .collect();
+                for log in &logs_disks {
+                    format_log_disk(&mut sim, log, FormatOptions::default())?;
+                }
+                let (volumes, targets): (Vec<RaidVolume>, Vec<Vec<SharedBlockDevice>>) =
+                    if spec.per_instance {
+                        // Instance-major: volumes[i * devices + dev] is
+                        // instance i's array for device dev.
+                        let mut volumes = Vec::new();
+                        let mut targets = Vec::new();
+                        for i in 0..logs {
+                            let set = make_set(&format!("i{i}"), &mut data_disks);
+                            targets.push(shared(&set));
+                            volumes.extend(set);
+                        }
+                        (volumes, targets)
+                    } else {
+                        let volumes = make_set("", &mut data_disks);
+                        let targets = (0..logs).map(|_| shared(&volumes)).collect();
+                        (volumes, targets)
+                    };
+                let (array, _) =
+                    MultiTrail::start_with_targets(&mut sim, logs_disks.clone(), targets, *config)?;
+                (
+                    Rc::new(MultiTrailStack::new(array.clone(), self.data_disks)),
+                    None,
+                    Some(array),
+                    volumes,
+                    logs_disks,
+                )
+            }
+            LogDevice::Standard => {
+                let volumes = make_set("", &mut data_disks);
+                (
+                    Rc::new(VolumeStack::new(shared(&volumes))),
+                    None,
+                    None,
+                    volumes,
+                    Vec::new(),
+                )
+            }
+        };
+        for log in &log_disks {
+            log.reset_stats();
+        }
+        for d in &data_disks {
+            d.reset_stats();
+        }
+        let log_disk = match &self.log_device {
+            LogDevice::Trail { .. } => log_disks.first().cloned(),
+            _ => None,
+        };
+        Ok(BuiltStack {
+            seed: self.seed,
+            sim,
+            data_disks,
+            log_disk,
+            log_disks,
+            trail,
+            multi,
+            volumes,
             stack,
         })
     }
@@ -279,6 +433,34 @@ impl StackBuilder {
         self
     }
 
+    /// Backs every device with a RAID volume of `members` member disks
+    /// instead of one raw disk (see [`VolumeSpec`]).
+    #[must_use]
+    pub fn volumes(mut self, layout: VolumeLayout, members: usize) -> Self {
+        self.scenario.volume = Some(VolumeSpec {
+            layout,
+            members,
+            per_instance: false,
+        });
+        self
+    }
+
+    /// With [`trail_multi`](StackBuilder::trail_multi) volumes: each Trail
+    /// instance gets its own volume set (per-stream target devices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`volumes`](StackBuilder::volumes).
+    #[must_use]
+    pub fn per_instance_volumes(mut self) -> Self {
+        self.scenario
+            .volume
+            .as_mut()
+            .expect("per_instance_volumes requires volumes(..) first")
+            .per_instance = true;
+        self
+    }
+
     /// The scenario described so far.
     #[must_use]
     pub fn scenario(&self) -> &Scenario {
@@ -314,6 +496,11 @@ pub struct BuiltStack {
     /// The Trail array, when the scenario runs on
     /// [`LogDevice::TrailMulti`].
     pub multi: Option<MultiTrail>,
+    /// The RAID volumes, when the scenario has a [`VolumeSpec`] — in
+    /// device order; with per-instance volumes, instance-major
+    /// (`volumes[i * devices + dev]`). Empty otherwise. Their member
+    /// disks are [`data_disks`](BuiltStack::data_disks).
+    pub volumes: Vec<RaidVolume>,
     /// The block stack (Trail, Trail array, or standard) the upper layers
     /// submit to.
     pub stack: Rc<dyn BlockStack>,

@@ -53,6 +53,31 @@ pub enum TargetKind {
         /// Mount over Trail (`true`) or the standard stack.
         trail: bool,
     },
+    /// A RAID volume per device (`trail-volume`), driven directly or
+    /// fronted by Trail. Trail-fronted RAID-5 is the headline
+    /// composition: the log absorbs synchronous small writes at track
+    /// speed while the parity read-modify-write cost moves into
+    /// background write-backs.
+    Raid {
+        /// The array layout.
+        layout: trail_volume::VolumeLayout,
+        /// Member disks per volume.
+        members: usize,
+        /// Front the volumes with Trail (`true`) or drive them directly.
+        trail: bool,
+    },
+    /// Per-stream RAID: a Trail array (`logs` log disks) routed by
+    /// [`trail_core::LogRouting::StreamAffinity`], each instance owning
+    /// its **own** volume set — every stream's data lands on its own
+    /// member disks.
+    RaidPerStream {
+        /// The array layout (per instance).
+        layout: trail_volume::VolumeLayout,
+        /// Member disks per volume.
+        members: usize,
+        /// Log disks / Trail instances (at least 1).
+        logs: usize,
+    },
 }
 
 impl TargetKind {
@@ -68,6 +93,19 @@ impl TargetKind {
             TargetKind::Ext2 { trail: true } => "ext2_trail".to_string(),
             TargetKind::Lfs { trail: false } => "lfs".to_string(),
             TargetKind::Lfs { trail: true } => "lfs_trail".to_string(),
+            TargetKind::Raid {
+                layout,
+                members,
+                trail,
+            } => {
+                let front = if *trail { "_trail" } else { "" };
+                format!("{}x{members}{front}", layout.label())
+            }
+            TargetKind::RaidPerStream {
+                layout,
+                members,
+                logs,
+            } => format!("{}x{members}_ps{logs}", layout.label()),
         }
     }
 }
@@ -125,6 +163,13 @@ pub struct BuiltTarget {
     pub stack: Rc<dyn BlockStack>,
     /// How to address requests to this target.
     pub drive: TargetDrive,
+    /// The RAID volumes, for [`TargetKind::Raid`] and
+    /// [`TargetKind::RaidPerStream`] targets (device order,
+    /// instance-major for per-stream; see
+    /// [`BuiltStack::volumes`](crate::BuiltStack::volumes)). Exposes
+    /// member failure injection and per-member statistics. Empty for
+    /// every other kind.
+    pub volumes: Vec<trail_volume::RaidVolume>,
 }
 
 impl StackBuilder {
@@ -157,20 +202,66 @@ impl StackBuilder {
             | TargetKind::Ext2 { trail: true }
             | TargetKind::Lfs { trail: true } => self.trail_default(),
             TargetKind::TrailMulti { logs } => self.trail_multi(logs, TrailConfig::default()),
+            TargetKind::Raid {
+                layout,
+                members,
+                trail,
+            } => {
+                let b = if trail {
+                    self.trail_default()
+                } else {
+                    self.standard()
+                };
+                b.volumes(layout, members)
+            }
+            TargetKind::RaidPerStream {
+                layout,
+                members,
+                logs,
+            } => self
+                .trail_multi(logs, TrailConfig::default())
+                .volumes(layout, members)
+                .per_instance_volumes(),
         };
         let mut built = builder.build().map_err(TargetError::Build)?;
+        if let TargetKind::RaidPerStream { .. } = kind {
+            built
+                .multi
+                .as_ref()
+                .expect("per-stream RAID builds a Trail array")
+                .set_routing(trail_core::LogRouting::StreamAffinity);
+        }
         match kind {
-            TargetKind::Standard | TargetKind::Trail | TargetKind::TrailMulti { .. } => {
-                let capacity = built
-                    .data_disks
-                    .iter()
-                    .map(|d| d.geometry().total_sectors())
-                    .collect();
-                let BuiltStack { sim, stack, .. } = built;
+            TargetKind::Standard
+            | TargetKind::Trail
+            | TargetKind::TrailMulti { .. }
+            | TargetKind::Raid { .. }
+            | TargetKind::RaidPerStream { .. } => {
+                let capacity = if built.volumes.is_empty() {
+                    built
+                        .data_disks
+                        .iter()
+                        .map(|d| d.geometry().total_sectors())
+                        .collect()
+                } else {
+                    // Per-instance sets are identical in shape; the first
+                    // `devices` volumes describe the logical address space.
+                    built.volumes[..built.stack.devices()]
+                        .iter()
+                        .map(trail_volume::RaidVolume::capacity_sectors)
+                        .collect()
+                };
+                let BuiltStack {
+                    sim,
+                    stack,
+                    volumes,
+                    ..
+                } = built;
                 Ok(BuiltTarget {
                     sim,
                     stack,
                     drive: TargetDrive::Block { capacity },
+                    volumes,
                 })
             }
             TargetKind::Ext2 { .. } | TargetKind::Lfs { .. } => {
@@ -197,6 +288,7 @@ impl StackBuilder {
                         mounts,
                         file_blocks: u64::from(file_blocks),
                     },
+                    volumes: Vec::new(),
                 })
             }
         }
@@ -284,9 +376,82 @@ mod tests {
 
     #[test]
     fn labels_are_stable() {
+        use trail_volume::VolumeLayout;
         assert_eq!(TargetKind::Standard.label(), "standard");
         assert_eq!(TargetKind::TrailMulti { logs: 3 }.label(), "trail_multi3");
         assert_eq!(TargetKind::Ext2 { trail: true }.label(), "ext2_trail");
         assert_eq!(TargetKind::Lfs { trail: false }.label(), "lfs");
+        assert_eq!(
+            TargetKind::Raid {
+                layout: VolumeLayout::Raid5 { chunk_sectors: 8 },
+                members: 4,
+                trail: false,
+            }
+            .label(),
+            "raid5x4"
+        );
+        assert_eq!(
+            TargetKind::Raid {
+                layout: VolumeLayout::Raid0 { chunk_sectors: 8 },
+                members: 3,
+                trail: true,
+            }
+            .label(),
+            "raid0x3_trail"
+        );
+        assert_eq!(
+            TargetKind::RaidPerStream {
+                layout: VolumeLayout::Raid5 { chunk_sectors: 8 },
+                members: 3,
+                logs: 2,
+            }
+            .label(),
+            "raid5x3_ps2"
+        );
+    }
+
+    #[test]
+    fn raid_targets_build_and_expose_volumes() {
+        use trail_disk::profiles;
+        use trail_volume::VolumeLayout;
+        let layout = VolumeLayout::Raid5 { chunk_sectors: 8 };
+        for (kind, want_volumes) in [
+            (
+                TargetKind::Raid {
+                    layout,
+                    members: 3,
+                    trail: false,
+                },
+                1,
+            ),
+            (
+                TargetKind::Raid {
+                    layout,
+                    members: 3,
+                    trail: true,
+                },
+                1,
+            ),
+            (
+                TargetKind::RaidPerStream {
+                    layout,
+                    members: 3,
+                    logs: 2,
+                },
+                2,
+            ),
+        ] {
+            let t = StackBuilder::new()
+                .data_disks(1)
+                .data_profile(profiles::tiny_test_disk())
+                .log_profile(profiles::tiny_test_disk())
+                .build_target(kind)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(t.volumes.len(), want_volumes, "{kind:?}");
+            let TargetDrive::Block { capacity } = &t.drive else {
+                panic!("{kind:?} should be block-addressed");
+            };
+            assert_eq!(capacity[0], t.volumes[0].capacity_sectors(), "{kind:?}");
+        }
     }
 }
