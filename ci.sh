@@ -41,10 +41,23 @@ cargo run --release --offline -p trail-bench --bin run_all -- \
   --quick --out-dir "$smoke_dir" >/dev/null
 for name in micro table1 fig3 fig4 ablation fs_compare table2 table3 track_util \
              replay_synthetic overload_sweep replay_tpcc replaystream serve serve_sweep \
-             raid; do
+             raid recovery; do
   test -s "$smoke_dir/BENCH_$name.json" \
     || { echo "run_all --quick did not produce BENCH_$name.json" >&2; exit 1; }
 done
+
+echo "== fault-plane gate =="
+# FaultPlan on the stack's FaultClock is the one way harnesses schedule
+# faults; the retired ad-hoc hooks must not creep back in. (The volume's
+# fail_member primitive stays — it is what the plane's sink drives — and
+# the ReplayOptions::fail_member shim lives in trail-trace only, folded
+# into the plan at replay time.)
+if grep -rn --include='*.rs' \
+    'schedule_member_failure\|fail_member\|FailMember' \
+    crates/bench crates/serve src examples; then
+  echo "found an ad-hoc fault hook outside the fault plane" >&2
+  exit 1
+fi
 
 echo "== serve_fleet determinism gate (byte-identical across runs) =="
 serve_a="$smoke_dir/serve_a"; serve_b="$smoke_dir/serve_b"
@@ -82,6 +95,31 @@ speedup="$(grep -o '"small_write_speedup":[0-9.]*' "$raid_a/BENCH_raid.json" \
   | cut -d: -f2)"
 awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' \
   || { echo "RAID-5 small-write speedup $speedup is below 2x" >&2; exit 1; }
+
+echo "== crash campaign gate (deterministic, zero violations, monotone curve) =="
+camp_a="$smoke_dir/camp_a"; camp_b="$smoke_dir/camp_b"
+mkdir -p "$camp_a" "$camp_b"
+cargo run --release --offline -p trail-bench --bin crash_campaign -- \
+  --quick --out-dir "$camp_a" >/dev/null
+cargo run --release --offline -p trail-bench --bin crash_campaign -- \
+  --quick --out-dir "$camp_b" >/dev/null
+cmp -s "$camp_a/BENCH_recovery.json" "$camp_b/BENCH_recovery.json" \
+  || { echo "BENCH_recovery.json is not byte-identical across runs" >&2; exit 1; }
+cmp -s "$camp_a/BENCH_recovery.json" "$smoke_dir/BENCH_recovery.json" \
+  || { echo "BENCH_recovery.json differs between crash_campaign and run_all" >&2; exit 1; }
+# Every sampled crash point must satisfy the durability contract (the
+# scenario itself asserts monotonicity of the recovery-time curve).
+grep -q '"violations":0,' "$camp_a/BENCH_recovery.json" \
+  || { echo "crash campaign reported durability-contract violations" >&2; exit 1; }
+for field in crash_points_total curve mean_total_ms mean_active_log_sectors; do
+  grep -q "\"$field\"" "$camp_a/BENCH_recovery.json" \
+    || { echo "BENCH_recovery.json lacks $field" >&2; exit 1; }
+done
+# The quick campaign still samples a real fleet of crash points.
+points="$(grep -o '"crash_points_total":[0-9]*' "$camp_a/BENCH_recovery.json" \
+  | cut -d: -f2)"
+[ "$points" -ge 64 ] \
+  || { echo "quick crash campaign sampled only $points crash points" >&2; exit 1; }
 
 echo "== perf_suite --quick gate (fields present, event counts deterministic) =="
 perf_a="$smoke_dir/perf_a"; perf_b="$smoke_dir/perf_b"

@@ -1,0 +1,48 @@
+//! Crash campaign: sample crash points across a write burst through the
+//! fault plane, recover at every one, and chart recovery time against
+//! log size — with the durability contract (acknowledged implies
+//! recovered, RAID-5 parity consistent) checked at every point.
+//!
+//! Thin wrapper over `trail_bench::scenarios`; see `run_all` to
+//! regenerate every artifact at once. Publishes `BENCH_recovery.json`.
+//!
+//! Usage: `crash_campaign [crash_points_per_q] [--quick] [--out-dir <dir>]`
+
+use std::path::PathBuf;
+
+use trail_bench::{run_scenario, write_bench_json_in, BenchArgs, ScenarioConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut quick = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut scale = None;
+    let mut it = args.positional.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out-dir" => {
+                out_dir = PathBuf::from(it.next().expect("--out-dir needs a path"));
+            }
+            other => {
+                scale = Some(other.parse().unwrap_or_else(|_| {
+                    panic!("unknown argument {other:?} (expected a crash-point count)")
+                }));
+            }
+        }
+    }
+    let cfg = ScenarioConfig {
+        scale,
+        ..if quick {
+            ScenarioConfig::quick()
+        } else {
+            ScenarioConfig::full()
+        }
+    };
+    let out = run_scenario("crash_campaign", &cfg).expect("registered scenario");
+    print!("{}", out.report);
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path =
+        write_bench_json_in(&out_dir, "recovery", &out.json).expect("write BENCH_recovery.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -21,12 +21,14 @@ use trail_sim::{Completion, Delivered, LatencySummary, SimDuration, SimTime, Sim
 use trail_telemetry::RecorderHandle;
 use trail_tpcc::{populate, CpuModel, Scale, Workload};
 
+pub mod campaign;
 pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub use campaign::{run_campaign, CampaignFlavor, CampaignSpec, CrashPointOutcome};
 pub use report::{write_bench_json, write_bench_json_in, BenchArgs};
-pub use runner::{run_all_scenarios, RunAllOptions, RunAllSummary};
+pub use runner::{parallel_map, run_all_scenarios, RunAllOptions, RunAllSummary};
 pub use scenarios::{
     all_scenarios, replay_stream_json, run_scenario, ScenarioConfig, ScenarioOutput, ScenarioSpec,
 };

@@ -85,6 +85,57 @@ impl RunAllSummary {
     }
 }
 
+/// Applies `f` to every item on a pool of `threads` scoped OS workers and
+/// returns the results in item order.
+///
+/// This is the machinery behind [`run_all_scenarios`] and the crash
+/// campaigns, factored out so any embarrassingly parallel sweep can use
+/// it: workers drain a shared index queue and only *compute*; the caller
+/// receives the results in the original item order regardless of which
+/// worker ran what, so a deterministic `f` yields identical output for
+/// any thread count.
+///
+/// # Panics
+///
+/// Panics if `f` panics on a worker thread (the panic is propagated when
+/// the thread scope joins).
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..tasks.len()).collect());
+    let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").pop_front();
+                let Some(idx) = next else { break };
+                let item = tasks[idx]
+                    .lock()
+                    .expect("task poisoned")
+                    .take()
+                    .expect("each task is claimed once");
+                *slots[idx].lock().expect("slot poisoned") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every queued task ran")
+        })
+        .collect()
+}
+
 /// Runs every registered scenario, one per worker thread, and writes each
 /// `BENCH_<name>.json` into `opts.out_dir`.
 ///
@@ -111,44 +162,32 @@ pub fn run_all_scenarios(opts: &RunAllOptions) -> std::io::Result<RunAllSummary>
         });
     }
     let threads = opts.threads.clamp(1, specs.len());
-    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..specs.len()).collect());
-    let slots: Vec<Mutex<Option<(ScenarioOutput, Duration, u64)>>> =
-        specs.iter().map(|_| Mutex::new(None)).collect();
     let start = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("queue poisoned").pop_front();
-                let Some(idx) = next else { break };
-                // The config is minted per task: a telemetry recorder is
-                // an `Rc` (single-simulator affinity), so threaded runs
-                // never carry one.
-                let cfg = ScenarioConfig {
-                    quick: opts.quick,
-                    seed: opts.seed,
-                    scale: None,
-                    recorder: None,
-                };
-                // Each scenario runs start-to-finish on one thread, so the
-                // thread-local event counter's delta is exactly its count.
-                let events_before = trail_sim::thread_events_executed();
-                let t0 = Instant::now();
-                let out = (specs[idx].run)(&cfg);
-                let events = trail_sim::thread_events_executed() - events_before;
-                *slots[idx].lock().expect("slot poisoned") = Some((out, t0.elapsed(), events));
-            });
-        }
-    });
+    let outcomes: Vec<(ScenarioOutput, Duration, u64)> =
+        parallel_map((0..specs.len()).collect(), threads, |idx: usize| {
+            // The config is minted per task: a telemetry recorder is
+            // an `Rc` (single-simulator affinity), so threaded runs
+            // never carry one.
+            let cfg = ScenarioConfig {
+                quick: opts.quick,
+                seed: opts.seed,
+                scale: None,
+                recorder: None,
+            };
+            // Each scenario runs start-to-finish on one thread, so the
+            // thread-local event counter's delta is exactly its count.
+            let events_before = trail_sim::thread_events_executed();
+            let t0 = Instant::now();
+            let out = (specs[idx].run)(&cfg);
+            let events = trail_sim::thread_events_executed() - events_before;
+            (out, t0.elapsed(), events)
+        });
     let elapsed = start.elapsed();
 
     std::fs::create_dir_all(&opts.out_dir)?;
     let mut results = Vec::with_capacity(specs.len());
     let mut serial_estimate = Duration::ZERO;
-    for (spec, slot) in specs.iter().zip(slots) {
-        let (out, wall, events_executed) = slot
-            .into_inner()
-            .expect("slot poisoned")
-            .expect("every queued scenario ran");
+    for (spec, (out, wall, events_executed)) in specs.iter().zip(outcomes) {
         serial_estimate += wall;
         let json_path = write_bench_json_in(&opts.out_dir, spec.artifact, &out.json)?;
         results.push(ScenarioResult {
@@ -166,4 +205,21 @@ pub fn run_all_scenarios(opts: &RunAllOptions) -> std::io::Result<RunAllSummary>
         serial_estimate,
         threads,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parallel_map;
+
+    #[test]
+    fn parallel_map_returns_results_in_item_order() {
+        let expected: Vec<i64> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 3, 16] {
+            assert_eq!(
+                parallel_map((0..100).collect(), threads, |i: i64| i * i),
+                expected
+            );
+        }
+        assert_eq!(parallel_map(Vec::<i64>::new(), 4, |i| i), Vec::<i64>::new());
+    }
 }

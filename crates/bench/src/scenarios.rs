@@ -29,15 +29,16 @@ use trail_probe::{calibrate_delta, estimate_write_overhead, measure_rotation_per
 use trail_serve::{
     run_fleet, AdmissionPolicy, FleetMode, FleetReport, FleetSpec, Server, ServerConfig,
 };
-use trail_sim::{Delivered, LatencySummary, SimDuration, Simulator};
+use trail_sim::{Delivered, FaultPlan, LatencySummary, SimDuration, Simulator};
 use trail_telemetry::{JsonValue, RecorderHandle};
 use trail_tpcc::{run, ChainOn, RunConfig, TpccReport};
 use trail_trace::{
     generate, generate_stream, replay as trace_replay, replay_stream as trace_replay_stream,
-    ArrivalModel, FailMember, ReplayOptions, ReplayReport, SpatialModel, SyntheticSpec, TargetKind,
-    Trace, TraceCapture, TraceMeta, TraceReader, DEFAULT_CHUNK_RECORDS,
+    ArrivalModel, ReplayOptions, ReplayReport, SpatialModel, SyntheticSpec, TargetKind, Trace,
+    TraceCapture, TraceMeta, TraceReader, DEFAULT_CHUNK_RECORDS,
 };
 
+use crate::campaign::{aggregate, run_campaign, CampaignAggregate, CampaignFlavor, CampaignSpec};
 use crate::{
     sync_writes_standard_recorded, sync_writes_trail, sync_writes_trail_recorded, testbed,
     testbed_recorded, tpcc_setup, tpcc_setup_recorded, ArrivalMode, TpccRig,
@@ -211,6 +212,12 @@ pub fn all_scenarios() -> Vec<ScenarioSpec> {
             artifact: "raid",
             title: "RAID volumes: geometry x Trail-fronting x overload, incl. degraded mode",
             run: raid_sweep,
+        },
+        ScenarioSpec {
+            name: "crash_campaign",
+            artifact: "recovery",
+            title: "Crash campaign: recovery time vs. log size across sampled crash points",
+            run: crash_campaign,
         },
     ]
 }
@@ -1963,21 +1970,23 @@ fn json_field_num(v: &JsonValue, key: &str) -> f64 {
 }
 
 /// One sweep row: replay the shared small-write trace against `target`
-/// at `speed`, optionally failing volume 0's member 1 mid-trace.
+/// at `speed` under the given fault plan (empty for a healthy run; the
+/// degraded rows fail volume 0's member 1 mid-trace).
 fn raid_sweep_row(
     trace: &Trace,
     target: TargetKind,
     speed: f64,
-    fail: Option<FailMember>,
+    faults: FaultPlan,
     cfg: &ScenarioConfig,
     report: &mut String,
 ) -> (JsonValue, ReplayReport) {
+    let degraded = !faults.is_empty();
     let rep = trace_replay(
         trace,
         &ReplayOptions {
             target,
             speed,
-            fail_member: fail,
+            faults,
             recorder: cfg.handle(),
             ..ReplayOptions::default()
         },
@@ -1997,11 +2006,7 @@ fn raid_sweep_row(
         report,
         "| {} | {speed}x | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.0} | {:.0} | {} | {} |",
         rep.target,
-        if fail.is_some() {
-            "degraded"
-        } else {
-            "healthy"
-        },
+        if degraded { "degraded" } else { "healthy" },
         rep.write_latency.mean().as_millis_f64(),
         rep.write_latency.percentile(50.0).as_millis_f64(),
         rep.write_latency.percentile(99.0).as_millis_f64(),
@@ -2014,10 +2019,7 @@ fn raid_sweep_row(
     let row = JsonValue::obj(vec![
         ("target", JsonValue::str(rep.target.clone())),
         ("speed", JsonValue::Num(speed)),
-        (
-            "degraded",
-            JsonValue::Num(f64::from(u8::from(fail.is_some()))),
-        ),
+        ("degraded", JsonValue::Num(f64::from(u8::from(degraded)))),
         ("requests", JsonValue::Num(rep.requests as f64)),
         ("writes", JsonValue::Num(rep.writes as f64)),
         ("errors", JsonValue::Num(rep.errors as f64)),
@@ -2078,11 +2080,11 @@ fn raid_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
     let trace = generate(&spec);
     // Fail data member 1 a third of the way into the trace, so the
     // remainder exercises degraded reads and reconstruct-mode writes.
-    let fail = FailMember {
-        volume: 0,
-        member: 1,
-        after: SimDuration::from_nanos(trace.duration().as_nanos() / 3),
-    };
+    let fail = FaultPlan::member_fail(
+        0,
+        1,
+        SimDuration::from_nanos(trace.duration().as_nanos() / 3),
+    );
 
     let mut report = String::new();
     let _ = writeln!(
@@ -2124,7 +2126,8 @@ fn raid_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
                 members,
                 trail: trail_front,
             };
-            let (row, rep) = raid_sweep_row(&trace, target, 1.0, None, cfg, &mut report);
+            let (row, rep) =
+                raid_sweep_row(&trace, target, 1.0, FaultPlan::new(), cfg, &mut report);
             if layout == layout5 {
                 let mean = rep.write_latency.mean().as_millis_f64();
                 if trail_front {
@@ -2146,7 +2149,8 @@ fn raid_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
                 members: 3,
                 trail: trail_front,
             };
-            let (row, _) = raid_sweep_row(&trace, target, speed, None, cfg, &mut report);
+            let (row, _) =
+                raid_sweep_row(&trace, target, speed, FaultPlan::new(), cfg, &mut report);
             rows.push(row);
         }
     }
@@ -2161,7 +2165,7 @@ fn raid_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
             logs: 2,
         },
         1.0,
-        None,
+        FaultPlan::new(),
         cfg,
         &mut report,
     );
@@ -2174,7 +2178,7 @@ fn raid_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
             members: 3,
             trail: trail_front,
         };
-        let (row, rep) = raid_sweep_row(&trace, target, 1.0, Some(fail), cfg, &mut report);
+        let (row, rep) = raid_sweep_row(&trace, target, 1.0, fail.clone(), cfg, &mut report);
         let survived: f64 = rep
             .volume_stats
             .iter()
@@ -2536,6 +2540,163 @@ fn serve_sweep(cfg: &ScenarioConfig) -> ScenarioOutput {
             ("sessions", JsonValue::Num(f64::from(sessions))),
             ("requests_per_cell", JsonValue::Num(per_cell as f64)),
             ("routings", JsonValue::Arr(series)),
+        ]),
+    }
+}
+
+// ------------------------------------------------------ crash campaign
+
+/// One curve point of the crash campaign as a JSON row.
+fn campaign_point_json(flavor: CampaignFlavor, agg: &CampaignAggregate) -> JsonValue {
+    JsonValue::obj(vec![
+        ("flavor", JsonValue::str(flavor.label())),
+        ("q", JsonValue::Num(agg.writes as f64)),
+        ("crash_points", JsonValue::Num(agg.points as f64)),
+        ("violations", JsonValue::Num(agg.violations as f64)),
+        ("mean_acked", JsonValue::Num(agg.mean_acked)),
+        ("mean_pending", JsonValue::Num(agg.mean_pending)),
+        (
+            "mean_active_log_sectors",
+            JsonValue::Num(agg.mean_active_log_sectors),
+        ),
+        ("mean_log_head_span", JsonValue::Num(agg.mean_log_head_span)),
+        ("mean_records", JsonValue::Num(agg.mean_records)),
+        (
+            "mean_sectors_replayed",
+            JsonValue::Num(agg.mean_sectors_replayed),
+        ),
+        ("mean_locate_ms", JsonValue::Num(agg.mean_locate_ms)),
+        ("mean_rebuild_ms", JsonValue::Num(agg.mean_rebuild_ms)),
+        ("mean_writeback_ms", JsonValue::Num(agg.mean_writeback_ms)),
+        ("mean_total_ms", JsonValue::Num(agg.mean_total_ms)),
+        ("max_total_ms", JsonValue::Num(agg.max_total_ms)),
+    ])
+}
+
+/// Appends one campaign table row to the report.
+fn campaign_row(report: &mut String, flavor: CampaignFlavor, agg: &CampaignAggregate) {
+    let _ = writeln!(
+        report,
+        "| {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {} |",
+        flavor.label(),
+        agg.writes,
+        agg.points,
+        agg.mean_acked,
+        agg.mean_pending,
+        agg.mean_active_log_sectors,
+        agg.mean_locate_ms,
+        agg.mean_rebuild_ms,
+        agg.mean_writeback_ms,
+        agg.mean_total_ms,
+        agg.max_total_ms,
+        agg.violations,
+    );
+}
+
+fn crash_campaign(cfg: &ScenarioConfig) -> ScenarioOutput {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // The raw-disk flavor carries the recovery-time-vs-log-size curve;
+    // the RAID-5 flavor adds the parity-invariant fan at a coarser grid.
+    let raw_qs: &[usize] = if cfg.quick {
+        &[16, 32]
+    } else {
+        &[32, 64, 128, 256]
+    };
+    let raw_points = cfg.scale.unwrap_or(if cfg.quick { 24 } else { 64 });
+    let raid_qs: &[usize] = if cfg.quick { &[16] } else { &[32, 64] };
+    let raid_points = (raw_points / 3 * 2).max(4);
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "== Crash campaign — recovery time vs. log size over the fault plane =="
+    );
+    let _ = writeln!(
+        report,
+        "| flavor | Q | crash points | mean acked | mean pending | mean active log sectors | \
+         locate (ms) | rebuild (ms) | write-back (ms) | total mean (ms) | total max (ms) | \
+         violations |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+
+    let run_flavor = |flavor: CampaignFlavor, qs: &[usize], points: usize| {
+        qs.iter()
+            .map(|&q| {
+                let spec = CampaignSpec {
+                    flavor,
+                    writes: q,
+                    crash_points: points,
+                    seed: cfg.mix(0x0043_5241_5348 + q as u64),
+                };
+                aggregate(q, &run_campaign(&spec, threads))
+            })
+            .collect::<Vec<_>>()
+    };
+    let curve = run_flavor(CampaignFlavor::RawDisks, raw_qs, raw_points);
+    let raid = run_flavor(CampaignFlavor::Raid5, raid_qs, raid_points);
+    for agg in &curve {
+        campaign_row(&mut report, CampaignFlavor::RawDisks, agg);
+    }
+    for agg in &raid {
+        campaign_row(&mut report, CampaignFlavor::Raid5, agg);
+    }
+
+    let total_points: usize = curve.iter().chain(&raid).map(|a| a.points).sum();
+    let violations: usize = curve.iter().chain(&raid).map(|a| a.violations).sum();
+    assert_eq!(
+        violations, 0,
+        "crash campaign found durability-contract violations"
+    );
+    // The headline claim: recovery cost scales with the active log, so
+    // the curve over Q must be monotone in both the log-size witness and
+    // the recovery time.
+    for pair in curve.windows(2) {
+        assert!(
+            pair[1].mean_sectors_replayed >= pair[0].mean_sectors_replayed,
+            "write-back volume must grow with Q"
+        );
+        assert!(
+            pair[1].mean_total_ms >= pair[0].mean_total_ms,
+            "recovery time must grow with Q (Q={} {:.3} ms -> Q={} {:.3} ms)",
+            pair[0].writes,
+            pair[0].mean_total_ms,
+            pair[1].writes,
+            pair[1].mean_total_ms,
+        );
+    }
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "{total_points} crash points sampled, {violations} violations; every acknowledged \
+         write read back exactly after recovery,"
+    );
+    let _ = writeln!(
+        report,
+        "and every RAID-5 stripe the workload touched XORs to zero across the members."
+    );
+    ScenarioOutput {
+        report,
+        json: JsonValue::obj(vec![
+            ("bench", JsonValue::str("crash_campaign")),
+            ("crash_points_total", JsonValue::Num(total_points as f64)),
+            ("violations", JsonValue::Num(violations as f64)),
+            (
+                "curve",
+                JsonValue::Arr(
+                    curve
+                        .iter()
+                        .map(|a| campaign_point_json(CampaignFlavor::RawDisks, a))
+                        .collect(),
+                ),
+            ),
+            (
+                "raid5",
+                JsonValue::Arr(
+                    raid.iter()
+                        .map(|a| campaign_point_json(CampaignFlavor::Raid5, a))
+                        .collect(),
+                ),
+            ),
         ]),
     }
 }

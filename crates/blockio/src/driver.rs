@@ -334,6 +334,13 @@ impl StandardDriver {
                 d.queue.clear();
                 d.scheduler.clear();
             }
+            Err(DiskError::Transient) => {
+                // An injected transient error consumed only this command
+                // (its completion cancel-cascades); everything still
+                // queued remains serviceable.
+                self.inner.borrow_mut().in_flight = false;
+                self.dispatch(sim);
+            }
             Err(e) => panic!("validated request rejected by idle disk: {e}"),
         }
     }
@@ -519,8 +526,16 @@ mod tests {
         }
         // Fail the member while the first request is in flight: everything
         // queued behind it must cancel instead of hanging the simulation.
-        let fail_at = sim.now() + SimDuration::from_nanos(50);
-        drv.disk().schedule_failure(&mut sim, fail_at);
+        let clock = trail_sim::FaultClock::new();
+        clock.register(drv.disk().fault_sink(trail_disk::DiskRole::Data(0)));
+        clock.arm(
+            &mut sim,
+            &trail_sim::FaultPlan::new().with(trail_sim::Fault {
+                at: SimDuration::from_nanos(50),
+                target: trail_sim::FaultTarget::Data(0),
+                kind: trail_sim::FaultKind::Fail,
+            }),
+        );
         sim.run();
         assert_eq!(outcomes.borrow().len(), 6, "every completion delivered");
         assert!(outcomes.borrow().iter().all(|ok| !ok), "all cancelled");
@@ -533,6 +548,30 @@ mod tests {
             Err(DiskError::Failed)
         ));
         sim.run();
+    }
+
+    #[test]
+    fn transient_error_cancels_one_request_and_queue_drains() {
+        let (mut sim, drv) = setup();
+        // Two charges: the first two dispatches are consumed, the rest of
+        // the queue must still drain to completion.
+        drv.disk().inject_transient_errors(2);
+        let outcomes = StdRc::new(StdRefCell::new(Vec::new()));
+        for i in 0..6u64 {
+            let outcomes = StdRc::clone(&outcomes);
+            let c = sim.completion(move |_, d: trail_sim::Delivered<IoDone>| {
+                outcomes.borrow_mut().push(d.is_ok());
+            });
+            drv.submit(&mut sim, IoRequest::write(i * 300, vec![7; SECTOR_SIZE]), c)
+                .unwrap();
+        }
+        sim.run();
+        let outcomes = outcomes.borrow();
+        assert_eq!(outcomes.len(), 6, "every completion delivered");
+        assert_eq!(outcomes.iter().filter(|ok| !**ok).count(), 2);
+        assert_eq!(drv.queue_depth(), 0);
+        assert!(!drv.is_busy());
+        drv.with_stats(|s| assert_eq!(s.completed, 4));
     }
 
     #[test]

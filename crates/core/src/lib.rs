@@ -72,5 +72,5 @@ pub use formatter::{
     FormatReport, CALIBRATION_TRACK,
 };
 pub use predict::{HeadPredictor, Reference};
-pub use recovery::{recover, RecoveryOptions, RecoveryReport};
+pub use recovery::{recover, recover_with_targets, RecoveryOptions, RecoveryReport};
 pub use tracks::TrackPool;

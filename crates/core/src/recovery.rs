@@ -70,12 +70,41 @@ pub struct RecoveryReport {
     /// In-flight records whose payload was torn by the crash and which
     /// were therefore dropped (never acknowledged, so no data is lost).
     pub torn_records_dropped: u64,
+    /// Sequence distance from the youngest recovered record back to its
+    /// `log_head` bound — the quantity that bounds stage 2's back-scan
+    /// (the paper's argument for O(active log) rather than O(disk)
+    /// recovery).
+    pub log_head_span: u64,
+    /// Header + payload sectors in the rebuilt active chain: the log
+    /// size recovery actually had to process.
+    pub active_log_sectors: u64,
 }
 
 impl RecoveryReport {
     /// Total recovery delay.
     pub fn total_time(&self) -> SimDuration {
         self.locate_time + self.rebuild_time + self.writeback_time
+    }
+
+    /// Serializes the report (times in virtual milliseconds).
+    pub fn to_json(&self) -> trail_telemetry::JsonValue {
+        use trail_telemetry::JsonValue as J;
+        J::obj(vec![
+            ("locate_ms", J::Num(self.locate_time.as_millis_f64())),
+            ("rebuild_ms", J::Num(self.rebuild_time.as_millis_f64())),
+            ("writeback_ms", J::Num(self.writeback_time.as_millis_f64())),
+            ("total_ms", J::Num(self.total_time().as_millis_f64())),
+            ("tracks_scanned", J::Num(self.tracks_scanned as f64)),
+            ("records_found", J::Num(self.records_found as f64)),
+            ("sectors_replayed", J::Num(self.sectors_replayed as f64)),
+            ("write_back", J::Bool(self.write_back_performed)),
+            (
+                "torn_records_dropped",
+                J::Num(self.torn_records_dropped as f64),
+            ),
+            ("log_head_span", J::Num(self.log_head_span as f64)),
+            ("active_log_sectors", J::Num(self.active_log_sectors as f64)),
+        ])
     }
 }
 
@@ -313,6 +342,7 @@ fn recover_inner(
                 break;
             }
         }
+        report.active_log_sectors += 1 + u64::from(batch);
         chain.push((cur.header, payload));
         if seq <= bound_seq {
             break;
@@ -342,6 +372,9 @@ fn recover_inner(
         }
     }
     report.records_found = chain.len();
+    report.log_head_span = chain
+        .first()
+        .map_or(0, |(r, _)| r.sequence_id.saturating_sub(bound_seq));
     report.rebuild_time = sim.now().duration_since(t1);
 
     // ---- Stage 3: write back, oldest first. ------------------------------

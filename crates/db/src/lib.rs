@@ -37,7 +37,9 @@ mod wal;
 pub use cache::{BufferPool, CacheStats};
 pub use engine::{Database, DbConfig, DbStats, Op, TableId, TxnResult, TxnSpec};
 pub use page::{Page, PageId, Rid, PAGE_SIZE, SECTORS_PER_PAGE};
-pub use recovery::{read_blocking, replay_committed, scan_wal};
+pub use recovery::{
+    read_blocking, recover_committed, replay_committed, scan_wal, RecoveredImage, WalRecoveryReport,
+};
 pub use service::StorageService;
 pub use stack::{BlockStack, MultiTrailStack, SharedStack, StandardStack, TrailStack, VolumeStack};
 pub use wal::{FlushJob, FlushPolicy, PendingCommit, Wal, WalRecord, WalStats, CHUNK_MAGIC};

@@ -20,6 +20,38 @@ use crate::engine::TableId;
 use crate::stack::BlockStack;
 use crate::wal::{Wal, WalRecord};
 
+/// Structured timing/volume breakdown of one WAL redo pass — the
+/// database-layer counterpart of `trail_core::RecoveryReport`, so a
+/// layered crash experiment can report both halves of the recovery story
+/// (block durability below, transaction atomicity above) in one place.
+#[derive(Clone, Debug, Default)]
+pub struct WalRecoveryReport {
+    /// Log chunks parsed before the tail was reached.
+    pub chunks_scanned: u64,
+    /// WAL records recovered, across all scanned chunks.
+    pub records: usize,
+    /// Distinct transactions whose `Commit` record made it to disk.
+    pub committed_txns: usize,
+    /// Rows applied to the committed image (puts + deletes).
+    pub rows_applied: usize,
+    /// Virtual time spent scanning the log region.
+    pub scan_time: trail_sim::SimDuration,
+}
+
+impl WalRecoveryReport {
+    /// Serializes the report (times in virtual milliseconds).
+    pub fn to_json(&self) -> trail_telemetry::JsonValue {
+        use trail_telemetry::JsonValue as J;
+        J::obj(vec![
+            ("chunks_scanned", J::Num(self.chunks_scanned as f64)),
+            ("records", J::Num(self.records as f64)),
+            ("committed_txns", J::Num(self.committed_txns as f64)),
+            ("rows_applied", J::Num(self.rows_applied as f64)),
+            ("scan_ms", J::Num(self.scan_time.as_millis_f64())),
+        ])
+    }
+}
+
 /// Reads `count` sectors through the stack, blocking (drains the event
 /// queue — recovery owns the simulation).
 ///
@@ -64,6 +96,17 @@ pub fn scan_wal(
     region_start: Lba,
     region_sectors: u64,
 ) -> Result<Vec<(u64, WalRecord)>, TrailError> {
+    Ok(scan_wal_inner(sim, stack, dev, region_start, region_sectors)?.0)
+}
+
+/// The scan worker: returns the records plus the number of chunks parsed.
+fn scan_wal_inner(
+    sim: &mut Simulator,
+    stack: &dyn BlockStack,
+    dev: usize,
+    region_start: Lba,
+    region_sectors: u64,
+) -> Result<(Vec<(u64, WalRecord)>, u64), TrailError> {
     let mut records = Vec::new();
     let mut pos = 0u64;
     let mut seq = 0u64;
@@ -102,20 +145,56 @@ pub fn scan_wal(
     // Chunks are flushed in order, so LSNs are already sorted; assert the
     // invariant rather than trusting it silently.
     debug_assert!(records.windows(2).all(|w| w[0].0 < w[1].0));
-    Ok(records)
+    Ok((records, seq))
 }
 
-/// Replays scanned records into the committed row image: the value (or
-/// absence) of every row touched by a *committed* transaction.
-pub fn replay_committed(records: &[(u64, WalRecord)]) -> HashMap<(TableId, u64), Option<Vec<u8>>> {
-    let committed: HashSet<u32> = records
+/// One-call redo recovery with a structured report: scans the log region
+/// (timed in virtual time) and replays committed transactions into the
+/// row image.
+///
+/// # Errors
+///
+/// Propagates stack errors from the scan.
+pub fn recover_committed(
+    sim: &mut Simulator,
+    stack: &dyn BlockStack,
+    dev: usize,
+    region_start: Lba,
+    region_sectors: u64,
+) -> Result<(RecoveredImage, WalRecoveryReport), TrailError> {
+    let t0 = sim.now();
+    let (records, chunks) = scan_wal_inner(sim, stack, dev, region_start, region_sectors)?;
+    let scan_time = sim.now().duration_since(t0);
+    let image = replay_committed(&records);
+    let report = WalRecoveryReport {
+        chunks_scanned: chunks,
+        records: records.len(),
+        committed_txns: committed_set(&records).len(),
+        rows_applied: image.len(),
+        scan_time,
+    };
+    Ok((image, report))
+}
+
+fn committed_set(records: &[(u64, WalRecord)]) -> HashSet<u32> {
+    records
         .iter()
         .filter_map(|(_, r)| match r {
             WalRecord::Commit { txn } => Some(*txn),
             _ => None,
         })
-        .collect();
-    let mut image: HashMap<(TableId, u64), Option<Vec<u8>>> = HashMap::new();
+        .collect()
+}
+
+/// The committed row image recovery rebuilds: the value (`Some`) or
+/// tombstone (`None`) of every row touched by a committed transaction.
+pub type RecoveredImage = HashMap<(TableId, u64), Option<Vec<u8>>>;
+
+/// Replays scanned records into the committed row image: the value (or
+/// absence) of every row touched by a *committed* transaction.
+pub fn replay_committed(records: &[(u64, WalRecord)]) -> RecoveredImage {
+    let committed: HashSet<u32> = committed_set(records);
+    let mut image: RecoveredImage = HashMap::new();
     for (_, rec) in records {
         match rec {
             WalRecord::Put {

@@ -7,8 +7,7 @@ use std::rc::Rc;
 
 use trail_core::{format_log_disk, FormatOptions, TrailConfig, TrailDriver};
 use trail_db::{
-    replay_committed, scan_wal, Database, DbConfig, FlushPolicy, Op, StandardStack, TrailStack,
-    TxnResult, TxnSpec,
+    Database, DbConfig, FlushPolicy, Op, StandardStack, TrailStack, TxnResult, TxnSpec,
 };
 use trail_disk::{profiles, Disk};
 use trail_sim::{Delivered, SimDuration, Simulator};
@@ -332,8 +331,8 @@ fn full_stack_crash_recovers_committed_transactions() {
         TrailDriver::start(&mut sim2, trail_log, data, TrailConfig::default()).unwrap();
     assert!(boot.recovered.is_some(), "dirty Trail disk must recover");
     let stack = TrailStack::new(drv2, 2);
-    // WAL redo on top.
-    let records = scan_wal(
+    // WAL redo on top, with the structured report.
+    let (image, report) = trail_db::recover_committed(
         &mut sim2,
         &stack,
         LOG_DEV,
@@ -341,7 +340,10 @@ fn full_stack_crash_recovers_committed_transactions() {
         LOG_REGION_SECTORS,
     )
     .unwrap();
-    let image = replay_committed(&records);
+    assert!(report.chunks_scanned > 0, "redo must have scanned the log");
+    assert!(report.committed_txns >= durable.len());
+    assert_eq!(report.rows_applied, image.len());
+    assert!(report.scan_time > SimDuration::ZERO, "scan I/O is timed");
     for (&key, &tag) in &durable {
         let got = image
             .get(&(0u8, key))

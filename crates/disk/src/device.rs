@@ -12,7 +12,10 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use trail_sim::{BusyMeter, Completion, LatencySummary, SimDuration, SimTime, Simulator};
+use trail_sim::{
+    BusyMeter, Completion, Fault, FaultKind, FaultSink, FaultTarget, LatencySummary, SimDuration,
+    SimTime, Simulator,
+};
 use trail_telemetry::{null_recorder, Event, EventKind, Layer, RecorderHandle};
 
 use crate::geometry::{DiskGeometry, Lba, SECTOR_SIZE};
@@ -92,6 +95,10 @@ pub enum DiskError {
     OutOfRange,
     /// A write payload was empty or not sector-aligned.
     BadDataLength,
+    /// An injected transient I/O error consumed this command: the device
+    /// rejected it electronically, with no mechanical side effects, and
+    /// will take the next one (see [`Disk::inject_transient_errors`]).
+    Transient,
 }
 
 impl fmt::Display for DiskError {
@@ -107,6 +114,7 @@ impl fmt::Display for DiskError {
                     "write payload must be a positive multiple of {SECTOR_SIZE} bytes"
                 )
             }
+            DiskError::Transient => write!(f, "injected transient I/O error"),
         }
     }
 }
@@ -139,6 +147,10 @@ pub struct DiskStats {
     pub total_rotation: SimDuration,
     /// Sum of media transfer time.
     pub total_transfer: SimDuration,
+    /// Commands consumed by injected transient errors.
+    pub injected_errors: u64,
+    /// Total service time added by injected latency spikes.
+    pub injected_delay: SimDuration,
 }
 
 /// The in-flight write's payload, staged whole (moved from the command,
@@ -162,6 +174,11 @@ struct DiskInner {
     failed: bool,
     power_epoch: u64,
     in_flight: Option<StagedWrite>,
+    // Armed transient-fault charges (see `inject_transient_errors` /
+    // `inject_latency_spike`); each affected command consumes one.
+    transient_errors: u32,
+    spike_extra: SimDuration,
+    spike_count: u32,
     stats: DiskStats,
     recorder: RecorderHandle,
 }
@@ -217,6 +234,9 @@ impl Disk {
                 failed: false,
                 power_epoch: 0,
                 in_flight: None,
+                transient_errors: 0,
+                spike_extra: SimDuration::ZERO,
+                spike_count: 0,
                 stats: DiskStats::default(),
                 recorder: null_recorder(),
             })),
@@ -304,9 +324,14 @@ impl Disk {
             if d.busy {
                 return Err(DiskError::Busy);
             }
+            if d.transient_errors > 0 {
+                d.transient_errors -= 1;
+                d.stats.injected_errors += 1;
+                return Err(DiskError::Transient);
+            }
             let kind = cmd.kind();
             let lba = cmd.lba();
-            let plan = match &cmd {
+            let mut plan = match &cmd {
                 DiskCommand::Read { lba, count } => {
                     if *count == 0 {
                         return Err(DiskError::OutOfRange);
@@ -345,6 +370,23 @@ impl Disk {
                     .plan_seek(&d.geometry, now, d.head, *lba)
                     .ok_or(DiskError::OutOfRange)?,
             };
+            // An armed latency spike stretches this command by `extra`
+            // of controller overhead at the front: the completion
+            // interrupt and every per-sector media instant shift by the
+            // same amount, so the breakdown still sums exactly and a
+            // power cut during the spiked command persists the right
+            // prefix.
+            if d.spike_count > 0 {
+                d.spike_count -= 1;
+                let extra = d.spike_extra;
+                plan.completion += extra;
+                for t in &mut plan.sector_done {
+                    *t += extra;
+                }
+                plan.breakdown.overhead += extra;
+                plan.breakdown.total += extra;
+                d.stats.injected_delay += extra;
+            }
             let count = match &cmd {
                 DiskCommand::Read { count, .. } => *count,
                 DiskCommand::Write { data, .. } => (data.len() / SECTOR_SIZE) as u32,
@@ -490,11 +532,31 @@ impl Disk {
         }
     }
 
-    /// Schedules a whole-member failure at virtual instant `at` — the
-    /// fault-injection knob degraded-mode experiments arm up front.
-    pub fn schedule_failure(&self, sim: &mut Simulator, at: SimTime) {
-        let disk = self.clone();
-        sim.schedule_at(at, move |sim| disk.fail(sim.now()));
+    /// Arms `count` transient I/O errors: each of the next `count`
+    /// submitted commands is rejected with [`DiskError::Transient`]
+    /// (consuming its completion token) with no mechanical side effects.
+    /// Charges accumulate across calls.
+    pub fn inject_transient_errors(&self, count: u32) {
+        self.inner.borrow_mut().transient_errors += count;
+    }
+
+    /// Arms `count` latency spikes: each of the next `count` submitted
+    /// commands takes `extra` longer, accounted as controller overhead.
+    /// Charges accumulate; the most recent `extra` wins.
+    pub fn inject_latency_spike(&self, extra: SimDuration, count: u32) {
+        let mut d = self.inner.borrow_mut();
+        d.spike_extra = extra;
+        d.spike_count += count;
+    }
+
+    /// A fault-plane sink for this device: registering it on a
+    /// [`FaultClock`](trail_sim::FaultClock) makes the device honor
+    /// [`FaultTarget::System`] faults plus those addressed to `role`.
+    pub fn fault_sink(&self, role: DiskRole) -> Rc<dyn FaultSink> {
+        Rc::new(DiskFaultSink {
+            disk: self.clone(),
+            role,
+        })
     }
 
     /// Restores power. The arm recalibrates to cylinder 0, surface 0; the
@@ -584,6 +646,44 @@ fn emit_phase_events(
                 switches: plan.track_switches,
             },
         ));
+    }
+}
+
+/// The role a device plays in a stack, for fault-plane addressing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskRole {
+    /// Data disk `i` in stack device order — matches
+    /// [`FaultTarget::Data`].
+    Data(usize),
+    /// Log disk `i` in instance order — matches [`FaultTarget::Log`].
+    Log(usize),
+}
+
+struct DiskFaultSink {
+    disk: Disk,
+    role: DiskRole,
+}
+
+impl FaultSink for DiskFaultSink {
+    fn apply(&self, sim: &mut Simulator, fault: &Fault) -> bool {
+        let addressed = match (fault.target, self.role) {
+            (FaultTarget::System, _) => true,
+            (FaultTarget::Data(i), DiskRole::Data(j)) => i == j,
+            (FaultTarget::Log(i), DiskRole::Log(j)) => i == j,
+            _ => false,
+        };
+        if !addressed {
+            return false;
+        }
+        match fault.kind {
+            FaultKind::PowerCut => self.disk.power_cut(sim.now()),
+            FaultKind::Fail => self.disk.fail(sim.now()),
+            FaultKind::TransientError { count } => self.disk.inject_transient_errors(count),
+            FaultKind::LatencySpike { extra, count } => {
+                self.disk.inject_latency_spike(extra, count)
+            }
+        }
+        true
     }
 }
 
@@ -862,10 +962,21 @@ mod tests {
             token,
         )
         .unwrap();
-        // Fail mid-service: the write must cancel, not complete, and
-        // nothing of it lands on the medium.
-        disk.schedule_failure(&mut sim, SimTime::ZERO + SimDuration::from_nanos(100));
+        // Fail mid-service via the fault plane: the write must cancel,
+        // not complete, and nothing of it lands on the medium.
+        let clock = FaultClock::new();
+        clock.register(disk.fault_sink(DiskRole::Data(0)));
+        clock.arm(
+            &mut sim,
+            &FaultPlan::new().with(Fault {
+                at: SimDuration::from_nanos(100),
+                target: FaultTarget::Data(0),
+                kind: FaultKind::Fail,
+            }),
+        );
         sim.run();
+        assert_eq!(clock.fired(), 1);
+        assert_eq!(clock.unhandled(), 0);
         assert_eq!(outcome.get(), Some(true), "in-flight command cancelled");
         assert!(disk.is_failed());
         assert!(!disk.is_busy());
@@ -881,7 +992,103 @@ mod tests {
         assert_eq!(disk.peek_sector(42)[9], 9);
     }
 
+    #[test]
+    fn transient_errors_consume_exactly_count_commands() {
+        let (mut sim, disk) = setup();
+        disk.inject_transient_errors(2);
+        for _ in 0..2 {
+            let cancelled = Rc::new(Cell::new(false));
+            let c2 = Rc::clone(&cancelled);
+            let token = sim.completion(move |_, res: Delivered<DiskResult>| {
+                c2.set(res.is_err());
+            });
+            assert_eq!(
+                disk.submit(&mut sim, DiskCommand::Read { lba: 0, count: 1 }, token)
+                    .unwrap_err(),
+                DiskError::Transient
+            );
+            sim.run();
+            assert!(cancelled.get(), "rejected token must cancel-cascade");
+            assert!(
+                !disk.is_busy(),
+                "transient error leaves no command in flight"
+            );
+        }
+        // Charges exhausted: the third command services normally.
+        let ok = Rc::new(Cell::new(false));
+        let ok2 = Rc::clone(&ok);
+        let token = sim.completion(move |_, res: Delivered<DiskResult>| {
+            ok2.set(res.is_ok());
+        });
+        disk.submit(&mut sim, DiskCommand::Read { lba: 0, count: 1 }, token)
+            .unwrap();
+        sim.run();
+        assert!(ok.get());
+        assert_eq!(disk.with_stats(|s| s.injected_errors), 2);
+    }
+
+    #[test]
+    fn latency_spike_stretches_service_exactly() {
+        let extra = SimDuration::from_millis(30);
+        let service = |spiked: bool| {
+            let (mut sim, disk) = setup();
+            if spiked {
+                disk.inject_latency_spike(extra, 1);
+            }
+            let done_at = Rc::new(Cell::new(SimTime::ZERO));
+            let d2 = Rc::clone(&done_at);
+            let token = sim.completion(move |sim: &mut Simulator, res: Delivered<DiskResult>| {
+                let res = res.expect("delivered");
+                assert_eq!(res.breakdown.total, res.completed - res.issued);
+                d2.set(sim.now());
+            });
+            disk.submit(
+                &mut sim,
+                DiskCommand::Write {
+                    lba: 3,
+                    data: write_buf(0xEE, 2),
+                },
+                token,
+            )
+            .unwrap();
+            sim.run();
+            assert_eq!(disk.peek_sector(3)[0], 0xEE);
+            done_at.get()
+        };
+        let (base, spiked) = (service(false), service(true));
+        assert_eq!(spiked - base, extra, "spike adds exactly `extra`");
+    }
+
+    #[test]
+    fn power_cut_during_spiked_write_respects_shifted_sector_instants() {
+        let (mut sim, disk) = setup();
+        let extra = SimDuration::from_millis(50);
+        disk.inject_latency_spike(extra, 1);
+        let token = sim.completion(|_, _: Delivered<DiskResult>| {});
+        disk.submit(
+            &mut sim,
+            DiskCommand::Write {
+                lba: 0,
+                data: write_buf(0x31, 4),
+            },
+            token,
+        )
+        .unwrap();
+        // At the un-spiked completion horizon nothing has landed yet:
+        // the spike pushed every media instant out by 50 ms.
+        let mech = disk.mechanics();
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(25));
+        disk.power_cut(sim.now());
+        sim.run();
+        assert!(mech.rotation_period < SimDuration::from_millis(25));
+        assert_eq!(
+            disk.peek_sector(0)[0],
+            0,
+            "no sector may land inside the spike window"
+        );
+    }
+
     use std::cell::RefCell;
     use std::rc::Rc;
-    use trail_sim::Delivered;
+    use trail_sim::{Delivered, FaultClock, FaultPlan};
 }

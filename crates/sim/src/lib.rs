@@ -50,6 +50,7 @@
 
 mod completion;
 mod event;
+mod fault;
 #[allow(unsafe_code)]
 mod payload;
 mod queue;
@@ -58,6 +59,9 @@ mod time;
 
 pub use completion::{Cancelled, Completion, CompletionId, CompletionSink, Delivered};
 pub use event::{thread_events_executed, EventFn, EventId, Simulator};
+pub use fault::{
+    Fault, FaultClock, FaultKind, FaultPlan, FaultPlanParseError, FaultSink, FaultTarget,
+};
 pub use payload::INLINE_EVENT_BYTES;
 pub use stats::{BusyMeter, Counter, LatencySummary};
 pub use time::{SimDuration, SimTime};

@@ -57,6 +57,7 @@
 //! ```
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::Read;
 use std::rc::Rc;
@@ -66,7 +67,10 @@ use trail_blockio::TapHandle;
 use trail_db::BlockStack;
 use trail_disk::{Lba, SECTOR_SIZE};
 use trail_fs::{FsError, FS_BLOCK_SIZE};
-use trail_sim::{Completion, Delivered, SimDuration, SimTime, Simulator};
+use trail_sim::{
+    Completion, Delivered, Fault, FaultKind, FaultPlan, FaultTarget, SimDuration, SimTime,
+    Simulator,
+};
 use trail_telemetry::{DurationHistogram, JsonValue, RecorderHandle, StreamId, StreamMetrics};
 
 pub use trail::TargetKind;
@@ -101,14 +105,32 @@ pub struct ReplayOptions {
     /// Capture tap installed on the stack (after setup) — for recording
     /// what the replay itself submits, e.g. a capture→replay round trip.
     pub tap: Option<TapHandle>,
-    /// Whole-member failure injection for RAID targets: the named member
-    /// disk fails mid-replay, so the remainder of the trace exercises
-    /// degraded reads and reconstruct-mode writes. Ignored for targets
-    /// without volumes.
+    /// Declarative fault schedule armed on the freshly built target,
+    /// with offsets relative to the replay's start: member failures,
+    /// power cuts, transient I/O errors and latency spikes, all through
+    /// the one [`FaultPlan`] grammar. Faults naming devices or volumes
+    /// the target does not have are tolerated (armed but unhandled), so
+    /// one plan can drive a sweep over heterogeneous targets.
+    pub faults: FaultPlan,
+    /// Upper bound on concurrently in-flight requests. Arrivals beyond
+    /// the bound wait in an admission queue and are submitted as
+    /// completions free slots — latency is then measured from
+    /// submission, not arrival. `None` (the default) leaves the replay
+    /// fully open-loop; `Some(0)` is raised to 1.
+    pub max_in_flight: Option<u32>,
+    /// Whole-member failure injection for RAID targets — a **shim**
+    /// kept for source compatibility, folded into
+    /// [`ReplayOptions::faults`] as a [`FaultKind::Fail`] member fault
+    /// before the target is built. New code should put the fault in
+    /// `faults` directly.
     pub fail_member: Option<FailMember>,
 }
 
 /// One scheduled member failure (see [`ReplayOptions::fail_member`]).
+///
+/// Superseded by [`FaultPlan::member_fail`], which expresses the same
+/// fault inside the unified plan; this type survives as the shim's
+/// argument.
 #[derive(Clone, Copy, Debug)]
 pub struct FailMember {
     /// Index into the target's volume list.
@@ -130,6 +152,8 @@ impl Default for ReplayOptions {
             fs_file_blocks: 1024,
             recorder: None,
             tap: None,
+            faults: FaultPlan::new(),
+            max_in_flight: None,
             fail_member: None,
         }
     }
@@ -438,6 +462,18 @@ impl DepthSamples {
     }
 }
 
+/// One accepted arrival waiting in the admission queue because the
+/// [`ReplayOptions::max_in_flight`] bound is reached.
+#[derive(Clone, Copy)]
+struct DeferredReq {
+    idx: u64,
+    dev: usize,
+    lba: Lba,
+    sectors: u32,
+    is_read: bool,
+    stream: StreamId,
+}
+
 /// Shared mutable replay accounting.
 struct State {
     issued: u64,
@@ -447,6 +483,11 @@ struct State {
     errors: u64,
     inflight: u32,
     max_inflight: u32,
+    /// Admission bound; `u32::MAX` when the replay is fully open-loop.
+    bound: u32,
+    /// Arrivals admitted past the cursor but waiting for an in-flight
+    /// slot. Always empty on the open-loop path.
+    deferred: VecDeque<DeferredReq>,
     latency: DurationHistogram,
     read_latency: DurationHistogram,
     write_latency: DurationHistogram,
@@ -461,7 +502,7 @@ struct State {
 }
 
 impl State {
-    fn new(start: SimTime) -> State {
+    fn new(start: SimTime, bound: Option<u32>) -> State {
         State {
             issued: 0,
             completed: 0,
@@ -470,6 +511,8 @@ impl State {
             errors: 0,
             inflight: 0,
             max_inflight: 0,
+            bound: bound.map_or(u32::MAX, |b| b.max(1)),
+            deferred: VecDeque::new(),
             latency: DurationHistogram::new(),
             read_latency: DurationHistogram::new(),
             write_latency: DurationHistogram::new(),
@@ -615,9 +658,92 @@ fn issue_batch(sim: &mut Simulator, ctx: &EngineCtx, batch: Vec<(u64, TraceRecor
             return;
         }
         let (is_read, stream) = (r.op.is_read(), r.stream);
-        ctx.state.borrow_mut().issue(sim.now(), stream, is_read);
+        offer(
+            sim,
+            &ctx.stack,
+            &ctx.drive,
+            &ctx.state,
+            DeferredReq {
+                idx,
+                dev,
+                lba: r.lba,
+                sectors: r.sectors,
+                is_read,
+                stream,
+            },
+        );
+    }
+}
+
+/// Admission control: submits the request unless the in-flight bound is
+/// reached, in which case it joins the deferred queue and is submitted
+/// by [`drain_deferred`] as completions free slots. On the open-loop
+/// path (bound `u32::MAX`) this is exactly issue-then-submit.
+fn offer(
+    sim: &mut Simulator,
+    stack: &Rc<dyn BlockStack>,
+    drv: &Rc<TargetDrive>,
+    st: &Rc<RefCell<State>>,
+    req: DeferredReq,
+) {
+    {
+        let mut s = st.borrow_mut();
+        if s.inflight >= s.bound {
+            s.deferred.push_back(req);
+            s.peak_resident = s
+                .peak_resident
+                .max(u64::from(s.inflight) + s.deferred.len() as u64);
+            return;
+        }
+        s.issue(sim.now(), req.stream, req.is_read);
+    }
+    submit(
+        sim,
+        stack,
+        drv,
+        st,
+        req.idx,
+        req.dev,
+        req.lba,
+        req.sectors,
+        req.is_read,
+        req.stream,
+    );
+}
+
+/// Submits deferred arrivals while slots are free. Called from every
+/// completion; a no-op when the deferred queue is empty.
+fn drain_deferred(
+    sim: &mut Simulator,
+    stack: &Rc<dyn BlockStack>,
+    drv: &Rc<TargetDrive>,
+    st: &Rc<RefCell<State>>,
+) {
+    loop {
+        let req = {
+            let mut s = st.borrow_mut();
+            if s.inflight >= s.bound {
+                return;
+            }
+            match s.deferred.pop_front() {
+                Some(r) => {
+                    s.issue(sim.now(), r.stream, r.is_read);
+                    r
+                }
+                None => return,
+            }
+        };
         submit(
-            sim, &ctx.stack, &ctx.drive, &ctx.state, idx, dev, r.lba, r.sectors, is_read, stream,
+            sim,
+            stack,
+            drv,
+            st,
+            req.idx,
+            req.dev,
+            req.lba,
+            req.sectors,
+            req.is_read,
+            req.stream,
         );
     }
 }
@@ -693,21 +819,24 @@ pub fn replay_stream<R: Read + 'static>(
     run_engine(Box::new(reader), devices_hint, opts)
 }
 
-/// Arms the [`ReplayOptions::fail_member`] injection on a freshly built
-/// target. Out-of-range indexes are ignored (a sweep can name member 2
-/// while also replaying against non-RAID targets).
-fn schedule_fail_member(
-    sim: &mut Simulator,
-    volumes: &[trail::volume::RaidVolume],
-    fail: Option<FailMember>,
-) {
-    if let Some(f) = fail {
-        if let Some(vol) = volumes.get(f.volume) {
-            if f.member < vol.member_count() {
-                vol.schedule_member_failure(sim, sim.now() + f.after, f.member);
-            }
-        }
+/// The plan the target is armed with: [`ReplayOptions::faults`] plus
+/// the [`ReplayOptions::fail_member`] shim folded in as a member-fail
+/// fault. Faults addressing hardware the target lacks stay unhandled on
+/// the clock (a sweep can name member 2 while also replaying against
+/// non-RAID targets).
+fn effective_faults(opts: &ReplayOptions) -> FaultPlan {
+    let mut plan = opts.faults.clone();
+    if let Some(f) = opts.fail_member {
+        plan.push(Fault {
+            at: f.after,
+            target: FaultTarget::Member {
+                volume: f.volume,
+                member: f.member,
+            },
+            kind: FaultKind::Fail,
+        });
     }
+    plan
 }
 
 fn run_engine(
@@ -722,9 +851,11 @@ fn run_engine(
         stack,
         drive,
         volumes,
+        ..
     } = StackBuilder::new()
         .data_disks(ndisks)
         .fs_file_blocks(opts.fs_file_blocks)
+        .faults(effective_faults(opts))
         .build_target(opts.target)?;
     if let Some(recorder) = &opts.recorder {
         stack.set_recorder(Rc::clone(recorder));
@@ -732,7 +863,6 @@ fn run_engine(
     if let Some(tap) = &opts.tap {
         stack.set_tap(Rc::clone(tap));
     }
-    schedule_fail_member(&mut sim, &volumes, opts.fail_member);
     let drive = Rc::new(drive);
     let start = sim.now();
 
@@ -745,7 +875,7 @@ fn run_engine(
     };
     let ctx = EngineCtx {
         source: Rc::new(RefCell::new(source)),
-        state: Rc::new(RefCell::new(State::new(start))),
+        state: Rc::new(RefCell::new(State::new(start, opts.max_in_flight))),
         stack,
         drive,
         ndisks,
@@ -804,9 +934,11 @@ pub fn replay_single_issuer(
         stack,
         drive,
         volumes,
+        ..
     } = StackBuilder::new()
         .data_disks(ndisks)
         .fs_file_blocks(opts.fs_file_blocks)
+        .faults(effective_faults(opts))
         .build_target(opts.target)?;
     if let Some(recorder) = &opts.recorder {
         stack.set_recorder(Rc::clone(recorder));
@@ -814,10 +946,9 @@ pub fn replay_single_issuer(
     if let Some(tap) = &opts.tap {
         stack.set_tap(Rc::clone(tap));
     }
-    schedule_fail_member(&mut sim, &volumes, opts.fail_member);
     let drive = Rc::new(drive);
     let start = sim.now();
-    let state = Rc::new(RefCell::new(State::new(start)));
+    let state = Rc::new(RefCell::new(State::new(start, opts.max_in_flight)));
     let total = trace.len() as u64;
 
     for (idx, r) in trace.records.iter().enumerate() {
@@ -829,9 +960,19 @@ pub fn replay_single_issuer(
         let drv = Rc::clone(&drive);
         let st = Rc::clone(&state);
         sim.schedule_at(arrival, move |sim| {
-            st.borrow_mut().issue(sim.now(), stream, is_read);
-            submit(
-                sim, &stack, &drv, &st, idx, dev, lba, sectors, is_read, stream,
+            offer(
+                sim,
+                &stack,
+                &drv,
+                &st,
+                DeferredReq {
+                    idx,
+                    dev,
+                    lba,
+                    sectors,
+                    is_read,
+                    stream,
+                },
             );
         });
     }
@@ -887,10 +1028,13 @@ fn submit(
             let headroom = capacity[dev].saturating_sub(u64::from(sectors)) + 1;
             let lba = lba % headroom;
             let st2 = Rc::clone(st);
+            let stack2 = Rc::clone(stack);
+            let drv2 = Rc::clone(drv);
             let done: Completion<IoDone> = sim.completion(move |sim, d: Delivered<IoDone>| {
                 let now = sim.now();
                 let outcome = d.is_ok().then(|| now - issued);
                 st2.borrow_mut().finish(now, idx, stream, is_read, outcome);
+                drain_deferred(sim, &stack2, &drv2, &st2);
             });
             // A rejected submission drops the armed token, which cancels
             // it — the handler above counts that as an error.
@@ -917,18 +1061,24 @@ fn submit(
             let offset = block * FS_BLOCK_SIZE as u64;
             if is_read {
                 let st2 = Rc::clone(st);
+                let stack2 = Rc::clone(stack);
+                let drv2 = Rc::clone(drv);
                 let done = sim.completion(move |sim, d: Delivered<Result<Vec<u8>, FsError>>| {
                     let now = sim.now();
                     let outcome = matches!(d, Ok(Ok(_))).then(|| now - issued);
                     st2.borrow_mut().finish(now, idx, stream, is_read, outcome);
+                    drain_deferred(sim, &stack2, &drv2, &st2);
                 });
                 let _ = fs.read(sim, *file, offset, bytes, done);
             } else {
                 let st2 = Rc::clone(st);
+                let stack2 = Rc::clone(stack);
+                let drv2 = Rc::clone(drv);
                 let done = sim.completion(move |sim, d: Delivered<Result<(), FsError>>| {
                     let now = sim.now();
                     let outcome = matches!(d, Ok(Ok(()))).then(|| now - issued);
                     st2.borrow_mut().finish(now, idx, stream, is_read, outcome);
+                    drain_deferred(sim, &stack2, &drv2, &st2);
                 });
                 let data = vec![fill_byte(idx); bytes];
                 let _ = fs.write(sim, *file, offset, data, true, done);
@@ -1173,6 +1323,112 @@ mod tests {
         assert!(ds.stride > 1, "stride doubled under pressure");
         // Retained samples stay in time order and on the stride grid.
         assert!(ds.samples.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn fail_member_shim_is_the_fault_plan() {
+        // The deprecated shim and the declarative plan must drive the
+        // identical degraded-mode replay, byte for byte.
+        let t = generate(&SyntheticSpec {
+            requests: 50,
+            read_fraction: 0.3,
+            ..SyntheticSpec::default()
+        });
+        let target = TargetKind::Raid {
+            layout: trail::volume::VolumeLayout::Raid5 { chunk_sectors: 8 },
+            members: 3,
+            trail: false,
+        };
+        let after = SimDuration::from_millis(5);
+        let shim = replay(
+            &t,
+            &ReplayOptions {
+                target,
+                fail_member: Some(FailMember {
+                    volume: 0,
+                    member: 1,
+                    after,
+                }),
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("shim replay");
+        let plan = replay(
+            &t,
+            &ReplayOptions {
+                target,
+                faults: FaultPlan::member_fail(0, 1, after),
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("plan replay");
+        assert_eq!(shim.to_json().to_json(), plan.to_json().to_json());
+        // The failure actually landed: the volume counted it.
+        assert!(shim.volume_stats[0]
+            .to_json()
+            .contains("\"member_failures\":1"));
+    }
+
+    #[test]
+    fn max_in_flight_bounds_the_open_loop_queue() {
+        // Offer the load four times as fast: unbounded, the open loop
+        // builds real queue depth; bounded, it cannot exceed the knob.
+        let t = generate(&SyntheticSpec {
+            requests: 80,
+            read_fraction: 0.0,
+            arrivals: crate::gen::ArrivalModel::Bursty {
+                burst: 16,
+                iat_in_burst: SimDuration::from_micros(50),
+                gap: SimDuration::from_millis(10),
+            },
+            ..SyntheticSpec::default()
+        });
+        let open = replay(
+            &t,
+            &ReplayOptions {
+                speed: 4.0,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("open loop");
+        assert!(
+            open.max_queue_depth > 4,
+            "load too light to exercise the bound: depth {}",
+            open.max_queue_depth
+        );
+        let bounded = replay(
+            &t,
+            &ReplayOptions {
+                speed: 4.0,
+                max_in_flight: Some(4),
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("bounded");
+        assert!(
+            bounded.max_queue_depth <= 4,
+            "bound violated: depth {}",
+            bounded.max_queue_depth
+        );
+        // Every deferred arrival was still submitted and completed.
+        assert_eq!(bounded.requests, 80);
+        assert_eq!(bounded.errors, 0);
+        assert_eq!(bounded.latency.count(), 80);
+    }
+
+    #[test]
+    fn slack_bound_is_byte_identical_to_open_loop() {
+        let t = small_trace();
+        let open = replay(&t, &ReplayOptions::default()).expect("open");
+        let slack = replay(
+            &t,
+            &ReplayOptions {
+                max_in_flight: Some(10_000),
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("slack");
+        assert_eq!(open.to_json().to_json(), slack.to_json().to_json());
     }
 
     #[test]

@@ -23,7 +23,10 @@ use trail_blockio::{
     BlockDevice, IoDone, IoKind, IoRequest, RequestId, StandardDriver, StreamId, TapHandle,
 };
 use trail_disk::{CommandKind, Disk, DiskError, Lba, ServiceBreakdown, SECTOR_SIZE};
-use trail_sim::{Completion, Delivered, LatencySummary, SimTime, Simulator};
+use trail_sim::{
+    Completion, Delivered, Fault, FaultKind, FaultSink, FaultTarget, LatencySummary, SimTime,
+    Simulator,
+};
 use trail_telemetry::{JsonValue, RecorderHandle};
 
 use crate::gate::Gate;
@@ -321,11 +324,18 @@ impl RaidVolume {
         v.stats.member_failures += 1;
     }
 
-    /// Schedules [`fail_member`](Self::fail_member) at virtual instant
-    /// `at`.
-    pub fn schedule_member_failure(&self, sim: &mut Simulator, at: SimTime, index: usize) {
-        let vol = self.clone();
-        sim.schedule_at(at, move |sim| vol.fail_member(sim.now(), index));
+    /// A fault-plane sink for this volume: registering it on a
+    /// [`FaultClock`](trail_sim::FaultClock) makes the volume honor
+    /// [`FaultTarget::Member`] faults whose `volume` field equals
+    /// `index`. A `Fail` marks the member failed at the volume level
+    /// (degraded planning from that instant); power cuts and transient
+    /// charges pass through to the member disk without degrading the
+    /// array.
+    pub fn fault_sink(&self, index: usize) -> Rc<dyn FaultSink> {
+        Rc::new(VolumeFaultSink {
+            vol: self.clone(),
+            index,
+        })
     }
 
     /// Runs `f` against the accumulated statistics.
@@ -416,6 +426,34 @@ impl RaidVolume {
         let id = op.borrow().id;
         start(self, sim, &op);
         Ok(id)
+    }
+}
+
+struct VolumeFaultSink {
+    vol: RaidVolume,
+    index: usize,
+}
+
+impl FaultSink for VolumeFaultSink {
+    fn apply(&self, sim: &mut Simulator, fault: &Fault) -> bool {
+        let member = match fault.target {
+            FaultTarget::Member { volume, member } if volume == self.index => member,
+            _ => return false,
+        };
+        if member >= self.vol.member_count() {
+            return false;
+        }
+        match fault.kind {
+            FaultKind::Fail => self.vol.fail_member(sim.now(), member),
+            FaultKind::PowerCut => self.vol.member_disks()[member].power_cut(sim.now()),
+            FaultKind::TransientError { count } => {
+                self.vol.member_disks()[member].inject_transient_errors(count)
+            }
+            FaultKind::LatencySpike { extra, count } => {
+                self.vol.member_disks()[member].inject_latency_spike(extra, count)
+            }
+        }
+        true
     }
 }
 
@@ -1516,8 +1554,12 @@ mod tests {
             },
             2,
         );
-        let fail_at = sim.now() + SimDuration::from_nanos(50);
-        vol.schedule_member_failure(&mut sim, fail_at, 0);
+        let clock = trail_sim::FaultClock::new();
+        clock.register(vol.fault_sink(0));
+        clock.arm(
+            &mut sim,
+            &trail_sim::FaultPlan::member_fail(0, 0, SimDuration::from_nanos(50)),
+        );
         let data = pattern(4, 4);
         write_ok(&mut sim, &vol, 3, data.clone());
         assert_eq!(vol.failed_members(), vec![0]);

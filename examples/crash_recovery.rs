@@ -1,15 +1,29 @@
 //! Crash recovery end to end: run a write workload, cut power at an
-//! arbitrary instant, and watch Trail's three-stage recovery restore every
-//! acknowledged write.
+//! arbitrary instant through a declarative [`FaultPlan`], and watch
+//! Trail's three-stage recovery restore every acknowledged write.
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use rand::Rng;
 use trail::prelude::*;
+
+/// Observer sink: records that the system-wide power cut fired so the
+/// workload stops submitting. Returns `false` — the per-disk sinks own
+/// the actual cut.
+struct CrashFlag(Rc<Cell<bool>>);
+
+impl FaultSink for CrashFlag {
+    fn apply(&self, _sim: &mut Simulator, fault: &Fault) -> bool {
+        if matches!(fault.kind, FaultKind::PowerCut) {
+            self.0.set(true);
+        }
+        false
+    }
+}
 
 fn main() -> Result<(), TrailError> {
     let mut sim = Simulator::new();
@@ -21,9 +35,24 @@ fn main() -> Result<(), TrailError> {
     let (trail, _) =
         TrailDriver::start(&mut sim, log.clone(), data.clone(), TrailConfig::default())?;
 
+    // The fault plane: every disk registers a sink on one clock, and a
+    // declarative plan cuts the whole system 120 ms into the workload.
+    let cut_after = SimDuration::from_millis(120);
+    let clock = FaultClock::new();
+    clock.register(log.fault_sink(DiskRole::Log(0)));
+    for (i, d) in data.iter().enumerate() {
+        clock.register(d.fault_sink(DiskRole::Data(i)));
+    }
+    let crashed = Rc::new(Cell::new(false));
+    clock.register(Rc::new(CrashFlag(Rc::clone(&crashed))));
+    let plan = FaultPlan::power_cut_at(cut_after);
+    println!("armed fault plan: {}", plan.encode());
+    clock.arm(&mut sim, &plan);
+
     // A bursty random write workload; remember what was acknowledged.
     // Each write targets a distinct block so that "acknowledged implies
-    // recovered exactly" can be asserted byte for byte.
+    // recovered exactly" can be asserted byte for byte. After the cut
+    // the arrival events keep firing but stop submitting.
     let acked: Rc<RefCell<HashMap<(usize, u64), u8>>> = Rc::new(RefCell::new(HashMap::new()));
     let mut rng = trail_sim::rng(2002);
     let start = sim.now();
@@ -33,7 +62,11 @@ fn main() -> Result<(), TrailError> {
         let tag = (i % 251 + 1) as u8;
         let acked = Rc::clone(&acked);
         let trail2 = trail.clone();
+        let crashed2 = Rc::clone(&crashed);
         sim.schedule_at(start + SimDuration::from_micros(i * 500), move |sim| {
+            if crashed2.get() {
+                return;
+            }
             let done = sim.completion(move |_, del: Delivered<IoDone>| {
                 if del.is_ok() {
                     acked.borrow_mut().insert((dev, lba), tag);
@@ -45,18 +78,15 @@ fn main() -> Result<(), TrailError> {
         });
     }
 
-    // Lights out mid-workload.
-    sim.run_until(start + SimDuration::from_millis(120));
+    // Lights out mid-workload; drain so every arrival has fired.
+    sim.run();
+    assert!(crashed.get(), "the armed power cut must have fired");
     println!(
-        "power failure at {} with {} writes acknowledged, {} blocks still pending write-back",
-        sim.now(),
+        "power failed at {} with {} writes acknowledged, {} blocks still pending write-back",
+        start + cut_after,
         acked.borrow().len(),
         trail.pinned_blocks()
     );
-    log.power_cut(sim.now());
-    for d in &data {
-        d.power_cut(sim.now());
-    }
     drop(trail);
 
     // Reboot: TrailDriver::start sees the dirty flag and recovers.
@@ -73,8 +103,8 @@ fn main() -> Result<(), TrailError> {
         report.locate_time, report.tracks_scanned
     );
     println!(
-        "  rebuild active records: {} ({} records)",
-        report.rebuild_time, report.records_found
+        "  rebuild active records: {} ({} records, {} active log sectors, head span {})",
+        report.rebuild_time, report.records_found, report.active_log_sectors, report.log_head_span
     );
     println!(
         "  write back to data disks: {} ({} sectors)",

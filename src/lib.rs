@@ -94,7 +94,10 @@ pub mod prelude {
         format_log_disk, read_header, recover, FormatOptions, RecoveryOptions, TrailConfig,
         TrailDriver, TrailError,
     };
-    pub use trail_disk::{profiles, Disk, DiskCommand, SECTOR_SIZE};
-    pub use trail_sim::{Completion, Delivered, SimDuration, SimTime, Simulator};
+    pub use trail_disk::{profiles, Disk, DiskCommand, DiskRole, SECTOR_SIZE};
+    pub use trail_sim::{
+        Completion, Delivered, Fault, FaultClock, FaultKind, FaultPlan, FaultSink, FaultTarget,
+        SimDuration, SimTime, Simulator,
+    };
     pub use trail_volume::{RaidVolume, ReadPolicy, VolumeLayout};
 }

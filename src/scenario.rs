@@ -34,9 +34,9 @@ use trail_db::{
     BlockStack, Database, DbConfig, MultiTrailStack, StandardStack, TrailStack, VolumeStack,
 };
 use trail_disk::profiles::{self, DriveProfile};
-use trail_disk::Disk;
+use trail_disk::{Disk, DiskRole};
 use trail_fs::{ExtFs, FsError, Lfs, LfsConfig};
-use trail_sim::Simulator;
+use trail_sim::{FaultClock, FaultPlan, Simulator};
 use trail_volume::{RaidVolume, VolumeLayout};
 
 /// Which log device fronts the data disks.
@@ -119,6 +119,10 @@ pub struct Scenario {
     /// When set, each device is a RAID volume over `members` disks of
     /// [`data_profile`](Scenario::data_profile) instead of one raw disk.
     pub volume: Option<VolumeSpec>,
+    /// The fault schedule armed on the built stack. Offsets are relative
+    /// to the end of [`build`](Scenario::build) (post-format, post-boot,
+    /// stats reset) — the instant measurements start.
+    pub faults: FaultPlan,
 }
 
 impl Default for Scenario {
@@ -136,6 +140,7 @@ impl Default for Scenario {
                 config: TrailConfig::default(),
             },
             volume: None,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -208,6 +213,7 @@ impl Scenario {
             LogDevice::Trail { .. } => log_disks.first().cloned(),
             _ => None,
         };
+        let fault_clock = self.arm_faults(&mut sim, &data_disks, &log_disks, &[]);
         Ok(BuiltStack {
             seed: self.seed,
             sim,
@@ -218,7 +224,33 @@ impl Scenario {
             multi,
             volumes: Vec::new(),
             stack,
+            fault_clock,
         })
+    }
+
+    /// Registers every device on a fresh [`FaultClock`] and arms the
+    /// scenario's [`faults`](Scenario::faults) plan. This runs at the very
+    /// end of [`build`](Scenario::build), after boot noise is reset, so
+    /// fault offsets are relative to the instant measurements start.
+    fn arm_faults(
+        &self,
+        sim: &mut Simulator,
+        data_disks: &[Disk],
+        log_disks: &[Disk],
+        volumes: &[RaidVolume],
+    ) -> FaultClock {
+        let clock = FaultClock::new();
+        for (i, d) in data_disks.iter().enumerate() {
+            clock.register(d.fault_sink(DiskRole::Data(i)));
+        }
+        for (i, d) in log_disks.iter().enumerate() {
+            clock.register(d.fault_sink(DiskRole::Log(i)));
+        }
+        for (i, v) in volumes.iter().enumerate() {
+            clock.register(v.fault_sink(i));
+        }
+        clock.arm(sim, &self.faults);
+        clock
     }
 
     /// Builds the volume-layer variant: each device is a
@@ -333,6 +365,7 @@ impl Scenario {
             LogDevice::Trail { .. } => log_disks.first().cloned(),
             _ => None,
         };
+        let fault_clock = self.arm_faults(&mut sim, &data_disks, &log_disks, &volumes);
         Ok(BuiltStack {
             seed: self.seed,
             sim,
@@ -343,6 +376,7 @@ impl Scenario {
             multi,
             volumes,
             stack,
+            fault_clock,
         })
     }
 }
@@ -461,6 +495,14 @@ impl StackBuilder {
         self
     }
 
+    /// Arms a fault schedule on the built stack (see [`Scenario::faults`]).
+    /// Offsets are relative to the end of `build`.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.scenario.faults = plan;
+        self
+    }
+
     /// The scenario described so far.
     #[must_use]
     pub fn scenario(&self) -> &Scenario {
@@ -504,6 +546,12 @@ pub struct BuiltStack {
     /// The block stack (Trail, Trail array, or standard) the upper layers
     /// submit to.
     pub stack: Rc<dyn BlockStack>,
+    /// The fault clock the scenario's [`FaultPlan`] was armed on, with
+    /// every disk and volume registered. Harnesses may register extra
+    /// sinks (e.g. a crash-campaign flag) before the faults fire, and can
+    /// inspect [`fired`](FaultClock::fired) /
+    /// [`unhandled`](FaultClock::unhandled) afterwards.
+    pub fault_clock: FaultClock,
 }
 
 impl BuiltStack {
@@ -564,6 +612,45 @@ mod tests {
             .expect("build");
         assert!(built.trail.is_none());
         assert_eq!(built.seed, 7);
+    }
+
+    #[test]
+    fn armed_fault_plan_cuts_the_whole_stack() {
+        use trail_sim::SimDuration;
+        let mut built = StackBuilder::new()
+            .data_disks(2)
+            .data_profile(profiles::tiny_test_disk())
+            .log_profile(profiles::tiny_test_disk())
+            .faults(FaultPlan::power_cut_at(SimDuration::from_millis(5)))
+            .build()
+            .expect("build");
+        assert_eq!(built.fault_clock.armed(), 1);
+        built.sim.run();
+        assert_eq!(built.fault_clock.fired(), 1);
+        assert_eq!(built.fault_clock.unhandled(), 0);
+        assert!(built.data_disks.iter().all(|d| !d.is_powered()));
+        assert!(!built.log_disk.as_ref().unwrap().is_powered());
+    }
+
+    #[test]
+    fn member_fault_degrades_the_volume() {
+        use trail_sim::SimDuration;
+        let mut built = StackBuilder::new()
+            .standard()
+            .data_disks(1)
+            .data_profile(profiles::tiny_test_disk())
+            .volumes(
+                VolumeLayout::Raid1 {
+                    read_policy: trail_volume::ReadPolicy::RoundRobin,
+                },
+                2,
+            )
+            .faults(FaultPlan::member_fail(0, 1, SimDuration::from_millis(2)))
+            .build()
+            .expect("build");
+        built.sim.run();
+        assert_eq!(built.fault_clock.unhandled(), 0);
+        assert_eq!(built.volumes[0].failed_members(), vec![1]);
     }
 
     #[test]

@@ -170,6 +170,9 @@ pub struct BuiltTarget {
     /// member failure injection and per-member statistics. Empty for
     /// every other kind.
     pub volumes: Vec<trail_volume::RaidVolume>,
+    /// The fault clock the scenario's plan was armed on (see
+    /// [`BuiltStack::fault_clock`](crate::BuiltStack::fault_clock)).
+    pub fault_clock: trail_sim::FaultClock,
 }
 
 impl StackBuilder {
@@ -255,6 +258,7 @@ impl StackBuilder {
                     sim,
                     stack,
                     volumes,
+                    fault_clock,
                     ..
                 } = built;
                 Ok(BuiltTarget {
@@ -262,6 +266,7 @@ impl StackBuilder {
                     stack,
                     drive: TargetDrive::Block { capacity },
                     volumes,
+                    fault_clock,
                 })
             }
             TargetKind::Ext2 { .. } | TargetKind::Lfs { .. } => {
@@ -280,7 +285,12 @@ impl StackBuilder {
                     prealloc(&mut built.sim, &fs, file, file_blocks)?;
                     mounts.push((fs, file));
                 }
-                let BuiltStack { sim, stack, .. } = built;
+                let BuiltStack {
+                    sim,
+                    stack,
+                    fault_clock,
+                    ..
+                } = built;
                 Ok(BuiltTarget {
                     sim,
                     stack,
@@ -289,6 +299,7 @@ impl StackBuilder {
                         file_blocks: u64::from(file_blocks),
                     },
                     volumes: Vec::new(),
+                    fault_clock,
                 })
             }
         }
