@@ -10,6 +10,7 @@
 //! trace_tool import   blkparse.txt --out t.trace [--action Q] [--chunk-records C]
 //! trace_tool inspect  t.trace
 //! trace_tool convert  in.trace out.jsonl      (direction by extension)
+//!                     [--compress | --raw] [--chunk-records C]
 //! trace_tool replay   t.trace [--target all|standard|trail|trail_multi2|ext2|lfs]
 //!                     [--speed X] [--quick] [--out-dir DIR]
 //! ```
@@ -27,6 +28,12 @@
 //! breakdown; `replay` writes one `BENCH_replay_<target>.json` per
 //! target with p50/p99/p99.9 latency (aggregate and per stream) and the
 //! queue-depth trajectory.
+//!
+//! `convert --compress` rewrites a trace with delta-compressed chunks
+//! (column split + delta + varint, see DESIGN.md); `--raw` rewrites
+//! back to raw chunks. Either way the records are identical — the
+//! encoding is a per-chunk storage choice, and every reader handles
+//! both.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -40,9 +47,9 @@ use trail_trace::codec::{
 };
 use trail_trace::{
     from_jsonl, generate, generate_stream, import_blkparse, replay, replay_stream, scan_blkparse,
-    to_jsonl, ArrivalModel, ImportOptions, ReplayOptions, SpatialModel, StreamSummary,
-    StreamSummaryBuilder, SyntheticSpec, TargetKind, Trace, TraceCapture, TraceMeta, TraceReader,
-    TraceRecord, TraceWriter,
+    to_jsonl, ArrivalModel, ChunkEncoding, ImportOptions, ReplayOptions, SpatialModel,
+    StreamSummary, StreamSummaryBuilder, SyntheticSpec, TargetKind, Trace, TraceCapture, TraceMeta,
+    TraceReader, TraceRecord, TraceWriter,
 };
 
 fn main() -> ExitCode {
@@ -217,6 +224,7 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
         devices: 0,
         note: format!("{txns} transactions, concurrency 4"),
         chunk_records: parse(args, "--chunk-records", 0u32)?,
+        encoding: ChunkEncoding::Raw,
     });
     trace.rebase_to_first();
     store(&out, &trace)?;
@@ -382,6 +390,12 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("bad value for --chunk-records: {v}"))
         })
         .transpose()?;
+    let encoding = match (has(args, "--compress"), has(args, "--raw")) {
+        (true, true) => return Err("--compress and --raw are mutually exclusive".to_string()),
+        (true, false) => Some(ChunkEncoding::Delta),
+        (false, true) => Some(ChunkEncoding::Raw),
+        (false, false) => None,
+    };
     let count = match (is_jsonl(&input), is_jsonl(&output)) {
         // Binary -> JSONL: decode chunk by chunk, print line by line.
         (false, true) => {
@@ -422,6 +436,9 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
             if let Some(c) = chunk {
                 meta.chunk_records = c;
             }
+            if let Some(enc) = encoding {
+                meta.encoding = enc;
+            }
             let mut w = TraceWriter::new(create_out(&output)?, &meta)
                 .map_err(|e| format!("{output}: {e}"))?;
             let mut count: u64 = 0;
@@ -449,6 +466,9 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
             let mut meta = reader.meta().clone();
             if let Some(c) = chunk {
                 meta.chunk_records = c;
+            }
+            if let Some(enc) = encoding {
+                meta.encoding = enc;
             }
             let mut w = TraceWriter::new(create_out(&output)?, &meta)
                 .map_err(|e| format!("{output}: {e}"))?;

@@ -9,10 +9,10 @@
 //! scenarios' virtual-time results (wall-clock times never enter the
 //! JSON). Running with 1 thread or N produces byte-identical artifacts.
 
-use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+pub use trail_sim::parallel_map;
 
 use crate::report::write_bench_json_in;
 use crate::scenarios::{all_scenarios, ScenarioConfig, ScenarioOutput};
@@ -85,57 +85,6 @@ impl RunAllSummary {
     }
 }
 
-/// Applies `f` to every item on a pool of `threads` scoped OS workers and
-/// returns the results in item order.
-///
-/// This is the machinery behind [`run_all_scenarios`] and the crash
-/// campaigns, factored out so any embarrassingly parallel sweep can use
-/// it: workers drain a shared index queue and only *compute*; the caller
-/// receives the results in the original item order regardless of which
-/// worker ran what, so a deterministic `f` yields identical output for
-/// any thread count.
-///
-/// # Panics
-///
-/// Panics if `f` panics on a worker thread (the panic is propagated when
-/// the thread scope joins).
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, items.len());
-    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..tasks.len()).collect());
-    let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("queue poisoned").pop_front();
-                let Some(idx) = next else { break };
-                let item = tasks[idx]
-                    .lock()
-                    .expect("task poisoned")
-                    .take()
-                    .expect("each task is claimed once");
-                *slots[idx].lock().expect("slot poisoned") = Some(f(item));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot poisoned")
-                .expect("every queued task ran")
-        })
-        .collect()
-}
-
 /// Runs every registered scenario, one per worker thread, and writes each
 /// `BENCH_<name>.json` into `opts.out_dir`.
 ///
@@ -205,21 +154,4 @@ pub fn run_all_scenarios(opts: &RunAllOptions) -> std::io::Result<RunAllSummary>
         serial_estimate,
         threads,
     })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::parallel_map;
-
-    #[test]
-    fn parallel_map_returns_results_in_item_order() {
-        let expected: Vec<i64> = (0..100).map(|i| i * i).collect();
-        for threads in [1, 3, 16] {
-            assert_eq!(
-                parallel_map((0..100).collect(), threads, |i: i64| i * i),
-                expected
-            );
-        }
-        assert_eq!(parallel_map(Vec::<i64>::new(), 4, |i| i), Vec::<i64>::new());
-    }
 }

@@ -34,8 +34,9 @@ use trail_telemetry::{JsonValue, RecorderHandle};
 use trail_tpcc::{run, ChainOn, RunConfig, TpccReport};
 use trail_trace::{
     generate, generate_stream, replay as trace_replay, replay_stream as trace_replay_stream,
-    ArrivalModel, ReplayOptions, ReplayReport, SpatialModel, SyntheticSpec, TargetKind, Trace,
-    TraceCapture, TraceMeta, TraceReader, DEFAULT_CHUNK_RECORDS,
+    replay_stream_sharded, ArrivalModel, ChunkEncoding, ReplayOptions, ReplayReport, ShardPlan,
+    SpatialModel, SyntheticSpec, TargetKind, Trace, TraceCapture, TraceMeta, TraceReader,
+    TraceWriter, DEFAULT_CHUNK_RECORDS,
 };
 
 use crate::campaign::{aggregate, run_campaign, CampaignAggregate, CampaignFlavor, CampaignSpec};
@@ -1777,13 +1778,38 @@ fn replay_stream_bench(cfg: &ScenarioConfig) -> ScenarioOutput {
     // never exists on the streaming side.
     let bytes = generate_stream(&spec, 0, Vec::new()).expect("encode trace");
     let trace_bytes = bytes.len() as u64;
+    // Re-encode with delta-compressed chunks: identical records, smaller
+    // file. The replay below reads the *compressed* buffer, so the
+    // oracle check also proves the codec transparent end to end.
+    let delta = {
+        let mut reader =
+            TraceReader::new(std::io::Cursor::new(bytes.clone())).expect("trace header");
+        let mut meta = reader.meta().clone();
+        meta.encoding = ChunkEncoding::Delta;
+        let mut w = TraceWriter::new(Vec::new(), &meta).expect("delta writer");
+        loop {
+            match reader.next_record() {
+                None => break,
+                Some(r) => w
+                    .write_record(&r.expect("decode record"))
+                    .expect("re-encode record"),
+            }
+        }
+        w.finish().expect("finish delta trace")
+    };
+    let trace_bytes_delta = delta.len() as u64;
+    let compression_ratio = trace_bytes_delta as f64 / trace_bytes as f64;
+    assert!(
+        compression_ratio < 0.6,
+        "delta chunks should cut the Poisson trace below 60% of raw, got {compression_ratio:.3}"
+    );
     let opts = ReplayOptions {
         target: TargetKind::Trail,
         fs_file_blocks: 256,
         recorder: cfg.handle(),
         ..ReplayOptions::default()
     };
-    let reader = TraceReader::new(std::io::Cursor::new(bytes)).expect("trace header");
+    let reader = TraceReader::new(std::io::Cursor::new(delta.clone())).expect("trace header");
     let rep = trace_replay_stream(reader, &opts).expect("streaming replay");
     assert_eq!(
         rep.requests, requests as u64,
@@ -1823,11 +1849,67 @@ fn replay_stream_bench(cfg: &ScenarioConfig) -> ScenarioOutput {
         );
     }
 
+    // Sharded replay over the same compressed buffer: four shards on
+    // two worker threads. The merged report is a deterministic artifact
+    // of the trace and the shard count — never the thread count.
+    let shard_opts = ReplayOptions {
+        target: TargetKind::Trail,
+        fs_file_blocks: 256,
+        ..ReplayOptions::default()
+    };
+    let open = || TraceReader::new(std::io::Cursor::new(delta.clone()));
+    let sharded = replay_stream_sharded(
+        open,
+        ShardPlan {
+            shards: 4,
+            threads: 2,
+        },
+        &shard_opts,
+    )
+    .expect("sharded replay");
+    assert_eq!(
+        sharded.requests, requests as u64,
+        "the shards together replayed every record"
+    );
+    if cfg.quick {
+        // A single shard is the unsharded engine plus an identity
+        // merge: the reports must match byte for byte.
+        let plain =
+            trace_replay_stream(open().expect("trace header"), &shard_opts).expect("plain replay");
+        let one =
+            replay_stream_sharded(open, ShardPlan::new(1), &shard_opts).expect("1-shard replay");
+        assert_eq!(
+            one.to_json().to_json(),
+            plain.to_json().to_json(),
+            "a 1-shard sharded replay diverged from the unsharded engine"
+        );
+    }
+    let _ = writeln!(
+        report,
+        "delta chunks: {trace_bytes_delta} bytes ({:.1}% of {trace_bytes} raw); \
+         sharded (4 shards) fingerprint {:016x}",
+        compression_ratio * 100.0,
+        sharded.latency_fingerprint,
+    );
+
     let mut json = replay_stream_json(&rep, 0, trace_bytes);
     if let JsonValue::Obj(fields) = &mut json {
         fields.push((
             "oracle_checked".to_string(),
             JsonValue::Num(f64::from(u8::from(oracle_checked))),
+        ));
+        fields.push((
+            "trace_bytes_delta".to_string(),
+            JsonValue::Num(trace_bytes_delta as f64),
+        ));
+        fields.push((
+            "compression_ratio".to_string(),
+            JsonValue::Num(compression_ratio),
+        ));
+        fields.push(("shards".to_string(), JsonValue::Num(4.0)));
+        fields.push((
+            "sharded_fingerprint".to_string(),
+            JsonValue::Str(format!("{:016x}", sharded.latency_fingerprint)),
         ));
     }
     ScenarioOutput { report, json }
@@ -2260,6 +2342,7 @@ fn replay_tpcc(cfg: &ScenarioConfig) -> ScenarioOutput {
         devices: 0,
         note: format!("{txns} transactions, concurrency 4, over Trail"),
         chunk_records: 0,
+        encoding: ChunkEncoding::Raw,
     });
     trace.rebase_to_first();
 

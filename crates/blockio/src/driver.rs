@@ -52,6 +52,12 @@ struct Inner {
     // removal here — no linear scans at any depth.
     queue: BTreeMap<u64, Queued>,
     in_flight: bool,
+    // Dropped tokens of transient-rejected commands whose Err(Cancelled)
+    // delivery is still in flight. The dispatch slot those commands held
+    // was freed (and likely re-used) at rejection time, so their late
+    // cancellations must NOT clear `in_flight` for whatever command now
+    // owns the disk.
+    transient_cancels_pending: u32,
     next_id: u64,
     next_seq: u64,
     stats: DriverStats,
@@ -103,6 +109,7 @@ impl StandardDriver {
                 priority,
                 queue: BTreeMap::new(),
                 in_flight: false,
+                transient_cancels_pending: 0,
                 next_id: 0,
                 next_seq: 0,
                 stats: DriverStats::default(),
@@ -267,6 +274,14 @@ impl StandardDriver {
                 // nothing behind this command can ever be serviced.
                 Err(_) => {
                     let mut d = driver.inner.borrow_mut();
+                    if d.transient_cancels_pending > 0 {
+                        // The dropped token of a transient-rejected
+                        // command: its slot was freed and re-dispatched
+                        // at rejection time, and `in_flight` now
+                        // describes a *different* command — leave it.
+                        d.transient_cancels_pending -= 1;
+                        return;
+                    }
                     d.in_flight = false;
                     if d.disk.is_failed() {
                         d.queue.clear();
@@ -337,8 +352,15 @@ impl StandardDriver {
             Err(DiskError::Transient) => {
                 // An injected transient error consumed only this command
                 // (its completion cancel-cascades); everything still
-                // queued remains serviceable.
-                self.inner.borrow_mut().in_flight = false;
+                // queued remains serviceable, so free the slot and keep
+                // dispatching. Record the pending cancellation so its
+                // later delivery doesn't clear `in_flight` out from
+                // under the command dispatched next.
+                {
+                    let mut d = self.inner.borrow_mut();
+                    d.in_flight = false;
+                    d.transient_cancels_pending += 1;
+                }
                 self.dispatch(sim);
             }
             Err(e) => panic!("validated request rejected by idle disk: {e}"),

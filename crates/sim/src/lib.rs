@@ -51,6 +51,7 @@
 mod completion;
 mod event;
 mod fault;
+mod parallel;
 #[allow(unsafe_code)]
 mod payload;
 mod queue;
@@ -62,6 +63,7 @@ pub use event::{thread_events_executed, EventFn, EventId, Simulator};
 pub use fault::{
     Fault, FaultClock, FaultKind, FaultPlan, FaultPlanParseError, FaultSink, FaultTarget,
 };
+pub use parallel::parallel_map;
 pub use payload::INLINE_EVENT_BYTES;
 pub use stats::{BusyMeter, Counter, LatencySummary};
 pub use time::{SimDuration, SimTime};

@@ -81,6 +81,23 @@ impl DurationHistogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
+    /// Folds `other`'s samples into `self`, exactly.
+    ///
+    /// The histogram is a sum of per-bucket counters plus exact count,
+    /// sum, min, and max — all of which merge losslessly — so merging
+    /// per-shard histograms yields byte-for-byte the histogram a single
+    /// observer of the combined sample stream would have produced,
+    /// regardless of merge order. An empty histogram is the identity.
+    pub fn merge(&mut self, other: &Self) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -307,6 +324,34 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn histogram_percentile_rejects_out_of_range() {
         DurationHistogram::new().percentile(-1.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_into_one() {
+        // Merging two histograms is exactly recording both sample sets
+        // into one — counts, extremes, mean, and every bucket — and the
+        // empty histogram is the merge identity.
+        let mut a = DurationHistogram::new();
+        let mut b = DurationHistogram::new();
+        let mut both = DurationHistogram::new();
+        for us in [3u64, 17, 90, 1_000] {
+            a.record(SimDuration::from_micros(us));
+            both.record(SimDuration::from_micros(us));
+        }
+        for us in [1u64, 17, 40_000] {
+            b.record(SimDuration::from_micros(us));
+            both.record(SimDuration::from_micros(us));
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), both.count());
+        assert_eq!(merged.min(), both.min());
+        assert_eq!(merged.max(), both.max());
+        assert_eq!(merged.mean(), both.mean());
+        assert_eq!(merged.to_json().to_json(), both.to_json().to_json());
+        let mut with_empty = both.clone();
+        with_empty.merge(&DurationHistogram::new());
+        assert_eq!(with_empty.to_json().to_json(), both.to_json().to_json());
     }
 
     #[test]

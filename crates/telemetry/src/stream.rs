@@ -79,6 +79,23 @@ pub struct StreamLane {
 }
 
 impl StreamLane {
+    /// Folds `other`'s accounting into `self`: counts sum, histograms
+    /// merge exactly, and the concurrency high-water marks take the
+    /// maximum (each mark is local to its observer — see
+    /// [`StreamMetrics::merge`]).
+    pub fn merge(&mut self, other: &Self) {
+        self.requests += other.requests;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.errors += other.errors;
+        self.cancelled += other.cancelled;
+        self.latency.merge(&other.latency);
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+        self.inflight += other.inflight;
+        self.max_inflight = self.max_inflight.max(other.max_inflight);
+    }
+
     /// The lane as a JSON object: counts, per-stream queue depth, and
     /// the full latency histograms (p50/p95/p99/p99.9).
     #[must_use]
@@ -139,6 +156,21 @@ impl StreamMetrics {
         self.lanes.iter().map(|(id, lane)| (*id, lane))
     }
 
+    /// Folds `other`'s lanes into `self`, lane by lane.
+    ///
+    /// When the two sides observed *disjoint* stream sets (the sharded
+    /// replay case) this is pure concatenation into the ordered map and
+    /// the result is identical to a single observer's metrics. When a
+    /// stream appears on both sides, counts and histograms still merge
+    /// exactly, but `max_inflight` becomes the max of two local
+    /// high-water marks — a lower bound on the true combined concurrency,
+    /// which no pair of independent observers can reconstruct.
+    pub fn merge(&mut self, other: &Self) {
+        for (id, lane) in &other.lanes {
+            self.lanes.entry(*id).or_default().merge(lane);
+        }
+    }
+
     /// Records a request entering flight on `stream`.
     pub fn on_issue(&mut self, stream: StreamId, is_read: bool) {
         let lane = self.lanes.entry(stream).or_default();
@@ -194,6 +226,50 @@ impl StreamMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merging_disjoint_stream_sets_is_concatenation() {
+        // Two observers over disjoint streams — the sharded-replay case
+        // — merge into exactly what one observer over both would hold.
+        let mut a = StreamMetrics::new();
+        let mut b = StreamMetrics::new();
+        let mut one = StreamMetrics::new();
+        for (m, stream) in [(&mut a, StreamId(1)), (&mut b, StreamId(2))] {
+            m.on_issue(stream, true);
+            m.on_complete(stream, true, Some(SimDuration::from_micros(50)));
+            m.on_issue(stream, false);
+            m.on_complete(stream, false, None);
+        }
+        for stream in [StreamId(1), StreamId(2)] {
+            one.on_issue(stream, true);
+            one.on_complete(stream, true, Some(SimDuration::from_micros(50)));
+            one.on_issue(stream, false);
+            one.on_complete(stream, false, None);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.streams(), 2);
+        assert_eq!(merged.to_json().to_json(), one.to_json().to_json());
+    }
+
+    #[test]
+    fn merging_a_shared_stream_sums_counts_and_maxes_inflight() {
+        let mut a = StreamMetrics::new();
+        let mut b = StreamMetrics::new();
+        a.on_issue(StreamId(5), false);
+        a.on_complete(StreamId(5), false, Some(SimDuration::from_micros(10)));
+        b.on_issue(StreamId(5), false);
+        b.on_issue(StreamId(5), false);
+        b.on_complete(StreamId(5), false, Some(SimDuration::from_micros(20)));
+        b.on_complete(StreamId(5), false, Some(SimDuration::from_micros(30)));
+        a.merge(&b);
+        let lane = a.lane(StreamId(5)).expect("merged lane");
+        assert_eq!(lane.requests, 3);
+        assert_eq!(lane.writes, 3);
+        assert_eq!(lane.latency.count(), 3);
+        // Two local high-water marks of 1 and 2 → a lower bound of 2.
+        assert_eq!(lane.max_inflight, 2);
+    }
 
     #[test]
     fn untagged_is_zero() {

@@ -23,7 +23,71 @@ use trail_telemetry::StreamId;
 ///   a footer chunk index, so traces stream at bounded memory (see
 ///   `DESIGN.md`, "Trace format v2 (chunked)"). v1 files remain
 ///   readable.
-pub const TRACE_VERSION: u16 = 2;
+/// - **3** — per-chunk encoding byte: each chunk header grows a
+///   [`ChunkEncoding`] tag so chunk payloads may be delta-compressed
+///   (column split + delta + zigzag/varint — see `DESIGN.md`, "Trace
+///   format v3 (delta-compressed chunks)"). The CRC still covers the
+///   *decoded* 28-byte record payload, so a Raw and a Delta chunk of
+///   the same records carry the same checksum. v1 and v2 files remain
+///   readable.
+pub const TRACE_VERSION: u16 = 3;
+
+/// How a v3 chunk's record payload is laid out on disk.
+///
+/// The tag travels in every chunk header, so a single file may mix
+/// encodings and a reader never guesses; [`TraceMeta::encoding`] names
+/// the encoding the *writer* applies to every chunk it flushes, keeping
+/// encode→decode→re-encode canonical.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ChunkEncoding {
+    /// The flat 28-byte little-endian record array, as in v2.
+    #[default]
+    Raw,
+    /// Column split + per-column delta + zigzag/varint. Arrival times
+    /// and LBAs are near-monotone, so deltas collapse; the synthetic
+    /// Poisson traces shrink to well under half their raw size.
+    Delta,
+}
+
+impl ChunkEncoding {
+    /// The on-disk tag byte (`0` = raw, `1` = delta).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            ChunkEncoding::Raw => 0,
+            ChunkEncoding::Delta => 1,
+        }
+    }
+
+    /// Parses an on-disk tag byte.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<ChunkEncoding> {
+        match code {
+            0 => Some(ChunkEncoding::Raw),
+            1 => Some(ChunkEncoding::Delta),
+            _ => None,
+        }
+    }
+
+    /// The meta-JSON name (`"raw"` / `"delta"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChunkEncoding::Raw => "raw",
+            ChunkEncoding::Delta => "delta",
+        }
+    }
+
+    /// Parses the meta-JSON name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ChunkEncoding> {
+        match name {
+            "raw" => Some(ChunkEncoding::Raw),
+            "delta" => Some(ChunkEncoding::Delta),
+            _ => None,
+        }
+    }
+}
 
 /// What a traced request did.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -116,6 +180,10 @@ pub struct TraceMeta {
     /// Records per chunk the binary codec flushes at; 0 means "use the
     /// codec default" and is preserved as 0 so encodings stay canonical.
     pub chunk_records: u32,
+    /// Chunk payload encoding the binary codec writes (every flushed
+    /// chunk gets this tag; readers honor the per-chunk byte, so the
+    /// field is a writer knob plus provenance, not a reader constraint).
+    pub encoding: ChunkEncoding,
 }
 
 /// A workload trace: metadata plus records ordered by arrival time.

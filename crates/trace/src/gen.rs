@@ -19,7 +19,7 @@ use trail_sim::{rng, SimDuration, SimTime};
 use trail_telemetry::StreamId;
 
 use crate::codec::TraceWriter;
-use crate::format::{Trace, TraceMeta, TraceOp, TraceRecord};
+use crate::format::{ChunkEncoding, Trace, TraceMeta, TraceOp, TraceRecord};
 
 /// How request arrival instants are drawn.
 #[derive(Clone, Copy, Debug)]
@@ -160,6 +160,7 @@ fn spec_meta(spec: &SyntheticSpec, chunk_records: u32) -> TraceMeta {
             spec.requests, spec.streams, spec.arrivals, spec.spatial
         ),
         chunk_records,
+        encoding: ChunkEncoding::Raw,
     }
 }
 

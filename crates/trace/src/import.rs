@@ -41,7 +41,7 @@ use trail_sim::SimTime;
 use trail_telemetry::StreamId;
 
 use crate::codec::TraceWriter;
-use crate::format::{Trace, TraceMeta, TraceOp, TraceRecord};
+use crate::format::{ChunkEncoding, Trace, TraceMeta, TraceOp, TraceRecord};
 
 /// Default bounded-reorder window (records held back to re-sort nearly
 /// sorted input) for [`import_blkparse_into`] when the caller passes 0.
@@ -240,6 +240,7 @@ fn import_meta(devices: u16, action: char, chunk_records: u32) -> TraceMeta {
         devices,
         note: format!("action '{action}'"),
         chunk_records,
+        encoding: ChunkEncoding::Raw,
     }
 }
 

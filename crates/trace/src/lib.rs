@@ -41,15 +41,16 @@ pub mod format;
 pub mod gen;
 pub mod import;
 pub mod replay;
+pub mod shard;
 
 pub use capture::{StreamingCapture, TraceCapture};
 pub use codec::{
-    from_binary, from_jsonl, to_binary, to_binary_v1, to_jsonl, TraceError, TraceReader,
-    TraceWriter, DEFAULT_CHUNK_RECORDS, RECORD_BYTES, TRACE_MAGIC,
+    from_binary, from_jsonl, to_binary, to_binary_v1, to_binary_v2, to_jsonl, TraceError,
+    TraceReader, TraceWriter, DEFAULT_CHUNK_RECORDS, RECORD_BYTES, TRACE_MAGIC,
 };
 pub use format::{
-    StreamSummary, StreamSummaryBuilder, StreamView, Trace, TraceMeta, TraceOp, TraceRecord,
-    TRACE_VERSION,
+    ChunkEncoding, StreamSummary, StreamSummaryBuilder, StreamView, Trace, TraceMeta, TraceOp,
+    TraceRecord, TRACE_VERSION,
 };
 pub use gen::{generate, generate_stream, ArrivalModel, SpatialModel, SyntheticSpec};
 pub use import::{
@@ -58,4 +59,5 @@ pub use import::{
 pub use replay::{
     replay, replay_stream, FailMember, ReplayError, ReplayOptions, ReplayReport, TargetKind,
 };
+pub use shard::{replay_stream_sharded, ShardPlan};
 pub use trail_telemetry::StreamId;

@@ -308,23 +308,67 @@ impl ReplayReport {
     }
 }
 
-/// One record at a time, in file order — the engine's only view of the
-/// trace, whether it lives in memory or on disk.
-trait RecordCursor {
-    fn next_record(&mut self) -> Option<Result<TraceRecord, TraceError>>;
+/// One record at a time, in file order, tagged with its **global**
+/// file-order index — the engine's only view of the trace, whether it
+/// lives in memory or on disk. The index rides with the record (rather
+/// than being counted off by the consumer) so a filtering cursor — a
+/// shard seeing every Nth stream — still reports positions in the whole
+/// trace, keeping per-record artifacts like the latency fingerprint
+/// identical however the trace is partitioned.
+pub(crate) trait RecordCursor {
+    fn next_record(&mut self) -> Option<Result<(u64, TraceRecord), TraceError>>;
 }
 
-struct VecCursor(std::vec::IntoIter<TraceRecord>);
+struct VecCursor {
+    iter: std::vec::IntoIter<TraceRecord>,
+    idx: u64,
+}
 
 impl RecordCursor for VecCursor {
-    fn next_record(&mut self) -> Option<Result<TraceRecord, TraceError>> {
-        self.0.next().map(Ok)
+    fn next_record(&mut self) -> Option<Result<(u64, TraceRecord), TraceError>> {
+        let r = self.iter.next()?;
+        let idx = self.idx;
+        self.idx += 1;
+        Some(Ok((idx, r)))
     }
 }
 
 impl<R: Read> RecordCursor for TraceReader<R> {
-    fn next_record(&mut self) -> Option<Result<TraceRecord, TraceError>> {
-        TraceReader::next_record(self)
+    fn next_record(&mut self) -> Option<Result<(u64, TraceRecord), TraceError>> {
+        let idx = self.records_read();
+        TraceReader::next_record(self).map(|r| r.map(|rec| (idx, rec)))
+    }
+}
+
+/// A cursor that yields only the records of one shard (`stream mod
+/// shards == shard`), preserving their global indices. Skipped records
+/// are still decoded — every shard reads and CRC-checks the whole file
+/// — but never enter the engine.
+pub(crate) struct ShardCursor<C> {
+    inner: C,
+    shard: u32,
+    shards: u32,
+}
+
+impl<C> ShardCursor<C> {
+    pub(crate) fn new(inner: C, shard: u32, shards: u32) -> ShardCursor<C> {
+        debug_assert!(shard < shards);
+        ShardCursor {
+            inner,
+            shard,
+            shards,
+        }
+    }
+}
+
+impl<C: RecordCursor> RecordCursor for ShardCursor<C> {
+    fn next_record(&mut self) -> Option<Result<(u64, TraceRecord), TraceError>> {
+        loop {
+            match self.inner.next_record()? {
+                Ok((_, r)) if r.stream.0 % self.shards != self.shard => continue,
+                item => return Some(item),
+            }
+        }
     }
 }
 
@@ -332,8 +376,7 @@ impl<R: Read> RecordCursor for TraceReader<R> {
 /// waiting for its (time-scaled) arrival instant.
 struct Source {
     cursor: Box<dyn RecordCursor>,
-    pending: Option<(SimTime, TraceRecord)>,
-    next_idx: u64,
+    pending: Option<(SimTime, u64, TraceRecord)>,
     done: bool,
     failure: Option<ReplayError>,
     speed: f64,
@@ -345,7 +388,6 @@ impl Source {
         Source {
             cursor,
             pending: None,
-            next_idx: 0,
             done: false,
             failure: None,
             speed,
@@ -364,10 +406,10 @@ impl Source {
                 self.failure = Some(ReplayError::Trace(e));
                 self.done = true;
             }
-            Some(Ok(r)) => {
+            Some(Ok((idx, r))) => {
                 let at =
                     self.start + SimDuration::from_nanos(scale_ns(r.at.as_nanos(), self.speed));
-                self.pending = Some((at, r));
+                self.pending = Some((at, idx, r));
             }
         }
     }
@@ -375,20 +417,19 @@ impl Source {
     /// Next pending arrival instant, if any.
     fn peek_at(&mut self) -> Option<SimTime> {
         self.fill();
-        self.pending.as_ref().map(|(at, _)| *at)
+        self.pending.as_ref().map(|(at, _, _)| *at)
     }
 
-    /// Drains every record whose scaled arrival is `<= now`, assigning
-    /// file-order indices.
+    /// Drains every record whose scaled arrival is `<= now`, with the
+    /// cursor-reported global file-order indices.
     fn take_due(&mut self, now: SimTime) -> Vec<(u64, TraceRecord)> {
         let mut batch = Vec::new();
         loop {
             self.fill();
             match &self.pending {
-                Some((at, _)) if *at <= now => {
-                    let (_, r) = self.pending.take().expect("pending checked");
-                    batch.push((self.next_idx, r));
-                    self.next_idx += 1;
+                Some((at, _, _)) if *at <= now => {
+                    let (_, idx, r) = self.pending.take().expect("pending checked");
+                    batch.push((idx, r));
                 }
                 _ => break,
             }
@@ -786,7 +827,10 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> Result<ReplayReport, Repla
     }
     let devices_hint = usize::from(trace.max_dev().unwrap_or(0)) + 1;
     run_engine(
-        Box::new(VecCursor(trace.records.clone().into_iter())),
+        Box::new(VecCursor {
+            iter: trace.records.clone().into_iter(),
+            idx: 0,
+        }),
         devices_hint,
         opts,
     )
@@ -839,7 +883,7 @@ fn effective_faults(opts: &ReplayOptions) -> FaultPlan {
     plan
 }
 
-fn run_engine(
+pub(crate) fn run_engine(
     cursor: Box<dyn RecordCursor>,
     devices_hint: usize,
     opts: &ReplayOptions,

@@ -8,14 +8,17 @@
 //! in file order and the simulator breaks equal-instant ties by
 //! scheduling order.
 
+use std::io::Cursor;
+
 use proptest::prelude::*;
 
-use trail_sim::SimTime;
+use trail_sim::{Fault, FaultKind, FaultPlan, FaultTarget, SimDuration, SimTime};
 use trail_trace::replay::replay_single_issuer;
 use trail_trace::{
-    from_binary, generate, import_blkparse, replay, to_binary, to_binary_v1, ArrivalModel,
-    ImportOptions, ReplayOptions, StreamId, StreamView, SyntheticSpec, TargetKind, Trace,
-    TraceMeta, TraceOp, TraceRecord,
+    from_binary, generate, generate_stream, import_blkparse, replay, replay_stream,
+    replay_stream_sharded, to_binary, to_binary_v1, ArrivalModel, ChunkEncoding, ImportOptions,
+    ReplayOptions, ShardPlan, StreamId, StreamView, SyntheticSpec, TargetKind, Trace, TraceMeta,
+    TraceOp, TraceReader, TraceRecord,
 };
 
 fn four_stream_trace(requests: usize) -> Trace {
@@ -121,6 +124,119 @@ fn imported_fixture_replays_with_cpu_streams() {
     assert_eq!(report.streams.streams(), 4);
 }
 
+/// A 1-shard sharded replay is the unsharded engine plus an identity
+/// merge: every field of the report — queue-depth samples and
+/// concurrency witnesses included — must match byte for byte.
+#[test]
+fn sharded_replay_with_one_shard_is_byte_identical_to_streaming() {
+    let spec = SyntheticSpec {
+        requests: 150,
+        streams: 4,
+        devices: 2,
+        ..SyntheticSpec::default()
+    };
+    let bytes = generate_stream(&spec, 16, Vec::new()).expect("encode");
+    let opts = ReplayOptions {
+        target: TargetKind::TrailMulti { logs: 2 },
+        ..ReplayOptions::default()
+    };
+    let plain = replay_stream(
+        TraceReader::new(Cursor::new(bytes.clone())).expect("header"),
+        &opts,
+    )
+    .expect("plain replay");
+    let one = replay_stream_sharded(
+        || TraceReader::new(Cursor::new(bytes.clone())),
+        ShardPlan::new(1),
+        &opts,
+    )
+    .expect("sharded replay");
+    assert_eq!(one.to_json().to_json(), plain.to_json().to_json());
+}
+
+/// Worker thread count is a scheduling knob, not a semantic one: the
+/// merged report is byte-identical however many threads run the shards.
+#[test]
+fn sharded_replay_is_byte_identical_for_any_thread_count() {
+    let spec = SyntheticSpec {
+        requests: 200,
+        streams: 6,
+        devices: 3,
+        ..SyntheticSpec::default()
+    };
+    let bytes = generate_stream(&spec, 32, Vec::new()).expect("encode");
+    let opts = ReplayOptions {
+        target: TargetKind::Standard,
+        ..ReplayOptions::default()
+    };
+    let run = |threads: usize| {
+        replay_stream_sharded(
+            || TraceReader::new(Cursor::new(bytes.clone())),
+            ShardPlan { shards: 3, threads },
+            &opts,
+        )
+        .expect("sharded replay")
+        .to_json()
+        .to_json()
+    };
+    let one = run(1);
+    assert_eq!(one, run(2));
+    assert_eq!(one, run(3));
+}
+
+/// First exercise of the fault plane's non-fatal kinds over a replay:
+/// a burst of transient I/O errors plus a latency spike, both armed
+/// through the one [`FaultPlan`] grammar. The faulted replay is
+/// deterministic (byte-identical across runs), counts the rejected
+/// commands, and measurably diverges from the unfaulted timeline.
+#[test]
+fn transient_error_and_latency_spike_faults_replay_deterministically() {
+    let trace = four_stream_trace(150);
+    let faults = FaultPlan::new()
+        .with(Fault {
+            at: SimDuration::from_millis(5),
+            target: FaultTarget::Data(0),
+            kind: FaultKind::TransientError { count: 3 },
+        })
+        .with(Fault {
+            at: SimDuration::from_millis(10),
+            target: FaultTarget::Data(1),
+            kind: FaultKind::LatencySpike {
+                extra: SimDuration::from_millis(2),
+                count: 5,
+            },
+        });
+    let opts = ReplayOptions {
+        target: TargetKind::Standard,
+        faults: faults.clone(),
+        ..ReplayOptions::default()
+    };
+    let a = replay(&trace, &opts).expect("faulted replay");
+    let b = replay(&trace, &opts).expect("faulted replay again");
+    assert_eq!(
+        a.to_json().to_json(),
+        b.to_json().to_json(),
+        "a faulted replay must be as deterministic as a clean one"
+    );
+    assert!(
+        a.errors >= 1,
+        "transient errors should surface as counted request errors"
+    );
+    let clean = replay(
+        &trace,
+        &ReplayOptions {
+            target: TargetKind::Standard,
+            ..ReplayOptions::default()
+        },
+    )
+    .expect("clean replay");
+    assert_eq!(clean.errors, 0);
+    assert_ne!(
+        a.latency_fingerprint, clean.latency_fingerprint,
+        "the armed faults never touched the timeline"
+    );
+}
+
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
     (
         0u64..5_000_000,
@@ -212,5 +328,92 @@ proptest! {
         let via_v2 = from_binary(&to_binary(&trace)).unwrap();
         prop_assert_eq!(&via_v1, &trace);
         prop_assert_eq!(via_v1, via_v2);
+    }
+
+    /// Any record soup survives the delta chunk codec exactly, at every
+    /// chunk size: decode(encode(t)) == t, re-encoding reproduces the
+    /// bytes, and the records agree with a raw encoding of the same
+    /// trace.
+    #[test]
+    fn delta_chunks_round_trip_byte_identically(
+        records in proptest::collection::vec(arb_record(), 1..120),
+        chunk in 1u32..16,
+    ) {
+        let mut trace = Trace {
+            meta: TraceMeta {
+                chunk_records: chunk,
+                encoding: ChunkEncoding::Delta,
+                ..TraceMeta::default()
+            },
+            records,
+        };
+        trace.normalize();
+        let bytes = to_binary(&trace);
+        let decoded = from_binary(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &trace);
+        prop_assert_eq!(to_binary(&decoded), bytes);
+        let mut raw = trace.clone();
+        raw.meta.encoding = ChunkEncoding::Raw;
+        let via_raw = from_binary(&to_binary(&raw)).unwrap();
+        prop_assert_eq!(via_raw.records, trace.records);
+    }
+
+    /// With shared-nothing routing — as many devices as streams, so no
+    /// two streams share a disk queue — partitioning by stream cannot
+    /// change what any request observes: the sharded replay's merged
+    /// latency artifacts equal the single engine's for ANY shard count.
+    /// (Concurrency witnesses like max queue depth become per-shard and
+    /// are excluded; see the shard module docs.)
+    #[test]
+    fn sharded_replay_matches_the_single_engine_on_shared_nothing_routing(
+        requests in 30usize..120,
+        shards in 2u32..6,
+        seed in 1u64..500,
+    ) {
+        let spec = SyntheticSpec {
+            seed,
+            requests,
+            streams: 4,
+            devices: 4,
+            ..SyntheticSpec::default()
+        };
+        let bytes = generate_stream(&spec, 16, Vec::new()).expect("encode");
+        let opts = ReplayOptions {
+            target: TargetKind::Standard,
+            ..ReplayOptions::default()
+        };
+        let single = replay_stream(
+            TraceReader::new(Cursor::new(bytes.clone())).expect("header"),
+            &opts,
+        )
+        .expect("single replay");
+        let merged = replay_stream_sharded(
+            || TraceReader::new(Cursor::new(bytes.clone())),
+            ShardPlan { shards, threads: 2 },
+            &opts,
+        )
+        .expect("sharded replay");
+        prop_assert_eq!(merged.requests, single.requests);
+        prop_assert_eq!(merged.reads, single.reads);
+        prop_assert_eq!(merged.writes, single.writes);
+        prop_assert_eq!(merged.errors, single.errors);
+        prop_assert_eq!(merged.duration, single.duration);
+        prop_assert_eq!(merged.latency_fingerprint, single.latency_fingerprint);
+        prop_assert_eq!(
+            merged.latency.to_json().to_json(),
+            single.latency.to_json().to_json()
+        );
+        prop_assert_eq!(
+            merged.read_latency.to_json().to_json(),
+            single.read_latency.to_json().to_json()
+        );
+        prop_assert_eq!(
+            merged.write_latency.to_json().to_json(),
+            single.write_latency.to_json().to_json()
+        );
+        prop_assert_eq!(
+            merged.streams.to_json().to_json(),
+            single.streams.to_json().to_json()
+        );
     }
 }
